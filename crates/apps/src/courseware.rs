@@ -1,0 +1,199 @@
+//! Courseware benchmark (Nair et al. 2020, §7.2).
+//!
+//! The application manages the enrollment of students in courses: courses
+//! can be opened, closed and deleted; students enroll only if the course is
+//! open and its capacity has not been reached. The set of enrolled
+//! students of a course is a set global variable `enrolled_c`, with
+//! `open_c` and `capacity_c` as row variables.
+//!
+//! The classical correctness property — the number of enrolled students
+//! never exceeds the capacity — is provided as an assertion usable with
+//! `txdpor_explore::explore_with_assertion`; it is violated under weak
+//! isolation levels (two concurrent enrollments both observing a free
+//! seat) and holds under Serializability.
+
+use rand::Rng;
+use txdpor_explore::AssertionCtx;
+use txdpor_history::Value;
+use txdpor_program::dsl::*;
+use txdpor_program::TransactionDef;
+
+/// Number of courses in the benchmark domain.
+pub const COURSES: i64 = 2;
+/// Number of students in the benchmark domain.
+pub const STUDENTS: i64 = 2;
+/// Capacity used when opening a course.
+pub const DEFAULT_CAPACITY: i64 = 1;
+
+fn open(course: i64) -> String {
+    format!("open_{course}")
+}
+
+fn capacity(course: i64) -> String {
+    format!("capacity_{course}")
+}
+
+fn enrolled(course: i64) -> String {
+    format!("enrolled_{course}")
+}
+
+/// Opens a course with the given capacity.
+pub fn open_course(course: i64, cap: i64) -> TransactionDef {
+    tx(
+        "open_course",
+        vec![
+            write(g(open(course)), cint(1)),
+            write(g(capacity(course)), cint(cap)),
+            write(g(enrolled(course)), empty_set()),
+        ],
+    )
+}
+
+/// Closes a course (no further enrollments allowed).
+pub fn close_course(course: i64) -> TransactionDef {
+    tx("close_course", vec![write(g(open(course)), cint(0))])
+}
+
+/// Deletes a course: closes it and clears its enrollments.
+pub fn delete_course(course: i64) -> TransactionDef {
+    tx(
+        "delete_course",
+        vec![
+            write(g(open(course)), cint(0)),
+            write(g(enrolled(course)), empty_set()),
+        ],
+    )
+}
+
+/// Enrolls `student` in `course` if the course is open and has a free seat.
+pub fn enroll(student: i64, course: i64) -> TransactionDef {
+    tx(
+        "enroll",
+        vec![
+            read("o", g(open(course))),
+            read("cap", g(capacity(course))),
+            read("e", g(enrolled(course))),
+            iff(
+                and(
+                    eq(local("o"), cint(1)),
+                    lt(set_size(local("e")), local("cap")),
+                ),
+                vec![write(
+                    g(enrolled(course)),
+                    set_insert(local("e"), cint(student)),
+                )],
+            ),
+        ],
+    )
+}
+
+/// Reads all enrollments of a course.
+pub fn get_enrollments(course: i64) -> TransactionDef {
+    tx("get_enrollments", vec![read("e", g(enrolled(course)))])
+}
+
+/// Initial values: every course is open with the default capacity and no
+/// enrollments (so that client programs exercising `enroll` are meaningful
+/// without a mandatory `open_course` prefix).
+pub fn initial_values() -> Vec<(String, Value)> {
+    let mut out = Vec::new();
+    for c in 0..COURSES {
+        out.push((open(c), Value::Int(1)));
+        out.push((capacity(c), Value::Int(DEFAULT_CAPACITY)));
+        out.push((enrolled(c), Value::empty_set()));
+    }
+    out
+}
+
+/// The registration invariant: for every course, the number of *distinct
+/// successful enrollments* (committed `enroll` transactions that actually
+/// wrote the enrollment set) does not exceed the configured capacity.
+///
+/// Under Causal Consistency two concurrent enrollments can both observe an
+/// empty course of capacity 1 and both commit, violating the invariant.
+pub fn capacity_invariant(ctx: &AssertionCtx<'_>) -> bool {
+    for c in 0..COURSES {
+        let successful = ctx.committed_writers_named("enroll", &enrolled(c));
+        if successful as i64 > DEFAULT_CAPACITY {
+            return false;
+        }
+    }
+    true
+}
+
+/// Draws a random courseware transaction with parameters from the
+/// benchmark domain.
+pub fn random_transaction<R: Rng>(rng: &mut R) -> TransactionDef {
+    let course = rng.gen_range(0..COURSES);
+    let student = rng.gen_range(0..STUDENTS);
+    match rng.gen_range(0..5) {
+        0 => open_course(course, DEFAULT_CAPACITY),
+        1 => close_course(course),
+        2 => delete_course(course),
+        3 => enroll(student, course),
+        _ => get_enrollments(course),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txdpor_explore::{explore_with_assertion, ExploreConfig};
+    use txdpor_history::IsolationLevel;
+    use txdpor_program::dsl::{program, session};
+    use txdpor_program::execute_serial;
+
+    #[test]
+    fn serial_enrollment_respects_capacity() {
+        let mut p = program(vec![session(vec![
+            enroll(0, 0),
+            enroll(1, 0),
+            get_enrollments(0),
+        ])]);
+        p.init_values = initial_values();
+        let (h, _) = execute_serial(&p).unwrap();
+        // The second enrollment observes a full course and does not write.
+        let enroll_writes: usize = h
+            .transactions()
+            .filter(|t| t.program_index < 2)
+            .map(|t| t.write_events().count())
+            .sum();
+        assert_eq!(enroll_writes, 1);
+    }
+
+    #[test]
+    fn capacity_violated_under_cc_but_not_under_ser() {
+        let mut p = program(vec![
+            session(vec![enroll(0, 0)]),
+            session(vec![enroll(1, 0)]),
+        ]);
+        p.init_values = initial_values();
+        let cc = explore_with_assertion(
+            &p,
+            ExploreConfig::explore_ce(IsolationLevel::CausalConsistency),
+            Some(&capacity_invariant),
+        )
+        .unwrap();
+        assert!(cc.assertion_violations > 0, "double enrollment not found under CC");
+        let ser = explore_with_assertion(
+            &p,
+            ExploreConfig::explore_ce_star(
+                IsolationLevel::CausalConsistency,
+                IsolationLevel::Serializability,
+            ),
+            Some(&capacity_invariant),
+        )
+        .unwrap();
+        assert_eq!(ser.assertion_violations, 0, "serializability must forbid it");
+    }
+
+    #[test]
+    fn random_transactions_are_well_formed() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let t = random_transaction(&mut rng);
+            assert!(!t.body.is_empty());
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Benchmark database-backed applications and workload generators.
+//!
+//! This crate models the five applications used in the evaluation of the
+//! PLDI 2023 paper *"Dynamic Partial Order Reduction for Checking
+//! Correctness against Transaction Isolation Levels"* (§7.2): Shopping
+//! Cart, Twitter, Courseware, Wikipedia and TPC-C. Each application is a
+//! set of parameterised transaction templates written in the program DSL
+//! of `txdpor-program`; SQL tables are modelled as a "set" global variable
+//! holding row ids plus one global variable per row, exactly as described
+//! in the paper.
+//!
+//! The [`workload`] module generates the bounded client programs of the
+//! paper's experiments (a number of sessions, each a sequence of
+//! transactions with concrete parameters) from a seed.
+//!
+//! # Example
+//!
+//! ```
+//! use txdpor_apps::workload::{client_program, App, WorkloadConfig};
+//! use txdpor_explore::{explore, ExploreConfig};
+//! use txdpor_history::IsolationLevel;
+//!
+//! let config = WorkloadConfig { app: App::Twitter, sessions: 2, transactions_per_session: 1, seed: 1 };
+//! let program = client_program(&config);
+//! let report = explore(&program, ExploreConfig::explore_ce(IsolationLevel::CausalConsistency))?;
+//! assert!(report.outputs >= 1);
+//! # Ok::<(), txdpor_explore::ExploreError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod courseware;
+pub mod shopping_cart;
+pub mod tpcc;
+pub mod twitter;
+pub mod wikipedia;
+pub mod workload;
+
+pub use workload::{benchmark_programs, client_program, paper_benchmark_suite, App, WorkloadConfig};

@@ -1,0 +1,138 @@
+//! Shopping Cart benchmark (Sivaramakrishnan et al. 2015, §7.2).
+//!
+//! Users add, get and remove items from their shopping cart and modify the
+//! quantities of the items present in the cart. The cart of user `u` is
+//! modelled as a set global variable `cart_u` holding item ids, with one
+//! quantity variable `qty_u_i` per (user, item) pair — the same "set
+//! variable plus row variables" encoding of SQL tables the paper uses.
+
+use rand::Rng;
+use txdpor_program::dsl::*;
+use txdpor_program::TransactionDef;
+
+/// Number of users in the benchmark domain.
+pub const USERS: i64 = 2;
+/// Number of items in the benchmark domain.
+pub const ITEMS: i64 = 2;
+
+fn cart(user: i64) -> String {
+    format!("cart_{user}")
+}
+
+fn qty(user: i64, item: i64) -> String {
+    format!("qty_{user}_{item}")
+}
+
+/// Adds `item` with quantity `quantity` to `user`'s cart.
+pub fn add_item(user: i64, item: i64, quantity: i64) -> TransactionDef {
+    tx(
+        "add_item",
+        vec![
+            read("c", g(cart(user))),
+            write(g(cart(user)), set_insert(local("c"), cint(item))),
+            write(g(qty(user, item)), cint(quantity)),
+        ],
+    )
+}
+
+/// Removes `item` from `user`'s cart if present.
+pub fn remove_item(user: i64, item: i64) -> TransactionDef {
+    tx(
+        "remove_item",
+        vec![
+            read("c", g(cart(user))),
+            iff(
+                set_contains(local("c"), cint(item)),
+                vec![
+                    write(g(cart(user)), set_remove(local("c"), cint(item))),
+                    write(g(qty(user, item)), cint(0)),
+                ],
+            ),
+        ],
+    )
+}
+
+/// Changes the quantity of `item` in `user`'s cart if present.
+pub fn change_quantity(user: i64, item: i64, quantity: i64) -> TransactionDef {
+    tx(
+        "change_quantity",
+        vec![
+            read("c", g(cart(user))),
+            iff(
+                set_contains(local("c"), cint(item)),
+                vec![write(g(qty(user, item)), cint(quantity))],
+            ),
+        ],
+    )
+}
+
+/// Reads `user`'s cart and the quantity of `item`.
+pub fn get_cart(user: i64, item: i64) -> TransactionDef {
+    tx(
+        "get_cart",
+        vec![
+            read("c", g(cart(user))),
+            read("q", g(qty(user, item))),
+        ],
+    )
+}
+
+/// Initial values for the shopping-cart benchmark: every cart starts empty.
+pub fn initial_values() -> Vec<(String, txdpor_history::Value)> {
+    (0..USERS)
+        .map(|u| (cart(u), txdpor_history::Value::empty_set()))
+        .collect()
+}
+
+/// Draws a random shopping-cart transaction with parameters from the
+/// benchmark domain.
+pub fn random_transaction<R: Rng>(rng: &mut R) -> TransactionDef {
+    let user = rng.gen_range(0..USERS);
+    let item = rng.gen_range(0..ITEMS);
+    match rng.gen_range(0..4) {
+        0 => add_item(user, item, rng.gen_range(1..4)),
+        1 => remove_item(user, item),
+        2 => change_quantity(user, item, rng.gen_range(1..4)),
+        _ => get_cart(user, item),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txdpor_program::dsl::{program, session};
+    use txdpor_program::execute_serial;
+
+    #[test]
+    fn serial_add_then_get_sees_item() {
+        let mut p = program(vec![session(vec![add_item(0, 1, 2), get_cart(0, 1)])]);
+        p.init_values = initial_values();
+        let (h, vars) = execute_serial(&p).unwrap();
+        assert_eq!(h.num_transactions(), 2);
+        let cart0 = vars.get("cart_0").unwrap();
+        // The add transaction writes a singleton cart.
+        let writers = h.writers_of(cart0);
+        assert_eq!(writers.len(), 2);
+    }
+
+    #[test]
+    fn remove_on_empty_cart_writes_nothing() {
+        let mut p = program(vec![session(vec![remove_item(0, 0)])]);
+        p.init_values = initial_values();
+        let (h, _) = execute_serial(&p).unwrap();
+        let t = h.transactions().next().unwrap();
+        assert_eq!(t.write_events().count(), 0);
+    }
+
+    #[test]
+    fn random_transactions_are_well_formed() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let t = random_transaction(&mut rng);
+            assert!(!t.body.is_empty());
+            assert!(["add_item", "remove_item", "change_quantity", "get_cart"]
+                .contains(&t.name.as_str()));
+        }
+    }
+}

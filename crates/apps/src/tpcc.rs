@@ -1,0 +1,226 @@
+//! TPC-C benchmark (TPC 2010, §7.2): a bounded model of the online
+//! shopping workload with its five transaction types — new-order,
+//! payment, order-status, delivery and stock-level.
+//!
+//! The warehouse keeps a per-item stock counter and a year-to-date total;
+//! each customer has a balance and a last-order pointer; orders are row
+//! variables indexed by a dynamically read order id (`order[oid]`), which
+//! exercises the dynamically indexed global references of the program
+//! model (SQL rows addressed through a previously read key).
+
+use rand::Rng;
+use txdpor_history::Value;
+use txdpor_program::dsl::*;
+use txdpor_program::TransactionDef;
+
+/// Number of customers in the benchmark domain.
+pub const CUSTOMERS: i64 = 2;
+/// Number of items in the benchmark domain.
+pub const ITEMS: i64 = 2;
+/// Initial stock of every item.
+pub const INITIAL_STOCK: i64 = 10;
+
+fn stock(item: i64) -> String {
+    format!("stock_{item}")
+}
+
+fn next_order_id() -> String {
+    "next_order_id".to_owned()
+}
+
+fn order(_: ()) -> String {
+    "order".to_owned()
+}
+
+fn order_status_of(customer: i64) -> String {
+    format!("last_order_{customer}")
+}
+
+fn balance(customer: i64) -> String {
+    format!("balance_{customer}")
+}
+
+fn ytd() -> String {
+    "warehouse_ytd".to_owned()
+}
+
+fn next_delivery() -> String {
+    "next_delivery".to_owned()
+}
+
+/// New-order: allocates an order id, records the order line, decrements the
+/// item's stock and remembers the customer's last order.
+pub fn new_order(customer: i64, item: i64, quantity: i64) -> TransactionDef {
+    tx(
+        "new_order",
+        vec![
+            read("oid", g(next_order_id())),
+            write(g(next_order_id()), add(local("oid"), cint(1))),
+            write(gi(order(()), local("oid")), cint(item)),
+            read("s", g(stock(item))),
+            write(g(stock(item)), sub(local("s"), cint(quantity))),
+            write(g(order_status_of(customer)), local("oid")),
+        ],
+    )
+}
+
+/// Payment: debits the customer's balance and credits the warehouse
+/// year-to-date total.
+pub fn payment(customer: i64, amount: i64) -> TransactionDef {
+    tx(
+        "payment",
+        vec![
+            read("b", g(balance(customer))),
+            write(g(balance(customer)), sub(local("b"), cint(amount))),
+            read("y", g(ytd())),
+            write(g(ytd()), add(local("y"), cint(amount))),
+        ],
+    )
+}
+
+/// Order-status: reads the customer's last order id and the corresponding
+/// order row.
+pub fn order_status(customer: i64) -> TransactionDef {
+    tx(
+        "order_status",
+        vec![
+            read("oid", g(order_status_of(customer))),
+            read("o", gi(order(()), local("oid"))),
+        ],
+    )
+}
+
+/// Delivery: pops the next order to deliver and marks it delivered.
+pub fn delivery() -> TransactionDef {
+    tx(
+        "delivery",
+        vec![
+            read("d", g(next_delivery())),
+            read("oid", g(next_order_id())),
+            iff(
+                lt(local("d"), local("oid")),
+                vec![
+                    write(gi("delivered", local("d")), cint(1)),
+                    write(g(next_delivery()), add(local("d"), cint(1))),
+                ],
+            ),
+        ],
+    )
+}
+
+/// Stock-level: reads the stock of an item and compares it to a threshold.
+pub fn stock_level(item: i64, threshold: i64) -> TransactionDef {
+    tx(
+        "stock_level",
+        vec![
+            read("s", g(stock(item))),
+            assign("low", lt(local("s"), cint(threshold))),
+        ],
+    )
+}
+
+/// Initial values: full stock, order counters at zero, balances at 100.
+pub fn initial_values() -> Vec<(String, Value)> {
+    let mut out = vec![
+        (next_order_id(), Value::Int(0)),
+        (next_delivery(), Value::Int(0)),
+        (ytd(), Value::Int(0)),
+    ];
+    for i in 0..ITEMS {
+        out.push((stock(i), Value::Int(INITIAL_STOCK)));
+    }
+    for c in 0..CUSTOMERS {
+        out.push((balance(c), Value::Int(100)));
+        out.push((order_status_of(c), Value::Int(-1)));
+    }
+    out
+}
+
+/// Draws a random TPC-C transaction with parameters from the benchmark
+/// domain, following the usual mix (new-order and payment dominate).
+pub fn random_transaction<R: Rng>(rng: &mut R) -> TransactionDef {
+    let customer = rng.gen_range(0..CUSTOMERS);
+    let item = rng.gen_range(0..ITEMS);
+    match rng.gen_range(0..8) {
+        0..=2 => new_order(customer, item, rng.gen_range(1..3)),
+        3..=5 => payment(customer, rng.gen_range(1..20)),
+        6 => order_status(customer),
+        _ => {
+            if rng.gen_bool(0.5) {
+                delivery()
+            } else {
+                stock_level(item, 5)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txdpor_program::dsl::{program, session};
+    use txdpor_program::execute_serial;
+
+    #[test]
+    fn new_order_decrements_stock_and_allocates_id() {
+        let mut p = program(vec![session(vec![
+            new_order(0, 0, 2),
+            new_order(1, 0, 3),
+            order_status(1),
+        ])]);
+        p.init_values = initial_values();
+        let (h, vars) = execute_serial(&p).unwrap();
+        let stock0 = vars.get("stock_0").unwrap();
+        let last = h
+            .transactions()
+            .filter(|t| t.writes_var(stock0))
+            .last()
+            .unwrap();
+        assert_eq!(last.visible_write_value(stock0), Some(&Value::Int(5)));
+        // Two orders were allocated at distinct ids.
+        assert!(vars.get("order[0]").is_some());
+        assert!(vars.get("order[1]").is_some());
+    }
+
+    #[test]
+    fn delivery_consumes_pending_orders() {
+        let mut p = program(vec![session(vec![new_order(0, 0, 1), delivery(), delivery()])]);
+        p.init_values = initial_values();
+        let (h, vars) = execute_serial(&p).unwrap();
+        // Only one order exists so the second delivery is a no-op.
+        let delivered0 = vars.get("delivered[0]").unwrap();
+        assert_eq!(h.writers_of(delivered0).len(), 2);
+        assert!(vars.get("delivered[1]").is_none());
+    }
+
+    #[test]
+    fn payment_moves_money() {
+        let mut p = program(vec![session(vec![payment(0, 10), payment(0, 5)])]);
+        p.init_values = initial_values();
+        let (h, vars) = execute_serial(&p).unwrap();
+        let bal = vars.get("balance_0").unwrap();
+        let ytd_var = vars.get("warehouse_ytd").unwrap();
+        let last_bal = h
+            .transactions()
+            .filter(|t| t.writes_var(bal))
+            .last()
+            .unwrap();
+        assert_eq!(last_bal.visible_write_value(bal), Some(&Value::Int(85)));
+        let last_ytd = h
+            .transactions()
+            .filter(|t| t.writes_var(ytd_var))
+            .last()
+            .unwrap();
+        assert_eq!(last_ytd.visible_write_value(ytd_var), Some(&Value::Int(15)));
+    }
+
+    #[test]
+    fn random_transactions_are_well_formed() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        for _ in 0..50 {
+            let t = random_transaction(&mut rng);
+            assert!(!t.body.is_empty());
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Twitter benchmark (Difallah et al. 2013, §7.2).
+//!
+//! Users follow other users, publish tweets and fetch their followers,
+//! their own tweets and the tweets published by users they follow. The
+//! follower/followee lists and per-user tweet lists are modelled as set
+//! global variables; tweet contents are row variables indexed by tweet id.
+
+use rand::Rng;
+use txdpor_history::Value;
+use txdpor_program::dsl::*;
+use txdpor_program::TransactionDef;
+
+/// Number of users in the benchmark domain.
+pub const USERS: i64 = 2;
+/// Number of distinct tweet ids in the benchmark domain.
+pub const TWEETS: i64 = 2;
+
+fn followers(user: i64) -> String {
+    format!("followers_{user}")
+}
+
+fn follows(user: i64) -> String {
+    format!("follows_{user}")
+}
+
+fn tweets(user: i64) -> String {
+    format!("tweets_{user}")
+}
+
+fn tweet_content(id: i64) -> String {
+    format!("tweet_{id}")
+}
+
+/// `follower` starts following `followee` (updates both adjacency sets).
+pub fn follow(follower: i64, followee: i64) -> TransactionDef {
+    tx(
+        "follow",
+        vec![
+            read("fw", g(followers(followee))),
+            write(g(followers(followee)), set_insert(local("fw"), cint(follower))),
+            read("fl", g(follows(follower))),
+            write(g(follows(follower)), set_insert(local("fl"), cint(followee))),
+        ],
+    )
+}
+
+/// `user` publishes tweet `id` with content `content`.
+pub fn publish_tweet(user: i64, id: i64, content: i64) -> TransactionDef {
+    tx(
+        "publish_tweet",
+        vec![
+            write(g(tweet_content(id)), cint(content)),
+            read("tw", g(tweets(user))),
+            write(g(tweets(user)), set_insert(local("tw"), cint(id))),
+        ],
+    )
+}
+
+/// Reads the followers of `user`.
+pub fn get_followers(user: i64) -> TransactionDef {
+    tx("get_followers", vec![read("fw", g(followers(user)))])
+}
+
+/// Reads the tweets of `user` and the content of one tweet.
+pub fn get_tweets(user: i64, tweet_id: i64) -> TransactionDef {
+    tx(
+        "get_tweets",
+        vec![
+            read("tw", g(tweets(user))),
+            read("c", g(tweet_content(tweet_id))),
+        ],
+    )
+}
+
+/// Reads `user`'s followee list and the timeline of one followee.
+pub fn get_timeline(user: i64, followee: i64, tweet_id: i64) -> TransactionDef {
+    tx(
+        "get_timeline",
+        vec![
+            read("fl", g(follows(user))),
+            read("tw", g(tweets(followee))),
+            read("c", g(tweet_content(tweet_id))),
+        ],
+    )
+}
+
+/// Initial values: all follower/followee/tweet sets empty.
+pub fn initial_values() -> Vec<(String, Value)> {
+    let mut out = Vec::new();
+    for u in 0..USERS {
+        out.push((followers(u), Value::empty_set()));
+        out.push((follows(u), Value::empty_set()));
+        out.push((tweets(u), Value::empty_set()));
+    }
+    out
+}
+
+/// Draws a random Twitter transaction with parameters from the benchmark
+/// domain.
+pub fn random_transaction<R: Rng>(rng: &mut R) -> TransactionDef {
+    let user = rng.gen_range(0..USERS);
+    let other = (user + 1) % USERS;
+    let id = rng.gen_range(0..TWEETS);
+    match rng.gen_range(0..5) {
+        0 => follow(user, other),
+        1 => publish_tweet(user, id, rng.gen_range(1..10)),
+        2 => get_followers(user),
+        3 => get_tweets(user, id),
+        _ => get_timeline(user, other, id),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txdpor_program::dsl::{program, session};
+    use txdpor_program::execute_serial;
+
+    #[test]
+    fn follow_then_get_followers() {
+        let mut p = program(vec![session(vec![follow(0, 1), get_followers(1)])]);
+        p.init_values = initial_values();
+        let (h, vars) = execute_serial(&p).unwrap();
+        assert_eq!(h.num_transactions(), 2);
+        let fw1 = vars.get("followers_1").unwrap();
+        assert_eq!(h.writers_of(fw1).len(), 2);
+    }
+
+    #[test]
+    fn publish_and_read_timeline() {
+        let mut p = program(vec![session(vec![
+            follow(0, 1),
+            publish_tweet(1, 0, 42),
+            get_timeline(0, 1, 0),
+        ])]);
+        p.init_values = initial_values();
+        let (h, _) = execute_serial(&p).unwrap();
+        assert_eq!(h.num_transactions(), 3);
+        assert!(h.transactions().all(|t| t.is_committed()));
+    }
+
+    #[test]
+    fn random_transactions_are_well_formed() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let t = random_transaction(&mut rng);
+            assert!(!t.body.is_empty());
+        }
+    }
+}

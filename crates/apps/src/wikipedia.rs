@@ -1,0 +1,170 @@
+//! Wikipedia benchmark (Difallah et al. 2013, §7.2).
+//!
+//! Users fetch the content of a page (whether registered or not), add or
+//! remove pages from their watch list and update pages. Page content and
+//! revision counters are row variables indexed by page id; watch lists are
+//! set variables per user.
+
+use rand::Rng;
+use txdpor_history::Value;
+use txdpor_program::dsl::*;
+use txdpor_program::TransactionDef;
+
+/// Number of users in the benchmark domain.
+pub const USERS: i64 = 2;
+/// Number of pages in the benchmark domain.
+pub const PAGES: i64 = 2;
+
+fn page_content(page: i64) -> String {
+    format!("page_content_{page}")
+}
+
+fn page_revision(page: i64) -> String {
+    format!("page_revision_{page}")
+}
+
+fn page_restrictions(page: i64) -> String {
+    format!("page_restrictions_{page}")
+}
+
+fn watchlist(user: i64) -> String {
+    format!("watchlist_{user}")
+}
+
+/// Fetches the content, revision and restrictions of a page (anonymous
+/// read).
+pub fn get_page_anonymous(page: i64) -> TransactionDef {
+    tx(
+        "get_page_anonymous",
+        vec![
+            read("c", g(page_content(page))),
+            read("r", g(page_restrictions(page))),
+        ],
+    )
+}
+
+/// Fetches a page as a registered user: also checks the user's watch list.
+pub fn get_page_authenticated(user: i64, page: i64) -> TransactionDef {
+    tx(
+        "get_page_authenticated",
+        vec![
+            read("c", g(page_content(page))),
+            read("r", g(page_restrictions(page))),
+            read("w", g(watchlist(user))),
+        ],
+    )
+}
+
+/// Adds a page to the user's watch list.
+pub fn add_to_watchlist(user: i64, page: i64) -> TransactionDef {
+    tx(
+        "add_to_watchlist",
+        vec![
+            read("w", g(watchlist(user))),
+            write(g(watchlist(user)), set_insert(local("w"), cint(page))),
+        ],
+    )
+}
+
+/// Removes a page from the user's watch list.
+pub fn remove_from_watchlist(user: i64, page: i64) -> TransactionDef {
+    tx(
+        "remove_from_watchlist",
+        vec![
+            read("w", g(watchlist(user))),
+            iff(
+                set_contains(local("w"), cint(page)),
+                vec![write(g(watchlist(user)), set_remove(local("w"), cint(page)))],
+            ),
+        ],
+    )
+}
+
+/// Updates the content of a page and bumps its revision counter.
+pub fn update_page(page: i64, new_content: i64) -> TransactionDef {
+    tx(
+        "update_page",
+        vec![
+            read("rev", g(page_revision(page))),
+            write(g(page_content(page)), cint(new_content)),
+            write(g(page_revision(page)), add(local("rev"), cint(1))),
+        ],
+    )
+}
+
+/// Initial values: empty watch lists, revision 0 for every page.
+pub fn initial_values() -> Vec<(String, Value)> {
+    let mut out = Vec::new();
+    for u in 0..USERS {
+        out.push((watchlist(u), Value::empty_set()));
+    }
+    for p in 0..PAGES {
+        out.push((page_revision(p), Value::Int(0)));
+    }
+    out
+}
+
+/// Draws a random Wikipedia transaction with parameters from the benchmark
+/// domain.
+pub fn random_transaction<R: Rng>(rng: &mut R) -> TransactionDef {
+    let user = rng.gen_range(0..USERS);
+    let page = rng.gen_range(0..PAGES);
+    match rng.gen_range(0..5) {
+        0 => get_page_anonymous(page),
+        1 => get_page_authenticated(user, page),
+        2 => add_to_watchlist(user, page),
+        3 => remove_from_watchlist(user, page),
+        _ => update_page(page, rng.gen_range(1..10)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txdpor_program::dsl::{program, session};
+    use txdpor_program::execute_serial;
+
+    #[test]
+    fn update_bumps_revision() {
+        let mut p = program(vec![session(vec![
+            update_page(0, 5),
+            update_page(0, 6),
+            get_page_anonymous(0),
+        ])]);
+        p.init_values = initial_values();
+        let (h, vars) = execute_serial(&p).unwrap();
+        let rev = vars.get("page_revision_0").unwrap();
+        let last = h
+            .transactions()
+            .filter(|t| t.writes_var(rev))
+            .last()
+            .unwrap();
+        assert_eq!(
+            last.visible_write_value(rev),
+            Some(&Value::Int(2)),
+            "two serial updates produce revision 2"
+        );
+    }
+
+    #[test]
+    fn watchlist_roundtrip() {
+        let mut p = program(vec![session(vec![
+            add_to_watchlist(0, 1),
+            remove_from_watchlist(0, 1),
+            get_page_authenticated(0, 1),
+        ])]);
+        p.init_values = initial_values();
+        let (h, _) = execute_serial(&p).unwrap();
+        assert!(h.transactions().all(|t| t.is_committed()));
+    }
+
+    #[test]
+    fn random_transactions_are_well_formed() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let t = random_transaction(&mut rng);
+            assert!(!t.body.is_empty());
+        }
+    }
+}

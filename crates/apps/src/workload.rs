@@ -1,0 +1,221 @@
+//! Client-program (workload) generation for the benchmark applications
+//! (§7.2–7.3).
+//!
+//! A *client program* consists of a number of sessions, each a sequence of
+//! transactions drawn from the application's transaction types with
+//! concrete parameters. Generation is seeded so that the "five independent
+//! client programs per application" of the paper's evaluation are
+//! reproducible.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use txdpor_program::{Program, Session, TransactionDef};
+
+use crate::{courseware, shopping_cart, tpcc, twitter, wikipedia};
+
+/// The five benchmark applications of the paper's evaluation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum App {
+    /// Shopping Cart (Sivaramakrishnan et al. 2015).
+    ShoppingCart,
+    /// Twitter (Difallah et al. 2013).
+    Twitter,
+    /// Courseware (Nair et al. 2020).
+    Courseware,
+    /// Wikipedia (Difallah et al. 2013).
+    Wikipedia,
+    /// TPC-C (TPC 2010).
+    Tpcc,
+}
+
+impl App {
+    /// All applications, in the order used by the paper's tables.
+    pub const ALL: [App; 5] = [
+        App::Courseware,
+        App::ShoppingCart,
+        App::Tpcc,
+        App::Twitter,
+        App::Wikipedia,
+    ];
+
+    /// Lowercase name used in benchmark identifiers (`tpcc-3`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            App::ShoppingCart => "shoppingCart",
+            App::Twitter => "twitter",
+            App::Courseware => "courseware",
+            App::Wikipedia => "wikipedia",
+            App::Tpcc => "tpcc",
+        }
+    }
+
+    fn random_transaction(self, rng: &mut StdRng) -> TransactionDef {
+        match self {
+            App::ShoppingCart => shopping_cart::random_transaction(rng),
+            App::Twitter => twitter::random_transaction(rng),
+            App::Courseware => courseware::random_transaction(rng),
+            App::Wikipedia => wikipedia::random_transaction(rng),
+            App::Tpcc => tpcc::random_transaction(rng),
+        }
+    }
+
+    fn initial_values(self) -> Vec<(String, txdpor_history::Value)> {
+        match self {
+            App::ShoppingCart => shopping_cart::initial_values(),
+            App::Twitter => twitter::initial_values(),
+            App::Courseware => courseware::initial_values(),
+            App::Wikipedia => wikipedia::initial_values(),
+            App::Tpcc => tpcc::initial_values(),
+        }
+    }
+}
+
+impl std::fmt::Display for App {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Parameters of a generated client program.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct WorkloadConfig {
+    /// Application the transactions are drawn from.
+    pub app: App,
+    /// Number of parallel sessions.
+    pub sessions: usize,
+    /// Number of transactions per session.
+    pub transactions_per_session: usize,
+    /// Seed controlling the choice of transaction types and parameters.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// The configuration of the paper's first experiment: 3 sessions with 3
+    /// transactions each.
+    pub fn paper_default(app: App, seed: u64) -> Self {
+        WorkloadConfig {
+            app,
+            sessions: 3,
+            transactions_per_session: 3,
+            seed,
+        }
+    }
+}
+
+/// Generates a client program from a workload configuration.
+pub fn client_program(config: &WorkloadConfig) -> Program {
+    let mut rng = StdRng::seed_from_u64(
+        config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(config.app as u64),
+    );
+    let sessions = (0..config.sessions)
+        .map(|_| {
+            Session::new(
+                (0..config.transactions_per_session)
+                    .map(|_| config.app.random_transaction(&mut rng))
+                    .collect(),
+            )
+        })
+        .collect();
+    let mut program = Program::new(sessions);
+    program.init_values = config.app.initial_values();
+    program
+}
+
+/// Generates the `variants` independent client programs of an application
+/// used by the paper's first experiment, named `"<app>-<i>"`.
+pub fn benchmark_programs(
+    app: App,
+    variants: usize,
+    sessions: usize,
+    transactions_per_session: usize,
+) -> Vec<(String, Program)> {
+    (1..=variants)
+        .map(|i| {
+            let config = WorkloadConfig {
+                app,
+                sessions,
+                transactions_per_session,
+                seed: i as u64,
+            };
+            (format!("{}-{i}", app.name()), client_program(&config))
+        })
+        .collect()
+}
+
+/// The full benchmark suite of Fig. 14 / Table F.1: five client programs
+/// per application, 3 sessions × 3 transactions.
+pub fn paper_benchmark_suite() -> Vec<(String, Program)> {
+    App::ALL
+        .into_iter()
+        .flat_map(|app| benchmark_programs(app, 5, 3, 3))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = WorkloadConfig::paper_default(App::Tpcc, 3);
+        assert_eq!(client_program(&c), client_program(&c));
+        let c2 = WorkloadConfig { seed: 4, ..c };
+        assert_ne!(client_program(&c), client_program(&c2));
+    }
+
+    #[test]
+    fn paper_suite_has_25_programs() {
+        let suite = paper_benchmark_suite();
+        assert_eq!(suite.len(), 25);
+        for (name, p) in &suite {
+            assert_eq!(p.num_sessions(), 3, "{name}");
+            assert_eq!(p.num_transactions(), 9, "{name}");
+        }
+        // Names follow the paper's convention.
+        assert!(suite.iter().any(|(n, _)| n == "tpcc-1"));
+        assert!(suite.iter().any(|(n, _)| n == "wikipedia-5"));
+    }
+
+    #[test]
+    fn programs_of_all_apps_execute_serially() {
+        for app in App::ALL {
+            for seed in 1..=3 {
+                let p = client_program(&WorkloadConfig {
+                    app,
+                    sessions: 2,
+                    transactions_per_session: 2,
+                    seed,
+                });
+                let result = txdpor_program::execute_serial(&p);
+                assert!(result.is_ok(), "{app} seed {seed} failed: {result:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn app_names_and_display() {
+        assert_eq!(App::Tpcc.name(), "tpcc");
+        assert_eq!(App::ShoppingCart.to_string(), "shoppingCart");
+        assert_eq!(App::ALL.len(), 5);
+    }
+
+    #[test]
+    fn session_and_transaction_scaling() {
+        for sessions in 1..=4 {
+            for txns in 1..=4 {
+                let p = client_program(&WorkloadConfig {
+                    app: App::Wikipedia,
+                    sessions,
+                    transactions_per_session: txns,
+                    seed: 1,
+                });
+                assert_eq!(p.num_sessions(), sessions);
+                assert_eq!(p.num_transactions(), sessions * txns);
+            }
+        }
+    }
+}

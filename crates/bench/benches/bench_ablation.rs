@@ -1,0 +1,47 @@
+//! Criterion benchmark for ablation A1: the cost of `explore-ce(CC)` with
+//! and without the `Optimality` restriction on swaps, and of the `DFS(CC)`
+//! baseline, on a small courseware client program.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use txdpor_apps::workload::{client_program, App, WorkloadConfig};
+use txdpor_bench::{run, Algorithm};
+use txdpor_history::IsolationLevel;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_optimality");
+    group.sample_size(10);
+    let program = client_program(&WorkloadConfig {
+        app: App::ShoppingCart,
+        sessions: 2,
+        transactions_per_session: 2,
+        seed: 2,
+    });
+    let algorithms = [
+        Algorithm::ExploreCe(IsolationLevel::CausalConsistency),
+        Algorithm::ExploreCeNoOptimality(IsolationLevel::CausalConsistency),
+        Algorithm::Dfs(IsolationLevel::CausalConsistency),
+    ];
+    for algorithm in algorithms {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algorithm.label()),
+            &algorithm,
+            |b, algorithm| {
+                b.iter(|| {
+                    black_box(run(
+                        "shoppingCart-2",
+                        black_box(&program),
+                        *algorithm,
+                        Duration::from_secs(60),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benchmark A2: cost of the consistency checkers (the inner
+//! loop of `ValidWrites` and `Optimality`) per isolation level, on the
+//! histories produced by a serial execution of a benchmark client program.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use txdpor_apps::workload::{client_program, App, WorkloadConfig};
+use txdpor_history::IsolationLevel;
+use txdpor_program::execute_serial;
+
+fn bench_consistency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consistency_check");
+    group.sample_size(20);
+    let program = client_program(&WorkloadConfig {
+        app: App::Tpcc,
+        sessions: 3,
+        transactions_per_session: 3,
+        seed: 1,
+    });
+    let (history, _) = execute_serial(&program).expect("serial execution succeeds");
+    for level in [
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::ReadAtomic,
+        IsolationLevel::CausalConsistency,
+        IsolationLevel::SnapshotIsolation,
+        IsolationLevel::Serializability,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(level.short_name()),
+            &level,
+            |b, level| b.iter(|| black_box(level.satisfies(black_box(&history)))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_consistency);
+criterion_main!(benches);

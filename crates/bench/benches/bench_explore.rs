@@ -1,0 +1,37 @@
+//! Criterion benchmark: end-to-end exploration cost of `explore-ce(CC)` on
+//! small client programs of every application (the building block of all
+//! figure-level experiments).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use txdpor_apps::workload::{client_program, App, WorkloadConfig};
+use txdpor_explore::{explore, ExploreConfig};
+use txdpor_history::IsolationLevel;
+
+fn bench_explore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explore_ce_cc");
+    group.sample_size(10);
+    for app in App::ALL {
+        let program = client_program(&WorkloadConfig {
+            app,
+            sessions: 2,
+            transactions_per_session: 2,
+            seed: 1,
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(app.name()), &program, |b, p| {
+            b.iter(|| {
+                let report = explore(
+                    black_box(p),
+                    ExploreConfig::explore_ce(IsolationLevel::CausalConsistency),
+                )
+                .expect("exploration succeeds");
+                black_box(report.outputs)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_explore);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benchmark for experiment E1 (Fig. 14): one measurement per
+//! algorithm on a representative client program, using a scaled-down
+//! program size so the statistical runs finish quickly. The `fig14` binary
+//! produces the full cactus data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use txdpor_apps::workload::{client_program, App, WorkloadConfig};
+use txdpor_bench::{run, Algorithm};
+
+fn bench_fig14(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_algorithms");
+    group.sample_size(10);
+    let program = client_program(&WorkloadConfig {
+        app: App::Courseware,
+        sessions: 2,
+        transactions_per_session: 2,
+        seed: 1,
+    });
+    for algorithm in Algorithm::FIG14 {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algorithm.label()),
+            &algorithm,
+            |b, algorithm| {
+                b.iter(|| {
+                    black_box(run(
+                        "courseware-1",
+                        black_box(&program),
+                        *algorithm,
+                        Duration::from_secs(60),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig14);
+criterion_main!(benches);

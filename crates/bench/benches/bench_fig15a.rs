@@ -1,0 +1,41 @@
+//! Criterion benchmark for experiment E2 (Fig. 15a): exploration cost of
+//! `explore-ce(CC)` as the number of sessions grows (scaled-down sizes; the
+//! `fig15a` binary produces the full curve).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use txdpor_apps::workload::{client_program, App, WorkloadConfig};
+use txdpor_explore::{explore, ExploreConfig};
+use txdpor_history::IsolationLevel;
+
+fn bench_sessions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15a_sessions");
+    group.sample_size(10);
+    for sessions in 1..=3usize {
+        let program = client_program(&WorkloadConfig {
+            app: App::Wikipedia,
+            sessions,
+            transactions_per_session: 2,
+            seed: 1,
+        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(sessions),
+            &program,
+            |b, p| {
+                b.iter(|| {
+                    let report = explore(
+                        black_box(p),
+                        ExploreConfig::explore_ce(IsolationLevel::CausalConsistency),
+                    )
+                    .expect("exploration succeeds");
+                    black_box(report.outputs)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sessions);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion benchmark for experiment E3 (Fig. 15b): exploration cost of
+//! `explore-ce(CC)` as the number of transactions per session grows
+//! (scaled-down sizes; the `fig15b` binary produces the full curve).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use txdpor_apps::workload::{client_program, App, WorkloadConfig};
+use txdpor_explore::{explore, ExploreConfig};
+use txdpor_history::IsolationLevel;
+
+fn bench_transactions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15b_transactions");
+    group.sample_size(10);
+    for transactions in 1..=3usize {
+        let program = client_program(&WorkloadConfig {
+            app: App::Wikipedia,
+            sessions: 2,
+            transactions_per_session: transactions,
+            seed: 1,
+        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(transactions),
+            &program,
+            |b, p| {
+                b.iter(|| {
+                    let report = explore(
+                        black_box(p),
+                        ExploreConfig::explore_ce(IsolationLevel::CausalConsistency),
+                    )
+                    .expect("exploration succeeds");
+                    black_box(report.outputs)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transactions);
+criterion_main!(benches);

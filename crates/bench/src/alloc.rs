@@ -1,0 +1,76 @@
+//! A counting global allocator used to report peak memory consumption of
+//! the exploration algorithms (the "Mem." columns of the paper's tables).
+//!
+//! The paper reports JVM heap sizes; absolute numbers are not comparable
+//! across substrates, so the harness reports the peak number of bytes
+//! allocated through the Rust global allocator instead. The relevant claim
+//! — memory stays polynomial and roughly flat while time explodes with the
+//! number of sessions/transactions — is preserved.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static CURRENT: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// A [`GlobalAlloc`] wrapper around the system allocator that tracks the
+/// current and peak number of live bytes.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = unsafe { System.alloc(layout) };
+        if !ptr.is_null() {
+            let new = CURRENT.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(new, Ordering::Relaxed);
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+}
+
+/// Resets the peak byte counter to the current live size.
+pub fn reset_peak() {
+    PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Peak number of live bytes observed since the last [`reset_peak`].
+pub fn peak_bytes() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Current number of live bytes.
+pub fn current_bytes() -> usize {
+    CURRENT.load(Ordering::Relaxed)
+}
+
+/// Formats a byte count as a human-readable string (MB with one decimal).
+pub fn format_bytes(bytes: usize) -> String {
+    format!("{:.1}MB", bytes as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_track_allocations() {
+        reset_peak();
+        let before = peak_bytes();
+        let v: Vec<u8> = vec![0; 1 << 20];
+        assert!(peak_bytes() >= before + (1 << 20));
+        drop(v);
+        assert!(current_bytes() <= peak_bytes());
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(format_bytes(1024 * 1024), "1.0MB");
+        assert_eq!(format_bytes(0), "0.0MB");
+    }
+}

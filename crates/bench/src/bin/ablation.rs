@@ -1,0 +1,42 @@
+//! Ablation study (DESIGN.md experiment A1): quantifies the benefit of the
+//! `Optimality` restriction on swaps (§5.3) by comparing `explore-ce(CC)`
+//! with the same algorithm where only swap-consistency is checked, and with
+//! the `DFS(CC)` baseline, on the benchmark suite.
+//!
+//! Usage: `cargo run --release -p txdpor-bench --bin ablation [--full] …`
+
+use txdpor_bench::tables::print_detailed_table;
+use txdpor_bench::{experiment_fig14_with, Algorithm, ExperimentOptions};
+use txdpor_history::IsolationLevel;
+
+fn main() {
+    let options = ExperimentOptions::from_args(std::env::args().skip(1));
+    println!("== Ablation A1: the Optimality restriction on swaps ==");
+    println!(
+        "configuration: {} variants/app, {} sessions x {} transactions, timeout {:?}",
+        options.variants, options.sessions, options.transactions, options.timeout
+    );
+    let algorithms = [
+        Algorithm::ExploreCe(IsolationLevel::CausalConsistency),
+        Algorithm::ExploreCeNoOptimality(IsolationLevel::CausalConsistency),
+        Algorithm::Dfs(IsolationLevel::CausalConsistency),
+    ];
+    let rows = experiment_fig14_with(&options, &algorithms);
+    println!();
+    println!("{}", print_detailed_table(&rows));
+    // Redundancy summary: end states explored per distinct history.
+    for algo in &algorithms {
+        let label = algo.label();
+        let (mut ends, mut hist) = (0u64, 0u64);
+        for m in rows.iter().filter(|m| m.algorithm == label && !m.timed_out) {
+            ends += m.end_states;
+            hist += m.histories;
+        }
+        if hist > 0 {
+            println!(
+                "{label:<14}: {ends} end states for {hist} distinct histories ({:.2} per history)",
+                ends as f64 / hist as f64
+            );
+        }
+    }
+}

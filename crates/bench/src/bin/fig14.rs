@@ -1,0 +1,38 @@
+//! Regenerates Fig. 14 (a/b/c): cactus plots comparing `explore-ce(CC)`,
+//! `explore-ce*(CC, SI)`, `explore-ce*(CC, SER)`, `explore-ce*(RA, CC)`,
+//! `explore-ce*(RC, CC)`, `explore-ce*(true, CC)` and `DFS(CC)` on the
+//! benchmark suite, plus the average-speedup summary quoted in §7.3.
+//!
+//! Usage: `cargo run --release -p txdpor-bench --bin fig14 [--full]
+//! [--timeout <s>] [--variants <n>] [--sessions <n>] [--transactions <n>]`
+
+use txdpor_bench::tables::print_cactus;
+use txdpor_bench::{average_speedup, experiment_fig14, ExperimentOptions, Measurement};
+
+fn by_algorithm<'a>(rows: &'a [Measurement], label: &str) -> Vec<Measurement> {
+    rows.iter().filter(|m| m.algorithm == label).cloned().collect()
+}
+
+fn main() {
+    let options = ExperimentOptions::from_args(std::env::args().skip(1));
+    println!("== Experiment E1 (Fig. 14): algorithm comparison ==");
+    println!(
+        "configuration: {} variants/app, {} sessions x {} transactions, timeout {:?}",
+        options.variants, options.sessions, options.transactions, options.timeout
+    );
+    let rows = experiment_fig14(&options);
+    println!();
+    println!("{}", print_cactus(&rows));
+
+    let cc = by_algorithm(&rows, "CC");
+    println!("average speedup of explore-ce(CC) over:");
+    for other in ["RA + CC", "RC + CC", "true + CC", "DFS(CC)"] {
+        let slow = by_algorithm(&rows, other);
+        match average_speedup(&cc, &slow) {
+            Some(s) => println!("  {other:<10} : {s:.1}x"),
+            None => println!("  {other:<10} : n/a (all runs timed out)"),
+        }
+    }
+    let timeouts: usize = rows.iter().filter(|m| m.timed_out).count();
+    println!("\ntotal runs: {}, timeouts: {}", rows.len(), timeouts);
+}

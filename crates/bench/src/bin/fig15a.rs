@@ -1,0 +1,21 @@
+//! Regenerates Fig. 15a: scalability of `explore-ce(CC)` when increasing
+//! the number of sessions (TPC-C and Wikipedia client programs, 3
+//! transactions per session).
+//!
+//! Usage: `cargo run --release -p txdpor-bench --bin fig15a [--full] …`
+
+use txdpor_bench::tables::print_scaling;
+use txdpor_bench::{experiment_sessions, ExperimentOptions};
+
+fn main() {
+    let options = ExperimentOptions::from_args(std::env::args().skip(1));
+    let max_sessions = 5;
+    println!("== Experiment E2 (Fig. 15a): session scalability of explore-ce(CC) ==");
+    println!(
+        "configuration: {} variants/app, {} transactions per session, timeout {:?}",
+        options.variants, options.transactions, options.timeout
+    );
+    let rows = experiment_sessions(&options, max_sessions);
+    println!();
+    println!("{}", print_scaling(&rows, "sessions"));
+}

@@ -1,0 +1,21 @@
+//! Regenerates Fig. 15b: scalability of `explore-ce(CC)` when increasing
+//! the number of transactions per session (TPC-C and Wikipedia client
+//! programs, 3 sessions).
+//!
+//! Usage: `cargo run --release -p txdpor-bench --bin fig15b [--full] …`
+
+use txdpor_bench::tables::print_scaling;
+use txdpor_bench::{experiment_transactions, ExperimentOptions};
+
+fn main() {
+    let options = ExperimentOptions::from_args(std::env::args().skip(1));
+    let max_transactions = 5;
+    println!("== Experiment E3 (Fig. 15b): transaction scalability of explore-ce(CC) ==");
+    println!(
+        "configuration: {} variants/app, {} sessions, timeout {:?}",
+        options.variants, options.sessions, options.timeout
+    );
+    let rows = experiment_transactions(&options, max_transactions);
+    println!();
+    println!("{}", print_scaling(&rows, "transactions"));
+}

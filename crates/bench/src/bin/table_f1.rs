@@ -1,0 +1,20 @@
+//! Regenerates Table F.1 (application scalability): per-benchmark
+//! histories, end states, running time and memory for every algorithm of
+//! Fig. 14.
+//!
+//! Usage: `cargo run --release -p txdpor-bench --bin table_f1 [--full] …`
+
+use txdpor_bench::tables::print_detailed_table;
+use txdpor_bench::{experiment_fig14, ExperimentOptions};
+
+fn main() {
+    let options = ExperimentOptions::from_args(std::env::args().skip(1));
+    println!("== Table F.1: application scalability (per-benchmark detail) ==");
+    println!(
+        "configuration: {} variants/app, {} sessions x {} transactions, timeout {:?}",
+        options.variants, options.sessions, options.transactions, options.timeout
+    );
+    let rows = experiment_fig14(&options);
+    println!();
+    println!("{}", print_detailed_table(&rows));
+}

@@ -1,0 +1,16 @@
+//! Regenerates Table F.3 (transaction scalability detail): per-benchmark
+//! histories, end states, time and memory of `explore-ce(CC)` for 1..=5
+//! transactions per session.
+//!
+//! Usage: `cargo run --release -p txdpor-bench --bin table_f3 [--full] …`
+
+use txdpor_bench::tables::print_scaling_detail;
+use txdpor_bench::{experiment_transactions, ExperimentOptions};
+
+fn main() {
+    let options = ExperimentOptions::from_args(std::env::args().skip(1));
+    println!("== Table F.3: transaction scalability (per-benchmark detail) ==");
+    let rows = experiment_transactions(&options, 5);
+    println!();
+    println!("{}", print_scaling_detail(&rows, "transactions"));
+}

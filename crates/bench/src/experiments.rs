@@ -1,0 +1,242 @@
+//! Drivers for the paper's experiments: each function regenerates the data
+//! behind one table or figure of §7.3 / Appendix F.
+
+use std::time::Duration;
+
+use txdpor_apps::workload::{benchmark_programs, client_program, App, WorkloadConfig};
+use txdpor_history::IsolationLevel;
+use txdpor_program::Program;
+
+use crate::harness::{run, Algorithm, Measurement};
+
+/// Common command-line options of the experiment binaries.
+#[derive(Clone, Debug)]
+pub struct ExperimentOptions {
+    /// Per-run wall-clock budget.
+    pub timeout: Duration,
+    /// Number of independent client programs per application.
+    pub variants: usize,
+    /// Number of sessions of the generated client programs.
+    pub sessions: usize,
+    /// Number of transactions per session.
+    pub transactions: usize,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        // A scaled-down default that completes in minutes on a laptop; the
+        // paper-sized configuration is selected with `--full`.
+        ExperimentOptions {
+            timeout: Duration::from_secs(5),
+            variants: 2,
+            sessions: 3,
+            transactions: 3,
+        }
+    }
+}
+
+impl ExperimentOptions {
+    /// The configuration used by the paper: 5 client programs per
+    /// application, 3 sessions × 3 transactions, 30-minute timeout.
+    pub fn paper() -> Self {
+        ExperimentOptions {
+            timeout: Duration::from_secs(30 * 60),
+            variants: 5,
+            sessions: 3,
+            transactions: 3,
+        }
+    }
+
+    /// Parses the common flags of the experiment binaries:
+    /// `--full`, `--timeout <seconds>`, `--variants <n>`,
+    /// `--sessions <n>`, `--transactions <n>`.
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut options = ExperimentOptions::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--full" => {
+                    let timeout = options.timeout.max(Duration::from_secs(30 * 60));
+                    options = ExperimentOptions::paper();
+                    options.timeout = timeout;
+                }
+                "--timeout" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        options.timeout = Duration::from_secs(v);
+                    }
+                }
+                "--variants" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        options.variants = v;
+                    }
+                }
+                "--sessions" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        options.sessions = v;
+                    }
+                }
+                "--transactions" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        options.transactions = v;
+                    }
+                }
+                _ => {}
+            }
+        }
+        options
+    }
+}
+
+/// The benchmark suite of Fig. 14 / Table F.1: `variants` client programs
+/// per application with the given shape.
+pub fn fig14_suite(options: &ExperimentOptions) -> Vec<(String, Program)> {
+    App::ALL
+        .into_iter()
+        .flat_map(|app| {
+            benchmark_programs(app, options.variants, options.sessions, options.transactions)
+        })
+        .collect()
+}
+
+/// Experiment 1 (Fig. 14a/b/c, Table F.1): every Fig. 14 algorithm on every
+/// benchmark program. Returns one measurement per (program, algorithm).
+pub fn experiment_fig14(options: &ExperimentOptions) -> Vec<Measurement> {
+    experiment_fig14_with(options, &Algorithm::FIG14)
+}
+
+/// Like [`experiment_fig14`] but with a custom set of algorithms.
+pub fn experiment_fig14_with(
+    options: &ExperimentOptions,
+    algorithms: &[Algorithm],
+) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    for (name, program) in fig14_suite(options) {
+        for algo in algorithms {
+            eprintln!("[fig14] {name} / {algo} ...");
+            out.push(run(&name, &program, *algo, options.timeout));
+        }
+    }
+    out
+}
+
+/// The applications used by the scalability experiments (Fig. 15): TPC-C
+/// and Wikipedia.
+pub const SCALABILITY_APPS: [App; 2] = [App::Tpcc, App::Wikipedia];
+
+/// Experiment 2 (Fig. 15a, Table F.2): `explore-ce(CC)` on TPC-C and
+/// Wikipedia client programs with 1..=max_sessions sessions, 3 transactions
+/// per session. Removing sessions from the largest program (as the paper
+/// does) is modelled by generating each size with the same seed.
+pub fn experiment_sessions(
+    options: &ExperimentOptions,
+    max_sessions: usize,
+) -> Vec<(usize, Measurement)> {
+    let mut out = Vec::new();
+    for sessions in 1..=max_sessions {
+        for app in SCALABILITY_APPS {
+            for variant in 1..=options.variants {
+                let program = client_program(&WorkloadConfig {
+                    app,
+                    sessions,
+                    transactions_per_session: options.transactions,
+                    seed: variant as u64,
+                });
+                let name = format!("{}-{variant}", app.name());
+                eprintln!("[fig15a] {name} with {sessions} session(s) ...");
+                let m = run(
+                    &name,
+                    &program,
+                    Algorithm::ExploreCe(IsolationLevel::CausalConsistency),
+                    options.timeout,
+                );
+                out.push((sessions, m));
+            }
+        }
+    }
+    out
+}
+
+/// Experiment 3 (Fig. 15b, Table F.3): `explore-ce(CC)` on TPC-C and
+/// Wikipedia client programs with 3 sessions and 1..=max_transactions
+/// transactions per session.
+pub fn experiment_transactions(
+    options: &ExperimentOptions,
+    max_transactions: usize,
+) -> Vec<(usize, Measurement)> {
+    let mut out = Vec::new();
+    for transactions in 1..=max_transactions {
+        for app in SCALABILITY_APPS {
+            for variant in 1..=options.variants {
+                let program = client_program(&WorkloadConfig {
+                    app,
+                    sessions: options.sessions,
+                    transactions_per_session: transactions,
+                    seed: variant as u64,
+                });
+                let name = format!("{}-{variant}", app.name());
+                eprintln!("[fig15b] {name} with {transactions} transaction(s) per session ...");
+                let m = run(
+                    &name,
+                    &program,
+                    Algorithm::ExploreCe(IsolationLevel::CausalConsistency),
+                    options.timeout,
+                );
+                out.push((transactions, m));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_parsing() {
+        let o = ExperimentOptions::from_args(
+            ["--timeout", "7", "--variants", "1", "--sessions", "2", "--transactions", "2"]
+                .map(String::from),
+        );
+        assert_eq!(o.timeout, Duration::from_secs(7));
+        assert_eq!(o.variants, 1);
+        assert_eq!(o.sessions, 2);
+        assert_eq!(o.transactions, 2);
+        let full = ExperimentOptions::from_args(["--full".to_owned()]);
+        assert_eq!(full.variants, 5);
+        assert_eq!(full.timeout, Duration::from_secs(1800));
+        let default = ExperimentOptions::from_args(Vec::<String>::new());
+        assert_eq!(default.variants, ExperimentOptions::default().variants);
+    }
+
+    #[test]
+    fn fig14_suite_size() {
+        let mut options = ExperimentOptions::default();
+        options.variants = 2;
+        assert_eq!(fig14_suite(&options).len(), 10);
+    }
+
+    #[test]
+    fn tiny_experiment_runs() {
+        // A minimal end-to-end check that the drivers work; benchmark
+        // programs are shrunk to 2 sessions × 1 transaction.
+        let options = ExperimentOptions {
+            timeout: Duration::from_secs(2),
+            variants: 1,
+            sessions: 2,
+            transactions: 1,
+        };
+        let rows = experiment_fig14_with(
+            &options,
+            &[Algorithm::ExploreCe(IsolationLevel::CausalConsistency)],
+        );
+        assert_eq!(rows.len(), 5);
+        for row in &rows {
+            assert!(row.histories >= 1 || row.timed_out);
+        }
+        let sess = experiment_sessions(&options, 2);
+        assert_eq!(sess.len(), 2 * 2 * 1);
+        let txns = experiment_transactions(&options, 2);
+        assert_eq!(txns.len(), 2 * 2 * 1);
+    }
+}

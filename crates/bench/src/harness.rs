@@ -1,0 +1,291 @@
+//! Measurement harness: runs one algorithm configuration on one client
+//! program and records the quantities reported in the paper's evaluation
+//! (running time, memory, number of histories and end states).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use txdpor_explore::{dfs_explore, explore, DfsConfig, ExploreConfig};
+use txdpor_history::IsolationLevel;
+use txdpor_program::Program;
+
+use crate::alloc;
+
+/// An algorithm configuration of the paper's evaluation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// `explore-ce(I)` — strongly optimal for causally-extensible levels.
+    ExploreCe(IsolationLevel),
+    /// `explore-ce*(I0, I)` — plain optimal, filters outputs with `I`.
+    ExploreCeStar(IsolationLevel, IsolationLevel),
+    /// The `DFS(I)` baseline without partial order reduction.
+    Dfs(IsolationLevel),
+    /// Ablation: `explore-ce(I)` with the `Optimality` restriction on swaps
+    /// disabled (sound and complete but redundant).
+    ExploreCeNoOptimality(IsolationLevel),
+}
+
+impl Algorithm {
+    /// The seven configurations compared in Fig. 14 / Table F.1.
+    pub const FIG14: [Algorithm; 7] = [
+        Algorithm::ExploreCe(IsolationLevel::CausalConsistency),
+        Algorithm::ExploreCeStar(
+            IsolationLevel::CausalConsistency,
+            IsolationLevel::SnapshotIsolation,
+        ),
+        Algorithm::ExploreCeStar(
+            IsolationLevel::CausalConsistency,
+            IsolationLevel::Serializability,
+        ),
+        Algorithm::ExploreCeStar(
+            IsolationLevel::ReadAtomic,
+            IsolationLevel::CausalConsistency,
+        ),
+        Algorithm::ExploreCeStar(
+            IsolationLevel::ReadCommitted,
+            IsolationLevel::CausalConsistency,
+        ),
+        Algorithm::ExploreCeStar(IsolationLevel::Trivial, IsolationLevel::CausalConsistency),
+        Algorithm::Dfs(IsolationLevel::CausalConsistency),
+    ];
+
+    /// Label used in tables, matching the paper's notation.
+    pub fn label(&self) -> String {
+        match self {
+            Algorithm::ExploreCe(l) => l.short_name().to_owned(),
+            Algorithm::ExploreCeStar(base, target) => {
+                format!("{} + {}", base.short_name(), target.short_name())
+            }
+            Algorithm::Dfs(l) => format!("DFS({})", l.short_name()),
+            Algorithm::ExploreCeNoOptimality(l) => format!("{} (no-opt)", l.short_name()),
+        }
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// The result of running one algorithm on one benchmark program.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Benchmark identifier (e.g. `tpcc-3`).
+    pub benchmark: String,
+    /// Algorithm label (e.g. `CC + SER`).
+    pub algorithm: String,
+    /// Number of histories output (after the `Valid` filter).
+    pub histories: u64,
+    /// Number of complete executions reached (before the filter).
+    pub end_states: u64,
+    /// Number of `explore` calls (partial histories visited).
+    pub explore_calls: u64,
+    /// Wall-clock running time.
+    pub time: Duration,
+    /// Peak bytes allocated during the run.
+    pub peak_alloc: usize,
+    /// Whether the run hit its timeout.
+    pub timed_out: bool,
+}
+
+impl Measurement {
+    /// Renders the running time as `MM:SS` (or `TL` when timed out, like the
+    /// paper's tables).
+    pub fn time_cell(&self) -> String {
+        if self.timed_out {
+            "TL".to_owned()
+        } else {
+            let secs = self.time.as_secs();
+            format!("{:02}:{:02}.{:03}", secs / 60, secs % 60, self.time.subsec_millis())
+        }
+    }
+}
+
+/// Stack size used for exploration threads: the recursion of the
+/// swapping-based algorithms is proportional to the exploration depth,
+/// which can be large for the redundant ablation configurations.
+const EXPLORATION_STACK: usize = 512 * 1024 * 1024;
+
+/// Runs one algorithm on one program with the given wall-clock budget.
+///
+/// The exploration runs on a dedicated thread with a large stack so that
+/// deeply recursive (non-optimal) configurations do not overflow.
+pub fn run(
+    benchmark: &str,
+    program: &Program,
+    algorithm: Algorithm,
+    timeout: Duration,
+) -> Measurement {
+    std::thread::scope(|scope| {
+        std::thread::Builder::new()
+            .name(format!("explore-{benchmark}"))
+            .stack_size(EXPLORATION_STACK)
+            .spawn_scoped(scope, || run_inner(benchmark, program, algorithm, timeout))
+            .expect("spawning the exploration thread succeeds")
+            .join()
+            .expect("the exploration thread does not panic")
+    })
+}
+
+fn run_inner(
+    benchmark: &str,
+    program: &Program,
+    algorithm: Algorithm,
+    timeout: Duration,
+) -> Measurement {
+    alloc::reset_peak();
+    let start = Instant::now();
+    let (histories, end_states, explore_calls, timed_out) = match algorithm {
+        Algorithm::ExploreCe(level) => {
+            let report = explore(program, ExploreConfig::explore_ce(level).with_timeout(timeout))
+                .expect("benchmark programs replay cleanly");
+            (
+                report.outputs,
+                report.end_states,
+                report.explore_calls,
+                report.timed_out,
+            )
+        }
+        Algorithm::ExploreCeNoOptimality(level) => {
+            let report = explore(
+                program,
+                ExploreConfig::explore_ce(level)
+                    .without_optimality()
+                    .with_timeout(timeout),
+            )
+            .expect("benchmark programs replay cleanly");
+            (
+                report.outputs,
+                report.end_states,
+                report.explore_calls,
+                report.timed_out,
+            )
+        }
+        Algorithm::ExploreCeStar(base, target) => {
+            let report = explore(
+                program,
+                ExploreConfig::explore_ce_star(base, target).with_timeout(timeout),
+            )
+            .expect("benchmark programs replay cleanly");
+            (
+                report.outputs,
+                report.end_states,
+                report.explore_calls,
+                report.timed_out,
+            )
+        }
+        Algorithm::Dfs(level) => {
+            let report = dfs_explore(program, DfsConfig::new(level).with_timeout(timeout))
+                .expect("benchmark programs replay cleanly");
+            (
+                report.outputs,
+                report.end_states,
+                report.explore_calls,
+                report.timed_out,
+            )
+        }
+    };
+    Measurement {
+        benchmark: benchmark.to_owned(),
+        algorithm: algorithm.label(),
+        histories,
+        end_states,
+        explore_calls,
+        time: start.elapsed(),
+        peak_alloc: alloc::peak_bytes(),
+        timed_out,
+    }
+}
+
+/// Average of the per-benchmark speedups of `fast` over `slow` (matching
+/// the paper's "average of individual speedups", excluding timeouts).
+pub fn average_speedup(fast: &[Measurement], slow: &[Measurement]) -> Option<f64> {
+    let mut ratios = Vec::new();
+    for f in fast {
+        if f.timed_out {
+            continue;
+        }
+        if let Some(s) = slow
+            .iter()
+            .find(|s| s.benchmark == f.benchmark && !s.timed_out)
+        {
+            let ft = f.time.as_secs_f64().max(1e-6);
+            ratios.push(s.time.as_secs_f64() / ft);
+        }
+    }
+    if ratios.is_empty() {
+        None
+    } else {
+        Some(ratios.iter().sum::<f64>() / ratios.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txdpor_program::dsl::*;
+
+    fn tiny_program() -> Program {
+        program(vec![
+            session(vec![tx("w", vec![write(g("x"), cint(1))])]),
+            session(vec![tx("r", vec![read("a", g("x"))])]),
+        ])
+    }
+
+    #[test]
+    fn run_all_fig14_algorithms_on_tiny_program() {
+        let p = tiny_program();
+        for algo in Algorithm::FIG14 {
+            let m = run("tiny", &p, algo, Duration::from_secs(10));
+            assert!(!m.timed_out, "{algo} timed out on the tiny program");
+            assert_eq!(m.histories, 2, "{algo} found a wrong number of histories");
+            assert!(m.end_states >= 2);
+            assert!(m.explore_calls > 0);
+            assert!(!m.time_cell().is_empty());
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(
+            Algorithm::ExploreCe(IsolationLevel::CausalConsistency).label(),
+            "CC"
+        );
+        assert_eq!(
+            Algorithm::Dfs(IsolationLevel::CausalConsistency).to_string(),
+            "DFS(CC)"
+        );
+        assert_eq!(
+            Algorithm::ExploreCeStar(
+                IsolationLevel::Trivial,
+                IsolationLevel::CausalConsistency
+            )
+            .label(),
+            "true + CC"
+        );
+        assert_eq!(
+            Algorithm::ExploreCeNoOptimality(IsolationLevel::CausalConsistency).label(),
+            "CC (no-opt)"
+        );
+    }
+
+    #[test]
+    fn speedups() {
+        let p = tiny_program();
+        let fast = vec![run(
+            "tiny",
+            &p,
+            Algorithm::ExploreCe(IsolationLevel::CausalConsistency),
+            Duration::from_secs(10),
+        )];
+        let slow = vec![run(
+            "tiny",
+            &p,
+            Algorithm::Dfs(IsolationLevel::CausalConsistency),
+            Duration::from_secs(10),
+        )];
+        assert!(average_speedup(&fast, &slow).is_some());
+        assert!(average_speedup(&fast, &[]).is_none());
+    }
+}

@@ -1,0 +1,112 @@
+//! User-defined assertions evaluated on every output history.
+//!
+//! The paper's tool checks user-defined assertions over the systematically
+//! enumerated executions (§8, comparison with MonkeyDB). An assertion here
+//! is a predicate over an [`AssertionCtx`] giving access to the output
+//! history, the program, and the final local-variable environment of each
+//! transaction (recovered by replay).
+
+use txdpor_history::{History, TxId, Value, Var, VarTable};
+use txdpor_program::{Env, Program};
+
+/// The context an assertion is evaluated in.
+#[derive(Debug)]
+pub struct AssertionCtx<'a> {
+    /// The program being checked.
+    pub program: &'a Program,
+    /// The complete output history.
+    pub history: &'a History,
+    /// Variable-name interning table.
+    pub vars: &'a VarTable,
+    /// Final local environment of every transaction of the history.
+    pub envs: &'a [(TxId, Env)],
+}
+
+/// The type of user assertions: `true` means the history is acceptable.
+pub type AssertionFn = dyn Fn(&AssertionCtx<'_>) -> bool;
+
+impl AssertionCtx<'_> {
+    /// The interned variable for a global name, if it was ever accessed.
+    pub fn var(&self, name: &str) -> Option<Var> {
+        self.vars.get(name)
+    }
+
+    /// Iterates over the committed transactions whose program definition has
+    /// the given name, together with their final local environments.
+    pub fn committed_named<'b>(
+        &'b self,
+        name: &'b str,
+    ) -> impl Iterator<Item = (TxId, &'b Env)> + 'b {
+        self.envs.iter().filter_map(move |(t, env)| {
+            let log = self.history.get_tx(*t)?;
+            if !log.is_committed() {
+                return None;
+            }
+            let def = self
+                .program
+                .transaction(log.session.0 as usize, log.program_index)?;
+            (def.name == name).then_some((*t, env))
+        })
+    }
+
+    /// Number of committed transactions with the given definition name that
+    /// performed a visible write to the given global variable.
+    pub fn committed_writers_named(&self, name: &str, var_name: &str) -> usize {
+        let Some(var) = self.var(var_name) else {
+            return 0;
+        };
+        self.committed_named(name)
+            .filter(|(t, _)| self.history.writes_var(*t, var))
+            .count()
+    }
+
+    /// The values written to a variable by committed transactions (visible
+    /// writes), useful for aggregate invariants.
+    pub fn committed_values_of(&self, var_name: &str) -> Vec<Value> {
+        let Some(var) = self.var(var_name) else {
+            return Vec::new();
+        };
+        self.history
+            .committed_txs()
+            .into_iter()
+            .filter_map(|t| self.history.visible_write_value(t, var))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txdpor_program::dsl::*;
+    use txdpor_program::{execute_serial, replay_all};
+
+    #[test]
+    fn context_helpers() {
+        let p = program(vec![
+            session(vec![tx(
+                "incr",
+                vec![read("a", g("x")), write(g("x"), add(local("a"), cint(1)))],
+            )]),
+            session(vec![tx("observe", vec![read("b", g("x"))])]),
+        ]);
+        let (h, vars) = execute_serial(&p).unwrap();
+        let mut vt = vars.clone();
+        let envs = replay_all(&p, &h, &mut vt).unwrap();
+        let ctx = AssertionCtx {
+            program: &p,
+            history: &h,
+            vars: &vt,
+            envs: &envs,
+        };
+        assert!(ctx.var("x").is_some());
+        assert!(ctx.var("nonexistent").is_none());
+        assert_eq!(ctx.committed_named("incr").count(), 1);
+        assert_eq!(ctx.committed_named("observe").count(), 1);
+        assert_eq!(ctx.committed_named("unknown").count(), 0);
+        assert_eq!(ctx.committed_writers_named("incr", "x"), 1);
+        assert_eq!(ctx.committed_writers_named("observe", "x"), 0);
+        assert_eq!(ctx.committed_writers_named("incr", "missing"), 0);
+        assert_eq!(ctx.committed_values_of("x"), vec![Value::Int(1)]);
+        assert!(ctx.committed_values_of("missing").is_empty());
+    }
+}

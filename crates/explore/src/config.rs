@@ -1,0 +1,235 @@
+//! Configuration and result types for the exploration algorithms.
+
+use std::time::Duration;
+
+use txdpor_history::{History, IsolationLevel, VarTable};
+
+/// Configuration of a swapping-based exploration (`explore-ce` /
+/// `explore-ce*`).
+#[derive(Clone, Debug)]
+pub struct ExploreConfig {
+    /// Isolation level used to drive the exploration (`I0`). Must be
+    /// prefix-closed and causally extensible for the guarantees of §5 to
+    /// hold.
+    pub exploration_level: IsolationLevel,
+    /// Isolation level used to filter histories before outputting (`I`).
+    /// Equal to `exploration_level` for the plain `explore-ce` algorithm.
+    pub output_level: IsolationLevel,
+    /// Wall-clock budget; exploration stops (reporting `timed_out`) when
+    /// exceeded.
+    pub timeout: Option<Duration>,
+    /// Collect every output history in the report (memory-heavy; meant for
+    /// tests and small programs).
+    pub collect_histories: bool,
+    /// Apply the full `Optimality` condition of §5.3. Disabling it keeps
+    /// the exploration sound and complete but may enumerate the same
+    /// history several times (ablation mode).
+    pub full_optimality: bool,
+    /// Track output fingerprints to count duplicate outputs (used to verify
+    /// optimality empirically; costs memory proportional to the number of
+    /// outputs).
+    pub track_duplicates: bool,
+}
+
+impl ExploreConfig {
+    /// Configuration for `explore-ce(level)`: sound, complete and strongly
+    /// optimal for prefix-closed, causally-extensible levels (Theorem 5.1).
+    pub fn explore_ce(level: IsolationLevel) -> Self {
+        ExploreConfig {
+            exploration_level: level,
+            output_level: level,
+            timeout: None,
+            collect_histories: false,
+            full_optimality: true,
+            track_duplicates: false,
+        }
+    }
+
+    /// Configuration for `explore-ce*(base, target)`: explores under the
+    /// weaker `base` level and filters outputs with `target`
+    /// (Corollary 6.2). `base` must be weaker than or equal to `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is stronger than `target` or not causally
+    /// extensible.
+    pub fn explore_ce_star(base: IsolationLevel, target: IsolationLevel) -> Self {
+        assert!(
+            base.weaker_or_equal(target),
+            "base level {base} must be weaker than target {target}"
+        );
+        assert!(
+            base.is_causally_extensible(),
+            "base level {base} must be causally extensible"
+        );
+        ExploreConfig {
+            exploration_level: base,
+            output_level: target,
+            timeout: None,
+            collect_histories: false,
+            full_optimality: true,
+            track_duplicates: false,
+        }
+    }
+
+    /// Sets a wall-clock budget.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Collects every output history in the report.
+    pub fn collecting_histories(mut self) -> Self {
+        self.collect_histories = true;
+        self
+    }
+
+    /// Disables the `Optimality` restriction on swaps (ablation mode).
+    pub fn without_optimality(mut self) -> Self {
+        self.full_optimality = false;
+        self
+    }
+
+    /// Tracks duplicate outputs (for optimality validation).
+    pub fn tracking_duplicates(mut self) -> Self {
+        self.track_duplicates = true;
+        self
+    }
+
+    /// Short label of the configuration, matching the paper's notation:
+    /// `CC` for `explore-ce(CC)`, `RA + CC` for `explore-ce*(RA, CC)`, etc.
+    pub fn label(&self) -> String {
+        if self.exploration_level == self.output_level {
+            self.exploration_level.short_name().to_owned()
+        } else {
+            format!(
+                "{} + {}",
+                self.exploration_level.short_name(),
+                self.output_level.short_name()
+            )
+        }
+    }
+}
+
+/// Statistics and results of an exploration run.
+#[derive(Clone, Debug, Default)]
+pub struct ExplorationReport {
+    /// Number of (recursive) calls to `explore`, i.e. partial histories
+    /// visited.
+    pub explore_calls: u64,
+    /// Number of complete executions reached (before the `Valid` output
+    /// filter) — the "end states" of the paper's evaluation.
+    pub end_states: u64,
+    /// Number of histories output (after the `Valid` filter) — the
+    /// "histories" column of the paper's tables.
+    pub outputs: u64,
+    /// Number of outputs whose read-from fingerprint had already been
+    /// output (only counted when duplicate tracking is enabled; zero for an
+    /// optimal algorithm).
+    pub duplicate_outputs: u64,
+    /// Number of explorations that got stuck: a read had no valid writer to
+    /// read from (zero for a strongly-optimal algorithm under a
+    /// causally-extensible level).
+    pub blocked: u64,
+    /// Number of output histories violating the user assertion.
+    pub assertion_violations: u64,
+    /// Whether the exploration hit its wall-clock budget.
+    pub timed_out: bool,
+    /// Wall-clock duration of the exploration.
+    pub duration: Duration,
+    /// Largest number of events of any explored history (a proxy for the
+    /// per-branch memory footprint; the algorithm is polynomial space).
+    pub max_events: usize,
+    /// Output histories, when collection was requested.
+    pub histories: Vec<History>,
+    /// First assertion-violating history, if any.
+    pub violating_history: Option<History>,
+    /// Interning table for the global variables of the program, for
+    /// rendering histories.
+    pub vars: VarTable,
+}
+
+impl ExplorationReport {
+    /// Number of end states filtered out by the `Valid` check
+    /// (`explore-ce*` only).
+    pub fn filtered_out(&self) -> u64 {
+        self.end_states - self.outputs
+    }
+
+    /// Whether any output violated the assertion.
+    pub fn has_violation(&self) -> bool {
+        self.assertion_violations > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_notation() {
+        assert_eq!(
+            ExploreConfig::explore_ce(IsolationLevel::CausalConsistency).label(),
+            "CC"
+        );
+        assert_eq!(
+            ExploreConfig::explore_ce_star(
+                IsolationLevel::CausalConsistency,
+                IsolationLevel::Serializability
+            )
+            .label(),
+            "CC + SER"
+        );
+        assert_eq!(
+            ExploreConfig::explore_ce_star(
+                IsolationLevel::Trivial,
+                IsolationLevel::CausalConsistency
+            )
+            .label(),
+            "true + CC"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "weaker than target")]
+    fn star_requires_weaker_base() {
+        ExploreConfig::explore_ce_star(
+            IsolationLevel::Serializability,
+            IsolationLevel::CausalConsistency,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "causally extensible")]
+    fn star_requires_causally_extensible_base() {
+        ExploreConfig::explore_ce_star(
+            IsolationLevel::SnapshotIsolation,
+            IsolationLevel::Serializability,
+        );
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let c = ExploreConfig::explore_ce(IsolationLevel::ReadAtomic)
+            .with_timeout(Duration::from_secs(5))
+            .collecting_histories()
+            .without_optimality()
+            .tracking_duplicates();
+        assert_eq!(c.timeout, Some(Duration::from_secs(5)));
+        assert!(c.collect_histories);
+        assert!(!c.full_optimality);
+        assert!(c.track_duplicates);
+    }
+
+    #[test]
+    fn report_derived_quantities() {
+        let report = ExplorationReport {
+            end_states: 10,
+            outputs: 7,
+            assertion_violations: 1,
+            ..Default::default()
+        };
+        assert_eq!(report.filtered_out(), 3);
+        assert!(report.has_violation());
+    }
+}

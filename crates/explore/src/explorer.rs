@@ -1,0 +1,560 @@
+//! The swapping-based stateless model checking algorithm `explore-ce` and
+//! its filtered variant `explore-ce*` (Algorithms 1 and 2, §§4–6).
+
+use std::collections::HashSet;
+use std::fmt;
+use std::time::Instant;
+
+use txdpor_history::{
+    Event, EventId, EventKind, HistoryFingerprint, SessionId, TxId, VarTable,
+};
+use txdpor_program::{
+    initial_history, oracle_next, replay_all, Program, SchedulerStep, SemanticsError, TxStep,
+};
+
+use crate::assertion::{AssertionCtx, AssertionFn};
+use crate::config::{ExploreConfig, ExplorationReport};
+use crate::optimality::optimality;
+use crate::ordered::OrderedHistory;
+use crate::swap::compute_reorderings;
+
+/// Error raised by an exploration.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExploreError {
+    /// The program and the explored history disagree (a replay error).
+    Semantics(SemanticsError),
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::Semantics(e) => write!(f, "semantics error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
+impl From<SemanticsError> for ExploreError {
+    fn from(e: SemanticsError) -> Self {
+        ExploreError::Semantics(e)
+    }
+}
+
+/// Runs the swapping-based exploration of `program` under `config`.
+///
+/// For `config = ExploreConfig::explore_ce(I)` with `I` prefix-closed and
+/// causally extensible, the exploration is `I`-sound, `I`-complete,
+/// strongly optimal and polynomial space (Theorem 5.1). For
+/// `config = ExploreConfig::explore_ce_star(I0, I)` it enumerates the
+/// histories of `I0` and outputs those consistent with `I`
+/// (Corollary 6.2).
+///
+/// # Errors
+///
+/// Returns an error if the program cannot be replayed against an explored
+/// history (which indicates a bug in the program model, e.g. an unbound
+/// local variable).
+///
+/// # Examples
+///
+/// ```
+/// use txdpor_explore::{explore, ExploreConfig};
+/// use txdpor_history::IsolationLevel;
+/// use txdpor_program::dsl::*;
+///
+/// // Two sessions racing on x: a writer and a reader.
+/// let p = program(vec![
+///     session(vec![tx("w", vec![write(g("x"), cint(1))])]),
+///     session(vec![tx("r", vec![read("a", g("x"))])]),
+/// ]);
+/// let report = explore(&p, ExploreConfig::explore_ce(IsolationLevel::CausalConsistency))?;
+/// // The reader sees either the initial value or the write: two histories.
+/// assert_eq!(report.outputs, 2);
+/// # Ok::<(), txdpor_explore::ExploreError>(())
+/// ```
+pub fn explore(program: &Program, config: ExploreConfig) -> Result<ExplorationReport, ExploreError> {
+    explore_with_assertion(program, config, None)
+}
+
+/// Like [`explore`], additionally evaluating `assertion` on every output
+/// history and counting violations.
+///
+/// # Errors
+///
+/// Same as [`explore`].
+pub fn explore_with_assertion(
+    program: &Program,
+    config: ExploreConfig,
+    assertion: Option<&AssertionFn>,
+) -> Result<ExplorationReport, ExploreError> {
+    assert!(
+        config.exploration_level.is_causally_extensible(),
+        "the exploration level must be causally extensible; use explore_ce_star for {}",
+        config.exploration_level
+    );
+    let mut explorer = Explorer::new(program, &config, assertion);
+    let start = Instant::now();
+    let initial = OrderedHistory::new(initial_history(program, &mut explorer.vars));
+    explorer.explore(initial)?;
+    let mut report = explorer.report;
+    report.duration = start.elapsed();
+    report.vars = explorer.vars;
+    Ok(report)
+}
+
+struct Explorer<'a> {
+    program: &'a Program,
+    config: &'a ExploreConfig,
+    assertion: Option<&'a AssertionFn>,
+    vars: VarTable,
+    next_event: u32,
+    next_tx: u32,
+    report: ExplorationReport,
+    seen: HashSet<HistoryFingerprint>,
+    deadline: Option<Instant>,
+}
+
+impl<'a> Explorer<'a> {
+    fn new(
+        program: &'a Program,
+        config: &'a ExploreConfig,
+        assertion: Option<&'a AssertionFn>,
+    ) -> Self {
+        Explorer {
+            program,
+            config,
+            assertion,
+            vars: VarTable::new(),
+            next_event: 0,
+            next_tx: 0,
+            report: ExplorationReport::default(),
+            seen: HashSet::new(),
+            deadline: config.timeout.map(|t| Instant::now() + t),
+        }
+    }
+
+    fn fresh_event(&mut self) -> EventId {
+        self.next_event += 1;
+        EventId(self.next_event)
+    }
+
+    fn fresh_tx(&mut self) -> TxId {
+        self.next_tx += 1;
+        TxId(self.next_tx)
+    }
+
+    fn timed_out(&mut self) -> bool {
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.report.timed_out = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The recursive `explore` function of Algorithm 1.
+    fn explore(&mut self, h: OrderedHistory) -> Result<(), ExploreError> {
+        if self.timed_out() {
+            return Ok(());
+        }
+        self.report.explore_calls += 1;
+        self.report.max_events = self.report.max_events.max(h.order.len());
+        debug_assert_eq!(h.check_invariants(), Ok(()));
+        match oracle_next(self.program, &h.history, &mut self.vars)? {
+            SchedulerStep::Finished => {
+                self.handle_complete(&h);
+                Ok(())
+            }
+            SchedulerStep::Begin {
+                session,
+                program_index,
+            } => {
+                let tx = self.fresh_tx();
+                let ev = Event::new(self.fresh_event(), EventKind::Begin);
+                let mut extended = h;
+                extended
+                    .history
+                    .begin_transaction(session, tx, program_index, ev.clone());
+                extended.push(ev.id);
+                self.explore(extended.clone())?;
+                self.explore_swaps(&extended)
+            }
+            SchedulerStep::Continue { session, step, .. } => match step {
+                TxStep::Read {
+                    var,
+                    internal_value: None,
+                    ..
+                } => {
+                    let ev = Event::new(self.fresh_event(), EventKind::Read(var));
+                    let writers = self.valid_writes(&h, session, &ev);
+                    if writers.is_empty() {
+                        self.report.blocked += 1;
+                    }
+                    for writer in writers {
+                        let mut extended = h.clone();
+                        extended.history.append_event(session, ev.clone());
+                        extended.push(ev.id);
+                        extended.history.set_wr(ev.id, writer);
+                        self.explore(extended.clone())?;
+                        self.explore_swaps(&extended)?;
+                    }
+                    Ok(())
+                }
+                other => {
+                    let kind = match other {
+                        TxStep::Read { var, .. } => EventKind::Read(var),
+                        TxStep::Write { var, value } => EventKind::Write(var, value),
+                        TxStep::Commit => EventKind::Commit,
+                        TxStep::Abort => EventKind::Abort,
+                    };
+                    let ev = Event::new(self.fresh_event(), kind);
+                    let mut extended = h;
+                    extended.history.append_event(session, ev.clone());
+                    extended.push(ev.id);
+                    self.explore(extended.clone())?;
+                    self.explore_swaps(&extended)
+                }
+            },
+        }
+    }
+
+    /// `ValidWrites(h, e)` (§5.1): the committed transactions writing
+    /// `var(e)` such that extending the history with `e` reading from them
+    /// keeps it consistent with the exploration level.
+    fn valid_writes(
+        &mut self,
+        h: &OrderedHistory,
+        session: SessionId,
+        ev: &Event,
+    ) -> Vec<TxId> {
+        let var = ev.var().expect("valid_writes takes a read event");
+        let mut trial = h.history.clone();
+        trial.append_event(session, ev.clone());
+        let mut out = Vec::new();
+        for writer in trial.committed_writers_of(var) {
+            trial.set_wr(ev.id, writer);
+            if self.config.exploration_level.satisfies(&trial) {
+                out.push(writer);
+            }
+        }
+        out
+    }
+
+    /// `exploreSwaps` (Algorithm 2): re-order events of the current history
+    /// and recurse on the `Optimality`-approved results.
+    fn explore_swaps(&mut self, h: &OrderedHistory) -> Result<(), ExploreError> {
+        if self.timed_out() {
+            return Ok(());
+        }
+        for reordering in compute_reorderings(h) {
+            if self.timed_out() {
+                return Ok(());
+            }
+            if let Some(swapped) = optimality(
+                h,
+                reordering.read,
+                reordering.target,
+                self.config.exploration_level,
+                self.config.full_optimality,
+            ) {
+                self.explore(swapped)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Handles a complete execution: applies the `Valid` output filter,
+    /// records statistics and evaluates the user assertion.
+    fn handle_complete(&mut self, h: &OrderedHistory) {
+        self.report.end_states += 1;
+        let valid = self.config.output_level == self.config.exploration_level
+            || self.config.output_level.satisfies(&h.history);
+        if !valid {
+            return;
+        }
+        self.report.outputs += 1;
+        if self.config.track_duplicates {
+            let fp = h.history.fingerprint();
+            if !self.seen.insert(fp) {
+                self.report.duplicate_outputs += 1;
+            }
+        }
+        if self.config.collect_histories {
+            self.report.histories.push(h.history.clone());
+        }
+        if let Some(assertion) = self.assertion {
+            if let Ok(envs) = replay_all(self.program, &h.history, &mut self.vars) {
+                let ctx = AssertionCtx {
+                    program: self.program,
+                    history: &h.history,
+                    vars: &self.vars,
+                    envs: &envs,
+                };
+                if !assertion(&ctx) {
+                    self.report.assertion_violations += 1;
+                    if self.report.violating_history.is_none() {
+                        self.report.violating_history = Some(h.history.clone());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txdpor_history::IsolationLevel;
+    use txdpor_program::dsl::*;
+
+    /// Fig. 10a: a reader of x and y against a writer of x and y.
+    fn fig10_program() -> Program {
+        program(vec![
+            session(vec![tx(
+                "reader",
+                vec![read("a", g("x")), read("b", g("y"))],
+            )]),
+            session(vec![tx(
+                "writer",
+                vec![write(g("x"), cint(2)), write(g("y"), cint(2))],
+            )]),
+        ])
+    }
+
+    /// Fig. 12a: two readers of x and two writers of x, each in its own
+    /// session.
+    fn fig12_program() -> Program {
+        program(vec![
+            session(vec![tx("w2", vec![write(g("x"), cint(2))])]),
+            session(vec![tx("r1", vec![read("a", g("x"))])]),
+            session(vec![tx("r2", vec![read("b", g("x"))])]),
+            session(vec![tx("w4", vec![write(g("x"), cint(4))])]),
+        ])
+    }
+
+    /// Fig. 13a: a reader of x, a reader of y, a writer of y, a writer of x.
+    fn fig13_program() -> Program {
+        program(vec![
+            session(vec![tx("rx", vec![read("a", g("x"))])]),
+            session(vec![tx("ry", vec![read("b", g("y"))])]),
+            session(vec![tx("wy", vec![write(g("y"), cint(3))])]),
+            session(vec![tx("wx", vec![write(g("x"), cint(4))])]),
+        ])
+    }
+
+    /// Fig. 8a / Fig. 11a style program with an abort guard.
+    fn abort_program() -> Program {
+        program(vec![
+            session(vec![
+                tx(
+                    "guarded",
+                    vec![
+                        read("a", g("x")),
+                        iff(eq(local("a"), cint(0)), vec![abort()]),
+                        write(g("y"), cint(1)),
+                    ],
+                ),
+                tx("reader", vec![read("b", g("x"))]),
+            ]),
+            session(vec![
+                tx("wy", vec![write(g("y"), cint(3))]),
+                tx("wx", vec![write(g("x"), cint(4))]),
+            ]),
+        ])
+    }
+
+    fn run(p: &Program, config: ExploreConfig) -> ExplorationReport {
+        explore(p, config.tracking_duplicates().collecting_histories()).unwrap()
+    }
+
+    #[test]
+    fn fig10_under_cc_enumerates_all_read_from_combinations() {
+        // Under CC the reader can observe (x,y) ∈ {(0,0), (0,2)?, (2,0)?, (2,2)}.
+        // Reading x=0, y=2 is allowed by CC? The writer writes x then y, so
+        // reading y from the writer and x from init violates RA (fractured
+        // read)... but the reader reads x first. Reading x=0,y=2 means x
+        // from init and y from writer: RA violation but the premise needs
+        // (writer, reader) ∈ so ∪ wr which holds via wr(y), and writer
+        // writes x, so x must read from a transaction after the writer:
+        // contradiction — not CC. Reading x=2, y=0 violates RC similarly?
+        // The read of y comes po-after the read of x which read from the
+        // writer, so RC forces writer < init in co: inconsistent. Hence
+        // exactly 3 histories: (0,0), (2,2), and... let us just check the
+        // count against the DFS baseline in the integration tests; here we
+        // check soundness, optimality and strong optimality.
+        let p = fig10_program();
+        let report = run(&p, ExploreConfig::explore_ce(IsolationLevel::CausalConsistency));
+        assert!(report.outputs > 0);
+        assert_eq!(report.duplicate_outputs, 0, "optimality violated");
+        assert_eq!(report.blocked, 0, "strong optimality violated");
+        assert_eq!(report.end_states, report.outputs);
+        for h in &report.histories {
+            assert!(IsolationLevel::CausalConsistency.satisfies(h), "unsound output");
+        }
+    }
+
+    #[test]
+    fn fig12_optimality_no_duplicates() {
+        let p = fig12_program();
+        for level in [
+            IsolationLevel::ReadCommitted,
+            IsolationLevel::ReadAtomic,
+            IsolationLevel::CausalConsistency,
+        ] {
+            let report = run(&p, ExploreConfig::explore_ce(level));
+            assert_eq!(report.duplicate_outputs, 0, "duplicates under {level}");
+            assert_eq!(report.blocked, 0, "blocked exploration under {level}");
+            // Two independent writers and two independent readers of x:
+            // each reader independently reads one of init/w2/w4 = 9 histories.
+            assert_eq!(report.outputs, 9, "wrong count under {level}");
+        }
+    }
+
+    #[test]
+    fn fig13_optimality_no_duplicates() {
+        let p = fig13_program();
+        let report = run(&p, ExploreConfig::explore_ce(IsolationLevel::CausalConsistency));
+        assert_eq!(report.duplicate_outputs, 0);
+        assert_eq!(report.blocked, 0);
+        // Reader of x sees init or wx; reader of y sees init or wy: 4.
+        assert_eq!(report.outputs, 4);
+    }
+
+    #[test]
+    fn disabling_optimality_keeps_the_same_set_of_histories() {
+        let p = fig12_program();
+        let with = run(&p, ExploreConfig::explore_ce(IsolationLevel::CausalConsistency));
+        let without = run(
+            &p,
+            ExploreConfig::explore_ce(IsolationLevel::CausalConsistency).without_optimality(),
+        );
+        use std::collections::BTreeSet;
+        let a: BTreeSet<_> = with.histories.iter().map(|h| h.fingerprint()).collect();
+        let b: BTreeSet<_> = without.histories.iter().map(|h| h.fingerprint()).collect();
+        assert_eq!(a, b, "ablation must not change the set of histories");
+        assert!(
+            without.outputs >= with.outputs,
+            "ablation cannot output fewer histories"
+        );
+        assert!(without.duplicate_outputs > 0, "Fig. 12 forces redundancy without the Optimality check");
+    }
+
+    #[test]
+    fn aborting_transactions_are_handled() {
+        let p = abort_program();
+        let report = run(&p, ExploreConfig::explore_ce(IsolationLevel::CausalConsistency));
+        assert_eq!(report.duplicate_outputs, 0);
+        assert_eq!(report.blocked, 0);
+        assert!(report.outputs > 0);
+        // Some histories must contain an aborted transaction (x read 0) and
+        // some a committed write of y=1 (x read 4).
+        let mut aborted = 0;
+        let mut committed_guard = 0;
+        for h in &report.histories {
+            for t in h.transactions() {
+                if t.is_aborted() {
+                    aborted += 1;
+                }
+            }
+            let y = report.vars.get("y").unwrap();
+            if h.writers_of(y).len() > 2 {
+                committed_guard += 1;
+            }
+        }
+        assert!(aborted > 0, "no aborted execution explored");
+        assert!(committed_guard > 0, "no execution where the guard commits");
+    }
+
+    /// The classic long-fork program: two blind writers and two readers
+    /// observing the writes in opposite orders.
+    fn long_fork_program() -> Program {
+        program(vec![
+            session(vec![tx("wx", vec![write(g("x"), cint(1))])]),
+            session(vec![tx("wy", vec![write(g("y"), cint(1))])]),
+            session(vec![tx("r1", vec![read("a", g("x")), read("b", g("y"))])]),
+            session(vec![tx("r2", vec![read("c", g("y")), read("d", g("x"))])]),
+        ])
+    }
+
+    #[test]
+    fn explore_ce_star_filters_outputs() {
+        let p = long_fork_program();
+        let cc = run(&p, ExploreConfig::explore_ce(IsolationLevel::CausalConsistency));
+        let star = run(
+            &p,
+            ExploreConfig::explore_ce_star(
+                IsolationLevel::CausalConsistency,
+                IsolationLevel::Serializability,
+            ),
+        );
+        // Same exploration, filtered outputs.
+        assert_eq!(star.end_states, cc.end_states);
+        assert!(star.outputs <= cc.outputs);
+        assert_eq!(star.duplicate_outputs, 0);
+        for h in &star.histories {
+            assert!(IsolationLevel::Serializability.satisfies(h));
+        }
+        // Each reader independently observes one of {init, writer} for x and
+        // y: 16 CC histories. Serializability forbids the two long-fork
+        // observations (the readers seeing the writes in opposite orders).
+        assert_eq!(cc.outputs, 16);
+        assert_eq!(star.outputs, 14);
+        assert!(star.outputs < cc.outputs);
+    }
+
+    #[test]
+    fn timeout_is_respected() {
+        let p = fig12_program();
+        let config = ExploreConfig::explore_ce(IsolationLevel::CausalConsistency)
+            .with_timeout(std::time::Duration::ZERO);
+        let report = explore(&p, config).unwrap();
+        assert!(report.timed_out);
+        assert_eq!(report.outputs, 0);
+    }
+
+    #[test]
+    fn assertion_violations_are_detected() {
+        // Lost-update program: two increments of x; under CC the final
+        // counter can miss an increment.
+        let incr = || {
+            tx(
+                "incr",
+                vec![read("a", g("x")), write(g("x"), add(local("a"), cint(1)))],
+            )
+        };
+        let p = program(vec![session(vec![incr()]), session(vec![incr()])]);
+        let assertion = |ctx: &AssertionCtx<'_>| {
+            // Serial executions end with some transaction writing 2.
+            ctx.committed_values_of("x")
+                .iter()
+                .any(|v| *v == txdpor_history::Value::Int(2))
+        };
+        let report = explore_with_assertion(
+            &p,
+            ExploreConfig::explore_ce(IsolationLevel::CausalConsistency),
+            Some(&assertion),
+        )
+        .unwrap();
+        assert!(report.assertion_violations > 0, "lost update not found under CC");
+        assert!(report.violating_history.is_some());
+        // Under serializability the assertion holds in every history.
+        let report = explore_with_assertion(
+            &p,
+            ExploreConfig::explore_ce_star(
+                IsolationLevel::CausalConsistency,
+                IsolationLevel::Serializability,
+            ),
+            Some(&assertion),
+        )
+        .unwrap();
+        assert_eq!(report.assertion_violations, 0);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ExploreError::Semantics(SemanticsError::MultiplePending);
+        assert!(e.to_string().contains("semantics error"));
+    }
+}

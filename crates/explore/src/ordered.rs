@@ -1,0 +1,214 @@
+//! Ordered histories: a history paired with a total order `<` on its events
+//! (the *history order* of §4).
+//!
+//! The exploration algorithm maintains the invariant that the order is
+//! consistent with `po`, `so` and `wr`, and that the events of every
+//! transaction form a contiguous block (the scheduler keeps at most one
+//! pending transaction at a time, and `Swap` moves whole transaction
+//! suffixes).
+
+use txdpor_history::{EventId, History, TxId};
+
+/// A history together with a total order on its events.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OrderedHistory {
+    /// The underlying history.
+    pub history: History,
+    /// Event identifiers in history order (`<`), oldest first.
+    pub order: Vec<EventId>,
+}
+
+impl OrderedHistory {
+    /// Creates an ordered history with no events beyond the implicit init
+    /// transaction.
+    pub fn new(history: History) -> Self {
+        debug_assert_eq!(history.num_events(), 0, "initial history must be empty");
+        OrderedHistory {
+            history,
+            order: Vec::new(),
+        }
+    }
+
+    /// Appends an event as the maximum of the history order.
+    pub fn push(&mut self, e: EventId) {
+        debug_assert!(!self.order.contains(&e), "event already ordered");
+        self.order.push(e);
+    }
+
+    /// Position of an event in the order.
+    pub fn pos(&self, e: EventId) -> Option<usize> {
+        self.order.iter().position(|x| *x == e)
+    }
+
+    /// The last (maximal) event of the order.
+    pub fn last(&self) -> Option<EventId> {
+        self.order.last().copied()
+    }
+
+    /// Whether event `a` is strictly before event `b`.
+    pub fn event_before(&self, a: EventId, b: EventId) -> bool {
+        match (self.pos(a), self.pos(b)) {
+            (Some(i), Some(j)) => i < j,
+            _ => false,
+        }
+    }
+
+    /// Position of the first event of a transaction, if it has any ordered
+    /// event. The init transaction has no ordered events.
+    pub fn tx_first_pos(&self, t: TxId) -> Option<usize> {
+        self.order
+            .iter()
+            .position(|e| self.history.tx_of_event(*e) == Some(t))
+    }
+
+    /// Position of the last event of a transaction.
+    pub fn tx_last_pos(&self, t: TxId) -> Option<usize> {
+        self.order
+            .iter()
+            .rposition(|e| self.history.tx_of_event(*e) == Some(t))
+    }
+
+    /// Whether the whole transaction `t` is ordered before event `e`
+    /// (`t < e` in the paper's notation). The init transaction is before
+    /// every event.
+    pub fn tx_before_event(&self, t: TxId, e: EventId) -> bool {
+        if t.is_init() {
+            return self.pos(e).is_some();
+        }
+        match (self.tx_last_pos(t), self.pos(e)) {
+            (Some(i), Some(j)) => i < j,
+            _ => false,
+        }
+    }
+
+    /// Whether event `e` is ordered before the whole transaction `t`
+    /// (`e < t`). False if `t` is the init transaction (which has no
+    /// ordered events and conceptually precedes everything).
+    pub fn event_before_tx(&self, e: EventId, t: TxId) -> bool {
+        match (self.pos(e), self.tx_first_pos(t)) {
+            (Some(i), Some(j)) => i < j,
+            _ => false,
+        }
+    }
+
+    /// A sort key for transactions by their position in the history order;
+    /// the init transaction sorts first.
+    pub fn tx_order_key(&self, t: TxId) -> i64 {
+        if t.is_init() {
+            return -1;
+        }
+        self.tx_last_pos(t).map(|p| p as i64).unwrap_or(-1)
+    }
+
+    /// Checks the structural invariants relating order and history; used in
+    /// debug assertions and tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.order.len() != self.history.num_events() {
+            return Err(format!(
+                "order has {} events but history has {}",
+                self.order.len(),
+                self.history.num_events()
+            ));
+        }
+        for e in &self.order {
+            if self.history.tx_of_event(*e).is_none() {
+                return Err(format!("ordered event {e} not in history"));
+            }
+        }
+        // Program order is respected.
+        for log in self.history.transactions() {
+            let mut last = None;
+            for ev in &log.events {
+                let p = self
+                    .pos(ev.id)
+                    .ok_or_else(|| format!("event {} missing from order", ev.id))?;
+                if let Some(prev) = last {
+                    if p <= prev {
+                        return Err(format!("po violated in order for {}", log.id));
+                    }
+                }
+                last = Some(p);
+            }
+        }
+        // Every read follows the transaction it reads from.
+        for (r, w) in self.history.wr() {
+            if !w.is_init() && !self.tx_before_event(*w, *r) {
+                return Err(format!("read {r} does not follow its writer {w}"));
+            }
+        }
+        // At most one pending transaction.
+        if self.history.num_pending() > 1 {
+            return Err("more than one pending transaction".to_owned());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txdpor_history::{Event, EventKind, SessionId, Value, Var};
+
+    fn sample() -> OrderedHistory {
+        let x = Var(0);
+        let mut h = History::new([]);
+        let mut oh = OrderedHistory::new(h.clone());
+        h.begin_transaction(
+            SessionId(0),
+            TxId(1),
+            0,
+            Event::new(EventId(1), EventKind::Begin),
+        );
+        h.append_event(
+            SessionId(0),
+            Event::new(EventId(2), EventKind::Write(x, Value::Int(1))),
+        );
+        h.append_event(SessionId(0), Event::new(EventId(3), EventKind::Commit));
+        h.begin_transaction(
+            SessionId(1),
+            TxId(2),
+            0,
+            Event::new(EventId(4), EventKind::Begin),
+        );
+        h.append_event(SessionId(1), Event::new(EventId(5), EventKind::Read(x)));
+        h.set_wr(EventId(5), TxId(1));
+        h.append_event(SessionId(1), Event::new(EventId(6), EventKind::Commit));
+        oh.history = h;
+        for i in 1..=6 {
+            oh.push(EventId(i));
+        }
+        oh
+    }
+
+    #[test]
+    fn positions_and_comparisons() {
+        let oh = sample();
+        assert_eq!(oh.pos(EventId(1)), Some(0));
+        assert_eq!(oh.pos(EventId(99)), None);
+        assert_eq!(oh.last(), Some(EventId(6)));
+        assert!(oh.event_before(EventId(2), EventId(5)));
+        assert!(!oh.event_before(EventId(5), EventId(2)));
+        assert_eq!(oh.tx_first_pos(TxId(2)), Some(3));
+        assert_eq!(oh.tx_last_pos(TxId(1)), Some(2));
+        assert!(oh.tx_before_event(TxId(1), EventId(5)));
+        assert!(oh.tx_before_event(TxId::INIT, EventId(1)));
+        assert!(oh.event_before_tx(EventId(3), TxId(2)));
+        assert!(!oh.event_before_tx(EventId(5), TxId(1)));
+        assert_eq!(oh.tx_order_key(TxId::INIT), -1);
+        assert!(oh.tx_order_key(TxId(1)) < oh.tx_order_key(TxId(2)));
+    }
+
+    #[test]
+    fn invariants_hold_on_sample() {
+        let oh = sample();
+        assert_eq!(oh.check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn invariant_violation_detected() {
+        let mut oh = sample();
+        // Drop an event from the order: mismatch with the history.
+        oh.order.pop();
+        assert!(oh.check_invariants().is_err());
+    }
+}

@@ -1,0 +1,288 @@
+//! Re-ordering of events in histories: `ComputeReorderings` and `Swap`
+//! (§5.2).
+//!
+//! After the current history is extended with a commit event, the
+//! exploration may branch on *re-ordered* histories in which an earlier
+//! read now reads from the freshly committed transaction. `Swap` removes
+//! every event that is ordered after the read and does not belong to the
+//! causal past of the committed transaction, producing a feasible history
+//! with exactly one pending transaction (the one holding the re-ordered
+//! read).
+
+use std::collections::BTreeSet;
+
+use txdpor_history::{EventId, EventKind, TxId};
+
+use crate::ordered::OrderedHistory;
+
+/// A candidate re-ordering: an external read `r` and the last committed
+/// transaction `t` it should be made to read from.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Reordering {
+    /// The read event whose `wr` dependency will be redirected.
+    pub read: EventId,
+    /// The transaction it will read from after the swap.
+    pub target: TxId,
+}
+
+/// `ComputeReorderings(h_<)` (§5.2): returns a non-empty set only when the
+/// last event of the history order is a commit. Each returned pair consists
+/// of an external read `r` of some earlier transaction and the
+/// just-committed transaction `t`, such that `t` writes `var(r)` and the
+/// transaction of `r` is not causally before `t`.
+pub fn compute_reorderings(h: &OrderedHistory) -> Vec<Reordering> {
+    let Some(last) = h.last() else {
+        return Vec::new();
+    };
+    let Some(last_event) = h.history.event(last) else {
+        return Vec::new();
+    };
+    if !last_event.kind.is_commit() {
+        return Vec::new();
+    }
+    let target = h
+        .history
+        .tx_of_event(last)
+        .expect("last event belongs to a transaction");
+    let mut out = Vec::new();
+    for log in h.history.transactions() {
+        if log.id == target {
+            continue;
+        }
+        for read in log.external_reads() {
+            let x = read.var().expect("read has a variable");
+            if !h.history.writes_var(target, x) || target.is_init() {
+                continue;
+            }
+            if h.history.causally_before_eq(log.id, target) {
+                continue;
+            }
+            if !h.tx_before_event(log.id, last) {
+                // tr(r) must precede t in the history order.
+                continue;
+            }
+            out.push(Reordering {
+                read: read.id,
+                target,
+            });
+        }
+    }
+    out
+}
+
+/// The set `D` of events deleted by `Swap(h, r, t)`: events strictly after
+/// `r` in the history order whose transaction is not in the causal past of
+/// `t` (including `t` itself).
+pub fn doomed_events(h: &OrderedHistory, read: EventId, target: TxId) -> BTreeSet<EventId> {
+    let r_pos = h.pos(read).expect("read is in the history order");
+    h.order
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i > r_pos)
+        .filter(|(_, e)| {
+            let tx = h.history.tx_of_event(**e).expect("ordered event has owner");
+            !h.history.causally_before_eq(tx, target)
+        })
+        .map(|(_, e)| *e)
+        .collect()
+}
+
+/// `Swap(h_<, r, t)` (§5.2): produces the ordered history in which `r`
+/// reads from `t`, all events after `r` outside the causal past of `t` are
+/// removed, and the (now pending) transaction of `r` is moved to the end of
+/// the history order.
+pub fn swap(h: &OrderedHistory, read: EventId, target: TxId) -> OrderedHistory {
+    let doomed = doomed_events(h, read, target);
+    let mut history = h.history.remove_events(&doomed);
+    // Redirect the wr dependency of the read to the target transaction.
+    history.set_wr(read, target);
+    let read_tx = history
+        .tx_of_event(read)
+        .expect("read survives the deletion");
+    // The order keeps surviving events except those of the read's
+    // transaction, then appends the read's transaction in program order.
+    let mut order: Vec<EventId> = h
+        .order
+        .iter()
+        .filter(|e| {
+            history.tx_of_event(**e).is_some_and(|t| t != read_tx)
+        })
+        .copied()
+        .collect();
+    order.extend(history.tx(read_tx).events.iter().map(|e| e.id));
+    OrderedHistory { history, order }
+}
+
+/// Checks whether the last event of a history is a commit and returns the
+/// committed transaction; convenience used by the explorer.
+pub fn last_committed_transaction(h: &OrderedHistory) -> Option<TxId> {
+    let last = h.last()?;
+    let ev = h.history.event(last)?;
+    if matches!(ev.kind, EventKind::Commit) {
+        h.history.tx_of_event(last)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txdpor_history::{Event, EventKind, History, SessionId, Value, Var};
+
+    /// Builds the situation of Fig. 10b: session 0 has a committed reader of
+    /// x and y (reading both from init), session 1 just committed a writer
+    /// of x and y.
+    fn fig10_history() -> OrderedHistory {
+        let (x, y) = (Var(0), Var(1));
+        let mut h = History::new([]);
+        let mut order = Vec::new();
+        let mut id = 0u32;
+        let mut fresh = || {
+            id += 1;
+            EventId(id)
+        };
+        // t1 (session 0): read x <- init; read y <- init; commit
+        let b = fresh();
+        h.begin_transaction(SessionId(0), TxId(1), 0, Event::new(b, EventKind::Begin));
+        order.push(b);
+        let r1 = fresh();
+        h.append_event(SessionId(0), Event::new(r1, EventKind::Read(x)));
+        h.set_wr(r1, TxId::INIT);
+        order.push(r1);
+        let r2 = fresh();
+        h.append_event(SessionId(0), Event::new(r2, EventKind::Read(y)));
+        h.set_wr(r2, TxId::INIT);
+        order.push(r2);
+        let c = fresh();
+        h.append_event(SessionId(0), Event::new(c, EventKind::Commit));
+        order.push(c);
+        // t2 (session 1): write x 2; write y 2; commit
+        let b = fresh();
+        h.begin_transaction(SessionId(1), TxId(2), 0, Event::new(b, EventKind::Begin));
+        order.push(b);
+        let w1 = fresh();
+        h.append_event(SessionId(1), Event::new(w1, EventKind::Write(x, Value::Int(2))));
+        order.push(w1);
+        let w2 = fresh();
+        h.append_event(SessionId(1), Event::new(w2, EventKind::Write(y, Value::Int(2))));
+        order.push(w2);
+        let c = fresh();
+        h.append_event(SessionId(1), Event::new(c, EventKind::Commit));
+        order.push(c);
+        OrderedHistory { history: h, order }
+    }
+
+    #[test]
+    fn reorderings_found_after_commit() {
+        let h = fig10_history();
+        let rs = compute_reorderings(&h);
+        // Both reads of t1 can be re-ordered with the writer t2.
+        assert_eq!(rs.len(), 2);
+        assert!(rs.iter().all(|r| r.target == TxId(2)));
+    }
+
+    #[test]
+    fn no_reordering_when_last_event_is_not_commit() {
+        let mut h = fig10_history();
+        // Truncate the last commit.
+        let last = h.order.pop().unwrap();
+        let doomed: BTreeSet<EventId> = [last].into_iter().collect();
+        h.history = h.history.remove_events(&doomed);
+        assert!(compute_reorderings(&h).is_empty());
+    }
+
+    #[test]
+    fn no_reordering_for_causal_dependents() {
+        // If the reader reads from the writer, they are causally related and
+        // cannot be swapped.
+        let x = Var(0);
+        let mut h = History::new([]);
+        let mut order = Vec::new();
+        let mut id = 0u32;
+        let mut fresh = || {
+            id += 1;
+            EventId(id)
+        };
+        let b = fresh();
+        h.begin_transaction(SessionId(0), TxId(1), 0, Event::new(b, EventKind::Begin));
+        order.push(b);
+        let w = fresh();
+        h.append_event(SessionId(0), Event::new(w, EventKind::Write(x, Value::Int(1))));
+        order.push(w);
+        let c = fresh();
+        h.append_event(SessionId(0), Event::new(c, EventKind::Commit));
+        order.push(c);
+        let b = fresh();
+        h.begin_transaction(SessionId(1), TxId(2), 0, Event::new(b, EventKind::Begin));
+        order.push(b);
+        let r = fresh();
+        h.append_event(SessionId(1), Event::new(r, EventKind::Read(x)));
+        h.set_wr(r, TxId(1));
+        order.push(r);
+        let w2 = fresh();
+        h.append_event(SessionId(1), Event::new(w2, EventKind::Write(x, Value::Int(2))));
+        order.push(w2);
+        let c = fresh();
+        h.append_event(SessionId(1), Event::new(c, EventKind::Commit));
+        order.push(c);
+        let oh = OrderedHistory { history: h, order };
+        // The read of t2 reads from t1; swapping t1's read... there is no
+        // read in t1, and t2's read is causally after t1 so no reordering
+        // with target t2 is possible for t1 (t1 has no reads anyway).
+        assert!(compute_reorderings(&oh).is_empty());
+    }
+
+    #[test]
+    fn swap_removes_non_causal_suffix_and_redirects_wr() {
+        let h = fig10_history();
+        let rs = compute_reorderings(&h);
+        let first_read = rs
+            .iter()
+            .find(|r| {
+                h.history
+                    .event(r.read)
+                    .and_then(|e| e.var())
+                    .map(|v| v == Var(0))
+                    .unwrap_or(false)
+            })
+            .copied()
+            .unwrap();
+        let swapped = swap(&h, first_read.read, first_read.target);
+        swapped.check_invariants().unwrap();
+        // The read's transaction is now pending, positioned last, and reads
+        // from t2; its second read (of y) and its commit were removed.
+        assert_eq!(swapped.history.num_pending(), 1);
+        assert_eq!(swapped.history.wr_of(first_read.read), Some(TxId(2)));
+        let t1 = swapped.history.tx(TxId(1));
+        assert_eq!(t1.events.len(), 2, "begin + read(x) remain");
+        assert!(t1.is_pending());
+        // t2 is fully retained.
+        assert_eq!(swapped.history.tx(TxId(2)).events.len(), 4);
+        // t1's events are at the end of the order.
+        let last_two: Vec<TxId> = swapped.order[swapped.order.len() - 2..]
+            .iter()
+            .map(|e| swapped.history.tx_of_event(*e).unwrap())
+            .collect();
+        assert_eq!(last_two, vec![TxId(1), TxId(1)]);
+    }
+
+    #[test]
+    fn doomed_set_is_strictly_after_the_read() {
+        let h = fig10_history();
+        let rs = compute_reorderings(&h);
+        let r = rs[0];
+        let doomed = doomed_events(&h, r.read, r.target);
+        assert!(!doomed.contains(&r.read));
+        let r_pos = h.pos(r.read).unwrap();
+        for e in &doomed {
+            assert!(h.pos(*e).unwrap() > r_pos);
+        }
+    }
+
+    #[test]
+    fn last_committed_transaction_helper() {
+        let h = fig10_history();
+        assert_eq!(last_committed_transaction(&h), Some(TxId(2)));
+    }
+}

@@ -1,0 +1,260 @@
+//! Cross-validation of the swapping-based exploration against the DFS
+//! baseline: soundness, completeness (same set of read-from equivalence
+//! classes), optimality (no duplicate outputs) and strong optimality (no
+//! blocked explorations) on a collection of litmus programs taken from the
+//! paper's figures and from classical isolation-level anomalies.
+
+use std::collections::BTreeSet;
+
+use txdpor_explore::{dfs_explore, explore, DfsConfig, ExploreConfig};
+use txdpor_history::{HistoryFingerprint, IsolationLevel};
+use txdpor_program::dsl::*;
+use txdpor_program::Program;
+
+/// The litmus programs used by the cross-validation tests.
+fn litmus_programs() -> Vec<(&'static str, Program)> {
+    let incr = || {
+        tx(
+            "incr",
+            vec![read("a", g("x")), write(g("x"), add(local("a"), cint(1)))],
+        )
+    };
+    vec![
+        (
+            "fig10-reader-writer",
+            program(vec![
+                session(vec![tx(
+                    "reader",
+                    vec![read("a", g("x")), read("b", g("y"))],
+                )]),
+                session(vec![tx(
+                    "writer",
+                    vec![write(g("x"), cint(2)), write(g("y"), cint(2))],
+                )]),
+            ]),
+        ),
+        (
+            "fig12-two-readers-two-writers",
+            program(vec![
+                session(vec![tx("w2", vec![write(g("x"), cint(2))])]),
+                session(vec![tx("r1", vec![read("a", g("x"))])]),
+                session(vec![tx("r2", vec![read("b", g("x"))])]),
+                session(vec![tx("w4", vec![write(g("x"), cint(4))])]),
+            ]),
+        ),
+        (
+            "fig13-independent-reads-writes",
+            program(vec![
+                session(vec![tx("rx", vec![read("a", g("x"))])]),
+                session(vec![tx("ry", vec![read("b", g("y"))])]),
+                session(vec![tx("wy", vec![write(g("y"), cint(3))])]),
+                session(vec![tx("wx", vec![write(g("x"), cint(4))])]),
+            ]),
+        ),
+        (
+            "fig11-abort-guard",
+            program(vec![
+                session(vec![
+                    tx(
+                        "guarded",
+                        vec![
+                            read("a", g("x")),
+                            iff(eq(local("a"), cint(0)), vec![abort()]),
+                            write(g("y"), cint(1)),
+                        ],
+                    ),
+                    tx("reader", vec![read("b", g("x"))]),
+                ]),
+                session(vec![
+                    tx("wy", vec![write(g("y"), cint(3))]),
+                    tx("wx", vec![write(g("x"), cint(4))]),
+                ]),
+            ]),
+        ),
+        (
+            "lost-update",
+            program(vec![session(vec![incr()]), session(vec![incr()])]),
+        ),
+        (
+            "long-fork",
+            program(vec![
+                session(vec![tx("wx", vec![write(g("x"), cint(1))])]),
+                session(vec![tx("wy", vec![write(g("y"), cint(1))])]),
+                session(vec![tx("r1", vec![read("a", g("x")), read("b", g("y"))])]),
+                session(vec![tx("r2", vec![read("c", g("y")), read("d", g("x"))])]),
+            ]),
+        ),
+        (
+            "write-skew",
+            program(vec![
+                session(vec![tx(
+                    "t1",
+                    vec![read("a", g("x")), write(g("y"), cint(1))],
+                )]),
+                session(vec![tx(
+                    "t2",
+                    vec![read("b", g("y")), write(g("x"), cint(1))],
+                )]),
+            ]),
+        ),
+        (
+            "two-sessions-two-transactions",
+            program(vec![
+                session(vec![
+                    tx("a1", vec![write(g("x"), cint(1)), read("a", g("y"))]),
+                    tx("a2", vec![read("b", g("x")), write(g("y"), cint(2))]),
+                ]),
+                session(vec![
+                    tx("b1", vec![read("c", g("x")), write(g("y"), cint(3))]),
+                    tx("b2", vec![read("d", g("y")), write(g("x"), cint(4))]),
+                ]),
+            ]),
+        ),
+        (
+            "conditional-on-read",
+            program(vec![
+                session(vec![tx(
+                    "cond",
+                    vec![
+                        read("a", g("x")),
+                        if_else(
+                            eq(local("a"), cint(0)),
+                            vec![write(g("y"), cint(1))],
+                            vec![write(g("z"), cint(1))],
+                        ),
+                    ],
+                )]),
+                session(vec![tx(
+                    "mix",
+                    vec![write(g("x"), cint(5)), read("b", g("y")), read("c", g("z"))],
+                )]),
+            ]),
+        ),
+        (
+            "internal-reads",
+            program(vec![
+                session(vec![tx(
+                    "rmw",
+                    vec![
+                        write(g("x"), cint(7)),
+                        read("a", g("x")),
+                        write(g("y"), local("a")),
+                    ],
+                )]),
+                session(vec![tx(
+                    "obs",
+                    vec![read("b", g("y")), read("c", g("x"))],
+                )]),
+            ]),
+        ),
+    ]
+}
+
+fn fingerprints_explore(
+    p: &Program,
+    base: IsolationLevel,
+    target: IsolationLevel,
+) -> (BTreeSet<HistoryFingerprint>, u64, u64) {
+    let config = if base == target {
+        ExploreConfig::explore_ce(base)
+    } else {
+        ExploreConfig::explore_ce_star(base, target)
+    };
+    let report = explore(p, config.collecting_histories().tracking_duplicates()).unwrap();
+    let set: BTreeSet<_> = report.histories.iter().map(|h| h.fingerprint()).collect();
+    assert_eq!(
+        set.len() as u64,
+        report.outputs - report.duplicate_outputs,
+        "fingerprint set size must match distinct outputs"
+    );
+    (set, report.duplicate_outputs, report.blocked)
+}
+
+fn fingerprints_dfs(p: &Program, level: IsolationLevel) -> BTreeSet<HistoryFingerprint> {
+    let report = dfs_explore(p, DfsConfig::new(level).collecting_histories()).unwrap();
+    report.histories.iter().map(|h| h.fingerprint()).collect()
+}
+
+#[test]
+fn explore_ce_is_sound_complete_and_optimal_for_weak_levels() {
+    for (name, p) in litmus_programs() {
+        for level in [
+            IsolationLevel::ReadCommitted,
+            IsolationLevel::ReadAtomic,
+            IsolationLevel::CausalConsistency,
+        ] {
+            let (mine, duplicates, blocked) = fingerprints_explore(&p, level, level);
+            let reference = fingerprints_dfs(&p, level);
+            assert_eq!(
+                mine, reference,
+                "history sets differ for {name} under {level}"
+            );
+            assert_eq!(duplicates, 0, "{name} under {level}: optimality violated");
+            assert_eq!(blocked, 0, "{name} under {level}: strong optimality violated");
+        }
+    }
+}
+
+#[test]
+fn explore_ce_star_is_sound_complete_and_optimal_for_strong_levels() {
+    for (name, p) in litmus_programs() {
+        for target in [
+            IsolationLevel::SnapshotIsolation,
+            IsolationLevel::Serializability,
+        ] {
+            let (mine, duplicates, _blocked) =
+                fingerprints_explore(&p, IsolationLevel::CausalConsistency, target);
+            let reference = fingerprints_dfs(&p, target);
+            assert_eq!(
+                mine, reference,
+                "history sets differ for {name} under {target}"
+            );
+            assert_eq!(duplicates, 0, "{name} under {target}: optimality violated");
+        }
+    }
+}
+
+#[test]
+fn ablation_without_optimality_is_still_sound_and_complete() {
+    for (name, p) in litmus_programs().into_iter().take(6) {
+        let level = IsolationLevel::CausalConsistency;
+        let full = explore(
+            &p,
+            ExploreConfig::explore_ce(level)
+                .collecting_histories()
+                .tracking_duplicates(),
+        )
+        .unwrap();
+        let ablated = explore(
+            &p,
+            ExploreConfig::explore_ce(level)
+                .without_optimality()
+                .collecting_histories()
+                .tracking_duplicates(),
+        )
+        .unwrap();
+        let a: BTreeSet<_> = full.histories.iter().map(|h| h.fingerprint()).collect();
+        let b: BTreeSet<_> = ablated.histories.iter().map(|h| h.fingerprint()).collect();
+        assert_eq!(a, b, "{name}: ablation changed the set of histories");
+        assert!(
+            ablated.explore_calls >= full.explore_calls,
+            "{name}: the ablation cannot explore fewer histories"
+        );
+    }
+}
+
+#[test]
+fn weaker_levels_enumerate_more_histories() {
+    for (name, p) in litmus_programs() {
+        let rc = fingerprints_dfs(&p, IsolationLevel::ReadCommitted);
+        let ra = fingerprints_dfs(&p, IsolationLevel::ReadAtomic);
+        let cc = fingerprints_dfs(&p, IsolationLevel::CausalConsistency);
+        let si = fingerprints_dfs(&p, IsolationLevel::SnapshotIsolation);
+        let ser = fingerprints_dfs(&p, IsolationLevel::Serializability);
+        assert!(ser.is_subset(&si), "{name}: SER ⊄ SI");
+        assert!(si.is_subset(&cc), "{name}: SI ⊄ CC");
+        assert!(cc.is_subset(&ra), "{name}: CC ⊄ RA");
+        assert!(ra.is_subset(&rc), "{name}: RA ⊄ RC");
+        assert!(!ser.is_empty(), "{name}: no serializable execution");
+    }
+}

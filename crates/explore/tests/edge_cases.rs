@@ -1,0 +1,225 @@
+//! Edge-case integration tests for the exploration algorithms: aborted
+//! transactions, internal reads, programs where some session never touches
+//! the database, guards over set values, and degenerate programs.
+
+use txdpor_explore::{dfs_explore, explore, DfsConfig, ExploreConfig};
+use txdpor_history::{IsolationLevel, Value};
+use txdpor_program::dsl::*;
+use txdpor_program::Program;
+
+fn cc() -> ExploreConfig {
+    ExploreConfig::explore_ce(IsolationLevel::CausalConsistency)
+        .collecting_histories()
+        .tracking_duplicates()
+}
+
+#[test]
+fn empty_program_has_one_empty_history() {
+    let p = program(vec![]);
+    let report = explore(&p, cc()).unwrap();
+    assert_eq!(report.outputs, 1);
+    assert_eq!(report.end_states, 1);
+    assert_eq!(report.histories[0].num_transactions(), 0);
+    let dfs = dfs_explore(&p, DfsConfig::new(IsolationLevel::CausalConsistency)).unwrap();
+    assert_eq!(dfs.outputs, 1);
+}
+
+#[test]
+fn purely_local_transactions_have_a_single_history() {
+    let p = program(vec![
+        session(vec![tx("a", vec![assign("l", cint(1)), assign("m", add(local("l"), cint(2)))])]),
+        session(vec![tx("b", vec![assign("n", cint(3))])]),
+    ]);
+    let report = explore(&p, cc()).unwrap();
+    assert_eq!(report.outputs, 1);
+    assert_eq!(report.duplicate_outputs, 0);
+}
+
+#[test]
+fn aborted_writer_is_never_read_from() {
+    // The first transaction writes x then aborts; the reader can only see
+    // the initial value.
+    let p = program(vec![
+        session(vec![tx("abort_writer", vec![write(g("x"), cint(5)), abort()])]),
+        session(vec![tx("reader", vec![read("a", g("x"))])]),
+    ]);
+    let report = explore(&p, cc()).unwrap();
+    assert_eq!(report.outputs, 1, "aborted writes must be invisible");
+    for h in &report.histories {
+        let x = report.vars.get("x").unwrap();
+        assert_eq!(h.wr().len(), 1);
+        for (_, writer) in h.wr() {
+            assert!(writer.is_init());
+        }
+        assert_eq!(h.writers_of(x).len(), 1, "only init writes x visibly");
+    }
+}
+
+#[test]
+fn abort_after_commit_boundary_is_respected() {
+    // A session whose first transaction aborts still runs its second one.
+    let p = program(vec![
+        session(vec![
+            tx("aborts", vec![read("a", g("x")), abort()]),
+            tx("writes", vec![write(g("x"), cint(1))]),
+        ]),
+        session(vec![tx("reader", vec![read("b", g("x"))])]),
+    ]);
+    let report = explore(&p, cc()).unwrap();
+    // Reader sees init or the second transaction's write.
+    assert_eq!(report.outputs, 2);
+    assert_eq!(report.duplicate_outputs, 0);
+    assert_eq!(report.blocked, 0);
+}
+
+#[test]
+fn internal_reads_never_branch() {
+    // Only one external read exists (the observer); the read-modify-write
+    // transaction reads its own write internally.
+    let p = program(vec![
+        session(vec![tx(
+            "rmw",
+            vec![
+                write(g("x"), cint(7)),
+                read("a", g("x")),
+                write(g("x"), add(local("a"), cint(1))),
+            ],
+        )]),
+        session(vec![tx("obs", vec![read("b", g("x"))])]),
+    ]);
+    let report = explore(&p, cc()).unwrap();
+    assert_eq!(report.outputs, 2, "observer reads init or the rmw result");
+    for h in &report.histories {
+        let x = report.vars.get("x").unwrap();
+        let rmw = h
+            .transactions()
+            .find(|t| t.write_events().count() == 2)
+            .unwrap();
+        assert_eq!(rmw.visible_write_value(x), Some(&Value::Int(8)));
+    }
+}
+
+#[test]
+fn set_valued_guards_explore_both_branches() {
+    let mut p = program(vec![
+        session(vec![tx(
+            "add",
+            vec![
+                read("s", g("items")),
+                write(g("items"), set_insert(local("s"), cint(1))),
+            ],
+        )]),
+        session(vec![tx(
+            "remove_if_present",
+            vec![
+                read("s", g("items")),
+                iff(
+                    set_contains(local("s"), cint(1)),
+                    vec![write(g("items"), set_remove(local("s"), cint(1)))],
+                ),
+            ],
+        )]),
+    ]);
+    p.init_values.push(("items".to_owned(), Value::empty_set()));
+    let report = explore(&p, cc()).unwrap();
+    // The remover either sees the empty set (no write) or the singleton
+    // (writes the empty set back): two histories.
+    assert_eq!(report.outputs, 2);
+    let wrote: Vec<usize> = report
+        .histories
+        .iter()
+        .map(|h| {
+            h.transactions()
+                .filter(|t| t.program_index == 0 && t.write_events().count() > 0)
+                .count()
+        })
+        .collect();
+    assert!(wrote.contains(&2), "some history has both writers writing");
+}
+
+#[test]
+fn single_session_programs_have_exactly_one_history_under_ra_and_cc() {
+    // Without concurrency, Read Atomic and Causal Consistency force every
+    // read to observe the session's own past, so the behaviour is unique.
+    // Read Committed is weaker: its axiom only constrains reads preceded by
+    // another read of the same transaction, so later transactions of the
+    // same session may still observe the initial value.
+    let p: Program = program(vec![session(vec![
+        tx("t1", vec![write(g("x"), cint(1)), read("a", g("x"))]),
+        tx("t2", vec![read("b", g("x")), write(g("y"), local("b"))]),
+        tx("t3", vec![read("c", g("y"))]),
+    ])]);
+    for level in [
+        IsolationLevel::ReadAtomic,
+        IsolationLevel::CausalConsistency,
+    ] {
+        let report = explore(&p, ExploreConfig::explore_ce(level)).unwrap();
+        assert_eq!(report.outputs, 1, "unexpected nondeterminism under {level}");
+    }
+    let rc = explore(&p, ExploreConfig::explore_ce(IsolationLevel::ReadCommitted)).unwrap();
+    assert_eq!(rc.outputs, 4, "RC allows each session read to observe init");
+}
+
+#[test]
+fn many_blind_writers_scale_linearly_in_histories() {
+    // n blind writers of distinct variables and no readers: exactly one
+    // history regardless of n, and no swaps are ever attempted.
+    for n in 1..=5u32 {
+        let sessions = (0..n)
+            .map(|i| session(vec![tx("w", vec![write(g(format!("x{i}")), cint(1))])]))
+            .collect();
+        let report = explore(&program(sessions), cc()).unwrap();
+        assert_eq!(report.outputs, 1);
+        assert_eq!(report.duplicate_outputs, 0);
+    }
+}
+
+#[test]
+fn conflicting_blind_writers_still_yield_one_history() {
+    // Blind writes to the same variable are unordered by the read-from
+    // equivalence (no reads observe them): a single history.
+    let sessions = (0..3)
+        .map(|_| session(vec![tx("w", vec![write(g("x"), cint(1))])]))
+        .collect();
+    let report = explore(&program(sessions), cc()).unwrap();
+    assert_eq!(report.outputs, 1);
+    let dfs = dfs_explore(
+        &program(
+            (0..3)
+                .map(|_| session(vec![tx("w", vec![write(g("x"), cint(1))])]))
+                .collect(),
+        ),
+        DfsConfig::new(IsolationLevel::CausalConsistency),
+    )
+    .unwrap();
+    assert_eq!(dfs.outputs, 1);
+    assert_eq!(dfs.end_states, 6, "3! interleavings of the writers");
+}
+
+#[test]
+fn deep_nested_guards_follow_read_values() {
+    let p = program(vec![
+        session(vec![tx(
+            "nested",
+            vec![
+                read("a", g("x")),
+                if_else(
+                    eq(local("a"), cint(0)),
+                    vec![
+                        read("b", g("y")),
+                        iff(eq(local("b"), cint(0)), vec![write(g("z"), cint(1))]),
+                    ],
+                    vec![write(g("z"), cint(2))],
+                ),
+            ],
+        )]),
+        session(vec![tx("wx", vec![write(g("x"), cint(1))])]),
+        session(vec![tx("wy", vec![write(g("y"), cint(1))])]),
+    ]);
+    let report = explore(&p, cc()).unwrap();
+    // x ∈ {init, wx}; if x = init then y ∈ {init, wy}: 3 control paths, all
+    // distinct histories (the shape of the nested transaction differs).
+    assert_eq!(report.outputs, 3);
+    assert_eq!(report.duplicate_outputs, 0);
+    assert_eq!(report.blocked, 0);
+}

@@ -1,0 +1,169 @@
+//! Efficient consistency checking of histories against isolation levels,
+//! following the algorithms of Biswas & Enea (OOPSLA 2019) that the paper's
+//! implementation relies on (§7.1).
+//!
+//! * Read Committed, Read Atomic and Causal Consistency are checked in
+//!   polynomial time by saturating the commit-order constraints forced by
+//!   the axioms (whose premises do not mention `co`) and testing acyclicity
+//!   ([`weak`]).
+//! * Serializability is checked by a memoised search over commit prefixes,
+//!   polynomial for a fixed number of sessions ([`ser`]).
+//! * Snapshot Isolation uses the classical start/commit interval
+//!   characterisation, equivalent to the Prefix ∧ Conflict axioms
+//!   ([`si`]).
+//!
+//! The slow axiom-level oracle in [`crate::axioms`] cross-validates all of
+//! these in the test suite.
+
+pub mod ser;
+pub mod si;
+pub mod weak;
+
+use crate::history::History;
+use crate::isolation::IsolationLevel;
+
+/// Whether the history satisfies the isolation level (Definition 2.2).
+pub fn satisfies(h: &History, level: IsolationLevel) -> bool {
+    match level {
+        IsolationLevel::Trivial => true,
+        IsolationLevel::ReadCommitted
+        | IsolationLevel::ReadAtomic
+        | IsolationLevel::CausalConsistency => weak::satisfies_weak(h, level),
+        IsolationLevel::Serializability => ser::satisfies_ser(h),
+        IsolationLevel::SnapshotIsolation => si::satisfies_si(h),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axioms::oracle_satisfies;
+    use crate::event::{Event, EventId, EventKind};
+    use crate::transaction::{SessionId, TxId};
+    use crate::value::{Value, Var};
+
+    /// A tiny deterministic pseudo-random generator (xorshift), so the
+    /// cross-validation test does not need external crates here.
+    struct XorShift(u64);
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    /// Generates a small random history: `n_sessions` sessions, up to
+    /// `max_tx` transactions each, over `n_vars` variables. Reads pick an
+    /// arbitrary committed-so-far writer of the variable (or init), so the
+    /// result is always a well-formed history though not necessarily
+    /// consistent with any particular level.
+    fn random_history(seed: u64, n_sessions: u32, max_tx: u32, n_vars: u32) -> History {
+        let mut rng = XorShift(seed.wrapping_mul(2654435761).wrapping_add(1));
+        let mut h = History::new([]);
+        let mut next_event = 0u32;
+        let mut next_tx = 0u32;
+        let mut committed_writers: Vec<(Var, TxId)> = Vec::new();
+        let fresh = |next_event: &mut u32| {
+            *next_event += 1;
+            EventId(*next_event)
+        };
+        for s in 0..n_sessions {
+            let n_tx = 1 + rng.below(max_tx as u64) as u32;
+            for idx in 0..n_tx {
+                next_tx += 1;
+                let tx = TxId(next_tx);
+                h.begin_transaction(
+                    SessionId(s),
+                    tx,
+                    idx as usize,
+                    Event::new(fresh(&mut next_event), EventKind::Begin),
+                );
+                let n_ops = 1 + rng.below(3);
+                let mut wrote: Vec<Var> = Vec::new();
+                for _ in 0..n_ops {
+                    let x = Var(rng.below(n_vars as u64) as u32);
+                    if rng.below(2) == 0 {
+                        // write
+                        let v = rng.below(5) as i64;
+                        h.append_event(
+                            SessionId(s),
+                            Event::new(fresh(&mut next_event), EventKind::Write(x, Value::Int(v))),
+                        );
+                        wrote.push(x);
+                    } else {
+                        // read; external only if not written before in this tx
+                        let e = Event::new(fresh(&mut next_event), EventKind::Read(x));
+                        let id = e.id;
+                        h.append_event(SessionId(s), e);
+                        if !wrote.contains(&x) {
+                            let candidates: Vec<TxId> = std::iter::once(TxId::INIT)
+                                .chain(
+                                    committed_writers
+                                        .iter()
+                                        .filter(|(y, _)| *y == x)
+                                        .map(|(_, t)| *t),
+                                )
+                                .collect();
+                            let pick = candidates[rng.below(candidates.len() as u64) as usize];
+                            h.set_wr(id, pick);
+                        }
+                    }
+                }
+                h.append_event(
+                    SessionId(s),
+                    Event::new(fresh(&mut next_event), EventKind::Commit),
+                );
+                for x in wrote {
+                    committed_writers.push((x, tx));
+                }
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn specialised_checkers_agree_with_oracle_on_random_histories() {
+        let levels = [
+            IsolationLevel::ReadCommitted,
+            IsolationLevel::ReadAtomic,
+            IsolationLevel::CausalConsistency,
+            IsolationLevel::SnapshotIsolation,
+            IsolationLevel::Serializability,
+        ];
+        for seed in 0..400u64 {
+            let h = random_history(seed, 3, 2, 2);
+            for level in levels {
+                let fast = satisfies(&h, level);
+                let slow = oracle_satisfies(&h, level);
+                assert_eq!(
+                    fast, slow,
+                    "checker mismatch for {level} on seed {seed}:\n{h}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stronger_levels_accept_fewer_histories() {
+        // SER ⊆ SI ⊆ CC ⊆ RA ⊆ RC on random histories.
+        for seed in 400..600u64 {
+            let h = random_history(seed, 3, 2, 2);
+            let rc = satisfies(&h, IsolationLevel::ReadCommitted);
+            let ra = satisfies(&h, IsolationLevel::ReadAtomic);
+            let cc = satisfies(&h, IsolationLevel::CausalConsistency);
+            let si = satisfies(&h, IsolationLevel::SnapshotIsolation);
+            let ser = satisfies(&h, IsolationLevel::Serializability);
+            assert!(!ser || si, "SER must imply SI (seed {seed})");
+            assert!(!si || cc, "SI must imply CC (seed {seed})");
+            assert!(!cc || ra, "CC must imply RA (seed {seed})");
+            assert!(!ra || rc, "RA must imply RC (seed {seed})");
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Events: the atomic interactions between a program and the database.
+//!
+//! Executing a database instruction is represented by an event `⟨e, type⟩`
+//! where `e` is an identifier and `type` is one of `begin`, `commit`,
+//! `abort`, `read(x)` or `write(x, v)` (§2.2.1).
+
+use std::fmt;
+
+use crate::value::{Value, Var};
+
+/// A globally unique event identifier, allocated by the exploration engine.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub u32);
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// The five kinds of events of the paper's history model.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventKind {
+    /// Start of a transaction; minimal element of the transaction's program order.
+    Begin,
+    /// Successful end of a transaction; maximal element of its program order.
+    Commit,
+    /// Unsuccessful end of a transaction (executed `abort` instruction).
+    Abort,
+    /// Read of a global variable. The returned value is *not* stored in the
+    /// event; it is determined by the write-read relation of the history.
+    Read(Var),
+    /// Write of a value to a global variable.
+    Write(Var, Value),
+}
+
+impl EventKind {
+    /// The global variable accessed by a read or write event.
+    pub fn var(&self) -> Option<Var> {
+        match self {
+            EventKind::Read(x) => Some(*x),
+            EventKind::Write(x, _) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a `read(x)` event.
+    pub fn is_read(&self) -> bool {
+        matches!(self, EventKind::Read(_))
+    }
+
+    /// Whether this is a `write(x, v)` event.
+    pub fn is_write(&self) -> bool {
+        matches!(self, EventKind::Write(_, _))
+    }
+
+    /// Whether this is a `commit` event.
+    pub fn is_commit(&self) -> bool {
+        matches!(self, EventKind::Commit)
+    }
+
+    /// Whether this is an `abort` event.
+    pub fn is_abort(&self) -> bool {
+        matches!(self, EventKind::Abort)
+    }
+
+    /// Whether this is a `begin` event.
+    pub fn is_begin(&self) -> bool {
+        matches!(self, EventKind::Begin)
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventKind::Begin => write!(f, "begin"),
+            EventKind::Commit => write!(f, "commit"),
+            EventKind::Abort => write!(f, "abort"),
+            EventKind::Read(x) => write!(f, "read({x})"),
+            EventKind::Write(x, v) => write!(f, "write({x},{v})"),
+        }
+    }
+}
+
+/// An event: an identifier paired with its kind.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Event {
+    /// Unique identifier of the event.
+    pub id: EventId,
+    /// Kind of database interaction the event represents.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Creates a new event.
+    pub fn new(id: EventId, kind: EventKind) -> Self {
+        Event { id, kind }
+    }
+
+    /// The variable accessed by the event, if it is a read or write.
+    pub fn var(&self) -> Option<Var> {
+        self.kind.var()
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.id, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_kind_accessors() {
+        let r = EventKind::Read(Var(1));
+        let w = EventKind::Write(Var(2), Value::Int(9));
+        assert!(r.is_read() && !r.is_write());
+        assert!(w.is_write() && !w.is_read());
+        assert_eq!(r.var(), Some(Var(1)));
+        assert_eq!(w.var(), Some(Var(2)));
+        assert_eq!(EventKind::Begin.var(), None);
+        assert!(EventKind::Commit.is_commit());
+        assert!(EventKind::Abort.is_abort());
+        assert!(EventKind::Begin.is_begin());
+    }
+
+    #[test]
+    fn event_display() {
+        let e = Event::new(EventId(3), EventKind::Write(Var(0), Value::Int(1)));
+        assert_eq!(e.to_string(), "e3:write(x0,1)");
+        let e = Event::new(EventId(4), EventKind::Read(Var(1)));
+        assert_eq!(e.to_string(), "e4:read(x1)");
+        assert_eq!(Event::new(EventId(0), EventKind::Begin).to_string(), "e0:begin");
+    }
+
+    #[test]
+    fn event_ids_order() {
+        assert!(EventId(1) < EventId(2));
+        assert_eq!(EventId(5).to_string(), "e5");
+    }
+}

@@ -1,0 +1,859 @@
+//! Histories: the abstract representation of an execution's interaction
+//! with the database (Definition 2.1).
+//!
+//! A history is a set of transaction logs together with a session order
+//! `so` and a write-read (read-from) relation `wr` that associates every
+//! external read with the transaction it reads from. The distinguished
+//! initial transaction [`TxId::INIT`] writes the initial value of every
+//! global variable and precedes all other transactions in `so`; it is kept
+//! implicit (no explicit transaction log) which matches the paper's
+//! treatment of `init` in figures.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+use crate::event::{Event, EventId, EventKind};
+use crate::transaction::{SessionId, TransactionLog, TxId};
+use crate::value::{Value, Var, VarTable};
+
+/// A history `⟨T, so, wr⟩` (Definition 2.1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct History {
+    /// Initial values of global variables, written by the implicit `init`
+    /// transaction. Variables absent from the map have value `Value::Int(0)`.
+    init_values: BTreeMap<Var, Value>,
+    /// Transaction logs, excluding the implicit initial transaction.
+    transactions: BTreeMap<TxId, TransactionLog>,
+    /// Session order: for each session, the sequence of its transactions.
+    sessions: BTreeMap<SessionId, Vec<TxId>>,
+    /// Write-read relation: external read event ↦ transaction it reads from.
+    wr: BTreeMap<EventId, TxId>,
+    /// Reverse index: event ↦ owning transaction (excludes `init`).
+    event_owner: BTreeMap<EventId, TxId>,
+}
+
+impl History {
+    /// Creates an empty history whose initial transaction writes the given
+    /// initial values. Variables not listed default to `0`.
+    pub fn new<I: IntoIterator<Item = (Var, Value)>>(init_values: I) -> Self {
+        History {
+            init_values: init_values.into_iter().collect(),
+            transactions: BTreeMap::new(),
+            sessions: BTreeMap::new(),
+            wr: BTreeMap::new(),
+            event_owner: BTreeMap::new(),
+        }
+    }
+
+    /// The initial value of a global variable (default `0`).
+    pub fn init_value(&self, x: Var) -> Value {
+        self.init_values.get(&x).cloned().unwrap_or_default()
+    }
+
+    /// Sets the initial value written by the `init` transaction for `x`.
+    pub fn set_init_value(&mut self, x: Var, v: Value) {
+        self.init_values.insert(x, v);
+    }
+
+    /// All initial values explicitly recorded.
+    pub fn init_values(&self) -> &BTreeMap<Var, Value> {
+        &self.init_values
+    }
+
+    // ------------------------------------------------------------------
+    // Structure: transactions, sessions, events
+    // ------------------------------------------------------------------
+
+    /// Identifiers of all non-initial transactions.
+    pub fn tx_ids(&self) -> impl Iterator<Item = TxId> + '_ {
+        self.transactions.keys().copied()
+    }
+
+    /// All non-initial transaction logs.
+    pub fn transactions(&self) -> impl Iterator<Item = &TransactionLog> {
+        self.transactions.values()
+    }
+
+    /// Number of non-initial transactions.
+    pub fn num_transactions(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Total number of events (excluding the implicit init writes).
+    pub fn num_events(&self) -> usize {
+        self.event_owner.len()
+    }
+
+    /// The transaction log with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is [`TxId::INIT`] or unknown.
+    pub fn tx(&self, id: TxId) -> &TransactionLog {
+        self.transactions
+            .get(&id)
+            .unwrap_or_else(|| panic!("unknown transaction {id}"))
+    }
+
+    /// The transaction log with the given id, if it exists (never for init).
+    pub fn get_tx(&self, id: TxId) -> Option<&TransactionLog> {
+        self.transactions.get(&id)
+    }
+
+    /// Whether the history contains the given transaction (init always counts).
+    pub fn contains_tx(&self, id: TxId) -> bool {
+        id.is_init() || self.transactions.contains_key(&id)
+    }
+
+    /// Session order as stored: for each session, its transaction sequence.
+    pub fn sessions(&self) -> &BTreeMap<SessionId, Vec<TxId>> {
+        &self.sessions
+    }
+
+    /// Transactions of a session in session order.
+    pub fn session_txs(&self, s: SessionId) -> &[TxId] {
+        self.sessions.get(&s).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The last transaction of a session, if the session started any.
+    pub fn last_tx_of_session(&self, s: SessionId) -> Option<TxId> {
+        self.sessions.get(&s).and_then(|v| v.last().copied())
+    }
+
+    /// Owning transaction of an event.
+    pub fn tx_of_event(&self, e: EventId) -> Option<TxId> {
+        self.event_owner.get(&e).copied()
+    }
+
+    /// The event with the given identifier.
+    pub fn event(&self, e: EventId) -> Option<&Event> {
+        let tx = self.tx_of_event(e)?;
+        self.tx(tx).event(e)
+    }
+
+    /// Iterates over all events of the history with their owning transaction.
+    pub fn events(&self) -> impl Iterator<Item = (TxId, &Event)> {
+        self.transactions
+            .values()
+            .flat_map(|t| t.events.iter().map(move |e| (t.id, e)))
+    }
+
+    /// Pending (incomplete) transactions.
+    pub fn pending_txs(&self) -> Vec<TxId> {
+        self.transactions
+            .values()
+            .filter(|t| t.is_pending())
+            .map(|t| t.id)
+            .collect()
+    }
+
+    /// Number of pending transactions.
+    pub fn num_pending(&self) -> usize {
+        self.transactions.values().filter(|t| t.is_pending()).count()
+    }
+
+    /// Committed transactions, *excluding* the implicit init transaction.
+    pub fn committed_txs(&self) -> Vec<TxId> {
+        self.transactions
+            .values()
+            .filter(|t| t.is_committed())
+            .map(|t| t.id)
+            .collect()
+    }
+
+    /// Whether a transaction is committed. The init transaction is committed.
+    pub fn is_committed(&self, t: TxId) -> bool {
+        t.is_init() || self.get_tx(t).is_some_and(|t| t.is_committed())
+    }
+
+    /// Whether a transaction is complete (committed or aborted).
+    pub fn is_complete_tx(&self, t: TxId) -> bool {
+        t.is_init() || self.get_tx(t).is_some_and(|t| t.is_complete())
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation
+    // ------------------------------------------------------------------
+
+    /// Starts a new transaction in session `s` with the given begin event,
+    /// appending it to the session order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already used, is the init id, or the event is not a
+    /// begin event.
+    pub fn begin_transaction(
+        &mut self,
+        s: SessionId,
+        id: TxId,
+        program_index: usize,
+        begin: Event,
+    ) {
+        assert!(!id.is_init(), "cannot begin the init transaction");
+        assert!(
+            !self.transactions.contains_key(&id),
+            "transaction {id} already exists"
+        );
+        assert!(begin.kind.is_begin(), "first event must be begin");
+        let mut log = TransactionLog::new(id, s, program_index);
+        self.event_owner.insert(begin.id, id);
+        log.push(begin);
+        self.transactions.insert(id, log);
+        self.sessions.entry(s).or_default().push(id);
+    }
+
+    /// Appends an event to the last (pending) transaction of session `s`
+    /// and returns the owning transaction id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session has no pending last transaction.
+    pub fn append_event(&mut self, s: SessionId, event: Event) -> TxId {
+        let tx = self
+            .last_tx_of_session(s)
+            .unwrap_or_else(|| panic!("session {s} has no transaction"));
+        let log = self.transactions.get_mut(&tx).expect("tx exists");
+        assert!(log.is_pending(), "last transaction of {s} is complete");
+        self.event_owner.insert(event.id, tx);
+        log.push(event);
+        tx
+    }
+
+    /// Adds (or replaces) a write-read dependency `wr(writer, read)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the read event is unknown, not a read, or the writer does
+    /// not write the read's variable.
+    pub fn set_wr(&mut self, read: EventId, writer: TxId) {
+        let e = self.event(read).expect("read event must be in the history");
+        let x = match &e.kind {
+            EventKind::Read(x) => *x,
+            other => panic!("wr target must be a read event, got {other}"),
+        };
+        assert!(
+            self.writes_var(writer, x),
+            "wr source {writer} does not write {x}"
+        );
+        self.wr.insert(read, writer);
+    }
+
+    /// Removes the wr dependency of a read, if any.
+    pub fn clear_wr(&mut self, read: EventId) {
+        self.wr.remove(&read);
+    }
+
+    // ------------------------------------------------------------------
+    // Write-read relation
+    // ------------------------------------------------------------------
+
+    /// The transaction a read event reads from, if it has a wr dependency.
+    pub fn wr_of(&self, read: EventId) -> Option<TxId> {
+        self.wr.get(&read).copied()
+    }
+
+    /// The full write-read relation (read event ↦ writer transaction).
+    pub fn wr(&self) -> &BTreeMap<EventId, TxId> {
+        &self.wr
+    }
+
+    /// Whether `(a, b)` is in the transaction-level write-read relation:
+    /// some read of `b` reads from `a`.
+    pub fn wr_tx_edge(&self, a: TxId, b: TxId) -> bool {
+        self.wr
+            .iter()
+            .any(|(r, w)| *w == a && self.tx_of_event(*r) == Some(b))
+    }
+
+    /// All transaction-level write-read edges `(writer, reader)`.
+    pub fn wr_tx_edges(&self) -> BTreeSet<(TxId, TxId)> {
+        self.wr
+            .iter()
+            .filter_map(|(r, w)| Some((*w, self.tx_of_event(*r)?)))
+            .filter(|(w, r)| w != r)
+            .collect()
+    }
+
+    /// External reads together with their variable, reader and writer:
+    /// `(reader, read event, variable, writer)`.
+    pub fn reads_from(&self) -> Vec<(TxId, EventId, Var, TxId)> {
+        let mut out = Vec::new();
+        for (r, w) in &self.wr {
+            let reader = self.tx_of_event(*r).expect("read owner");
+            let x = self
+                .event(*r)
+                .and_then(Event::var)
+                .expect("read has a variable");
+            out.push((reader, *r, x, *w));
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Writers / read values
+    // ------------------------------------------------------------------
+
+    /// Whether transaction `t` writes variable `x` (visible writes). The
+    /// init transaction writes every variable.
+    pub fn writes_var(&self, t: TxId, x: Var) -> bool {
+        if t.is_init() {
+            return true;
+        }
+        self.get_tx(t).is_some_and(|t| t.writes_var(x))
+    }
+
+    /// The value of `t`'s visible write to `x`, if `t` writes `x`.
+    pub fn visible_write_value(&self, t: TxId, x: Var) -> Option<Value> {
+        if t.is_init() {
+            return Some(self.init_value(x));
+        }
+        self.get_tx(t)?.visible_write_value(x).cloned()
+    }
+
+    /// All transactions (including `init` and pending ones, excluding
+    /// aborted ones) that write variable `x`.
+    pub fn writers_of(&self, x: Var) -> Vec<TxId> {
+        let mut out = vec![TxId::INIT];
+        out.extend(
+            self.transactions
+                .values()
+                .filter(|t| t.writes_var(x))
+                .map(|t| t.id),
+        );
+        out
+    }
+
+    /// Committed transactions (including `init`) that write variable `x`.
+    /// These are the candidate sources of a wr dependency in the semantics.
+    pub fn committed_writers_of(&self, x: Var) -> Vec<TxId> {
+        let mut out = vec![TxId::INIT];
+        out.extend(
+            self.transactions
+                .values()
+                .filter(|t| t.is_committed() && t.writes_var(x))
+                .map(|t| t.id),
+        );
+        out
+    }
+
+    /// The value returned by a read event: the last po-preceding write of
+    /// the same transaction for internal reads, otherwise the visible write
+    /// of the transaction designated by `wr`.
+    pub fn read_value(&self, read: EventId) -> Option<Value> {
+        let owner = self.tx_of_event(read)?;
+        let log = self.get_tx(owner)?;
+        let x = log.event(read)?.var()?;
+        if let Some(v) = log.last_write_before(x, read) {
+            return Some(v.clone());
+        }
+        let writer = self.wr_of(read)?;
+        self.visible_write_value(writer, x)
+    }
+
+    // ------------------------------------------------------------------
+    // Session order and causal order
+    // ------------------------------------------------------------------
+
+    /// Whether `(a, b)` is in the session order `so`: the init transaction
+    /// precedes every other transaction, and transactions of the same
+    /// session are ordered by their position.
+    pub fn so_before(&self, a: TxId, b: TxId) -> bool {
+        if a == b {
+            return false;
+        }
+        if a.is_init() {
+            return true;
+        }
+        if b.is_init() {
+            return false;
+        }
+        let (ta, tb) = match (self.get_tx(a), self.get_tx(b)) {
+            (Some(x), Some(y)) => (x, y),
+            _ => return false,
+        };
+        if ta.session != tb.session {
+            return false;
+        }
+        let seq = self.session_txs(ta.session);
+        let pa = seq.iter().position(|t| *t == a);
+        let pb = seq.iter().position(|t| *t == b);
+        matches!((pa, pb), (Some(i), Some(j)) if i < j)
+    }
+
+    /// Whether `(a, b)` is in `so ∪ wr` (transaction level).
+    pub fn so_or_wr(&self, a: TxId, b: TxId) -> bool {
+        self.so_before(a, b) || self.wr_tx_edge(a, b)
+    }
+
+    /// Immediate `so ∪ wr` successors of a transaction, used for causal
+    /// reachability. For init, the first transaction of each session.
+    fn so_wr_successors(&self, t: TxId) -> Vec<TxId> {
+        let mut succ = Vec::new();
+        if t.is_init() {
+            for txs in self.sessions.values() {
+                if let Some(first) = txs.first() {
+                    succ.push(*first);
+                }
+            }
+        } else if let Some(log) = self.get_tx(t) {
+            let seq = self.session_txs(log.session);
+            if let Some(pos) = seq.iter().position(|x| *x == t) {
+                if pos + 1 < seq.len() {
+                    succ.push(seq[pos + 1]);
+                }
+            }
+        }
+        for (r, w) in &self.wr {
+            if *w == t {
+                if let Some(reader) = self.tx_of_event(*r) {
+                    if reader != t && !succ.contains(&reader) {
+                        succ.push(reader);
+                    }
+                }
+            }
+        }
+        succ
+    }
+
+    /// Whether `(a, b)` is in the causal order `(so ∪ wr)+`.
+    pub fn causally_before(&self, a: TxId, b: TxId) -> bool {
+        if a == b {
+            return false;
+        }
+        if a.is_init() {
+            return !b.is_init();
+        }
+        if b.is_init() {
+            return false;
+        }
+        let mut seen = BTreeSet::new();
+        let mut queue: VecDeque<TxId> = self.so_wr_successors(a).into();
+        while let Some(t) = queue.pop_front() {
+            if t == b {
+                return true;
+            }
+            if seen.insert(t) {
+                queue.extend(self.so_wr_successors(t));
+            }
+        }
+        false
+    }
+
+    /// Whether `(a, b)` is in `(so ∪ wr)*` (reflexive causal order).
+    pub fn causally_before_eq(&self, a: TxId, b: TxId) -> bool {
+        a == b || self.causally_before(a, b)
+    }
+
+    /// All causal predecessors of `t`: transactions `t'` with
+    /// `(t', t) ∈ (so ∪ wr)+`. Always contains [`TxId::INIT`] for `t ≠ init`.
+    pub fn causal_predecessors(&self, t: TxId) -> BTreeSet<TxId> {
+        let mut preds = BTreeSet::new();
+        if t.is_init() {
+            return preds;
+        }
+        // Reverse reachability by scanning all transactions (histories are small).
+        let mut all: Vec<TxId> = vec![TxId::INIT];
+        all.extend(self.tx_ids());
+        for a in all {
+            if a != t && self.causally_before(a, t) {
+                preds.insert(a);
+            }
+        }
+        preds
+    }
+
+    /// Whether `t` is `(so ∪ wr)+`-maximal: no transaction is causally after it.
+    pub fn is_causally_maximal(&self, t: TxId) -> bool {
+        !self
+            .tx_ids()
+            .chain(std::iter::once(TxId::INIT))
+            .any(|other| other != t && self.causally_before(t, other))
+    }
+
+    // ------------------------------------------------------------------
+    // Prefix construction (event removal)
+    // ------------------------------------------------------------------
+
+    /// Returns the history obtained by deleting the given events from its
+    /// transaction logs (`h \ D` in §5.2). Transaction logs that become
+    /// empty are removed altogether; wr dependencies whose read was removed
+    /// are dropped.
+    pub fn remove_events(&self, doomed: &BTreeSet<EventId>) -> History {
+        let mut h = History {
+            init_values: self.init_values.clone(),
+            transactions: BTreeMap::new(),
+            sessions: BTreeMap::new(),
+            wr: BTreeMap::new(),
+            event_owner: BTreeMap::new(),
+        };
+        for (s, txs) in &self.sessions {
+            let mut kept_txs = Vec::new();
+            for t in txs {
+                let log = &self.transactions[t];
+                let kept: Vec<Event> = log
+                    .events
+                    .iter()
+                    .filter(|e| !doomed.contains(&e.id))
+                    .cloned()
+                    .collect();
+                if kept.is_empty() {
+                    continue;
+                }
+                let mut new_log = TransactionLog::new(log.id, log.session, log.program_index);
+                for e in kept {
+                    h.event_owner.insert(e.id, log.id);
+                    new_log.events.push(e);
+                }
+                h.transactions.insert(log.id, new_log);
+                kept_txs.push(*t);
+            }
+            if !kept_txs.is_empty() {
+                h.sessions.insert(*s, kept_txs);
+            }
+        }
+        for (r, w) in &self.wr {
+            if h.event_owner.contains_key(r) && h.contains_tx(*w) {
+                h.wr.insert(*r, *w);
+            }
+        }
+        h
+    }
+
+    // ------------------------------------------------------------------
+    // Fingerprints (read-from equivalence)
+    // ------------------------------------------------------------------
+
+    /// A canonical, identifier-independent summary of the history used to
+    /// compare histories up to read-from equivalence (same events per
+    /// session/transaction and same `po`, `so`, `wr`).
+    pub fn fingerprint(&self) -> HistoryFingerprint {
+        // Map every transaction to its canonical coordinates (session, index).
+        let coord = |t: TxId| -> WriterRef {
+            if t.is_init() {
+                WriterRef::Init
+            } else {
+                let log = self.tx(t);
+                let idx = self
+                    .session_txs(log.session)
+                    .iter()
+                    .position(|x| *x == t)
+                    .expect("transaction listed in its session");
+                WriterRef::Tx(log.session.0, idx)
+            }
+        };
+        let mut sessions = Vec::new();
+        for (s, txs) in &self.sessions {
+            let mut fp_txs = Vec::new();
+            for t in txs {
+                let log = &self.transactions[t];
+                let mut evs = Vec::new();
+                for e in &log.events {
+                    let fp = match &e.kind {
+                        EventKind::Begin => EventFingerprint::Begin,
+                        EventKind::Commit => EventFingerprint::Commit,
+                        EventKind::Abort => EventFingerprint::Abort,
+                        EventKind::Write(x, v) => EventFingerprint::Write(*x, v.clone()),
+                        EventKind::Read(x) => {
+                            EventFingerprint::Read(*x, self.wr_of(e.id).map(coord))
+                        }
+                    };
+                    evs.push(fp);
+                }
+                fp_txs.push(evs);
+            }
+            sessions.push((s.0, fp_txs));
+        }
+        HistoryFingerprint { sessions }
+    }
+}
+
+impl Default for History {
+    fn default() -> Self {
+        History::new(std::iter::empty())
+    }
+}
+
+/// Reference to a writer transaction inside a [`HistoryFingerprint`],
+/// identified canonically by session and position rather than by [`TxId`].
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum WriterRef {
+    /// The initial transaction.
+    Init,
+    /// The `index`-th transaction of session `session`.
+    Tx(u32, usize),
+}
+
+/// Canonical summary of a single event inside a [`HistoryFingerprint`].
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventFingerprint {
+    /// Begin event.
+    Begin,
+    /// Commit event.
+    Commit,
+    /// Abort event.
+    Abort,
+    /// Read of a variable, annotated with the writer it reads from
+    /// (`None` for internal reads).
+    Read(Var, Option<WriterRef>),
+    /// Write of a value to a variable.
+    Write(Var, Value),
+}
+
+/// Identifier-independent representation of a history, suitable for
+/// detecting duplicate outputs of an exploration (read-from equivalence).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HistoryFingerprint {
+    /// For each session (by id), the event fingerprints of its transactions
+    /// in session order.
+    pub sessions: Vec<(u32, Vec<Vec<EventFingerprint>>)>,
+}
+
+impl fmt::Display for History {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (s, txs) in &self.sessions {
+            writeln!(f, "session {s}:")?;
+            for t in txs {
+                let log = &self.transactions[t];
+                write!(f, "  {t} [{:?}]:", log.status())?;
+                for e in &log.events {
+                    write!(f, " {}", e.kind)?;
+                    if let Some(w) = self.wr_of(e.id) {
+                        write!(f, "<-{w}")?;
+                    }
+                }
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Helper for rendering a history with human-readable variable names.
+#[derive(Debug)]
+pub struct HistoryDisplay<'a> {
+    history: &'a History,
+    vars: &'a VarTable,
+}
+
+impl History {
+    /// Renders the history using variable names from `vars`.
+    pub fn display_with<'a>(&'a self, vars: &'a VarTable) -> HistoryDisplay<'a> {
+        HistoryDisplay {
+            history: self,
+            vars,
+        }
+    }
+}
+
+impl fmt::Display for HistoryDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let h = self.history;
+        for (s, txs) in &h.sessions {
+            writeln!(f, "session {s}:")?;
+            for t in txs {
+                let log = &h.transactions[t];
+                write!(f, "  {t} [{:?}]:", log.status())?;
+                for e in &log.events {
+                    match &e.kind {
+                        EventKind::Read(x) => {
+                            write!(f, " read({})", self.vars.name(*x))?;
+                            if let Some(w) = h.wr_of(e.id) {
+                                write!(f, "<-{w}")?;
+                            }
+                        }
+                        EventKind::Write(x, v) => {
+                            write!(f, " write({},{v})", self.vars.name(*x))?;
+                        }
+                        other => write!(f, " {other}")?,
+                    }
+                }
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(id: u32, kind: EventKind) -> Event {
+        Event::new(EventId(id), kind)
+    }
+
+    /// Builds the Causal Consistency violation history of Fig. 3:
+    /// t1: write(x,1); t2: read(x)<-t1, write(x,2); t3: read(x)<-t1, read(y)<-t4;
+    /// t4: read(x)<-t2, write(y,1).
+    fn fig3_history() -> History {
+        let x = Var(0);
+        let y = Var(1);
+        let mut h = History::new([]);
+        let mut next = 0u32;
+        let mut fresh = || {
+            next += 1;
+            EventId(next)
+        };
+        // t1 in session 0
+        h.begin_transaction(SessionId(0), TxId(1), 0, ev(fresh().0, EventKind::Begin));
+        h.append_event(SessionId(0), Event::new(fresh(), EventKind::Write(x, Value::Int(1))));
+        h.append_event(SessionId(0), Event::new(fresh(), EventKind::Commit));
+        // t2 in session 1
+        h.begin_transaction(SessionId(1), TxId(2), 0, ev(fresh().0, EventKind::Begin));
+        let r2 = fresh();
+        h.append_event(SessionId(1), Event::new(r2, EventKind::Read(x)));
+        h.append_event(SessionId(1), Event::new(fresh(), EventKind::Write(x, Value::Int(2))));
+        h.append_event(SessionId(1), Event::new(fresh(), EventKind::Commit));
+        // t4 in session 2
+        h.begin_transaction(SessionId(2), TxId(4), 0, ev(fresh().0, EventKind::Begin));
+        let r4 = fresh();
+        h.append_event(SessionId(2), Event::new(r4, EventKind::Read(x)));
+        h.append_event(SessionId(2), Event::new(fresh(), EventKind::Write(y, Value::Int(1))));
+        h.append_event(SessionId(2), Event::new(fresh(), EventKind::Commit));
+        // t3 in session 3
+        h.begin_transaction(SessionId(3), TxId(3), 0, ev(fresh().0, EventKind::Begin));
+        let r3x = fresh();
+        h.append_event(SessionId(3), Event::new(r3x, EventKind::Read(x)));
+        let r3y = fresh();
+        h.append_event(SessionId(3), Event::new(r3y, EventKind::Read(y)));
+        h.append_event(SessionId(3), Event::new(fresh(), EventKind::Commit));
+        h.set_wr(r2, TxId(1));
+        h.set_wr(r4, TxId(2));
+        h.set_wr(r3x, TxId(1));
+        h.set_wr(r3y, TxId(4));
+        h
+    }
+
+    #[test]
+    fn structure_queries() {
+        let h = fig3_history();
+        assert_eq!(h.num_transactions(), 4);
+        assert_eq!(h.pending_txs().len(), 0);
+        assert_eq!(h.committed_txs().len(), 4);
+        assert!(h.is_committed(TxId::INIT));
+        assert!(h.contains_tx(TxId::INIT));
+        assert!(h.contains_tx(TxId(2)));
+        assert!(!h.contains_tx(TxId(9)));
+        assert_eq!(h.session_txs(SessionId(1)), &[TxId(2)]);
+        assert_eq!(h.last_tx_of_session(SessionId(3)), Some(TxId(3)));
+        assert_eq!(h.last_tx_of_session(SessionId(9)), None);
+        assert_eq!(h.events().count(), h.num_events());
+    }
+
+    #[test]
+    fn writers_and_values() {
+        let h = fig3_history();
+        let x = Var(0);
+        let y = Var(1);
+        assert!(h.writes_var(TxId::INIT, x));
+        assert!(h.writes_var(TxId(1), x));
+        assert!(h.writes_var(TxId(2), x));
+        assert!(!h.writes_var(TxId(3), x));
+        let wx = h.writers_of(x);
+        assert!(wx.contains(&TxId::INIT) && wx.contains(&TxId(1)) && wx.contains(&TxId(2)));
+        assert!(!wx.contains(&TxId(4)));
+        assert_eq!(h.visible_write_value(TxId(2), x), Some(Value::Int(2)));
+        assert_eq!(h.visible_write_value(TxId::INIT, y), Some(Value::Int(0)));
+        assert_eq!(h.committed_writers_of(y), vec![TxId::INIT, TxId(4)]);
+    }
+
+    #[test]
+    fn read_values_follow_wr() {
+        let h = fig3_history();
+        // t4's read of x reads from t2 which wrote 2.
+        let (_, r4, _, w) = h
+            .reads_from()
+            .into_iter()
+            .find(|(reader, _, _, _)| *reader == TxId(4))
+            .unwrap();
+        assert_eq!(w, TxId(2));
+        assert_eq!(h.read_value(r4), Some(Value::Int(2)));
+    }
+
+    #[test]
+    fn session_and_causal_order() {
+        let h = fig3_history();
+        assert!(h.so_before(TxId::INIT, TxId(3)));
+        assert!(!h.so_before(TxId(3), TxId::INIT));
+        assert!(!h.so_before(TxId(1), TxId(2))); // different sessions
+        assert!(h.causally_before(TxId(1), TxId(2))); // via wr
+        assert!(h.causally_before(TxId(2), TxId(3))); // t2 -> t4 -> t3
+        assert!(h.causally_before(TxId::INIT, TxId(4)));
+        assert!(!h.causally_before(TxId(3), TxId(1)));
+        assert!(h.causally_before_eq(TxId(3), TxId(3)));
+        let preds = h.causal_predecessors(TxId(3));
+        assert!(preds.contains(&TxId(1)) && preds.contains(&TxId(2)) && preds.contains(&TxId(4)));
+        assert!(preds.contains(&TxId::INIT));
+        assert!(h.is_causally_maximal(TxId(3)));
+        assert!(!h.is_causally_maximal(TxId(1)));
+    }
+
+    #[test]
+    fn wr_tx_edges_and_so_or_wr() {
+        let h = fig3_history();
+        assert!(h.wr_tx_edge(TxId(1), TxId(2)));
+        assert!(h.wr_tx_edge(TxId(4), TxId(3)));
+        assert!(!h.wr_tx_edge(TxId(2), TxId(1)));
+        assert!(h.so_or_wr(TxId(2), TxId(4)));
+        assert!(!h.so_or_wr(TxId(1), TxId(4)));
+        assert_eq!(h.wr_tx_edges().len(), 4);
+    }
+
+    #[test]
+    fn remove_events_builds_prefix() {
+        let h = fig3_history();
+        // Remove all events of t3 (session 3).
+        let doomed: BTreeSet<EventId> = h
+            .tx(TxId(3))
+            .events
+            .iter()
+            .map(|e| e.id)
+            .collect();
+        let h2 = h.remove_events(&doomed);
+        assert_eq!(h2.num_transactions(), 3);
+        assert!(!h2.contains_tx(TxId(3)));
+        assert!(h2.sessions().get(&SessionId(3)).is_none());
+        // wr entries of removed reads are gone; others remain.
+        assert_eq!(h2.wr().len(), 2);
+        // Removing nothing is the identity.
+        assert_eq!(h.remove_events(&BTreeSet::new()), h);
+    }
+
+    #[test]
+    fn fingerprints_identify_read_from_equivalence() {
+        let h1 = fig3_history();
+        let h2 = fig3_history();
+        assert_eq!(h1.fingerprint(), h2.fingerprint());
+        // Changing a wr dependency changes the fingerprint.
+        let mut h3 = fig3_history();
+        let (_, r3x, _, _) = h3
+            .reads_from()
+            .into_iter()
+            .find(|(reader, _, x, _)| *reader == TxId(3) && *x == Var(0))
+            .unwrap();
+        h3.set_wr(r3x, TxId(2));
+        assert_ne!(h1.fingerprint(), h3.fingerprint());
+    }
+
+    #[test]
+    fn display_does_not_panic() {
+        let h = fig3_history();
+        let s = h.to_string();
+        assert!(s.contains("session"));
+        let mut vars = VarTable::new();
+        vars.intern("x");
+        vars.intern("y");
+        let s = h.display_with(&vars).to_string();
+        assert!(s.contains("read(x)"));
+    }
+
+    #[test]
+    fn init_values_defaults() {
+        let mut h = History::new([(Var(0), Value::Int(7))]);
+        assert_eq!(h.init_value(Var(0)), Value::Int(7));
+        assert_eq!(h.init_value(Var(5)), Value::Int(0));
+        h.set_init_value(Var(5), Value::Int(3));
+        assert_eq!(h.init_value(Var(5)), Value::Int(3));
+        assert_eq!(h.init_values().len(), 2);
+    }
+}

@@ -1,0 +1,161 @@
+//! Isolation levels and their structural properties.
+//!
+//! The paper considers Read Committed, Read Atomic, Causal Consistency,
+//! Snapshot Isolation and Serializability, plus the trivial level `true`
+//! used as the weakest exploration base in `explore-ce*(true, I)`. Two
+//! structural properties drive the design of the DPOR algorithm (§3):
+//! *prefix closure* and *causal extensibility*.
+
+use std::fmt;
+
+use crate::check;
+use crate::history::History;
+
+/// A transactional isolation level.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum IsolationLevel {
+    /// The trivial isolation level where every history is consistent.
+    Trivial,
+    /// Read Committed (Fig. A.1a).
+    ReadCommitted,
+    /// Read Atomic, also called Repeatable Read in the literature (Fig. A.1b).
+    ReadAtomic,
+    /// Causal Consistency (Fig. 2a).
+    CausalConsistency,
+    /// Snapshot Isolation, defined by the Prefix and Conflict axioms
+    /// (Fig. 2b and 2c).
+    SnapshotIsolation,
+    /// Serializability (Fig. 2d).
+    Serializability,
+}
+
+impl IsolationLevel {
+    /// All levels, from weakest to strongest.
+    pub const ALL: [IsolationLevel; 6] = [
+        IsolationLevel::Trivial,
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::ReadAtomic,
+        IsolationLevel::CausalConsistency,
+        IsolationLevel::SnapshotIsolation,
+        IsolationLevel::Serializability,
+    ];
+
+    /// The levels that are prefix-closed and causally extensible, i.e. those
+    /// for which `explore-ce` is strongly optimal (§5).
+    pub const CAUSALLY_EXTENSIBLE: [IsolationLevel; 4] = [
+        IsolationLevel::Trivial,
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::ReadAtomic,
+        IsolationLevel::CausalConsistency,
+    ];
+
+    /// Short name used in tables and figures ("RC", "RA", "CC", "SI", "SER",
+    /// "true").
+    pub fn short_name(self) -> &'static str {
+        match self {
+            IsolationLevel::Trivial => "true",
+            IsolationLevel::ReadCommitted => "RC",
+            IsolationLevel::ReadAtomic => "RA",
+            IsolationLevel::CausalConsistency => "CC",
+            IsolationLevel::SnapshotIsolation => "SI",
+            IsolationLevel::Serializability => "SER",
+        }
+    }
+
+    /// Numeric strength rank: larger means stronger (admits fewer histories).
+    fn rank(self) -> u8 {
+        match self {
+            IsolationLevel::Trivial => 0,
+            IsolationLevel::ReadCommitted => 1,
+            IsolationLevel::ReadAtomic => 2,
+            IsolationLevel::CausalConsistency => 3,
+            IsolationLevel::SnapshotIsolation => 4,
+            IsolationLevel::Serializability => 5,
+        }
+    }
+
+    /// Whether `self` is weaker than (or equal to) `other`: `self` admits
+    /// at least the histories `other` admits, i.e. every `other`-consistent
+    /// history is also `self`-consistent.
+    pub fn weaker_or_equal(self, other: IsolationLevel) -> bool {
+        self.rank() <= other.rank()
+    }
+
+    /// Whether the level is prefix-closed (Definition 3.1). All the levels
+    /// considered in the paper are (Theorem 3.2).
+    pub fn is_prefix_closed(self) -> bool {
+        true
+    }
+
+    /// Whether the level is causally extensible (Definition 3.3,
+    /// Theorem 3.4). Snapshot Isolation and Serializability are not.
+    pub fn is_causally_extensible(self) -> bool {
+        matches!(
+            self,
+            IsolationLevel::Trivial
+                | IsolationLevel::ReadCommitted
+                | IsolationLevel::ReadAtomic
+                | IsolationLevel::CausalConsistency
+        )
+    }
+
+    /// Whether the given history satisfies this isolation level
+    /// (Definition 2.2): there exists a strict total commit order extending
+    /// `so ∪ wr` that satisfies the level's axioms.
+    ///
+    /// Dispatches to the efficient specialised checkers in [`crate::check`].
+    pub fn satisfies(self, h: &History) -> bool {
+        check::satisfies(h, self)
+    }
+}
+
+impl fmt::Display for IsolationLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_of_levels() {
+        use IsolationLevel::*;
+        assert!(ReadCommitted.weaker_or_equal(Serializability));
+        assert!(Trivial.weaker_or_equal(ReadCommitted));
+        assert!(CausalConsistency.weaker_or_equal(SnapshotIsolation));
+        assert!(!Serializability.weaker_or_equal(CausalConsistency));
+        assert!(ReadAtomic.weaker_or_equal(ReadAtomic));
+    }
+
+    #[test]
+    fn structural_properties() {
+        use IsolationLevel::*;
+        for l in IsolationLevel::ALL {
+            assert!(l.is_prefix_closed());
+        }
+        assert!(CausalConsistency.is_causally_extensible());
+        assert!(ReadCommitted.is_causally_extensible());
+        assert!(ReadAtomic.is_causally_extensible());
+        assert!(Trivial.is_causally_extensible());
+        assert!(!SnapshotIsolation.is_causally_extensible());
+        assert!(!Serializability.is_causally_extensible());
+        assert_eq!(IsolationLevel::CAUSALLY_EXTENSIBLE.len(), 4);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(IsolationLevel::Serializability.to_string(), "SER");
+        assert_eq!(IsolationLevel::Trivial.short_name(), "true");
+        assert_eq!(IsolationLevel::CausalConsistency.short_name(), "CC");
+    }
+
+    #[test]
+    fn empty_history_satisfies_everything() {
+        let h = History::default();
+        for l in IsolationLevel::ALL {
+            assert!(l.satisfies(&h), "{l} should accept the empty history");
+        }
+    }
+}

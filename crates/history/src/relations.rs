@@ -1,0 +1,215 @@
+//! Small directed-graph utilities used by the consistency checkers.
+
+use std::collections::VecDeque;
+
+/// A small directed graph over vertices `0..n`.
+///
+/// Histories contain at most a few dozen transactions, so adjacency lists
+/// with linear scans are more than fast enough and keep the code simple.
+#[derive(Clone, Debug, Default)]
+pub struct Digraph {
+    adj: Vec<Vec<usize>>,
+}
+
+impl Digraph {
+    /// Creates a graph with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        Digraph {
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Adds the edge `a → b` (duplicates are ignored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        assert!(a < self.len() && b < self.len(), "vertex out of range");
+        if !self.adj[a].contains(&b) {
+            self.adj[a].push(b);
+        }
+    }
+
+    /// Successors of a vertex.
+    pub fn successors(&self, a: usize) -> &[usize] {
+        &self.adj[a]
+    }
+
+    /// Whether the graph is acyclic (Kahn's algorithm).
+    pub fn is_acyclic(&self) -> bool {
+        let n = self.len();
+        let mut indeg = vec![0usize; n];
+        for v in 0..n {
+            for &w in &self.adj[v] {
+                indeg[w] += 1;
+            }
+        }
+        let mut queue: VecDeque<usize> = (0..n).filter(|v| indeg[*v] == 0).collect();
+        let mut seen = 0;
+        while let Some(v) = queue.pop_front() {
+            seen += 1;
+            for &w in &self.adj[v] {
+                indeg[w] -= 1;
+                if indeg[w] == 0 {
+                    queue.push_back(w);
+                }
+            }
+        }
+        seen == n
+    }
+
+    /// Reachability matrix: `out[a][b]` iff there is a (possibly empty) path
+    /// from `a` to `b`. Every vertex reaches itself.
+    pub fn reachability(&self) -> Vec<Vec<bool>> {
+        let n = self.len();
+        let mut out = vec![vec![false; n]; n];
+        for start in 0..n {
+            let mut stack = vec![start];
+            out[start][start] = true;
+            while let Some(v) = stack.pop() {
+                for &w in &self.adj[v] {
+                    if !out[start][w] {
+                        out[start][w] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Enumerates all topological orders of the graph, calling `f` on each.
+    /// Enumeration stops early when `f` returns `true`, and the function
+    /// returns whether any call returned `true`.
+    ///
+    /// Intended only for the small histories used in tests and the slow
+    /// reference oracle.
+    pub fn any_topological_order<F: FnMut(&[usize]) -> bool>(&self, mut f: F) -> bool {
+        let n = self.len();
+        let mut indeg = vec![0usize; n];
+        for v in 0..n {
+            for &w in &self.adj[v] {
+                indeg[w] += 1;
+            }
+        }
+        let mut order = Vec::with_capacity(n);
+        let mut used = vec![false; n];
+        self.topo_rec(&mut indeg, &mut used, &mut order, &mut f)
+    }
+
+    fn topo_rec<F: FnMut(&[usize]) -> bool>(
+        &self,
+        indeg: &mut Vec<usize>,
+        used: &mut Vec<bool>,
+        order: &mut Vec<usize>,
+        f: &mut F,
+    ) -> bool {
+        let n = self.len();
+        if order.len() == n {
+            return f(order);
+        }
+        for v in 0..n {
+            if !used[v] && indeg[v] == 0 {
+                used[v] = true;
+                order.push(v);
+                for &w in &self.adj[v] {
+                    indeg[w] -= 1;
+                }
+                if self.topo_rec(indeg, used, order, f) {
+                    return true;
+                }
+                for &w in &self.adj[v] {
+                    indeg[w] += 1;
+                }
+                order.pop();
+                used[v] = false;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acyclicity() {
+        let mut g = Digraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        assert!(g.is_acyclic());
+        g.add_edge(2, 0);
+        assert!(!g.is_acyclic());
+    }
+
+    #[test]
+    fn empty_graph_is_acyclic() {
+        let g = Digraph::new(0);
+        assert!(g.is_acyclic());
+        assert!(g.is_empty());
+        assert!(Digraph::new(4).is_acyclic());
+    }
+
+    #[test]
+    fn duplicate_edges_ignored() {
+        let mut g = Digraph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        assert_eq!(g.successors(0), &[1]);
+    }
+
+    #[test]
+    fn reachability_matrix() {
+        let mut g = Digraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let r = g.reachability();
+        assert!(r[0][2]);
+        assert!(r[0][0]);
+        assert!(!r[2][0]);
+        assert!(!r[0][3]);
+    }
+
+    #[test]
+    fn topological_order_enumeration() {
+        let mut g = Digraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        let mut orders = Vec::new();
+        g.any_topological_order(|o| {
+            orders.push(o.to_vec());
+            false
+        });
+        assert_eq!(orders.len(), 2);
+        assert!(orders.contains(&vec![0, 1, 2]));
+        assert!(orders.contains(&vec![0, 2, 1]));
+        // Early exit works.
+        let mut count = 0;
+        let found = g.any_topological_order(|_| {
+            count += 1;
+            true
+        });
+        assert!(found);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn cyclic_graph_has_no_topological_order() {
+        let mut g = Digraph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        assert!(!g.any_topological_order(|_| true));
+    }
+}

@@ -1,0 +1,226 @@
+//! Property-based tests for the consistency checkers: on randomly generated
+//! histories, the specialised checkers agree with the axiomatic oracle, the
+//! isolation levels are ordered by strength, prefix closure holds
+//! (Theorem 3.2) and causal extensibility holds for RC/RA/CC
+//! (Theorem 3.4).
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use txdpor_history::axioms::{check_with_order, oracle_satisfies};
+use txdpor_history::{
+    Event, EventId, EventKind, History, IsolationLevel, SessionId, TxId, Value, Var,
+};
+
+/// A compact description of a randomly generated history.
+#[derive(Clone, Debug)]
+struct RandomOp {
+    write: bool,
+    var: u32,
+    value: i64,
+    /// For reads: index into the set of previously committed writers of the
+    /// variable (modulo its size), or `usize::MAX` for the init transaction.
+    reader_choice: usize,
+}
+
+fn op_strategy() -> impl Strategy<Value = RandomOp> {
+    (any::<bool>(), 0..2u32, 0..4i64, 0..8usize).prop_map(|(write, var, value, reader_choice)| {
+        RandomOp {
+            write,
+            var,
+            value,
+            reader_choice,
+        }
+    })
+}
+
+/// A history blueprint: sessions → transactions → operations.
+fn blueprint_strategy() -> impl Strategy<Value = Vec<Vec<Vec<RandomOp>>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(proptest::collection::vec(op_strategy(), 1..=3), 1..=2),
+        2..=3,
+    )
+}
+
+/// Materialises a blueprint into a well-formed history: reads read from the
+/// init transaction or from a previously committed writer of the variable.
+fn build_history(blueprint: &[Vec<Vec<RandomOp>>]) -> History {
+    let mut h = History::new([]);
+    let mut next_event = 0u32;
+    let mut next_tx = 0u32;
+    let mut committed_writers: Vec<(Var, TxId)> = Vec::new();
+    for (s, session) in blueprint.iter().enumerate() {
+        for (idx, ops) in session.iter().enumerate() {
+            next_tx += 1;
+            let tx = TxId(next_tx);
+            next_event += 1;
+            h.begin_transaction(
+                SessionId(s as u32),
+                tx,
+                idx,
+                Event::new(EventId(next_event), EventKind::Begin),
+            );
+            let mut written: Vec<Var> = Vec::new();
+            for op in ops {
+                let var = Var(op.var);
+                next_event += 1;
+                if op.write {
+                    h.append_event(
+                        SessionId(s as u32),
+                        Event::new(
+                            EventId(next_event),
+                            EventKind::Write(var, Value::Int(op.value)),
+                        ),
+                    );
+                    written.push(var);
+                } else {
+                    let id = EventId(next_event);
+                    h.append_event(SessionId(s as u32), Event::new(id, EventKind::Read(var)));
+                    if !written.contains(&var) {
+                        let candidates: Vec<TxId> = std::iter::once(TxId::INIT)
+                            .chain(
+                                committed_writers
+                                    .iter()
+                                    .filter(|(v, _)| *v == var)
+                                    .map(|(_, t)| *t),
+                            )
+                            .collect();
+                        let writer = candidates[op.reader_choice % candidates.len()];
+                        h.set_wr(id, writer);
+                    }
+                }
+            }
+            next_event += 1;
+            h.append_event(
+                SessionId(s as u32),
+                Event::new(EventId(next_event), EventKind::Commit),
+            );
+            for var in written {
+                committed_writers.push((var, tx));
+            }
+        }
+    }
+    h
+}
+
+const LEVELS: [IsolationLevel; 5] = [
+    IsolationLevel::ReadCommitted,
+    IsolationLevel::ReadAtomic,
+    IsolationLevel::CausalConsistency,
+    IsolationLevel::SnapshotIsolation,
+    IsolationLevel::Serializability,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn checkers_agree_with_the_axiomatic_oracle(blueprint in blueprint_strategy()) {
+        let h = build_history(&blueprint);
+        for level in LEVELS {
+            prop_assert_eq!(
+                level.satisfies(&h),
+                oracle_satisfies(&h, level),
+                "divergence for {} on:\n{}",
+                level,
+                h
+            );
+        }
+    }
+
+    #[test]
+    fn strength_order_is_respected(blueprint in blueprint_strategy()) {
+        let h = build_history(&blueprint);
+        let sat: Vec<bool> = LEVELS.iter().map(|l| l.satisfies(&h)).collect();
+        // RC ⊇ RA ⊇ CC ⊇ SI ⊇ SER (as sets of consistent histories).
+        for w in sat.windows(2) {
+            prop_assert!(w[1] <= w[0], "a stronger level accepted a history the weaker rejected");
+        }
+        prop_assert!(IsolationLevel::Trivial.satisfies(&h));
+    }
+
+    #[test]
+    fn theorem_3_2_prefix_closure(blueprint in blueprint_strategy()) {
+        // Removing any causally-maximal transaction yields a prefix; prefix
+        // closure says it stays consistent.
+        let h = build_history(&blueprint);
+        let maximal: Vec<TxId> = h.tx_ids().filter(|t| h.is_causally_maximal(*t)).collect();
+        for level in LEVELS {
+            if !level.satisfies(&h) {
+                continue;
+            }
+            for t in &maximal {
+                let doomed: BTreeSet<EventId> = h.tx(*t).events.iter().map(|e| e.id).collect();
+                let prefix = h.remove_events(&doomed);
+                prop_assert!(
+                    level.satisfies(&prefix),
+                    "{} prefix of a consistent history became inconsistent",
+                    level
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_3_4_causal_extensibility_for_weak_levels(blueprint in blueprint_strategy()) {
+        // For RC/RA/CC: any consistent history with a causally-maximal
+        // pending transaction can be extended with a read of any variable
+        // reading from some transaction in its causal past.
+        let mut h = build_history(&blueprint);
+        // Turn the last transaction of session 0 into a pending one by
+        // appending a fresh transaction with only a begin event.
+        let fresh_tx = TxId(1000);
+        let begin = Event::new(EventId(100_000), EventKind::Begin);
+        let idx = h.session_txs(SessionId(0)).len();
+        h.begin_transaction(SessionId(0), fresh_tx, idx, begin);
+        for level in [
+            IsolationLevel::ReadCommitted,
+            IsolationLevel::ReadAtomic,
+            IsolationLevel::CausalConsistency,
+        ] {
+            if !level.satisfies(&h) {
+                continue;
+            }
+            for var in [Var(0), Var(1)] {
+                let mut found = false;
+                let mut candidates: Vec<TxId> = vec![TxId::INIT];
+                candidates.extend(h.causal_predecessors(fresh_tx));
+                for writer in candidates {
+                    if !h.writes_var(writer, var) {
+                        continue;
+                    }
+                    let mut trial = h.clone();
+                    let read = Event::new(EventId(100_001), EventKind::Read(var));
+                    trial.append_event(SessionId(0), read);
+                    trial.set_wr(EventId(100_001), writer);
+                    if level.satisfies(&trial) {
+                        found = true;
+                        break;
+                    }
+                }
+                prop_assert!(
+                    found,
+                    "{} is causally extensible but no causal extension with read({:?}) exists",
+                    level,
+                    var
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_witnesses_are_valid(blueprint in blueprint_strategy()) {
+        // Whenever the oracle accepts, some total order extending so ∪ wr is
+        // a valid witness according to check_with_order; the identity
+        // ordering of transactions (init first, then by id, which extends so
+        // and often wr) must never be accepted for an inconsistent history.
+        let h = build_history(&blueprint);
+        let order: Vec<TxId> = std::iter::once(TxId::INIT).chain(h.tx_ids()).collect();
+        for level in LEVELS {
+            if check_with_order(&h, level, &order) {
+                prop_assert!(level.satisfies(&h), "a witness exists but the checker rejected");
+            }
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! A small embedded DSL for writing transactional programs concisely.
+//!
+//! The helpers mirror the concrete syntax of Fig. 1: `read`, `write`,
+//! `assign`, `abort`, `iff`, plus expression constructors. The benchmark
+//! applications of `txdpor-apps` and the examples are written with these.
+//!
+//! # Example
+//!
+//! The two-session program of Fig. 10a:
+//!
+//! ```
+//! use txdpor_program::dsl::*;
+//! use txdpor_program::{Program, Session, TransactionDef};
+//!
+//! let program = Program::new(vec![
+//!     Session::new(vec![TransactionDef::new(
+//!         "reader",
+//!         vec![read("a", g("x")), read("b", g("y"))],
+//!     )]),
+//!     Session::new(vec![TransactionDef::new(
+//!         "writer",
+//!         vec![write(g("x"), cint(2)), write(g("y"), cint(2))],
+//!     )]),
+//! ]);
+//! assert_eq!(program.num_transactions(), 2);
+//! ```
+
+use txdpor_history::Value;
+
+use crate::expr::Expr;
+use crate::instr::{GlobalRef, Instr, Program, Session, TransactionDef};
+
+// ---------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------
+
+/// Integer constant expression.
+pub fn cint(i: i64) -> Expr {
+    Expr::Const(Value::Int(i))
+}
+
+/// Constant expression from any value.
+pub fn cval(v: Value) -> Expr {
+    Expr::Const(v)
+}
+
+/// The empty-set constant.
+pub fn empty_set() -> Expr {
+    Expr::Const(Value::empty_set())
+}
+
+/// Reference to a local variable.
+pub fn local(name: impl Into<String>) -> Expr {
+    Expr::Local(name.into())
+}
+
+/// Integer addition.
+pub fn add(a: Expr, b: Expr) -> Expr {
+    Expr::Add(Box::new(a), Box::new(b))
+}
+
+/// Integer subtraction.
+pub fn sub(a: Expr, b: Expr) -> Expr {
+    Expr::Sub(Box::new(a), Box::new(b))
+}
+
+/// Integer multiplication.
+pub fn mul(a: Expr, b: Expr) -> Expr {
+    Expr::Mul(Box::new(a), Box::new(b))
+}
+
+/// Equality test.
+pub fn eq(a: Expr, b: Expr) -> Expr {
+    Expr::Eq(Box::new(a), Box::new(b))
+}
+
+/// Disequality test.
+pub fn ne(a: Expr, b: Expr) -> Expr {
+    Expr::Ne(Box::new(a), Box::new(b))
+}
+
+/// Less-than.
+pub fn lt(a: Expr, b: Expr) -> Expr {
+    Expr::Lt(Box::new(a), Box::new(b))
+}
+
+/// Less-or-equal.
+pub fn le(a: Expr, b: Expr) -> Expr {
+    Expr::Le(Box::new(a), Box::new(b))
+}
+
+/// Greater-than.
+pub fn gt(a: Expr, b: Expr) -> Expr {
+    Expr::Gt(Box::new(a), Box::new(b))
+}
+
+/// Greater-or-equal.
+pub fn ge(a: Expr, b: Expr) -> Expr {
+    Expr::Ge(Box::new(a), Box::new(b))
+}
+
+/// Boolean conjunction.
+pub fn and(a: Expr, b: Expr) -> Expr {
+    Expr::And(Box::new(a), Box::new(b))
+}
+
+/// Boolean disjunction.
+pub fn or(a: Expr, b: Expr) -> Expr {
+    Expr::Or(Box::new(a), Box::new(b))
+}
+
+/// Boolean negation.
+pub fn not(a: Expr) -> Expr {
+    Expr::Not(Box::new(a))
+}
+
+/// Set insertion `s ∪ {e}`.
+pub fn set_insert(s: Expr, e: Expr) -> Expr {
+    Expr::SetInsert(Box::new(s), Box::new(e))
+}
+
+/// Set removal `s \ {e}`.
+pub fn set_remove(s: Expr, e: Expr) -> Expr {
+    Expr::SetRemove(Box::new(s), Box::new(e))
+}
+
+/// Set membership `e ∈ s`.
+pub fn set_contains(s: Expr, e: Expr) -> Expr {
+    Expr::SetContains(Box::new(s), Box::new(e))
+}
+
+/// Set cardinality `|s|`.
+pub fn set_size(s: Expr) -> Expr {
+    Expr::SetSize(Box::new(s))
+}
+
+// ---------------------------------------------------------------------
+// Global references
+// ---------------------------------------------------------------------
+
+/// A plain global variable reference.
+pub fn g(base: impl Into<String>) -> GlobalRef {
+    GlobalRef::plain(base)
+}
+
+/// An indexed global variable reference `base[index]`.
+pub fn gi(base: impl Into<String>, index: Expr) -> GlobalRef {
+    GlobalRef::indexed(base, index)
+}
+
+// ---------------------------------------------------------------------
+// Instructions
+// ---------------------------------------------------------------------
+
+/// `local := e`.
+pub fn assign(local_name: impl Into<String>, expr: Expr) -> Instr {
+    Instr::Assign {
+        local: local_name.into(),
+        expr,
+    }
+}
+
+/// `local := read(global)`.
+pub fn read(local_name: impl Into<String>, global: GlobalRef) -> Instr {
+    Instr::Read {
+        local: local_name.into(),
+        global,
+    }
+}
+
+/// `write(global, e)`.
+pub fn write(global: GlobalRef, expr: Expr) -> Instr {
+    Instr::Write { global, expr }
+}
+
+/// `abort`.
+pub fn abort() -> Instr {
+    Instr::Abort
+}
+
+/// `if (cond) { body }`.
+pub fn iff(cond: Expr, body: Vec<Instr>) -> Instr {
+    Instr::If {
+        cond,
+        then_branch: body,
+        else_branch: Vec::new(),
+    }
+}
+
+/// `if (cond) { then_branch } else { else_branch }`.
+pub fn if_else(cond: Expr, then_branch: Vec<Instr>, else_branch: Vec<Instr>) -> Instr {
+    Instr::If {
+        cond,
+        then_branch,
+        else_branch,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Program assembly
+// ---------------------------------------------------------------------
+
+/// A named transaction.
+pub fn tx(name: impl Into<String>, body: Vec<Instr>) -> TransactionDef {
+    TransactionDef::new(name, body)
+}
+
+/// A session made of the given transactions.
+pub fn session(transactions: Vec<TransactionDef>) -> Session {
+    Session::new(transactions)
+}
+
+/// A program made of the given sessions.
+pub fn program(sessions: Vec<Session>) -> Program {
+    Program::new(sessions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dsl_builds_expected_ast() {
+        let p = program(vec![session(vec![tx(
+            "t",
+            vec![
+                read("a", g("x")),
+                iff(eq(local("a"), cint(3)), vec![write(g("y"), cint(1))]),
+                if_else(
+                    gt(local("a"), cint(0)),
+                    vec![assign("b", add(local("a"), cint(1)))],
+                    vec![abort()],
+                ),
+            ],
+        )])]);
+        assert_eq!(p.num_sessions(), 1);
+        let t = p.transaction(0, 0).unwrap();
+        assert_eq!(t.body.len(), 3);
+        assert!(matches!(t.body[0], Instr::Read { .. }));
+        assert!(matches!(t.body[1], Instr::If { ref else_branch, .. } if else_branch.is_empty()));
+        assert!(
+            matches!(t.body[2], Instr::If { ref else_branch, .. } if else_branch.len() == 1)
+        );
+    }
+}

@@ -1,0 +1,263 @@
+//! Program syntax: instructions, transactions, sessions and programs
+//! (Fig. 1 of the paper).
+
+use std::fmt;
+
+use txdpor_history::{Value, Var, VarTable};
+
+use crate::expr::{Env, EvalError, Expr};
+
+/// A reference to a global variable, possibly indexed by a locally computed
+/// value (e.g. `order[id]` where `id` was read earlier in the transaction).
+///
+/// Plain references resolve to their base name; indexed references resolve
+/// to `base[i]` where `i` is the integer value of the index expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GlobalRef {
+    /// Base name of the global variable (table/key name).
+    pub base: String,
+    /// Optional index expression (row id).
+    pub index: Option<Expr>,
+}
+
+impl GlobalRef {
+    /// A plain, un-indexed global variable.
+    pub fn plain(base: impl Into<String>) -> Self {
+        GlobalRef {
+            base: base.into(),
+            index: None,
+        }
+    }
+
+    /// An indexed global variable `base[index]`.
+    pub fn indexed(base: impl Into<String>, index: Expr) -> Self {
+        GlobalRef {
+            base: base.into(),
+            index: Some(index),
+        }
+    }
+
+    /// Resolves the reference to an interned [`Var`] under the given
+    /// environment, interning the resulting name in `vars`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the index expression fails to evaluate or does
+    /// not produce an integer.
+    pub fn resolve(&self, env: &Env, vars: &mut VarTable) -> Result<Var, EvalError> {
+        match &self.index {
+            None => Ok(vars.intern(&self.base)),
+            Some(e) => {
+                let v = e.eval(env)?;
+                let i = v.as_int().ok_or(EvalError::TypeMismatch {
+                    expected: "integer index",
+                    found: v.to_string(),
+                })?;
+                Ok(vars.intern(&format!("{}[{}]", self.base, i)))
+            }
+        }
+    }
+}
+
+impl fmt::Display for GlobalRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.index {
+            None => write!(f, "{}", self.base),
+            Some(_) => write!(f, "{}[·]", self.base),
+        }
+    }
+}
+
+/// An instruction of a transaction body (Fig. 1).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Instr {
+    /// `a := e` — assignment to a local variable.
+    Assign {
+        /// Target local variable.
+        local: String,
+        /// Expression over locals.
+        expr: Expr,
+    },
+    /// `a := read(x)` — read a global variable into a local.
+    Read {
+        /// Target local variable.
+        local: String,
+        /// Global variable to read.
+        global: GlobalRef,
+    },
+    /// `write(x, e)` — write the value of an expression to a global variable.
+    Write {
+        /// Global variable to write.
+        global: GlobalRef,
+        /// Expression whose value is written.
+        expr: Expr,
+    },
+    /// `abort` — abort the transaction.
+    Abort,
+    /// `if (φ) { … } else { … }` — guarded instructions. The paper only has
+    /// a then-branch; the else-branch is a convenience (an empty vector
+    /// recovers the paper's form).
+    If {
+        /// Guard expression over locals.
+        cond: Expr,
+        /// Instructions executed when the guard is true.
+        then_branch: Vec<Instr>,
+        /// Instructions executed when the guard is false.
+        else_branch: Vec<Instr>,
+    },
+}
+
+/// A transaction of the program text: a named body of instructions,
+/// implicitly delimited by `begin`/`commit`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TransactionDef {
+    /// Human-readable name (used by assertions and reports).
+    pub name: String,
+    /// Body of the transaction.
+    pub body: Vec<Instr>,
+}
+
+impl TransactionDef {
+    /// Creates a named transaction.
+    pub fn new(name: impl Into<String>, body: Vec<Instr>) -> Self {
+        TransactionDef {
+            name: name.into(),
+            body,
+        }
+    }
+}
+
+/// A session: a sequence of transactions sharing a connection.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Session {
+    /// The transactions of the session, in session order.
+    pub transactions: Vec<TransactionDef>,
+}
+
+impl Session {
+    /// Creates a session from its transactions.
+    pub fn new(transactions: Vec<TransactionDef>) -> Self {
+        Session { transactions }
+    }
+}
+
+/// A bounded transactional program: parallel sessions plus initial values
+/// of global variables (written by the implicit `init` transaction).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Program {
+    /// The parallel sessions.
+    pub sessions: Vec<Session>,
+    /// Initial values of global variables, by name. Variables not listed
+    /// start at `0`.
+    pub init_values: Vec<(String, Value)>,
+}
+
+impl Program {
+    /// Creates a program from its sessions (all initial values default to 0).
+    pub fn new(sessions: Vec<Session>) -> Self {
+        Program {
+            sessions,
+            init_values: Vec::new(),
+        }
+    }
+
+    /// Adds an initial value for a global variable.
+    pub fn with_init(mut self, name: impl Into<String>, value: Value) -> Self {
+        self.init_values.push((name.into(), value));
+        self
+    }
+
+    /// Number of sessions.
+    pub fn num_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Total number of transactions across all sessions.
+    pub fn num_transactions(&self) -> usize {
+        self.sessions.iter().map(|s| s.transactions.len()).sum()
+    }
+
+    /// The transaction definition at the given session/program index.
+    pub fn transaction(&self, session: usize, index: usize) -> Option<&TransactionDef> {
+        self.sessions.get(session)?.transactions.get(index)
+    }
+
+    /// Iterates over `(session, index, definition)` for every transaction.
+    pub fn all_transactions(&self) -> impl Iterator<Item = (usize, usize, &TransactionDef)> {
+        self.sessions.iter().enumerate().flat_map(|(s, sess)| {
+            sess.transactions
+                .iter()
+                .enumerate()
+                .map(move |(i, t)| (s, i, t))
+        })
+    }
+
+    /// Interns the initial values into a fresh history/variable table pair,
+    /// as used by the exploration engines.
+    pub fn initial_values_interned(&self, vars: &mut VarTable) -> Vec<(Var, Value)> {
+        self.init_values
+            .iter()
+            .map(|(name, v)| (vars.intern(name), v.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+
+    #[test]
+    fn global_ref_resolution() {
+        let mut vars = VarTable::new();
+        let mut env = Env::new();
+        env.set("id", Value::Int(7));
+        let plain = GlobalRef::plain("stock");
+        let idx = GlobalRef::indexed("order", local("id"));
+        let v = plain.resolve(&env, &mut vars).unwrap();
+        assert_eq!(vars.name(v), "stock");
+        let v = idx.resolve(&env, &mut vars).unwrap();
+        assert_eq!(vars.name(v), "order[7]");
+        // Resolution is stable.
+        assert_eq!(
+            idx.resolve(&env, &mut vars).unwrap(),
+            idx.resolve(&env, &mut vars).unwrap()
+        );
+        assert_eq!(plain.to_string(), "stock");
+        assert_eq!(idx.to_string(), "order[·]");
+    }
+
+    #[test]
+    fn global_ref_resolution_errors() {
+        let mut vars = VarTable::new();
+        let env = Env::new();
+        let idx = GlobalRef::indexed("order", local("missing"));
+        assert!(idx.resolve(&env, &mut vars).is_err());
+        let mut env = Env::new();
+        env.set("s", Value::empty_set());
+        let idx = GlobalRef::indexed("order", local("s"));
+        assert!(idx.resolve(&env, &mut vars).is_err());
+    }
+
+    #[test]
+    fn program_structure_queries() {
+        let p = Program::new(vec![
+            Session::new(vec![
+                TransactionDef::new("t0", vec![assign("a", cint(1))]),
+                TransactionDef::new("t1", vec![]),
+            ]),
+            Session::new(vec![TransactionDef::new("t2", vec![])]),
+        ])
+        .with_init("x", Value::Int(5));
+        assert_eq!(p.num_sessions(), 2);
+        assert_eq!(p.num_transactions(), 3);
+        assert_eq!(p.transaction(0, 1).unwrap().name, "t1");
+        assert!(p.transaction(2, 0).is_none());
+        assert_eq!(p.all_transactions().count(), 3);
+        let mut vars = VarTable::new();
+        let init = p.initial_values_interned(&mut vars);
+        assert_eq!(init.len(), 1);
+        assert_eq!(vars.name(init[0].0), "x");
+        assert_eq!(init[0].1, Value::Int(5));
+    }
+}

@@ -1,0 +1,646 @@
+//! Operational semantics of transactional programs (§2.3, Appendix B),
+//! formulated as *replay*: the local state of a transaction is recovered by
+//! re-executing its body against the events already recorded in the history.
+//!
+//! Replay is deterministic because the value returned by every read is
+//! fixed by the history (`wr` for external reads, the preceding write of
+//! the same transaction for internal ones), so re-running the body always
+//! follows the same control-flow path. The exploration algorithms use
+//! [`oracle_next`] as their `Next` scheduler (§5.1): it completes the
+//! unique pending transaction first and otherwise starts the oracle-order
+//! minimal unstarted transaction.
+
+use std::fmt;
+
+use txdpor_history::{
+    Event, EventId, EventKind, History, SessionId, TransactionLog, TxId, Value, Var, VarTable,
+};
+
+use crate::expr::{Env, EvalError};
+use crate::instr::{Instr, Program, TransactionDef};
+
+/// Error raised while replaying a history against a program.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SemanticsError {
+    /// An expression failed to evaluate.
+    Eval(EvalError),
+    /// The history contains events that the program cannot have produced.
+    ReplayMismatch {
+        /// What the program expected at this point.
+        expected: String,
+        /// What the history contains.
+        found: String,
+    },
+    /// The history references a transaction absent from the program.
+    UnknownTransaction {
+        /// Session of the offending transaction.
+        session: u32,
+        /// Program index of the offending transaction.
+        index: usize,
+    },
+    /// The history has more than one pending transaction, violating the
+    /// scheduler invariant of §5.1.
+    MultiplePending,
+}
+
+impl fmt::Display for SemanticsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemanticsError::Eval(e) => write!(f, "evaluation error: {e}"),
+            SemanticsError::ReplayMismatch { expected, found } => {
+                write!(f, "replay mismatch: expected {expected}, found {found}")
+            }
+            SemanticsError::UnknownTransaction { session, index } => {
+                write!(f, "history references transaction {index} of session {session}, which the program does not define")
+            }
+            SemanticsError::MultiplePending => {
+                write!(f, "history has more than one pending transaction")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SemanticsError {}
+
+impl From<EvalError> for SemanticsError {
+    fn from(e: EvalError) -> Self {
+        SemanticsError::Eval(e)
+    }
+}
+
+/// The next database step of a transaction, as determined by replaying its
+/// body against its log.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TxStep {
+    /// A read instruction. `internal_value` is `Some(v)` when the
+    /// transaction already wrote the variable (rule `read-local`), in which
+    /// case the read returns `v` and needs no `wr` dependency; otherwise
+    /// the read is external (rule `read-extern`) and the exploration must
+    /// choose a writer.
+    Read {
+        /// Variable being read.
+        var: Var,
+        /// Local variable receiving the value.
+        local: String,
+        /// Value for internal reads.
+        internal_value: Option<Value>,
+    },
+    /// A write instruction with its evaluated value.
+    Write {
+        /// Variable being written.
+        var: Var,
+        /// Value to write.
+        value: Value,
+    },
+    /// The transaction body is finished; the next event is `commit`.
+    Commit,
+    /// An `abort` instruction; the next event is `abort`.
+    Abort,
+}
+
+/// Result of replaying a transaction's log.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TxReplay {
+    /// Valuation of local variables after consuming every logged event and
+    /// the local instructions that follow them.
+    pub env: Env,
+    /// The next database step, or `None` if the log is complete.
+    pub next: Option<TxStep>,
+}
+
+/// Control-flow outcome of walking a (possibly nested) instruction block.
+enum Flow {
+    /// The block completed; continue with the instructions that follow.
+    Fallthrough,
+    /// The next database step was reached (log exhausted).
+    Need(TxStep),
+    /// An abort event was consumed from the log: the transaction is over.
+    Ended,
+}
+
+struct Walker<'a> {
+    history: &'a History,
+    log: &'a TransactionLog,
+    vars: &'a mut VarTable,
+    env: Env,
+    cursor: usize,
+}
+
+impl Walker<'_> {
+    fn last_logged_write(&self, var: Var) -> Option<Value> {
+        self.log.events[..self.cursor]
+            .iter()
+            .rev()
+            .find_map(|e| match &e.kind {
+                EventKind::Write(x, v) if *x == var => Some(v.clone()),
+                _ => None,
+            })
+    }
+
+    fn mismatch(&self, expected: impl Into<String>) -> SemanticsError {
+        let found = self
+            .log
+            .events
+            .get(self.cursor)
+            .map(|e| e.kind.to_string())
+            .unwrap_or_else(|| "end of log".to_owned());
+        SemanticsError::ReplayMismatch {
+            expected: expected.into(),
+            found,
+        }
+    }
+
+    fn walk(&mut self, body: &[Instr]) -> Result<Flow, SemanticsError> {
+        for instr in body {
+            match instr {
+                Instr::Assign { local, expr } => {
+                    let v = expr.eval(&self.env)?;
+                    self.env.set(local, v);
+                }
+                Instr::Read { local, global } => {
+                    let var = global.resolve(&self.env, self.vars)?;
+                    if self.cursor < self.log.events.len() {
+                        let ev = &self.log.events[self.cursor];
+                        match &ev.kind {
+                            EventKind::Read(x) if *x == var => {
+                                let v = self
+                                    .history
+                                    .read_value(ev.id)
+                                    .ok_or_else(|| self.mismatch("read with a defined value"))?;
+                                self.env.set(local, v);
+                                self.cursor += 1;
+                            }
+                            _ => return Err(self.mismatch(format!("read({var})"))),
+                        }
+                    } else {
+                        let internal_value = self.last_logged_write(var);
+                        return Ok(Flow::Need(TxStep::Read {
+                            var,
+                            local: local.clone(),
+                            internal_value,
+                        }));
+                    }
+                }
+                Instr::Write { global, expr } => {
+                    let var = global.resolve(&self.env, self.vars)?;
+                    if self.cursor < self.log.events.len() {
+                        let ev = &self.log.events[self.cursor];
+                        match &ev.kind {
+                            EventKind::Write(x, _) if *x == var => {
+                                self.cursor += 1;
+                            }
+                            _ => return Err(self.mismatch(format!("write({var})"))),
+                        }
+                    } else {
+                        let value = expr.eval(&self.env)?;
+                        return Ok(Flow::Need(TxStep::Write { var, value }));
+                    }
+                }
+                Instr::Abort => {
+                    if self.cursor < self.log.events.len() {
+                        let ev = &self.log.events[self.cursor];
+                        if ev.kind.is_abort() {
+                            self.cursor += 1;
+                            return Ok(Flow::Ended);
+                        }
+                        return Err(self.mismatch("abort"));
+                    }
+                    return Ok(Flow::Need(TxStep::Abort));
+                }
+                Instr::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
+                    let taken = if cond.eval(&self.env)?.truthy() {
+                        then_branch
+                    } else {
+                        else_branch
+                    };
+                    match self.walk(taken)? {
+                        Flow::Fallthrough => {}
+                        other => return Ok(other),
+                    }
+                }
+            }
+        }
+        Ok(Flow::Fallthrough)
+    }
+}
+
+/// Replays a transaction's log against its definition, returning the local
+/// environment and the next database step (if the log is incomplete).
+///
+/// # Errors
+///
+/// Returns [`SemanticsError::ReplayMismatch`] if the log could not have been
+/// produced by the definition, or an evaluation error from the body.
+pub fn replay_transaction(
+    def: &TransactionDef,
+    history: &History,
+    log: &TransactionLog,
+    vars: &mut VarTable,
+) -> Result<TxReplay, SemanticsError> {
+    let mut walker = Walker {
+        history,
+        log,
+        vars,
+        env: Env::new(),
+        cursor: 1, // skip the begin event
+    };
+    debug_assert!(
+        log.events.first().is_some_and(|e| e.kind.is_begin()),
+        "transaction log must start with begin"
+    );
+    let flow = walker.walk(&def.body)?;
+    let next = match flow {
+        Flow::Need(step) => Some(step),
+        Flow::Ended => None,
+        Flow::Fallthrough => {
+            if walker.cursor < log.events.len() {
+                let ev = &log.events[walker.cursor];
+                if ev.kind.is_commit() {
+                    walker.cursor += 1;
+                    None
+                } else {
+                    return Err(walker.mismatch("commit"));
+                }
+            } else {
+                Some(TxStep::Commit)
+            }
+        }
+    };
+    if walker.cursor < log.events.len() {
+        return Err(walker.mismatch("end of transaction"));
+    }
+    Ok(TxReplay {
+        env: walker.env,
+        next,
+    })
+}
+
+/// What the oracle-order scheduler `Next` should do for the given history.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SchedulerStep {
+    /// Extend the unique pending transaction with the given database step.
+    Continue {
+        /// Session owning the pending transaction.
+        session: SessionId,
+        /// The step to perform.
+        step: TxStep,
+        /// Local environment of the pending transaction before the step.
+        env: Env,
+    },
+    /// Start the next transaction of the given session (a `begin` event).
+    Begin {
+        /// Session whose next transaction starts.
+        session: SessionId,
+        /// Index of the transaction within the session's program text.
+        program_index: usize,
+    },
+    /// Every transaction of the program is complete in the history.
+    Finished,
+}
+
+/// The `Next` scheduler of §5.1: completes the pending transaction if there
+/// is one, otherwise starts the oracle-order minimal unstarted transaction
+/// (sessions are ordered by id, transactions within a session by position).
+///
+/// # Errors
+///
+/// Propagates replay errors, and reports histories with more than one
+/// pending transaction or with transactions the program does not define.
+pub fn oracle_next(
+    program: &Program,
+    history: &History,
+    vars: &mut VarTable,
+) -> Result<SchedulerStep, SemanticsError> {
+    let pending = history.pending_txs();
+    if pending.len() > 1 {
+        return Err(SemanticsError::MultiplePending);
+    }
+    if let Some(&t) = pending.first() {
+        let log = history.tx(t);
+        let def = program
+            .transaction(log.session.0 as usize, log.program_index)
+            .ok_or(SemanticsError::UnknownTransaction {
+                session: log.session.0,
+                index: log.program_index,
+            })?;
+        let replay = replay_transaction(def, history, log, vars)?;
+        let step = replay.next.ok_or_else(|| SemanticsError::ReplayMismatch {
+            expected: "a pending transaction with a next step".to_owned(),
+            found: "a complete log".to_owned(),
+        })?;
+        return Ok(SchedulerStep::Continue {
+            session: log.session,
+            step,
+            env: replay.env,
+        });
+    }
+    for (s, sess) in program.sessions.iter().enumerate() {
+        let started = history.session_txs(SessionId(s as u32)).len();
+        if started < sess.transactions.len() {
+            return Ok(SchedulerStep::Begin {
+                session: SessionId(s as u32),
+                program_index: started,
+            });
+        }
+    }
+    Ok(SchedulerStep::Finished)
+}
+
+/// Replays every transaction of the history, returning its final local
+/// environment (used by assertion checking).
+///
+/// # Errors
+///
+/// Propagates replay errors.
+pub fn replay_all(
+    program: &Program,
+    history: &History,
+    vars: &mut VarTable,
+) -> Result<Vec<(TxId, Env)>, SemanticsError> {
+    let mut out = Vec::new();
+    for log in history.transactions() {
+        let def = program
+            .transaction(log.session.0 as usize, log.program_index)
+            .ok_or(SemanticsError::UnknownTransaction {
+                session: log.session.0,
+                index: log.program_index,
+            })?;
+        let replay = replay_transaction(def, history, log, vars)?;
+        out.push((log.id, replay.env));
+    }
+    Ok(out)
+}
+
+/// Creates the initial history of a program: only the implicit `init`
+/// transaction with the program's declared initial values.
+pub fn initial_history(program: &Program, vars: &mut VarTable) -> History {
+    History::new(program.initial_values_interned(vars))
+}
+
+/// Executes the program serially under the oracle order, every external
+/// read reading from the most recently committed writer. Useful as a quick
+/// sanity execution in tests and examples; the full exploration lives in
+/// `txdpor-explore`.
+///
+/// # Errors
+///
+/// Propagates replay errors.
+pub fn execute_serial(program: &Program) -> Result<(History, VarTable), SemanticsError> {
+    let mut vars = VarTable::new();
+    let mut history = initial_history(program, &mut vars);
+    let mut next_event = 0u32;
+    let mut next_tx = 0u32;
+    let mut fresh = move || {
+        next_event += 1;
+        EventId(next_event)
+    };
+    loop {
+        match oracle_next(program, &history, &mut vars)? {
+            SchedulerStep::Finished => break,
+            SchedulerStep::Begin {
+                session,
+                program_index,
+            } => {
+                next_tx += 1;
+                history.begin_transaction(
+                    session,
+                    TxId(next_tx),
+                    program_index,
+                    Event::new(fresh(), EventKind::Begin),
+                );
+            }
+            SchedulerStep::Continue { session, step, .. } => match step {
+                TxStep::Write { var, value } => {
+                    history.append_event(session, Event::new(fresh(), EventKind::Write(var, value)));
+                }
+                TxStep::Commit => {
+                    history.append_event(session, Event::new(fresh(), EventKind::Commit));
+                }
+                TxStep::Abort => {
+                    history.append_event(session, Event::new(fresh(), EventKind::Abort));
+                }
+                TxStep::Read {
+                    var,
+                    internal_value,
+                    ..
+                } => {
+                    let ev = Event::new(fresh(), EventKind::Read(var));
+                    let id = ev.id;
+                    history.append_event(session, ev);
+                    if internal_value.is_none() {
+                        // Read from the most recently committed writer of var.
+                        let writer = history
+                            .committed_writers_of(var)
+                            .into_iter()
+                            .max_by_key(|t| t.0)
+                            .unwrap_or(TxId::INIT);
+                        history.set_wr(id, writer);
+                    }
+                }
+            },
+        }
+    }
+    Ok((history, vars))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+    use crate::instr::Program;
+
+    /// Fig. 8a: two sessions, the left one reads x and conditionally writes y.
+    fn fig8_program() -> Program {
+        program(vec![
+            session(vec![
+                tx(
+                    "t1",
+                    vec![
+                        read("a", g("x")),
+                        iff(eq(local("a"), cint(3)), vec![write(g("y"), cint(1))]),
+                    ],
+                ),
+                tx("t2", vec![read("b", g("x")), read("c", g("y"))]),
+            ]),
+            session(vec![tx(
+                "t3",
+                vec![read("d", g("x")), write(g("x"), cint(3))],
+            )]),
+        ])
+    }
+
+    #[test]
+    fn serial_execution_produces_complete_history() {
+        let p = fig8_program();
+        let (h, vars) = execute_serial(&p).unwrap();
+        assert_eq!(h.num_transactions(), 3);
+        assert_eq!(h.num_pending(), 0);
+        assert!(vars.get("x").is_some());
+        assert!(vars.get("y").is_some());
+        // Under the serial oracle-order execution, t1 reads x=0 from init so
+        // it does not write y; t3 then writes x=3; t2 reads x=3 from t3.
+        let envs = replay_all(&p, &h, &mut vars.clone()).unwrap();
+        let t2_env = envs
+            .iter()
+            .find(|(t, _)| h.tx(*t).program_index == 1 && h.tx(*t).session == SessionId(0))
+            .map(|(_, e)| e.clone())
+            .unwrap();
+        assert_eq!(t2_env.get("b"), Some(&Value::Int(0)));
+        assert_eq!(t2_env.get("c"), Some(&Value::Int(0)));
+    }
+
+    #[test]
+    fn conditional_write_follows_read_value() {
+        // Single session: writer of x=3 first, then the conditional transaction.
+        let p = program(vec![session(vec![
+            tx("w", vec![write(g("x"), cint(3))]),
+            tx(
+                "c",
+                vec![
+                    read("a", g("x")),
+                    iff(eq(local("a"), cint(3)), vec![write(g("y"), cint(1))]),
+                ],
+            ),
+        ])]);
+        let (h, vars) = execute_serial(&p).unwrap();
+        let y = vars.get("y").expect("y written");
+        let writers = h.writers_of(y);
+        assert_eq!(writers.len(), 2, "init plus the conditional writer");
+    }
+
+    #[test]
+    fn abort_ends_transaction() {
+        let p = program(vec![session(vec![tx(
+            "t",
+            vec![
+                read("a", g("x")),
+                iff(eq(local("a"), cint(0)), vec![abort()]),
+                write(g("y"), cint(1)),
+            ],
+        )])]);
+        let (h, _) = execute_serial(&p).unwrap();
+        let t = h.transactions().next().unwrap();
+        assert!(t.is_aborted());
+        // The write to y must not have happened.
+        assert_eq!(t.write_events().count(), 0);
+    }
+
+    #[test]
+    fn internal_reads_do_not_need_wr() {
+        let p = program(vec![session(vec![tx(
+            "t",
+            vec![
+                write(g("x"), cint(7)),
+                read("a", g("x")),
+                write(g("y"), local("a")),
+            ],
+        )])]);
+        let (h, vars) = execute_serial(&p).unwrap();
+        assert_eq!(h.wr().len(), 0, "internal read has no wr dependency");
+        let y = vars.get("y").unwrap();
+        let t = h.transactions().next().unwrap();
+        assert_eq!(t.visible_write_value(y), Some(&Value::Int(7)));
+    }
+
+    #[test]
+    fn dynamic_index_resolution() {
+        let p = program(vec![session(vec![
+            tx("setup", vec![write(g("next_id"), cint(4))]),
+            tx(
+                "order",
+                vec![
+                    read("id", g("next_id")),
+                    write(gi("order", local("id")), cint(1)),
+                    write(g("next_id"), add(local("id"), cint(1))),
+                ],
+            ),
+        ])]);
+        let (h, vars) = execute_serial(&p).unwrap();
+        let order4 = vars.get("order[4]").expect("order[4] interned");
+        assert!(h.writers_of(order4).len() > 1);
+    }
+
+    #[test]
+    fn oracle_next_prioritises_pending_transaction() {
+        let p = fig8_program();
+        let mut vars = VarTable::new();
+        let mut h = initial_history(&p, &mut vars);
+        // Start session 0's first transaction manually.
+        h.begin_transaction(
+            SessionId(0),
+            TxId(1),
+            0,
+            Event::new(EventId(1), EventKind::Begin),
+        );
+        let step = oracle_next(&p, &h, &mut vars).unwrap();
+        match step {
+            SchedulerStep::Continue { session, step, .. } => {
+                assert_eq!(session, SessionId(0));
+                assert!(matches!(step, TxStep::Read { .. }));
+            }
+            other => panic!("expected Continue, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oracle_next_starts_sessions_in_id_order() {
+        let p = fig8_program();
+        let mut vars = VarTable::new();
+        let h = initial_history(&p, &mut vars);
+        assert_eq!(
+            oracle_next(&p, &h, &mut vars).unwrap(),
+            SchedulerStep::Begin {
+                session: SessionId(0),
+                program_index: 0
+            }
+        );
+    }
+
+    #[test]
+    fn replay_mismatch_detected() {
+        let p = program(vec![session(vec![tx("t", vec![write(g("x"), cint(1))])])]);
+        let mut vars = VarTable::new();
+        let x = vars.intern("x");
+        let mut h = initial_history(&p, &mut vars);
+        h.begin_transaction(
+            SessionId(0),
+            TxId(1),
+            0,
+            Event::new(EventId(1), EventKind::Begin),
+        );
+        // Record a read even though the program writes.
+        h.append_event(SessionId(0), Event::new(EventId(2), EventKind::Read(x)));
+        let err = oracle_next(&p, &h, &mut vars).unwrap_err();
+        assert!(matches!(err, SemanticsError::ReplayMismatch { .. }));
+        assert!(err.to_string().contains("replay mismatch"));
+    }
+
+    #[test]
+    fn finished_program_reports_finished() {
+        let p = fig8_program();
+        let (h, mut vars) = execute_serial(&p).unwrap();
+        assert_eq!(
+            oracle_next(&p, &h, &mut vars).unwrap(),
+            SchedulerStep::Finished
+        );
+    }
+
+    #[test]
+    fn unknown_transaction_is_reported() {
+        let p = program(vec![session(vec![tx("t", vec![])])]);
+        let mut vars = VarTable::new();
+        let mut h = initial_history(&p, &mut vars);
+        h.begin_transaction(
+            SessionId(5),
+            TxId(1),
+            0,
+            Event::new(EventId(1), EventKind::Begin),
+        );
+        let err = oracle_next(&p, &h, &mut vars).unwrap_err();
+        assert!(matches!(err, SemanticsError::UnknownTransaction { .. }));
+    }
+}

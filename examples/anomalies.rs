@@ -1,0 +1,134 @@
+//! Classic transactional anomalies and the isolation levels that admit
+//! them: dirty-read-style fractured reads, lost update, write skew and the
+//! long fork. For each anomaly program the example reports how many
+//! behaviours each isolation level admits and whether the anomalous
+//! outcome is among them.
+//!
+//! Run with: `cargo run --example anomalies`
+
+use txdpor::prelude::*;
+
+/// Builds the four anomaly programs together with an assertion that is
+/// violated exactly when the anomalous behaviour occurs.
+fn anomalies() -> Vec<(&'static str, Program, fn(&AssertionCtx<'_>) -> bool)> {
+    let incr = || {
+        tx(
+            "incr",
+            vec![read("a", g("x")), write(g("x"), add(local("a"), cint(1)))],
+        )
+    };
+    vec![
+        (
+            "fractured read",
+            // A writer updates x and y together; a reader must not observe
+            // only half of the update.
+            program(vec![
+                session(vec![tx(
+                    "writer",
+                    vec![write(g("x"), cint(1)), write(g("y"), cint(1))],
+                )]),
+                session(vec![tx(
+                    "reader",
+                    vec![read("rx", g("x")), read("ry", g("y"))],
+                )]),
+            ]),
+            |ctx| {
+                ctx.committed_named("reader").all(|(_, env)| {
+                    env.get("rx") != Some(&Value::Int(0)) || env.get("ry") != Some(&Value::Int(1))
+                })
+            },
+        ),
+        (
+            "lost update",
+            program(vec![session(vec![incr()]), session(vec![incr()])]),
+            |ctx| {
+                ctx.committed_values_of("x")
+                    .iter()
+                    .any(|v| *v == Value::Int(2))
+            },
+        ),
+        (
+            "write skew",
+            // Two guards each check the *other* flag before setting theirs;
+            // at most one should succeed.
+            program(vec![
+                session(vec![tx(
+                    "left",
+                    vec![
+                        read("a", g("y")),
+                        iff(eq(local("a"), cint(0)), vec![write(g("x"), cint(1))]),
+                    ],
+                )]),
+                session(vec![tx(
+                    "right",
+                    vec![
+                        read("b", g("x")),
+                        iff(eq(local("b"), cint(0)), vec![write(g("y"), cint(1))]),
+                    ],
+                )]),
+            ]),
+            |ctx| {
+                let both = ctx.committed_writers_named("left", "x")
+                    + ctx.committed_writers_named("right", "y");
+                both < 2
+            },
+        ),
+        (
+            "long fork",
+            program(vec![
+                session(vec![tx("wx", vec![write(g("x"), cint(1))])]),
+                session(vec![tx("wy", vec![write(g("y"), cint(1))])]),
+                session(vec![tx("r1", vec![read("a", g("x")), read("b", g("y"))])]),
+                session(vec![tx("r2", vec![read("c", g("y")), read("d", g("x"))])]),
+            ]),
+            |ctx| {
+                // The two readers must not observe the writes in opposite orders.
+                let r1_fork = ctx.committed_named("r1").all(|(_, env)| {
+                    env.get("a") == Some(&Value::Int(1)) && env.get("b") == Some(&Value::Int(0))
+                });
+                let r2_fork = ctx.committed_named("r2").all(|(_, env)| {
+                    env.get("c") == Some(&Value::Int(1)) && env.get("d") == Some(&Value::Int(0))
+                });
+                !(r1_fork && r2_fork)
+            },
+        ),
+    ]
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== which isolation level admits which anomaly? ==\n");
+    println!(
+        "{:<16} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "anomaly", "RC", "RA", "CC", "SI", "SER"
+    );
+    for (name, p, assertion) in anomalies() {
+        let mut cells = Vec::new();
+        for level in [
+            IsolationLevel::ReadCommitted,
+            IsolationLevel::ReadAtomic,
+            IsolationLevel::CausalConsistency,
+        ] {
+            let report =
+                explore_with_assertion(&p, ExploreConfig::explore_ce(level), Some(&assertion))?;
+            cells.push((report.outputs, report.assertion_violations > 0));
+        }
+        for level in [
+            IsolationLevel::SnapshotIsolation,
+            IsolationLevel::Serializability,
+        ] {
+            let report = explore_with_assertion(
+                &p,
+                ExploreConfig::explore_ce_star(IsolationLevel::ReadCommitted, level),
+                Some(&assertion),
+            )?;
+            cells.push((report.outputs, report.assertion_violations > 0));
+        }
+        print!("{name:<16}");
+        for (outputs, violated) in cells {
+            print!(" {:>6}", format!("{}{}", outputs, if violated { "!" } else { "" }));
+        }
+        println!();
+    }
+    println!("\n(count = admitted histories; '!' = the anomaly occurs at this level)");
+    Ok(())
+}

@@ -1,0 +1,205 @@
+//! Tests for the paper's formal claims, checked empirically on bounded
+//! programs: prefix closure (Theorem 3.2), causal extensibility
+//! (Theorem 3.4), the counterexample of Fig. 6, soundness/completeness/
+//! strong optimality of `explore-ce` (Theorem 5.1) and the behaviour of
+//! `explore-ce*` (Corollary 6.2).
+
+use std::collections::BTreeSet;
+
+use txdpor::prelude::*;
+use txdpor_history::{Event, EventId, EventKind, SessionId, TxId};
+
+/// Builds the history of Fig. 6 (the counterexample to causal
+/// extensibility for SI and SER), optionally with the final `write(x, 2)`.
+fn fig6_history(with_final_write: bool) -> (History, Var, Var, Var) {
+    let (x, y, z) = (Var(0), Var(1), Var(2));
+    let mut h = History::new([]);
+    let mut id = 0u32;
+    let mut fresh = || {
+        id += 1;
+        EventId(id)
+    };
+    h.begin_transaction(SessionId(0), TxId(1), 0, Event::new(fresh(), EventKind::Begin));
+    h.append_event(SessionId(0), Event::new(fresh(), EventKind::Write(z, Value::Int(1))));
+    let r = fresh();
+    h.append_event(SessionId(0), Event::new(r, EventKind::Read(x)));
+    h.set_wr(r, TxId::INIT);
+    h.append_event(SessionId(0), Event::new(fresh(), EventKind::Write(y, Value::Int(1))));
+    h.append_event(SessionId(0), Event::new(fresh(), EventKind::Commit));
+
+    h.begin_transaction(SessionId(1), TxId(2), 0, Event::new(fresh(), EventKind::Begin));
+    h.append_event(SessionId(1), Event::new(fresh(), EventKind::Write(z, Value::Int(2))));
+    let r = fresh();
+    h.append_event(SessionId(1), Event::new(r, EventKind::Read(y)));
+    h.set_wr(r, TxId::INIT);
+    if with_final_write {
+        h.append_event(SessionId(1), Event::new(fresh(), EventKind::Write(x, Value::Int(2))));
+    }
+    (h, x, y, z)
+}
+
+#[test]
+fn theorem_3_2_prefix_closure_on_explored_histories() {
+    // Every prefix of a consistent history (obtained by removing a suffix
+    // of whole transactions, which is a prefix in the paper's sense when
+    // the removed transactions are causally maximal) remains consistent.
+    let p = client_program(&WorkloadConfig {
+        app: App::ShoppingCart,
+        sessions: 2,
+        transactions_per_session: 2,
+        seed: 3,
+    });
+    for level in [
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::ReadAtomic,
+        IsolationLevel::CausalConsistency,
+        IsolationLevel::SnapshotIsolation,
+        IsolationLevel::Serializability,
+    ] {
+        let base = if level.is_causally_extensible() {
+            ExploreConfig::explore_ce(level)
+        } else {
+            ExploreConfig::explore_ce_star(IsolationLevel::CausalConsistency, level)
+        };
+        let report = explore(&p, base.collecting_histories()).unwrap();
+        for h in report.histories.iter().take(20) {
+            // Remove one causally-maximal transaction at a time.
+            let maximal: Vec<_> = h
+                .tx_ids()
+                .filter(|t| h.is_causally_maximal(*t))
+                .collect();
+            for t in maximal {
+                let doomed: BTreeSet<_> = h.tx(t).events.iter().map(|e| e.id).collect();
+                let prefix = h.remove_events(&doomed);
+                assert!(
+                    level.satisfies(&prefix),
+                    "{level}: prefix of a consistent history is inconsistent"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem_3_4_causal_extensibility_counterexample() {
+    // The history of Fig. 6 without the final write satisfies SI and SER;
+    // its (unique) causal extension with write(x, 2) satisfies neither,
+    // while CC accepts both — hence SI and SER are not causally extensible
+    // and CC is not contradicted.
+    let (h_before, _, _, _) = fig6_history(false);
+    let (h_after, _, _, _) = fig6_history(true);
+    assert!(IsolationLevel::SnapshotIsolation.satisfies(&h_before));
+    assert!(IsolationLevel::Serializability.satisfies(&h_before));
+    assert!(!IsolationLevel::SnapshotIsolation.satisfies(&h_after));
+    assert!(!IsolationLevel::Serializability.satisfies(&h_after));
+    assert!(IsolationLevel::CausalConsistency.satisfies(&h_before));
+    assert!(IsolationLevel::CausalConsistency.satisfies(&h_after));
+}
+
+#[test]
+fn theorem_5_1_strong_optimality_on_workloads() {
+    // explore-ce never blocks and never repeats a history for causally
+    // extensible levels, on real application workloads.
+    for app in [App::Courseware, App::Twitter, App::Wikipedia] {
+        let p = client_program(&WorkloadConfig {
+            app,
+            sessions: 2,
+            transactions_per_session: 2,
+            seed: 4,
+        });
+        for level in [
+            IsolationLevel::ReadCommitted,
+            IsolationLevel::ReadAtomic,
+            IsolationLevel::CausalConsistency,
+        ] {
+            let report = explore(
+                &p,
+                ExploreConfig::explore_ce(level).tracking_duplicates(),
+            )
+            .unwrap();
+            assert_eq!(report.blocked, 0, "{app}/{level}: fruitless exploration");
+            assert_eq!(report.duplicate_outputs, 0, "{app}/{level}: duplicate output");
+            // Strong optimality also implies every end state is output.
+            assert_eq!(report.end_states, report.outputs);
+        }
+    }
+}
+
+#[test]
+fn corollary_6_2_star_is_optimal_but_not_strongly_optimal() {
+    // explore-ce*(CC, SER) outputs each SER history once (optimal) but
+    // explores CC-only end states that are filtered out — the fruitless
+    // explorations that Theorem 6.1 shows cannot be avoided.
+    let incr = || {
+        tx(
+            "incr",
+            vec![read("a", g("x")), write(g("x"), add(local("a"), cint(1)))],
+        )
+    };
+    let p = program(vec![session(vec![incr()]), session(vec![incr()])]);
+    let report = explore(
+        &p,
+        ExploreConfig::explore_ce_star(
+            IsolationLevel::CausalConsistency,
+            IsolationLevel::Serializability,
+        )
+        .tracking_duplicates(),
+    )
+    .unwrap();
+    assert_eq!(report.duplicate_outputs, 0);
+    assert!(
+        report.filtered_out() > 0,
+        "the lost-update end state must be explored and filtered"
+    );
+}
+
+#[test]
+fn serial_execution_is_among_the_outputs() {
+    // The oracle-order serial execution (every read observing the latest
+    // committed write) is a valid execution under every level, so
+    // completeness requires it to be among the outputs.
+    let p = client_program(&WorkloadConfig {
+        app: App::Tpcc,
+        sessions: 2,
+        transactions_per_session: 2,
+        seed: 5,
+    });
+    let report = explore(
+        &p,
+        ExploreConfig::explore_ce(IsolationLevel::CausalConsistency).collecting_histories(),
+    )
+    .unwrap();
+    let (serial, _) = execute_serial(&p).unwrap();
+    let outputs: BTreeSet<_> = report.histories.iter().map(|h| h.fingerprint()).collect();
+    assert!(
+        outputs.contains(&serial.fingerprint()),
+        "the serial execution must be enumerated"
+    );
+}
+
+#[test]
+fn polynomial_space_proxy_histories_stay_small() {
+    // The recursion never materialises more than one history per event of
+    // the program: the maximum history size equals the number of events of
+    // a complete execution, independently of how many histories exist.
+    let p = client_program(&WorkloadConfig {
+        app: App::Wikipedia,
+        sessions: 3,
+        transactions_per_session: 2,
+        seed: 1,
+    });
+    let report = explore(
+        &p,
+        ExploreConfig::explore_ce(IsolationLevel::CausalConsistency),
+    )
+    .unwrap();
+    // Every transaction contributes at most 6 events (begin + 4 accesses +
+    // commit) in these workloads.
+    let bound = p.num_transactions() * 8;
+    assert!(
+        report.max_events <= bound,
+        "history size {} exceeds the linear bound {bound}",
+        report.max_events
+    );
+    assert!(report.outputs > 1);
+}
