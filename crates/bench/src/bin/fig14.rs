@@ -9,7 +9,7 @@
 use txdpor_bench::tables::print_cactus;
 use txdpor_bench::{average_speedup, experiment_fig14, ExperimentOptions, Measurement};
 
-fn by_algorithm<'a>(rows: &'a [Measurement], label: &str) -> Vec<Measurement> {
+fn by_algorithm(rows: &[Measurement], label: &str) -> Vec<Measurement> {
     rows.iter().filter(|m| m.algorithm == label).cloned().collect()
 }
 

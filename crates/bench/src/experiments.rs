@@ -211,8 +211,10 @@ mod tests {
 
     #[test]
     fn fig14_suite_size() {
-        let mut options = ExperimentOptions::default();
-        options.variants = 2;
+        let options = ExperimentOptions {
+            variants: 2,
+            ..ExperimentOptions::default()
+        };
         assert_eq!(fig14_suite(&options).len(), 10);
     }
 
@@ -235,8 +237,8 @@ mod tests {
             assert!(row.histories >= 1 || row.timed_out);
         }
         let sess = experiment_sessions(&options, 2);
-        assert_eq!(sess.len(), 2 * 2 * 1);
+        assert_eq!(sess.len(), 2 * 2);
         let txns = experiment_transactions(&options, 2);
-        assert_eq!(txns.len(), 2 * 2 * 1);
+        assert_eq!(txns.len(), 2 * 2);
     }
 }

@@ -1,0 +1,68 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::ops::{Bound, RangeBounds};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+use rand::Rng as _;
+
+/// Strategy for a `Vec` whose length is drawn from a size range and whose
+/// elements come from an inner strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize,
+}
+
+/// A `Vec<T>` strategy: length in `size` (any usize range), elements from
+/// `element`.
+pub fn vec<S: Strategy>(element: S, size: impl RangeBounds<usize>) -> VecStrategy<S> {
+    let min = match size.start_bound() {
+        Bound::Included(&n) => n,
+        Bound::Excluded(&n) => n + 1,
+        Bound::Unbounded => 0,
+    };
+    let max = match size.end_bound() {
+        Bound::Included(&n) => n,
+        Bound::Excluded(&n) => {
+            assert!(n > min, "empty size range for collection::vec");
+            n - 1
+        }
+        Bound::Unbounded => min + 16,
+    };
+    assert!(min <= max, "empty size range for collection::vec");
+    VecStrategy { element, min, max }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.min..=self.max);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_from_seed;
+
+    #[test]
+    fn lengths_stay_in_range() {
+        let mut rng = rng_from_seed(3);
+        let strat = vec(0..10u32, 2..=5);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((2..=5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty size range")]
+    fn empty_excluded_range_is_rejected() {
+        let _ = vec(0..10u32, 0..0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Offline stand-in for the `proptest` property-testing framework.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this crate implements the subset of proptest's API used by the workspace
+//! tests: the [`Strategy`](strategy::Strategy) trait with `prop_map` and
+//! `boxed`, strategies for integer ranges, tuples, [`Just`](strategy::Just),
+//! [`collection::vec`], [`any`](arbitrary::any), the [`prop_oneof!`] union
+//! macro, and the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`]
+//! test macros driven by [`ProptestConfig`](test_runner::ProptestConfig).
+//!
+//! Unlike upstream proptest it performs no shrinking: each test runs
+//! `config.cases` deterministic random cases (seeded per test) and fails by
+//! panicking with the offending case number. That is sufficient for the CI
+//! gate; failures print the case seed so they can be replayed.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything needed by a typical proptest-based test module.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Union of several strategies producing the same value type, sampled
+/// uniformly.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Assert a boolean condition inside a [`proptest!`] test body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Assert equality inside a [`proptest!`] test body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*)
+    };
+}
+
+/// Define property tests: each `fn name(pat in strategy) { body }` becomes a
+/// `#[test]` running `config.cases` random cases of `body` with `pat` bound
+/// to a generated value.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`]; parses one test item at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr);) => {};
+    (($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($pat:pat in $strategy:expr) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let strategy = $strategy;
+            for case in 0..config.cases {
+                let seed = $crate::test_runner::case_seed(stringify!($name), case);
+                let mut runner = $crate::test_runner::rng_from_seed(seed);
+                let $pat = $crate::strategy::Strategy::generate(&strategy, &mut runner);
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                if let Err(panic) = result {
+                    eprintln!(
+                        "proptest case {}/{} of `{}` failed (replay seed {:#x})",
+                        case + 1, config.cases, stringify!($name), seed,
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::__proptest_items!(($config); $($rest)*);
+    };
+}

@@ -1,0 +1,44 @@
+//! Test-runner configuration and the deterministic per-case RNG.
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::SeedableRng as _;
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+///
+/// Only `cases` is honoured; the other fields exist for source compatibility
+/// with upstream proptest configuration literals.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; failures are never persisted.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+            max_global_rejects: 65536,
+        }
+    }
+}
+
+/// Deterministic seed for one case of one named property test.
+pub fn case_seed(test_name: &str, case: u32) -> u64 {
+    // FNV-1a over the test name, mixed with the case number.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash ^ (u64::from(case) << 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Build the per-case RNG from a seed (used by the `proptest!` expansion).
+pub fn rng_from_seed(seed: u64) -> TestRng {
+    TestRng::seed_from_u64(seed)
+}

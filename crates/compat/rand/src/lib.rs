@@ -1,0 +1,199 @@
+//! Offline stand-in for the `rand` crate (0.8-style API).
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this crate provides the small, deterministic subset of `rand`'s API that
+//! the workspace actually uses: the [`Rng`] trait with `gen_range` /
+//! `gen_bool` / `gen`, the [`SeedableRng`] constructor trait, and
+//! [`rngs::StdRng`] backed by the SplitMix64 generator. The statistical
+//! quality is more than sufficient for workload generation; the stream is
+//! *not* identical to upstream `rand`, only API-compatible.
+
+#![warn(missing_docs)]
+
+use std::ops::{Bound, RangeBounds};
+
+/// Types that can be sampled uniformly from a range by [`Rng::gen_range`].
+///
+/// Bounds are widened to `i128` internally so that inclusive ranges ending
+/// at the type's `MAX` (e.g. `0..=u64::MAX`) work without overflow.
+pub trait SampleUniform: Copy {
+    /// The smallest representable value, used to resolve unbounded starts.
+    const MIN: Self;
+    /// Widen to `i128` (lossless for all supported 64-bit-or-smaller types).
+    fn to_i128(self) -> i128;
+    /// Narrow from `i128`; only called with values inside the sampled range.
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            const MIN: Self = <$t>::MIN;
+            fn to_i128(self) -> i128 { self as i128 }
+            fn from_i128(v: i128) -> Self { v as $t }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The raw generator interface: a source of uniformly distributed `u64`s.
+pub trait RngCore {
+    /// Return the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level sampling methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, B>(&mut self, range: B) -> T
+    where
+        T: SampleUniform,
+        B: RangeBounds<T>,
+    {
+        let low = match range.start_bound() {
+            Bound::Included(&v) => v.to_i128(),
+            Bound::Excluded(&v) => v.to_i128() + 1,
+            Bound::Unbounded => T::MIN.to_i128(),
+        };
+        let high = match range.end_bound() {
+            Bound::Included(&v) => v.to_i128() + 1,
+            Bound::Excluded(&v) => v.to_i128(),
+            Bound::Unbounded => panic!("gen_range requires a bounded end"),
+        };
+        assert!(low < high, "cannot sample empty range {low}..{high}");
+        let span = (high - low) as u128;
+        let v = (((self.next_u64() as u128) << 64 | self.next_u64() as u128) % span) as i128;
+        T::from_i128(low + v)
+    }
+
+    /// Return `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        // 53 random bits give a uniform float in [0, 1).
+        let f = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        f < p
+    }
+
+    /// Sample a random value of a supported type (`bool`, integers).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::standard(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types sampleable by [`Rng::gen`] from the full uniform distribution.
+pub trait Standard: Sized {
+    /// Sample a uniformly distributed value.
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+/// Generators that can be deterministically seeded.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generator implementations.
+
+    use super::{RngCore, SeedableRng};
+
+    /// A deterministic 64-bit generator (SplitMix64).
+    ///
+    /// Unlike upstream `rand`, the output stream is SplitMix64 rather than
+    /// ChaCha12 — deterministic, fast, and statistically fine for workload
+    /// generation, which is all this workspace uses it for.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut rng = StdRng { state: seed };
+            // Discard one output so that small seeds decorrelate.
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000u32), b.gen_range(0..1000u32));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: i64 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_range_full_width_inclusive() {
+        let mut rng = StdRng::seed_from_u64(9);
+        // Inclusive ends at the type's MAX must not overflow.
+        let _: u64 = rng.gen_range(0..=u64::MAX);
+        let _: i64 = rng.gen_range(i64::MIN..=i64::MAX);
+        let v: u8 = rng.gen_range(255..=255);
+        assert_eq!(v, 255);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample empty range")]
+    fn gen_range_rejects_empty_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let _: u32 = rng.gen_range(5..5);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

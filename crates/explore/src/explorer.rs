@@ -528,8 +528,7 @@ mod tests {
         let assertion = |ctx: &AssertionCtx<'_>| {
             // Serial executions end with some transaction writing 2.
             ctx.committed_values_of("x")
-                .iter()
-                .any(|v| *v == txdpor_history::Value::Int(2))
+                .contains(&txdpor_history::Value::Int(2))
         };
         let report = explore_with_assertion(
             &p,

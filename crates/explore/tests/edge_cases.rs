@@ -48,7 +48,7 @@ fn aborted_writer_is_never_read_from() {
     for h in &report.histories {
         let x = report.vars.get("x").unwrap();
         assert_eq!(h.wr().len(), 1);
-        for (_, writer) in h.wr() {
+        for writer in h.wr().values() {
             assert!(writer.is_init());
         }
         assert_eq!(h.writers_of(x).len(), 1, "only init writes x visibly");

@@ -36,7 +36,7 @@ pub fn satisfies_weak(h: &History, level: IsolationLevel) -> bool {
     let mut g = Digraph::new(txs.len());
 
     // so edges (immediate successors suffice for acyclicity) and init edges.
-    for (_, session) in h.sessions() {
+    for session in h.sessions().values() {
         if let Some(first) = session.first() {
             g.add_edge(0, index[first]);
         }

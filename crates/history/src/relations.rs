@@ -74,13 +74,13 @@ impl Digraph {
     pub fn reachability(&self) -> Vec<Vec<bool>> {
         let n = self.len();
         let mut out = vec![vec![false; n]; n];
-        for start in 0..n {
+        for (start, reached) in out.iter_mut().enumerate() {
             let mut stack = vec![start];
-            out[start][start] = true;
+            reached[start] = true;
             while let Some(v) = stack.pop() {
                 for &w in &self.adj[v] {
-                    if !out[start][w] {
-                        out[start][w] = true;
+                    if !reached[w] {
+                        reached[w] = true;
                         stack.push(w);
                     }
                 }

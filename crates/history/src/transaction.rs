@@ -136,16 +136,8 @@ impl TransactionLog {
         let mut out = Vec::new();
         for e in &self.events {
             match &e.kind {
-                EventKind::Read(x) => {
-                    if !written.contains(x) {
-                        out.push(e);
-                    }
-                }
-                EventKind::Write(x, _) => {
-                    if !written.contains(x) {
-                        written.push(*x);
-                    }
-                }
+                EventKind::Read(x) if !written.contains(x) => out.push(e),
+                EventKind::Write(x, _) if !written.contains(x) => written.push(*x),
                 _ => {}
             }
         }
@@ -159,11 +151,7 @@ impl TransactionLog {
         for e in &self.events {
             match &e.kind {
                 EventKind::Read(x) if e.id == read => return written.contains(x),
-                EventKind::Write(x, _) => {
-                    if !written.contains(x) {
-                        written.push(*x);
-                    }
-                }
+                EventKind::Write(x, _) if !written.contains(x) => written.push(*x),
                 _ => {}
             }
         }

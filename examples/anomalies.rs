@@ -8,9 +8,13 @@
 
 use txdpor::prelude::*;
 
+/// An anomaly program with its name and an assertion that is violated
+/// exactly when the anomalous behaviour occurs.
+type Anomaly = (&'static str, Program, fn(&AssertionCtx<'_>) -> bool);
+
 /// Builds the four anomaly programs together with an assertion that is
 /// violated exactly when the anomalous behaviour occurs.
-fn anomalies() -> Vec<(&'static str, Program, fn(&AssertionCtx<'_>) -> bool)> {
+fn anomalies() -> Vec<Anomaly> {
     let incr = || {
         tx(
             "incr",
@@ -42,9 +46,7 @@ fn anomalies() -> Vec<(&'static str, Program, fn(&AssertionCtx<'_>) -> bool)> {
             "lost update",
             program(vec![session(vec![incr()]), session(vec![incr()])]),
             |ctx| {
-                ctx.committed_values_of("x")
-                    .iter()
-                    .any(|v| *v == Value::Int(2))
+                ctx.committed_values_of("x").contains(&Value::Int(2))
             },
         ),
         (

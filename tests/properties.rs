@@ -24,13 +24,13 @@ fn instr_strategy() -> impl Strategy<Value = Instr> {
         (var.clone(), lcl.clone()).prop_map(|(v, l)| {
             // Guard the use of the local so that it is always defined.
             iff(
-                ge(add(local_or_zero(&l), cint(0)), cint(0)),
-                vec![write(g(v), local_or_zero(&l))],
+                ge(add(local_or_zero(l), cint(0)), cint(0)),
+                vec![write(g(v), local_or_zero(l))],
             )
         }),
         // conditional write on a previously read value
         (lcl, var, 0..3i64).prop_map(|(l, v, c)| iff(
-            eq(local_or_zero(&l), cint(c)),
+            eq(local_or_zero(l), cint(c)),
             vec![write(g(v), cint(c + 1))]
         )),
     ]
