@@ -174,7 +174,10 @@ mod tests {
             Some(&capacity_invariant),
         )
         .unwrap();
-        assert!(cc.assertion_violations > 0, "double enrollment not found under CC");
+        assert!(
+            cc.assertion_violations > 0,
+            "double enrollment not found under CC"
+        );
         let ser = explore_with_assertion(
             &p,
             ExploreConfig::explore_ce_star(
@@ -184,7 +187,10 @@ mod tests {
             Some(&capacity_invariant),
         )
         .unwrap();
-        assert_eq!(ser.assertion_violations, 0, "serializability must forbid it");
+        assert_eq!(
+            ser.assertion_violations, 0,
+            "serializability must forbid it"
+        );
     }
 
     #[test]

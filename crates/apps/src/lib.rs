@@ -37,4 +37,6 @@ pub mod twitter;
 pub mod wikipedia;
 pub mod workload;
 
-pub use workload::{benchmark_programs, client_program, paper_benchmark_suite, App, WorkloadConfig};
+pub use workload::{
+    benchmark_programs, client_program, paper_benchmark_suite, App, WorkloadConfig,
+};

@@ -70,10 +70,7 @@ pub fn change_quantity(user: i64, item: i64, quantity: i64) -> TransactionDef {
 pub fn get_cart(user: i64, item: i64) -> TransactionDef {
     tx(
         "get_cart",
-        vec![
-            read("c", g(cart(user))),
-            read("q", g(qty(user, item))),
-        ],
+        vec![read("c", g(cart(user))), read("q", g(qty(user, item)))],
     )
 }
 

@@ -184,7 +184,11 @@ mod tests {
 
     #[test]
     fn delivery_consumes_pending_orders() {
-        let mut p = program(vec![session(vec![new_order(0, 0, 1), delivery(), delivery()])]);
+        let mut p = program(vec![session(vec![
+            new_order(0, 0, 1),
+            delivery(),
+            delivery(),
+        ])]);
         p.init_values = initial_values();
         let (h, vars) = execute_serial(&p).unwrap();
         // Only one order exists so the second delivery is a no-op.

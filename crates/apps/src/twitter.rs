@@ -37,9 +37,15 @@ pub fn follow(follower: i64, followee: i64) -> TransactionDef {
         "follow",
         vec![
             read("fw", g(followers(followee))),
-            write(g(followers(followee)), set_insert(local("fw"), cint(follower))),
+            write(
+                g(followers(followee)),
+                set_insert(local("fw"), cint(follower)),
+            ),
             read("fl", g(follows(follower))),
-            write(g(follows(follower)), set_insert(local("fl"), cint(followee))),
+            write(
+                g(follows(follower)),
+                set_insert(local("fl"), cint(followee)),
+            ),
         ],
     )
 }

@@ -74,7 +74,10 @@ pub fn remove_from_watchlist(user: i64, page: i64) -> TransactionDef {
             read("w", g(watchlist(user))),
             iff(
                 set_contains(local("w"), cint(page)),
-                vec![write(g(watchlist(user)), set_remove(local("w"), cint(page)))],
+                vec![write(
+                    g(watchlist(user)),
+                    set_remove(local("w"), cint(page)),
+                )],
             ),
         ],
     )

@@ -19,20 +19,16 @@ fn bench_sessions(c: &mut Criterion) {
             transactions_per_session: 2,
             seed: 1,
         });
-        group.bench_with_input(
-            BenchmarkId::from_parameter(sessions),
-            &program,
-            |b, p| {
-                b.iter(|| {
-                    let report = explore(
-                        black_box(p),
-                        ExploreConfig::explore_ce(IsolationLevel::CausalConsistency),
-                    )
-                    .expect("exploration succeeds");
-                    black_box(report.outputs)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(sessions), &program, |b, p| {
+            b.iter(|| {
+                let report = explore(
+                    black_box(p),
+                    ExploreConfig::explore_ce(IsolationLevel::CausalConsistency),
+                )
+                .expect("exploration succeeds");
+                black_box(report.outputs)
+            })
+        });
     }
     group.finish();
 }

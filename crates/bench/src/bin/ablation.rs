@@ -3,14 +3,20 @@
 //! with the same algorithm where only swap-consistency is checked, and with
 //! the `DFS(CC)` baseline, on the benchmark suite.
 //!
-//! Usage: `cargo run --release -p txdpor-bench --bin ablation [--full] …`
+//! Usage: `cargo run --release -p txdpor-bench --bin ablation [--full]
+//! [--json <path>] …`
 
+use txdpor_bench::json::JsonValue;
 use txdpor_bench::tables::print_detailed_table;
-use txdpor_bench::{experiment_fig14_with, Algorithm, ExperimentOptions};
+use txdpor_bench::{
+    experiment_fig14_with, flag_value, write_experiment_json, Algorithm, ExperimentOptions,
+};
 use txdpor_history::IsolationLevel;
 
 fn main() {
-    let options = ExperimentOptions::from_args(std::env::args().skip(1));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = ExperimentOptions::from_args(args.iter().cloned());
+    let json_path = flag_value(&args, "--json");
     println!("== Ablation A1: the Optimality restriction on swaps ==");
     println!(
         "configuration: {} variants/app, {} sessions x {} transactions, timeout {:?}",
@@ -25,6 +31,7 @@ fn main() {
     println!();
     println!("{}", print_detailed_table(&rows));
     // Redundancy summary: end states explored per distinct history.
+    let mut summary: Vec<(String, JsonValue)> = Vec::new();
     for algo in &algorithms {
         let label = algo.label();
         let (mut ends, mut hist) = (0u64, 0u64);
@@ -33,10 +40,23 @@ fn main() {
             hist += m.histories;
         }
         if hist > 0 {
+            let redundancy = ends as f64 / hist as f64;
             println!(
-                "{label:<14}: {ends} end states for {hist} distinct histories ({:.2} per history)",
-                ends as f64 / hist as f64
+                "{label:<14}: {ends} end states for {hist} distinct histories ({redundancy:.2} per history)",
             );
+            summary.push((
+                format!("end_states_per_history_{label}"),
+                JsonValue::Float(redundancy),
+            ));
+        }
+    }
+    if let Some(path) = json_path {
+        match write_experiment_json(&path, "ablation", &options, &rows, summary) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -3,36 +3,133 @@
 //! `explore-ce*(RC, CC)`, `explore-ce*(true, CC)` and `DFS(CC)` on the
 //! benchmark suite, plus the average-speedup summary quoted in §7.3.
 //!
+//! Beyond the paper's seven configurations the binary also measures the
+//! incremental checking engines (`CC` vs the `CC (no-memo)` ablation that
+//! reproduces the stateless checkers' cost model) and the parallel frontier
+//! exploration (`CC parN`), and can emit everything as machine-readable
+//! JSON for the perf trajectory.
+//!
 //! Usage: `cargo run --release -p txdpor-bench --bin fig14 [--full]
-//! [--timeout <s>] [--variants <n>] [--sessions <n>] [--transactions <n>]`
+//! [--timeout <s>] [--variants <n>] [--sessions <n>] [--transactions <n>]
+//! [--workers <n>] [--ablation] [--json <path>]`
 
+use txdpor_bench::json::JsonValue;
 use txdpor_bench::tables::print_cactus;
-use txdpor_bench::{average_speedup, experiment_fig14, ExperimentOptions, Measurement};
+use txdpor_bench::{
+    average_speedup, experiment_fig14_with, flag_value, write_experiment_json, Algorithm,
+    ExperimentOptions, Measurement,
+};
+use txdpor_history::IsolationLevel;
 
 fn by_algorithm(rows: &[Measurement], label: &str) -> Vec<Measurement> {
-    rows.iter().filter(|m| m.algorithm == label).cloned().collect()
+    rows.iter()
+        .filter(|m| m.algorithm == label)
+        .cloned()
+        .collect()
 }
 
 fn main() {
-    let options = ExperimentOptions::from_args(std::env::args().skip(1));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = ExperimentOptions::from_args(args.iter().cloned());
+    let json_path = flag_value(&args, "--json");
+    let workers = match flag_value(&args, "--workers") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n.max(1),
+            Err(_) => {
+                eprintln!("--workers expects a number, got {v:?}");
+                std::process::exit(1);
+            }
+        },
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    };
+    let with_ablation = args.iter().any(|a| a == "--ablation");
+
     println!("== Experiment E1 (Fig. 14): algorithm comparison ==");
     println!(
-        "configuration: {} variants/app, {} sessions x {} transactions, timeout {:?}",
-        options.variants, options.sessions, options.transactions, options.timeout
+        "configuration: {} variants/app, {} sessions x {} transactions, timeout {:?}, {} workers",
+        options.variants, options.sessions, options.transactions, options.timeout, workers
     );
-    let rows = experiment_fig14(&options);
+
+    let cc_level = IsolationLevel::CausalConsistency;
+    let mut algorithms: Vec<Algorithm> = Algorithm::FIG14.to_vec();
+    algorithms.push(Algorithm::ExploreCeNoMemo(cc_level));
+    algorithms.push(Algorithm::ExploreCeParallel(cc_level, workers));
+    if with_ablation {
+        algorithms.push(Algorithm::ExploreCeNoOptimality(cc_level));
+    }
+
+    let rows = experiment_fig14_with(&options, &algorithms);
     println!();
     println!("{}", print_cactus(&rows));
 
     let cc = by_algorithm(&rows, "CC");
+    let parallel_label = Algorithm::ExploreCeParallel(cc_level, workers).label();
+    let mut summary: Vec<(String, JsonValue)> = Vec::new();
     println!("average speedup of explore-ce(CC) over:");
-    for other in ["RA + CC", "RC + CC", "true + CC", "DFS(CC)"] {
+    let mut slower = vec!["RA + CC", "RC + CC", "true + CC", "DFS(CC)", "CC (no-memo)"];
+    if with_ablation {
+        slower.push("CC (no-opt)");
+    }
+    for other in slower {
         let slow = by_algorithm(&rows, other);
+        let key = format!("speedup_cc_over_{}", slug(other));
         match average_speedup(&cc, &slow) {
-            Some(s) => println!("  {other:<10} : {s:.1}x"),
-            None => println!("  {other:<10} : n/a (all runs timed out)"),
+            Some(s) => {
+                println!("  {other:<12} : {s:.1}x");
+                summary.push((key, JsonValue::Float(s)));
+            }
+            None => {
+                println!("  {other:<12} : n/a (all runs timed out)");
+                summary.push((key, JsonValue::Null));
+            }
         }
     }
+    // The incremental-engine win is the CC-over-no-memo ratio; the parallel
+    // win is the parN-over-CC ratio.
+    let par = by_algorithm(&rows, &parallel_label);
+    let key = format!("speedup_{}_over_cc", slug(&parallel_label));
+    match average_speedup(&par, &cc) {
+        Some(s) => {
+            println!("average speedup of {parallel_label} over CC: {s:.1}x");
+            summary.push((key, JsonValue::Float(s)));
+        }
+        None => {
+            println!("average speedup of {parallel_label} over CC: n/a");
+            summary.push((key, JsonValue::Null));
+        }
+    }
+    summary.push(("workers".into(), JsonValue::uint(workers as u64)));
+
     let timeouts: usize = rows.iter().filter(|m| m.timed_out).count();
     println!("\ntotal runs: {}, timeouts: {}", rows.len(), timeouts);
+    summary.push(("timeouts".into(), JsonValue::uint(timeouts as u64)));
+
+    if let Some(path) = json_path {
+        match write_experiment_json(&path, "fig14", &options, &rows, summary) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Lower-snake-case slug of an algorithm label for JSON summary keys
+/// (`"CC + SER"` → `cc_ser`, `"DFS(CC)"` → `dfs_cc`).
+fn slug(label: &str) -> String {
+    let mut out = String::new();
+    let mut last_sep = true;
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+            last_sep = false;
+        } else if !last_sep {
+            out.push('_');
+            last_sep = true;
+        }
+    }
+    out.trim_end_matches('_').to_owned()
 }

@@ -87,13 +87,27 @@ impl ExperimentOptions {
     }
 }
 
+/// The value following a `--flag` in an argument list, for valued flags
+/// the experiment binaries parse beside [`ExperimentOptions::from_args`]
+/// (which tolerates and ignores them).
+pub fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
 /// The benchmark suite of Fig. 14 / Table F.1: `variants` client programs
 /// per application with the given shape.
 pub fn fig14_suite(options: &ExperimentOptions) -> Vec<(String, Program)> {
     App::ALL
         .into_iter()
         .flat_map(|app| {
-            benchmark_programs(app, options.variants, options.sessions, options.transactions)
+            benchmark_programs(
+                app,
+                options.variants,
+                options.sessions,
+                options.transactions,
+            )
         })
         .collect()
 }
@@ -195,8 +209,17 @@ mod tests {
     #[test]
     fn options_parsing() {
         let o = ExperimentOptions::from_args(
-            ["--timeout", "7", "--variants", "1", "--sessions", "2", "--transactions", "2"]
-                .map(String::from),
+            [
+                "--timeout",
+                "7",
+                "--variants",
+                "1",
+                "--sessions",
+                "2",
+                "--transactions",
+                "2",
+            ]
+            .map(String::from),
         );
         assert_eq!(o.timeout, Duration::from_secs(7));
         assert_eq!(o.variants, 1);

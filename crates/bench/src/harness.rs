@@ -23,6 +23,14 @@ pub enum Algorithm {
     /// Ablation: `explore-ce(I)` with the `Optimality` restriction on swaps
     /// disabled (sound and complete but redundant).
     ExploreCeNoOptimality(IsolationLevel),
+    /// Ablation: `explore-ce(I)` with the consistency engines' fingerprint
+    /// memoisation disabled, reproducing the cost model of the seed's
+    /// stateless checkers (results are unchanged).
+    ExploreCeNoMemo(IsolationLevel),
+    /// `explore-ce(I)` with the root-level reordering frontier partitioned
+    /// across the given number of workers. Output-history fingerprints are
+    /// bit-identical to the serial algorithm.
+    ExploreCeParallel(IsolationLevel, usize),
 }
 
 impl Algorithm {
@@ -58,6 +66,10 @@ impl Algorithm {
             }
             Algorithm::Dfs(l) => format!("DFS({})", l.short_name()),
             Algorithm::ExploreCeNoOptimality(l) => format!("{} (no-opt)", l.short_name()),
+            Algorithm::ExploreCeNoMemo(l) => format!("{} (no-memo)", l.short_name()),
+            Algorithm::ExploreCeParallel(l, workers) => {
+                format!("{} par{workers}", l.short_name())
+            }
         }
     }
 }
@@ -97,7 +109,12 @@ impl Measurement {
             "TL".to_owned()
         } else {
             let secs = self.time.as_secs();
-            format!("{:02}:{:02}.{:03}", secs / 60, secs % 60, self.time.subsec_millis())
+            format!(
+                "{:02}:{:02}.{:03}",
+                secs / 60,
+                secs % 60,
+                self.time.subsec_millis()
+            )
         }
     }
 }
@@ -107,10 +124,19 @@ impl Measurement {
 /// which can be large for the redundant ablation configurations.
 const EXPLORATION_STACK: usize = 512 * 1024 * 1024;
 
+/// Wall-clock budget of the unmeasured warm-up pass preceding every
+/// measurement.
+const WARMUP_BUDGET: Duration = Duration::from_secs(1);
+
 /// Runs one algorithm on one program with the given wall-clock budget.
 ///
 /// The exploration runs on a dedicated thread with a large stack so that
-/// deeply recursive (non-optimal) configurations do not overflow.
+/// deeply recursive (non-optimal) configurations do not overflow. Before
+/// the measured run, the same configuration is executed once unmeasured
+/// (capped at [`WARMUP_BUDGET`]): a preceding memory-heavy run (a timed-out
+/// `DFS` or no-optimality ablation allocates gigabytes) evicts page cache
+/// and leaves allocator housekeeping behind, which would otherwise be
+/// billed to whatever configuration happens to run next.
 pub fn run(
     benchmark: &str,
     program: &Program,
@@ -121,7 +147,10 @@ pub fn run(
         std::thread::Builder::new()
             .name(format!("explore-{benchmark}"))
             .stack_size(EXPLORATION_STACK)
-            .spawn_scoped(scope, || run_inner(benchmark, program, algorithm, timeout))
+            .spawn_scoped(scope, || {
+                let _ = run_inner(benchmark, program, algorithm, timeout.min(WARMUP_BUDGET));
+                run_inner(benchmark, program, algorithm, timeout)
+            })
             .expect("spawning the exploration thread succeeds")
             .join()
             .expect("the exploration thread does not panic")
@@ -138,8 +167,11 @@ fn run_inner(
     let start = Instant::now();
     let (histories, end_states, explore_calls, timed_out) = match algorithm {
         Algorithm::ExploreCe(level) => {
-            let report = explore(program, ExploreConfig::explore_ce(level).with_timeout(timeout))
-                .expect("benchmark programs replay cleanly");
+            let report = explore(
+                program,
+                ExploreConfig::explore_ce(level).with_timeout(timeout),
+            )
+            .expect("benchmark programs replay cleanly");
             (
                 report.outputs,
                 report.end_states,
@@ -152,6 +184,36 @@ fn run_inner(
                 program,
                 ExploreConfig::explore_ce(level)
                     .without_optimality()
+                    .with_timeout(timeout),
+            )
+            .expect("benchmark programs replay cleanly");
+            (
+                report.outputs,
+                report.end_states,
+                report.explore_calls,
+                report.timed_out,
+            )
+        }
+        Algorithm::ExploreCeNoMemo(level) => {
+            let report = explore(
+                program,
+                ExploreConfig::explore_ce(level)
+                    .without_memo()
+                    .with_timeout(timeout),
+            )
+            .expect("benchmark programs replay cleanly");
+            (
+                report.outputs,
+                report.end_states,
+                report.explore_calls,
+                report.timed_out,
+            )
+        }
+        Algorithm::ExploreCeParallel(level, workers) => {
+            let report = explore(
+                program,
+                ExploreConfig::explore_ce(level)
+                    .with_workers(workers)
                     .with_timeout(timeout),
             )
             .expect("benchmark programs replay cleanly");
@@ -257,11 +319,8 @@ mod tests {
             "DFS(CC)"
         );
         assert_eq!(
-            Algorithm::ExploreCeStar(
-                IsolationLevel::Trivial,
-                IsolationLevel::CausalConsistency
-            )
-            .label(),
+            Algorithm::ExploreCeStar(IsolationLevel::Trivial, IsolationLevel::CausalConsistency)
+                .label(),
             "true + CC"
         );
         assert_eq!(

@@ -26,13 +26,15 @@
 pub mod alloc;
 pub mod experiments;
 pub mod harness;
+pub mod json;
 pub mod tables;
 
 pub use experiments::{
     experiment_fig14, experiment_fig14_with, experiment_sessions, experiment_transactions,
-    fig14_suite, ExperimentOptions,
+    fig14_suite, flag_value, ExperimentOptions,
 };
 pub use harness::{average_speedup, run, Algorithm, Measurement};
+pub use json::{write_experiment_json, JsonValue};
 
 /// The counting allocator is installed for every binary, test and benchmark
 /// of this crate so that peak-allocation numbers can be reported.

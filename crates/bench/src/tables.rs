@@ -33,10 +33,7 @@ pub fn print_detailed_table(rows: &[Measurement]) -> String {
     for b in &benchmarks {
         out.push_str(&format!("{b:<18}"));
         for a in &algorithms {
-            match rows
-                .iter()
-                .find(|r| &r.benchmark == b && &r.algorithm == a)
-            {
+            match rows.iter().find(|r| &r.benchmark == b && &r.algorithm == a) {
                 Some(r) => out.push_str(&format!(
                     " | {:<14} {:>10} {:>12} {:>9}",
                     format_bytes(r.peak_alloc),
@@ -44,7 +41,10 @@ pub fn print_detailed_table(rows: &[Measurement]) -> String {
                     r.end_states,
                     r.time_cell()
                 )),
-                None => out.push_str(&format!(" | {:<14} {:>10} {:>12} {:>9}", "-", "-", "-", "-")),
+                None => out.push_str(&format!(
+                    " | {:<14} {:>10} {:>12} {:>9}",
+                    "-", "-", "-", "-"
+                )),
             }
         }
         out.push('\n');
@@ -123,8 +123,7 @@ pub fn print_scaling(rows: &[(usize, Measurement)], parameter: &str) -> String {
         "avg time", "avg mem (MB)", "timeouts", "runs"
     ));
     for (size, ms) in &by_size {
-        let avg_time: f64 =
-            ms.iter().map(|m| m.time.as_secs_f64()).sum::<f64>() / ms.len() as f64;
+        let avg_time: f64 = ms.iter().map(|m| m.time.as_secs_f64()).sum::<f64>() / ms.len() as f64;
         let avg_mem: f64 = ms
             .iter()
             .map(|m| m.peak_alloc as f64 / (1024.0 * 1024.0))

@@ -103,15 +103,18 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Benchmark `f` with `input`, labelled by `id`.
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
-        run_one(
-            &format!("{}/{}", self.name, id),
-            self.sample_size,
-            |b| f(b, input),
-        );
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, |b| {
+            f(b, input)
+        });
         self
     }
 

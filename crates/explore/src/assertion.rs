@@ -23,7 +23,9 @@ pub struct AssertionCtx<'a> {
 }
 
 /// The type of user assertions: `true` means the history is acceptable.
-pub type AssertionFn = dyn Fn(&AssertionCtx<'_>) -> bool;
+/// Assertions must be `Sync` so that parallel explorations can evaluate
+/// them from several workers at once.
+pub type AssertionFn = dyn Fn(&AssertionCtx<'_>) -> bool + Sync;
 
 impl AssertionCtx<'_> {
     /// The interned variable for a global name, if it was ever accessed.

@@ -29,6 +29,16 @@ pub struct ExploreConfig {
     /// optimality empirically; costs memory proportional to the number of
     /// outputs).
     pub track_duplicates: bool,
+    /// Number of exploration workers. `1` (the default) runs the classic
+    /// serial algorithm; larger values partition the root-level reordering
+    /// frontier across `std::thread::scope` workers with per-worker
+    /// consistency engines. The set of output-history fingerprints is
+    /// identical to a serial run.
+    pub workers: usize,
+    /// Memoise consistency verdicts by history fingerprint inside the
+    /// per-level engines. Disabling this reproduces the cost model of the
+    /// stateless checkers (the `no-memo` ablation); results are unchanged.
+    pub memoize: bool,
 }
 
 impl ExploreConfig {
@@ -42,6 +52,8 @@ impl ExploreConfig {
             collect_histories: false,
             full_optimality: true,
             track_duplicates: false,
+            workers: 1,
+            memoize: true,
         }
     }
 
@@ -69,6 +81,8 @@ impl ExploreConfig {
             collect_histories: false,
             full_optimality: true,
             track_duplicates: false,
+            workers: 1,
+            memoize: true,
         }
     }
 
@@ -93,6 +107,22 @@ impl ExploreConfig {
     /// Tracks duplicate outputs (for optimality validation).
     pub fn tracking_duplicates(mut self) -> Self {
         self.track_duplicates = true;
+        self
+    }
+
+    /// Partitions the exploration across `workers` threads (clamped to at
+    /// least one). Output-history fingerprints are identical to a serial
+    /// run; only wall-clock time and the order of collected histories
+    /// change.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Disables fingerprint memoisation inside the consistency engines
+    /// (ablation mode reproducing the stateless checkers' cost model).
+    pub fn without_memo(mut self) -> Self {
+        self.memoize = false;
         self
     }
 
@@ -140,6 +170,10 @@ pub struct ExplorationReport {
     /// Largest number of events of any explored history (a proxy for the
     /// per-branch memory footprint; the algorithm is polynomial space).
     pub max_events: usize,
+    /// Total consistency checks served by the exploration-level engines.
+    pub engine_checks: u64,
+    /// Consistency checks answered from the engines' fingerprint memo.
+    pub engine_memo_hits: u64,
     /// Output histories, when collection was requested.
     pub histories: Vec<History>,
     /// First assertion-violating history, if any.

@@ -13,12 +13,10 @@ use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
 use txdpor_history::{
-    Event, EventId, EventKind, History, HistoryFingerprint, IsolationLevel, SessionId, TxId,
-    VarTable,
+    engine_for, ConsistencyChecker, Event, EventId, EventKind, History, IsolationLevel, SessionId,
+    TxId, VarTable,
 };
-use txdpor_program::{
-    initial_history, oracle_next, Program, SchedulerStep, TxStep,
-};
+use txdpor_program::{initial_history, oracle_next, Program, SchedulerStep, TxStep};
 
 use crate::config::ExplorationReport;
 use crate::explorer::ExploreError;
@@ -63,7 +61,10 @@ impl DfsConfig {
 ///
 /// Returns an error if the program cannot be replayed against an explored
 /// history.
-pub fn dfs_explore(program: &Program, config: DfsConfig) -> Result<ExplorationReport, ExploreError> {
+pub fn dfs_explore(
+    program: &Program,
+    config: DfsConfig,
+) -> Result<ExplorationReport, ExploreError> {
     let mut dfs = Dfs {
         program,
         config: &config,
@@ -73,10 +74,14 @@ pub fn dfs_explore(program: &Program, config: DfsConfig) -> Result<ExplorationRe
         report: ExplorationReport::default(),
         seen: HashSet::new(),
         deadline: config.timeout.map(|t| Instant::now() + t),
+        checker: engine_for(config.level),
     };
     let start = Instant::now();
     let initial = initial_history(program, &mut dfs.vars);
     dfs.explore(initial)?;
+    let stats = dfs.checker.stats();
+    dfs.report.engine_checks = stats.checks;
+    dfs.report.engine_memo_hits = stats.memo_hits;
     let mut report = dfs.report;
     report.duration = start.elapsed();
     report.vars = dfs.vars;
@@ -92,8 +97,15 @@ struct Dfs<'a> {
     next_event: u32,
     next_tx: u32,
     report: ExplorationReport,
-    seen: HashSet<HistoryFingerprint>,
+    /// Hash-compacted fingerprints of the distinct histories seen so far.
+    /// The baseline reaches each history through many interleavings, so the
+    /// visited set dwarfs every other allocation; 128-bit keys keep it to
+    /// 16 bytes per distinct history instead of a deep-cloned fingerprint.
+    seen: HashSet<(u64, u64)>,
     deadline: Option<Instant>,
+    /// Stateful engine deciding the semantics' isolation level, reused for
+    /// every trial history of the run.
+    checker: Box<dyn ConsistencyChecker>,
 }
 
 impl Dfs<'_> {
@@ -138,7 +150,7 @@ impl Dfs<'_> {
                         let mut any = false;
                         for writer in trial.committed_writers_of(var) {
                             trial.set_wr(ev.id, writer);
-                            if self.config.level.satisfies(&trial) {
+                            if self.checker.check(&trial) {
                                 any = true;
                                 let mut next = h.clone();
                                 next.append_event(session, ev.clone());
@@ -166,7 +178,7 @@ impl Dfs<'_> {
                         // the extended history to remain consistent; for
                         // levels that are not causally extensible (SI, SER)
                         // this can prune the branch.
-                        if is_write && !self.config.level.satisfies(&next) {
+                        if is_write && !self.checker.check(&next) {
                             self.report.blocked += 1;
                             return Ok(());
                         }
@@ -196,8 +208,7 @@ impl Dfs<'_> {
             if !any {
                 // Complete execution.
                 self.report.end_states += 1;
-                let fp = h.fingerprint();
-                let new = self.seen.insert(fp);
+                let new = self.seen.insert(h.fingerprint_hash());
                 if new && self.config.collect_histories {
                     self.report.histories.push(h);
                 }
@@ -266,8 +277,7 @@ mod tests {
         let p = two_writers_two_readers();
         let report = dfs_explore(
             &p,
-            DfsConfig::new(IsolationLevel::CausalConsistency)
-                .with_timeout(Duration::ZERO),
+            DfsConfig::new(IsolationLevel::CausalConsistency).with_timeout(Duration::ZERO),
         )
         .unwrap();
         assert!(report.timed_out);

@@ -1,22 +1,29 @@
 //! The swapping-based stateless model checking algorithm `explore-ce` and
 //! its filtered variant `explore-ce*` (Algorithms 1 and 2, §§4–6).
 
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 use std::fmt;
+use std::sync::Mutex;
 use std::time::Instant;
 
 use txdpor_history::{
-    Event, EventId, EventKind, HistoryFingerprint, SessionId, TxId, VarTable,
+    engine_for_with, ConsistencyChecker, Event, EventId, EventKind, HistoryFingerprint, SessionId,
+    TxId, Var, VarTable,
 };
 use txdpor_program::{
     initial_history, oracle_next, replay_all, Program, SchedulerStep, SemanticsError, TxStep,
 };
 
 use crate::assertion::{AssertionCtx, AssertionFn};
-use crate::config::{ExploreConfig, ExplorationReport};
+use crate::config::{ExplorationReport, ExploreConfig};
 use crate::optimality::optimality;
 use crate::ordered::OrderedHistory;
 use crate::swap::compute_reorderings;
+
+/// Seed the parallel frontier with this many tasks per worker before
+/// handing the queue over, so that uneven subtree sizes still keep every
+/// worker busy.
+const SEED_TASKS_PER_WORKER: usize = 8;
 
 /// Error raised by an exploration.
 #[derive(Clone, Debug, PartialEq)]
@@ -73,7 +80,10 @@ impl From<SemanticsError> for ExploreError {
 /// assert_eq!(report.outputs, 2);
 /// # Ok::<(), txdpor_explore::ExploreError>(())
 /// ```
-pub fn explore(program: &Program, config: ExploreConfig) -> Result<ExplorationReport, ExploreError> {
+pub fn explore(
+    program: &Program,
+    config: ExploreConfig,
+) -> Result<ExplorationReport, ExploreError> {
     explore_with_assertion(program, config, None)
 }
 
@@ -93,14 +103,161 @@ pub fn explore_with_assertion(
         "the exploration level must be causally extensible; use explore_ce_star for {}",
         config.exploration_level
     );
-    let mut explorer = Explorer::new(program, &config, assertion);
     let start = Instant::now();
+    if config.workers > 1 {
+        return explore_parallel(program, &config, assertion, start);
+    }
+    let mut explorer = Explorer::new(program, &config, assertion);
     let initial = OrderedHistory::new(initial_history(program, &mut explorer.vars));
     explorer.explore(initial)?;
+    explorer.record_engine_stats();
     let mut report = explorer.report;
     report.duration = start.elapsed();
     report.vars = explorer.vars;
     Ok(report)
+}
+
+/// Parallel `explore-ce`: a breadth-first seeding pass expands the
+/// exploration tree from the root until the frontier holds enough disjoint
+/// subtrees, then `std::thread::scope` workers — each with its own
+/// consistency engines and event counters — drain the frontier and the
+/// per-worker reports are merged.
+///
+/// The exploration tree is identical to the serial one (children of a node
+/// depend only on that node), so the merged report agrees with a serial run
+/// on every deterministic quantity: end states, outputs, blocked reads,
+/// explore calls and the set of output-history fingerprints. Only wall
+/// clock, the order of collected histories and the choice of the recorded
+/// violating history may differ.
+fn explore_parallel(
+    program: &Program,
+    config: &ExploreConfig,
+    assertion: Option<&AssertionFn>,
+    start: Instant,
+) -> Result<ExplorationReport, ExploreError> {
+    let mut seeder = Explorer::new(program, config, assertion);
+    let initial = OrderedHistory::new(initial_history(program, &mut seeder.vars));
+    let mut frontier: VecDeque<OrderedHistory> = VecDeque::from([initial]);
+    let target = config.workers * SEED_TASKS_PER_WORKER;
+    while !frontier.is_empty() && frontier.len() < target && !seeder.timed_out() {
+        let h = frontier.pop_front().expect("frontier is non-empty");
+        seeder.report.explore_calls += 1;
+        seeder.report.max_events = seeder.report.max_events.max(h.order.len());
+        match seeder.expand(h)? {
+            Expansion::Complete(h) => seeder.handle_complete(&h),
+            Expansion::Children(children) => frontier.extend(children),
+        }
+    }
+
+    let deadline = seeder.deadline;
+    let vars_snapshot = seeder.vars.clone();
+    let queue: Mutex<Vec<OrderedHistory>> = Mutex::new(frontier.into());
+    type WorkerResult = (ExplorationReport, HashSet<HistoryFingerprint>, VarTable);
+    let results: Mutex<Vec<WorkerResult>> = Mutex::new(Vec::new());
+    let failure: Mutex<Option<ExploreError>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for i in 0..config.workers {
+            let vars = vars_snapshot.clone();
+            let (queue, results, failure) = (&queue, &results, &failure);
+            std::thread::Builder::new()
+                .name(format!("explore-worker-{i}"))
+                .spawn_scoped(scope, move || {
+                    let mut worker = Explorer::new(program, config, assertion);
+                    worker.vars = vars;
+                    worker.deadline = deadline;
+                    loop {
+                        if failure.lock().expect("failure lock").is_some() {
+                            break;
+                        }
+                        let task = queue.lock().expect("task queue lock").pop();
+                        let Some(h) = task else { break };
+                        // Event/transaction identifiers only need to be
+                        // unique within a branch; continue from the task's
+                        // maxima (fingerprints are identifier-independent).
+                        (worker.next_event, worker.next_tx) = counters_from(&h);
+                        if let Err(e) = worker.explore(h) {
+                            *failure.lock().expect("failure lock") = Some(e);
+                            break;
+                        }
+                    }
+                    worker.record_engine_stats();
+                    results.lock().expect("results lock").push((
+                        worker.report,
+                        worker.seen,
+                        worker.vars,
+                    ));
+                })
+                .expect("spawning an exploration worker succeeds");
+        }
+    });
+    if let Some(e) = failure.into_inner().expect("failure lock") {
+        return Err(e);
+    }
+
+    seeder.record_engine_stats();
+    let mut report = seeder.report;
+    let mut vars = seeder.vars;
+    let mut seen = seeder.seen;
+    for (worker_report, worker_seen, worker_vars) in results.into_inner().expect("results lock") {
+        merge_worker(&mut report, &mut vars, worker_report, &worker_vars);
+        seen.extend(worker_seen);
+    }
+    if config.track_duplicates {
+        report.duplicate_outputs = report.outputs - seen.len() as u64;
+    }
+    report.duration = start.elapsed();
+    report.vars = vars;
+    Ok(report)
+}
+
+/// Smallest fresh event/transaction counters for a branch rooted at `h`.
+fn counters_from(h: &OrderedHistory) -> (u32, u32) {
+    let next_event = h.history.events().map(|(_, e)| e.id.0).max().unwrap_or(0);
+    let next_tx = h.history.tx_ids().map(|t| t.0).max().unwrap_or(0);
+    (next_event, next_tx)
+}
+
+/// Folds one worker's report into the merged report, translating the
+/// worker's variable identifiers into the merged [`VarTable`].
+fn merge_worker(
+    report: &mut ExplorationReport,
+    vars: &mut VarTable,
+    worker: ExplorationReport,
+    worker_vars: &VarTable,
+) {
+    // Worker variable id (dense, allocation-ordered) → merged variable id.
+    let map: Vec<Var> = worker_vars
+        .iter()
+        .map(|(_, name)| vars.intern(name))
+        .collect();
+    let remap = |x: Var| map[x.0 as usize];
+    report.explore_calls += worker.explore_calls;
+    report.end_states += worker.end_states;
+    report.engine_checks += worker.engine_checks;
+    report.engine_memo_hits += worker.engine_memo_hits;
+    report.outputs += worker.outputs;
+    report.blocked += worker.blocked;
+    report.assertion_violations += worker.assertion_violations;
+    report.timed_out |= worker.timed_out;
+    report.max_events = report.max_events.max(worker.max_events);
+    report
+        .histories
+        .extend(worker.histories.iter().map(|h| h.map_vars(remap)));
+    if report.violating_history.is_none() {
+        report.violating_history = worker.violating_history.map(|h| h.map_vars(remap));
+    }
+}
+
+/// The children of an exploration-tree node, or the signal that the node is
+/// a complete execution.
+enum Expansion {
+    /// The history is complete: no session has a next step. Carries the
+    /// node back to the caller (expansion takes the node by value so that
+    /// single-child steps extend it in place instead of cloning).
+    Complete(OrderedHistory),
+    /// The node's children in serial visit order: each extension of the
+    /// history followed by its `Optimality`-approved re-orderings.
+    Children(Vec<OrderedHistory>),
 }
 
 struct Explorer<'a> {
@@ -113,6 +270,11 @@ struct Explorer<'a> {
     report: ExplorationReport,
     seen: HashSet<HistoryFingerprint>,
     deadline: Option<Instant>,
+    /// Engine deciding the exploration level, shared by `ValidWrites` and
+    /// the `Optimality` checks of this explorer.
+    checker: Box<dyn ConsistencyChecker>,
+    /// Engine deciding the output level (`explore-ce*` only).
+    output_checker: Option<Box<dyn ConsistencyChecker>>,
 }
 
 impl<'a> Explorer<'a> {
@@ -131,6 +293,9 @@ impl<'a> Explorer<'a> {
             report: ExplorationReport::default(),
             seen: HashSet::new(),
             deadline: config.timeout.map(|t| Instant::now() + t),
+            checker: engine_for_with(config.exploration_level, config.memoize),
+            output_checker: (config.output_level != config.exploration_level)
+                .then(|| engine_for_with(config.output_level, config.memoize)),
         }
     }
 
@@ -144,6 +309,19 @@ impl<'a> Explorer<'a> {
         TxId(self.next_tx)
     }
 
+    /// Folds the engines' counters into the report (once, at the end of
+    /// this explorer's run).
+    fn record_engine_stats(&mut self) {
+        let mut stats = self.checker.stats();
+        if let Some(output) = &self.output_checker {
+            let o = output.stats();
+            stats.checks += o.checks;
+            stats.memo_hits += o.memo_hits;
+        }
+        self.report.engine_checks += stats.checks;
+        self.report.engine_memo_hits += stats.memo_hits;
+    }
+
     fn timed_out(&mut self) -> bool {
         if let Some(deadline) = self.deadline {
             if Instant::now() >= deadline {
@@ -154,19 +332,56 @@ impl<'a> Explorer<'a> {
         false
     }
 
-    /// The recursive `explore` function of Algorithm 1.
-    fn explore(&mut self, h: OrderedHistory) -> Result<(), ExploreError> {
+    /// The `explore` traversal of Algorithm 1, run iteratively over an
+    /// explicit worklist of [`Expansion`] children so that the exploration
+    /// depth is bounded by memory rather than by thread stack size (the
+    /// redundant no-optimality ablation reaches depths that overflow even
+    /// half-gigabyte stacks). The visit order is exactly the depth-first
+    /// order of the recursive formulation.
+    fn explore(&mut self, root: OrderedHistory) -> Result<(), ExploreError> {
+        let mut stack: Vec<std::vec::IntoIter<OrderedHistory>> = Vec::new();
+        self.visit(root, &mut stack)?;
+        while let Some(top) = stack.last_mut() {
+            match top.next() {
+                Some(child) => self.visit(child, &mut stack)?,
+                None => {
+                    stack.pop();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Visits one node of the exploration tree: records it, handles
+    /// complete executions, and queues the children of incomplete ones.
+    fn visit(
+        &mut self,
+        h: OrderedHistory,
+        stack: &mut Vec<std::vec::IntoIter<OrderedHistory>>,
+    ) -> Result<(), ExploreError> {
         if self.timed_out() {
             return Ok(());
         }
         self.report.explore_calls += 1;
         self.report.max_events = self.report.max_events.max(h.order.len());
+        match self.expand(h)? {
+            Expansion::Complete(h) => self.handle_complete(&h),
+            Expansion::Children(children) => stack.push(children.into_iter()),
+        }
+        Ok(())
+    }
+
+    /// Computes the children of a node: the scheduler extensions of
+    /// Algorithm 1 interleaved with the `Optimality`-approved re-orderings
+    /// of Algorithm 2. Children depend only on `h`, never on sibling
+    /// subtrees, which is what allows partitioning them across workers
+    /// (used by the breadth-first seeding pass of the parallel mode; the
+    /// serial recursion streams the same children instead of materialising
+    /// them).
+    fn expand(&mut self, h: OrderedHistory) -> Result<Expansion, ExploreError> {
         debug_assert_eq!(h.check_invariants(), Ok(()));
         match oracle_next(self.program, &h.history, &mut self.vars)? {
-            SchedulerStep::Finished => {
-                self.handle_complete(&h);
-                Ok(())
-            }
+            SchedulerStep::Finished => Ok(Expansion::Complete(h)),
             SchedulerStep::Begin {
                 session,
                 program_index,
@@ -178,8 +393,9 @@ impl<'a> Explorer<'a> {
                     .history
                     .begin_transaction(session, tx, program_index, ev.clone());
                 extended.push(ev.id);
-                self.explore(extended.clone())?;
-                self.explore_swaps(&extended)
+                let mut children = Vec::new();
+                self.push_with_swaps(extended, &mut children);
+                Ok(Expansion::Children(children))
             }
             SchedulerStep::Continue { session, step, .. } => match step {
                 TxStep::Read {
@@ -192,15 +408,25 @@ impl<'a> Explorer<'a> {
                     if writers.is_empty() {
                         self.report.blocked += 1;
                     }
-                    for writer in writers {
-                        let mut extended = h.clone();
+                    let mut children = Vec::new();
+                    let n_writers = writers.len();
+                    let mut base = Some(h);
+                    for (k, writer) in writers.into_iter().enumerate() {
+                        // Clone the node for each sibling but move it into
+                        // the last one.
+                        let mut extended = if k + 1 == n_writers {
+                            base.take().expect("base kept for the last writer")
+                        } else {
+                            base.as_ref()
+                                .expect("base kept until the last writer")
+                                .clone()
+                        };
                         extended.history.append_event(session, ev.clone());
                         extended.push(ev.id);
                         extended.history.set_wr(ev.id, writer);
-                        self.explore(extended.clone())?;
-                        self.explore_swaps(&extended)?;
+                        self.push_with_swaps(extended, &mut children);
                     }
-                    Ok(())
+                    Ok(Expansion::Children(children))
                 }
                 other => {
                     let kind = match other {
@@ -213,64 +439,64 @@ impl<'a> Explorer<'a> {
                     let mut extended = h;
                     extended.history.append_event(session, ev.clone());
                     extended.push(ev.id);
-                    self.explore(extended.clone())?;
-                    self.explore_swaps(&extended)
+                    let mut children = Vec::new();
+                    self.push_with_swaps(extended, &mut children);
+                    Ok(Expansion::Children(children))
                 }
             },
         }
     }
 
+    /// Appends an extension and its `exploreSwaps` results (Algorithm 2) to
+    /// the children list, preserving the serial visit order (the extension
+    /// first, then each approved re-ordering).
+    fn push_with_swaps(&mut self, extended: OrderedHistory, out: &mut Vec<OrderedHistory>) {
+        let mut swaps = Vec::new();
+        if !self.timed_out() {
+            for reordering in compute_reorderings(&extended) {
+                if self.timed_out() {
+                    break;
+                }
+                if let Some(swapped) = optimality(
+                    &extended,
+                    reordering.read,
+                    reordering.target,
+                    self.checker.as_mut(),
+                    self.config.full_optimality,
+                ) {
+                    swaps.push(swapped);
+                }
+            }
+        }
+        out.push(extended);
+        out.extend(swaps);
+    }
+
     /// `ValidWrites(h, e)` (§5.1): the committed transactions writing
     /// `var(e)` such that extending the history with `e` reading from them
     /// keeps it consistent with the exploration level.
-    fn valid_writes(
-        &mut self,
-        h: &OrderedHistory,
-        session: SessionId,
-        ev: &Event,
-    ) -> Vec<TxId> {
+    fn valid_writes(&mut self, h: &OrderedHistory, session: SessionId, ev: &Event) -> Vec<TxId> {
         let var = ev.var().expect("valid_writes takes a read event");
         let mut trial = h.history.clone();
         trial.append_event(session, ev.clone());
         let mut out = Vec::new();
         for writer in trial.committed_writers_of(var) {
             trial.set_wr(ev.id, writer);
-            if self.config.exploration_level.satisfies(&trial) {
+            if self.checker.check(&trial) {
                 out.push(writer);
             }
         }
         out
     }
 
-    /// `exploreSwaps` (Algorithm 2): re-order events of the current history
-    /// and recurse on the `Optimality`-approved results.
-    fn explore_swaps(&mut self, h: &OrderedHistory) -> Result<(), ExploreError> {
-        if self.timed_out() {
-            return Ok(());
-        }
-        for reordering in compute_reorderings(h) {
-            if self.timed_out() {
-                return Ok(());
-            }
-            if let Some(swapped) = optimality(
-                h,
-                reordering.read,
-                reordering.target,
-                self.config.exploration_level,
-                self.config.full_optimality,
-            ) {
-                self.explore(swapped)?;
-            }
-        }
-        Ok(())
-    }
-
     /// Handles a complete execution: applies the `Valid` output filter,
     /// records statistics and evaluates the user assertion.
     fn handle_complete(&mut self, h: &OrderedHistory) {
         self.report.end_states += 1;
-        let valid = self.config.output_level == self.config.exploration_level
-            || self.config.output_level.satisfies(&h.history);
+        let valid = match self.output_checker.as_mut() {
+            None => true,
+            Some(checker) => checker.check(&h.history),
+        };
         if !valid {
             return;
         }
@@ -385,13 +611,19 @@ mod tests {
         // count against the DFS baseline in the integration tests; here we
         // check soundness, optimality and strong optimality.
         let p = fig10_program();
-        let report = run(&p, ExploreConfig::explore_ce(IsolationLevel::CausalConsistency));
+        let report = run(
+            &p,
+            ExploreConfig::explore_ce(IsolationLevel::CausalConsistency),
+        );
         assert!(report.outputs > 0);
         assert_eq!(report.duplicate_outputs, 0, "optimality violated");
         assert_eq!(report.blocked, 0, "strong optimality violated");
         assert_eq!(report.end_states, report.outputs);
         for h in &report.histories {
-            assert!(IsolationLevel::CausalConsistency.satisfies(h), "unsound output");
+            assert!(
+                IsolationLevel::CausalConsistency.satisfies(h),
+                "unsound output"
+            );
         }
     }
 
@@ -415,7 +647,10 @@ mod tests {
     #[test]
     fn fig13_optimality_no_duplicates() {
         let p = fig13_program();
-        let report = run(&p, ExploreConfig::explore_ce(IsolationLevel::CausalConsistency));
+        let report = run(
+            &p,
+            ExploreConfig::explore_ce(IsolationLevel::CausalConsistency),
+        );
         assert_eq!(report.duplicate_outputs, 0);
         assert_eq!(report.blocked, 0);
         // Reader of x sees init or wx; reader of y sees init or wy: 4.
@@ -425,7 +660,10 @@ mod tests {
     #[test]
     fn disabling_optimality_keeps_the_same_set_of_histories() {
         let p = fig12_program();
-        let with = run(&p, ExploreConfig::explore_ce(IsolationLevel::CausalConsistency));
+        let with = run(
+            &p,
+            ExploreConfig::explore_ce(IsolationLevel::CausalConsistency),
+        );
         let without = run(
             &p,
             ExploreConfig::explore_ce(IsolationLevel::CausalConsistency).without_optimality(),
@@ -438,13 +676,19 @@ mod tests {
             without.outputs >= with.outputs,
             "ablation cannot output fewer histories"
         );
-        assert!(without.duplicate_outputs > 0, "Fig. 12 forces redundancy without the Optimality check");
+        assert!(
+            without.duplicate_outputs > 0,
+            "Fig. 12 forces redundancy without the Optimality check"
+        );
     }
 
     #[test]
     fn aborting_transactions_are_handled() {
         let p = abort_program();
-        let report = run(&p, ExploreConfig::explore_ce(IsolationLevel::CausalConsistency));
+        let report = run(
+            &p,
+            ExploreConfig::explore_ce(IsolationLevel::CausalConsistency),
+        );
         assert_eq!(report.duplicate_outputs, 0);
         assert_eq!(report.blocked, 0);
         assert!(report.outputs > 0);
@@ -481,7 +725,10 @@ mod tests {
     #[test]
     fn explore_ce_star_filters_outputs() {
         let p = long_fork_program();
-        let cc = run(&p, ExploreConfig::explore_ce(IsolationLevel::CausalConsistency));
+        let cc = run(
+            &p,
+            ExploreConfig::explore_ce(IsolationLevel::CausalConsistency),
+        );
         let star = run(
             &p,
             ExploreConfig::explore_ce_star(
@@ -536,7 +783,10 @@ mod tests {
             Some(&assertion),
         )
         .unwrap();
-        assert!(report.assertion_violations > 0, "lost update not found under CC");
+        assert!(
+            report.assertion_violations > 0,
+            "lost update not found under CC"
+        );
         assert!(report.violating_history.is_some());
         // Under serializability the assertion holds in every history.
         let report = explore_with_assertion(

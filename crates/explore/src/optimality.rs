@@ -10,7 +10,7 @@
 //! well as the re-ordered read itself, is not already swapped and reads
 //! from the causally latest valid write.
 
-use txdpor_history::{EventId, EventKind, IsolationLevel, TxId};
+use txdpor_history::{ConsistencyChecker, EventId, EventKind, TxId};
 
 use crate::ordered::OrderedHistory;
 use crate::swap::{doomed_events, swap};
@@ -101,17 +101,21 @@ fn swapped_pivot(h: &OrderedHistory, read: EventId) -> bool {
 /// transaction (w.r.t. the history order) among those that write `var(r)`,
 /// belong to the causal past of `tr(r)` once the events at or after `r`
 /// outside the causal past of `t` are removed, and keep the history
-/// consistent with `level` when `r` reads from them.
+/// consistent with the checker's level when `r` reads from them.
 pub fn read_latest(
     h: &OrderedHistory,
     read: EventId,
     target: TxId,
-    level: IsolationLevel,
+    checker: &mut dyn ConsistencyChecker,
 ) -> bool {
     let Some(current_writer) = h.history.wr_of(read) else {
         return false;
     };
-    let read_event = h.history.event(read).expect("read is in the history").clone();
+    let read_event = h
+        .history
+        .event(read)
+        .expect("read is in the history")
+        .clone();
     let var = read_event.var().expect("read has a variable");
     let reader_tx = h
         .history
@@ -154,7 +158,7 @@ pub fn read_latest(
         let mut trial = pruned.clone();
         trial.append_event(reader_session, read_event.clone());
         trial.set_wr(read, t_prime);
-        if !level.satisfies(&trial) {
+        if !checker.check(&trial) {
             continue;
         }
         let key = h.tx_order_key(t_prime);
@@ -169,8 +173,13 @@ pub fn read_latest(
 }
 
 /// The full `Optimality(h_<, r, t)` condition (§5.3): the swapped history is
-/// consistent with `level`, and every deleted read (plus `r` itself) is not
-/// already swapped and reads from the causally latest valid write.
+/// consistent with the checker's isolation level, and every deleted read
+/// (plus `r` itself) is not already swapped and reads from the causally
+/// latest valid write.
+///
+/// The consistency queries are funnelled through the caller's
+/// [`ConsistencyChecker`] engine so that scratch buffers and the
+/// fingerprint memo amortise across the whole exploration.
 ///
 /// Returns the swapped ordered history when the condition holds so that the
 /// caller does not need to recompute it.
@@ -178,11 +187,11 @@ pub fn optimality(
     h: &OrderedHistory,
     read: EventId,
     target: TxId,
-    level: IsolationLevel,
+    checker: &mut dyn ConsistencyChecker,
     full_condition: bool,
 ) -> Option<OrderedHistory> {
     let swapped_history = swap(h, read, target);
-    if !level.satisfies(&swapped_history.history) {
+    if !checker.check(&swapped_history.history) {
         return None;
     }
     if !full_condition {
@@ -193,7 +202,9 @@ pub fn optimality(
     let doomed = doomed_events(h, read, target);
     let mut to_check: Vec<EventId> = vec![read];
     for e in &doomed {
-        let Some(ev) = h.history.event(*e) else { continue };
+        let Some(ev) = h.history.event(*e) else {
+            continue;
+        };
         if matches!(ev.kind, EventKind::Read(_)) && h.history.wr_of(*e).is_some() {
             to_check.push(*e);
         }
@@ -202,7 +213,7 @@ pub fn optimality(
         if swapped(h, r_prime) {
             return None;
         }
-        if !read_latest(h, r_prime, target, level) {
+        if !read_latest(h, r_prime, target, checker) {
             return None;
         }
     }
@@ -213,7 +224,9 @@ pub fn optimality(
 mod tests {
     use super::*;
     use crate::swap::compute_reorderings;
-    use txdpor_history::{Event, EventKind, History, SessionId, Value, Var};
+    use txdpor_history::{
+        engine_for, Event, EventKind, History, IsolationLevel, SessionId, Value, Var,
+    };
 
     struct Builder {
         h: History,
@@ -297,26 +310,26 @@ mod tests {
 
     #[test]
     fn read_latest_distinguishes_fig12_branches() {
-        let level = IsolationLevel::CausalConsistency;
+        let mut ck = engine_for(IsolationLevel::CausalConsistency);
         // In the branch where t3 reads from init, both deleted reads read
         // from their causally latest write (init is the only causal writer),
         // so the swap of (r2, t4) is enabled.
         let (h, r2, r3) = fig12(true);
         let target = TxId(4);
-        assert!(read_latest(&h, r2, target, level));
-        assert!(read_latest(&h, r3, target, level));
-        assert!(optimality(&h, r2, target, level, true).is_some());
+        assert!(read_latest(&h, r2, target, ck.as_mut()));
+        assert!(read_latest(&h, r3, target, ck.as_mut()));
+        assert!(optimality(&h, r2, target, ck.as_mut(), true).is_some());
 
         // In the branch where t3 reads from t1: once the wr edge of r3
         // itself is excluded, t1 is not in r3's causal past, so the
         // causally latest valid writer is init while r3 reads from t1 —
         // the swap must be disabled (this is exactly Fig. 12's argument).
         let (h, r2, r3) = fig12(false);
-        assert!(read_latest(&h, r2, target, level));
-        assert!(!read_latest(&h, r3, target, level));
-        assert!(optimality(&h, r2, target, level, true).is_none());
+        assert!(read_latest(&h, r2, target, ck.as_mut()));
+        assert!(!read_latest(&h, r3, target, ck.as_mut()));
+        assert!(optimality(&h, r2, target, ck.as_mut(), true).is_none());
         // The ablation mode (consistency only) would still allow it.
-        assert!(optimality(&h, r2, target, level, false).is_some());
+        assert!(optimality(&h, r2, target, ck.as_mut(), false).is_some());
     }
 
     /// Fig. 13: four single-transaction sessions; after swapping t3 before
@@ -325,7 +338,7 @@ mod tests {
     #[test]
     fn swapped_reads_block_further_swaps() {
         let (x, y) = (Var(0), Var(1));
-        let level = IsolationLevel::CausalConsistency;
+        let mut ck = engine_for(IsolationLevel::CausalConsistency);
         // History h1 of Fig. 13c: t1=read(x)<-init; t3=write(y,3) committed;
         // t2=read(y)<-t3 (swapped earlier: t3 is after t2 in oracle order);
         // t4=write(x,4) just committed.
@@ -358,9 +371,9 @@ mod tests {
         // and r2 is swapped, so Optimality rejects it.
         let reorderings = compute_reorderings(&h1);
         assert!(reorderings.iter().any(|p| p.read == r1 && p.target == t4));
-        assert!(optimality(&h1, r1, t4, level, true).is_none());
+        assert!(optimality(&h1, r1, t4, ck.as_mut(), true).is_none());
         // Without the swapped-check ablation it would be allowed.
-        assert!(optimality(&h1, r1, t4, level, false).is_some());
+        assert!(optimality(&h1, r1, t4, ck.as_mut(), false).is_some());
     }
 
     #[test]
@@ -396,7 +409,8 @@ mod tests {
         b.commit(1);
         let h = b.done();
         let t2 = TxId(2);
-        let res = optimality(&h, r, t2, IsolationLevel::CausalConsistency, true);
+        let mut ck = engine_for(IsolationLevel::CausalConsistency);
+        let res = optimality(&h, r, t2, ck.as_mut(), true);
         assert!(res.is_some());
         let sh = res.unwrap();
         sh.check_invariants().unwrap();

@@ -104,9 +104,7 @@ pub fn swap(h: &OrderedHistory, read: EventId, target: TxId) -> OrderedHistory {
     let mut order: Vec<EventId> = h
         .order
         .iter()
-        .filter(|e| {
-            history.tx_of_event(**e).is_some_and(|t| t != read_tx)
-        })
+        .filter(|e| history.tx_of_event(**e).is_some_and(|t| t != read_tx))
         .copied()
         .collect();
     order.extend(history.tx(read_tx).events.iter().map(|e| e.id));
@@ -162,10 +160,16 @@ mod tests {
         h.begin_transaction(SessionId(1), TxId(2), 0, Event::new(b, EventKind::Begin));
         order.push(b);
         let w1 = fresh();
-        h.append_event(SessionId(1), Event::new(w1, EventKind::Write(x, Value::Int(2))));
+        h.append_event(
+            SessionId(1),
+            Event::new(w1, EventKind::Write(x, Value::Int(2))),
+        );
         order.push(w1);
         let w2 = fresh();
-        h.append_event(SessionId(1), Event::new(w2, EventKind::Write(y, Value::Int(2))));
+        h.append_event(
+            SessionId(1),
+            Event::new(w2, EventKind::Write(y, Value::Int(2))),
+        );
         order.push(w2);
         let c = fresh();
         h.append_event(SessionId(1), Event::new(c, EventKind::Commit));
@@ -208,7 +212,10 @@ mod tests {
         h.begin_transaction(SessionId(0), TxId(1), 0, Event::new(b, EventKind::Begin));
         order.push(b);
         let w = fresh();
-        h.append_event(SessionId(0), Event::new(w, EventKind::Write(x, Value::Int(1))));
+        h.append_event(
+            SessionId(0),
+            Event::new(w, EventKind::Write(x, Value::Int(1))),
+        );
         order.push(w);
         let c = fresh();
         h.append_event(SessionId(0), Event::new(c, EventKind::Commit));
@@ -221,7 +228,10 @@ mod tests {
         h.set_wr(r, TxId(1));
         order.push(r);
         let w2 = fresh();
-        h.append_event(SessionId(1), Event::new(w2, EventKind::Write(x, Value::Int(2))));
+        h.append_event(
+            SessionId(1),
+            Event::new(w2, EventKind::Write(x, Value::Int(2))),
+        );
         order.push(w2);
         let c = fresh();
         h.append_event(SessionId(1), Event::new(c, EventKind::Commit));

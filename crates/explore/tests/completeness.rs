@@ -141,10 +141,7 @@ fn litmus_programs() -> Vec<(&'static str, Program)> {
                         write(g("y"), local("a")),
                     ],
                 )]),
-                session(vec![tx(
-                    "obs",
-                    vec![read("b", g("y")), read("c", g("x"))],
-                )]),
+                session(vec![tx("obs", vec![read("b", g("y")), read("c", g("x"))])]),
             ]),
         ),
     ]
@@ -190,7 +187,10 @@ fn explore_ce_is_sound_complete_and_optimal_for_weak_levels() {
                 "history sets differ for {name} under {level}"
             );
             assert_eq!(duplicates, 0, "{name} under {level}: optimality violated");
-            assert_eq!(blocked, 0, "{name} under {level}: strong optimality violated");
+            assert_eq!(
+                blocked, 0,
+                "{name} under {level}: strong optimality violated"
+            );
         }
     }
 }

@@ -27,7 +27,10 @@ fn empty_program_has_one_empty_history() {
 #[test]
 fn purely_local_transactions_have_a_single_history() {
     let p = program(vec![
-        session(vec![tx("a", vec![assign("l", cint(1)), assign("m", add(local("l"), cint(2)))])]),
+        session(vec![tx(
+            "a",
+            vec![assign("l", cint(1)), assign("m", add(local("l"), cint(2)))],
+        )]),
         session(vec![tx("b", vec![assign("n", cint(3))])]),
     ]);
     let report = explore(&p, cc()).unwrap();
@@ -40,7 +43,10 @@ fn aborted_writer_is_never_read_from() {
     // The first transaction writes x then aborts; the reader can only see
     // the initial value.
     let p = program(vec![
-        session(vec![tx("abort_writer", vec![write(g("x"), cint(5)), abort()])]),
+        session(vec![tx(
+            "abort_writer",
+            vec![write(g("x"), cint(5)), abort()],
+        )]),
         session(vec![tx("reader", vec![read("a", g("x"))])]),
     ]);
     let report = explore(&p, cc()).unwrap();

@@ -107,7 +107,9 @@ fn premise_holds(
     match axiom {
         Axiom::ReadCommitted => {
             // ∃ read c in t3, po-before α, reading from t2.
-            let Some(log) = h.get_tx(t3) else { return false };
+            let Some(log) = h.get_tx(t3) else {
+                return false;
+            };
             log.read_events()
                 .filter(|c| log.po_before(c.id, alpha))
                 .any(|c| h.wr_of(c.id) == Some(t2))
@@ -121,7 +123,9 @@ fn premise_holds(
         }
         Axiom::Conflict => {
             // ∃ t4, y. t3 writes y ∧ t4 writes y ∧ ⟨t2, t4⟩ ∈ co* ∧ ⟨t4, t3⟩ ∈ co
-            let Some(log3) = h.get_tx(t3) else { return false };
+            let Some(log3) = h.get_tx(t3) else {
+                return false;
+            };
             let written: Vec<Var> = log3.visible_writes().keys().copied().collect();
             if written.is_empty() {
                 return false;
@@ -345,11 +349,23 @@ mod tests {
         // Valid serialization order exists for CC but the reversed init order
         // is not a witness.
         let bad = [TxId(1), TxId(2), TxId::INIT];
-        assert!(!check_with_order(&h, IsolationLevel::CausalConsistency, &bad));
+        assert!(!check_with_order(
+            &h,
+            IsolationLevel::CausalConsistency,
+            &bad
+        ));
         let good = [TxId::INIT, TxId(1), TxId(2)];
-        assert!(check_with_order(&h, IsolationLevel::CausalConsistency, &good));
+        assert!(check_with_order(
+            &h,
+            IsolationLevel::CausalConsistency,
+            &good
+        ));
         // Missing transactions are rejected.
-        assert!(!check_with_order(&h, IsolationLevel::CausalConsistency, &[TxId::INIT]));
+        assert!(!check_with_order(
+            &h,
+            IsolationLevel::CausalConsistency,
+            &[TxId::INIT]
+        ));
     }
 
     #[test]

@@ -1,0 +1,434 @@
+//! Stateful consistency-checking engines.
+//!
+//! The exploration algorithms of the paper decide `h ∈ I` for a huge number
+//! of *closely related* candidate histories: `ValidWrites` retries the same
+//! trial history with every candidate writer, `Optimality` re-checks pruned
+//! prefixes, and a swap only changes a suffix of the previous candidate.
+//! The free functions in [`crate::check`] recompute everything from scratch
+//! on every call; the engines here make the hot path incremental:
+//!
+//! * every engine owns its **scratch buffers** (transaction indices,
+//!   word-packed reachability matrices, failed-state memo tables), so a
+//!   check allocates close to nothing after warm-up;
+//! * every engine owns a **result memo keyed by the canonical
+//!   fingerprint** (its streamed 128-bit hash,
+//!   [`History::fingerprint_hash`]): re-deciding a history that is
+//!   read-from equivalent to one seen before is a single hash lookup.
+//!   Because a swap shares its prefix with the history it was derived
+//!   from, the memo turns the re-saturation after a swap into cache hits
+//!   for the unchanged prefix and real work only for the affected suffix.
+//!
+//! # Incrementality contract
+//!
+//! The memo assumes that consistency is invariant under read-from
+//! equivalence: two histories with equal fingerprints (same
+//! per-session event structure, same `po`, `so` and `wr` up to renaming of
+//! transaction and variable identifiers) satisfy exactly the same isolation
+//! levels. This holds because the axioms of §2.2.2 only mention `po`, `so`,
+//! `wr` and the existence of a commit order — never raw identifiers.
+//! Keys are hash-compacted to 128 bits (as classically done for
+//! visited-state sets in stateless model checking), so a collision —
+//! astronomically unlikely — could misclassify one history. The memo is
+//! bounded ([`MEMO_CAPACITY`] entries) and is cleared wholesale when
+//! full, so engines are safe to keep alive for arbitrarily long
+//! explorations.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::check::{ser, si, weak};
+use crate::history::History;
+use crate::isolation::IsolationLevel;
+
+/// Maximum number of memoised results an engine retains before the memo is
+/// cleared wholesale (a simple epoch eviction that bounds memory without
+/// bookkeeping on the hot path).
+pub const MEMO_CAPACITY: usize = 1 << 17;
+
+/// Counters exposed by every engine, for reporting and tests.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Total number of `check` calls served.
+    pub checks: u64,
+    /// Number of calls answered from the fingerprint memo.
+    pub memo_hits: u64,
+}
+
+/// A stateful decision procedure for `h ∈ I` at a fixed isolation level.
+///
+/// Engines are the unit of reuse of the checking layer: the exploration
+/// algorithms create one engine per (level, worker) and funnel every
+/// consistency query of that worker through it, so scratch buffers and the
+/// fingerprint memo amortise across the whole exploration. The stateless
+/// entry points ([`crate::check::satisfies`],
+/// [`IsolationLevel::satisfies`]) remain as thin wrappers over a fresh
+/// engine.
+pub trait ConsistencyChecker: Send {
+    /// The isolation level this engine decides.
+    fn level(&self) -> IsolationLevel;
+
+    /// Whether the history satisfies the engine's isolation level
+    /// (Definition 2.2).
+    fn check(&mut self, h: &History) -> bool;
+
+    /// Counters accumulated since creation (or the last [`reset`]).
+    ///
+    /// [`reset`]: ConsistencyChecker::reset
+    fn stats(&self) -> EngineStats;
+
+    /// Drops all memoised results and counters. Scratch allocations are
+    /// kept.
+    fn reset(&mut self);
+}
+
+/// Creates the engine for an isolation level, with result memoisation
+/// enabled.
+pub fn engine_for(level: IsolationLevel) -> Box<dyn ConsistencyChecker> {
+    engine_for_with(level, true)
+}
+
+/// Creates the engine for an isolation level, choosing whether results are
+/// memoised by fingerprint. Disabling memoisation reproduces the cost model
+/// of the stateless free functions (used by the `no-memo` benchmark
+/// configurations); scratch-buffer reuse stays on either way.
+pub fn engine_for_with(level: IsolationLevel, memoize: bool) -> Box<dyn ConsistencyChecker> {
+    match level {
+        IsolationLevel::Trivial => Box::new(TrivialEngine::default()),
+        IsolationLevel::ReadCommitted
+        | IsolationLevel::ReadAtomic
+        | IsolationLevel::CausalConsistency => Box::new(WeakEngine::new(level, memoize)),
+        IsolationLevel::Serializability => Box::new(SerEngine::new(memoize)),
+        IsolationLevel::SnapshotIsolation => Box::new(SiEngine::new(memoize)),
+    }
+}
+
+/// The shared fingerprint-keyed result memo.
+///
+/// Keys are the 128-bit [`History::fingerprint_hash`] — the canonical
+/// fingerprint run through two independent hashers instead of materialised
+/// as nested vectors, so a lookup costs one walk of the history and no
+/// allocation (hash compaction, as classically used for visited-state sets
+/// in stateless model checking; the collision probability is negligible at
+/// 128 bits).
+#[derive(Debug, Default)]
+struct Memo {
+    map: HashMap<(u64, u64), bool>,
+    enabled: bool,
+    stats: EngineStats,
+}
+
+impl Memo {
+    fn new(enabled: bool) -> Self {
+        Memo {
+            map: HashMap::new(),
+            enabled,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Looks up the history, returning either the memoised verdict or the
+    /// key to insert the freshly computed verdict under (`None` when
+    /// memoisation is disabled).
+    fn lookup(&mut self, h: &History) -> Result<bool, Option<(u64, u64)>> {
+        self.stats.checks += 1;
+        if !self.enabled {
+            return Err(None);
+        }
+        let key = h.fingerprint_hash();
+        match self.map.get(&key) {
+            Some(&v) => {
+                self.stats.memo_hits += 1;
+                Ok(v)
+            }
+            None => Err(Some(key)),
+        }
+    }
+
+    fn insert(&mut self, key: Option<(u64, u64)>, verdict: bool) {
+        if let Some(key) = key {
+            if self.map.len() >= MEMO_CAPACITY {
+                self.map.clear();
+            }
+            self.map.insert(key, verdict);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.map.clear();
+        self.stats = EngineStats::default();
+    }
+}
+
+/// Engine for the trivial level `true`: every history is consistent.
+#[derive(Debug, Default)]
+pub struct TrivialEngine {
+    stats: EngineStats,
+}
+
+impl ConsistencyChecker for TrivialEngine {
+    fn level(&self) -> IsolationLevel {
+        IsolationLevel::Trivial
+    }
+
+    fn check(&mut self, _h: &History) -> bool {
+        self.stats.checks += 1;
+        true
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    fn reset(&mut self) {
+        self.stats = EngineStats::default();
+    }
+}
+
+/// Engine for the polynomial-time levels (Read Committed, Read Atomic,
+/// Causal Consistency): saturation of the forced commit-order edges with a
+/// word-packed causal-reachability matrix, plus the fingerprint memo.
+#[derive(Debug)]
+pub struct WeakEngine {
+    level: IsolationLevel,
+    memo: Memo,
+    scratch: weak::WeakScratch,
+}
+
+impl WeakEngine {
+    /// Creates an engine for one of `{RC, RA, CC}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with a level outside `{RC, RA, CC}`.
+    pub fn new(level: IsolationLevel, memoize: bool) -> Self {
+        assert!(
+            matches!(
+                level,
+                IsolationLevel::ReadCommitted
+                    | IsolationLevel::ReadAtomic
+                    | IsolationLevel::CausalConsistency
+            ),
+            "WeakEngine only handles RC/RA/CC, got {level}"
+        );
+        WeakEngine {
+            level,
+            memo: Memo::new(memoize),
+            scratch: weak::WeakScratch::default(),
+        }
+    }
+}
+
+impl ConsistencyChecker for WeakEngine {
+    fn level(&self) -> IsolationLevel {
+        self.level
+    }
+
+    fn check(&mut self, h: &History) -> bool {
+        match self.memo.lookup(h) {
+            Ok(v) => v,
+            Err(key) => {
+                let v = weak::satisfies_weak_with(h, self.level, &mut self.scratch);
+                self.memo.insert(key, v);
+                v
+            }
+        }
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.memo.stats
+    }
+
+    fn reset(&mut self) {
+        self.memo.reset();
+    }
+}
+
+/// Engine for Serializability: memoised commit-prefix search with a
+/// reusable failed-state table, plus the fingerprint memo.
+#[derive(Debug)]
+pub struct SerEngine {
+    memo: Memo,
+    states: HashSet<ser::StateKey>,
+}
+
+impl SerEngine {
+    /// Creates a Serializability engine.
+    pub fn new(memoize: bool) -> Self {
+        SerEngine {
+            memo: Memo::new(memoize),
+            states: HashSet::new(),
+        }
+    }
+}
+
+impl ConsistencyChecker for SerEngine {
+    fn level(&self) -> IsolationLevel {
+        IsolationLevel::Serializability
+    }
+
+    fn check(&mut self, h: &History) -> bool {
+        match self.memo.lookup(h) {
+            Ok(v) => v,
+            Err(key) => {
+                let v = ser::satisfies_ser_with(h, &mut self.states);
+                self.memo.insert(key, v);
+                v
+            }
+        }
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.memo.stats
+    }
+
+    fn reset(&mut self) {
+        self.memo.reset();
+        self.states.clear();
+    }
+}
+
+/// Engine for Snapshot Isolation: memoised start/commit interval search
+/// with a reusable failed-state table, plus the fingerprint memo.
+#[derive(Debug)]
+pub struct SiEngine {
+    memo: Memo,
+    states: HashSet<si::StateKey>,
+}
+
+impl SiEngine {
+    /// Creates a Snapshot Isolation engine.
+    pub fn new(memoize: bool) -> Self {
+        SiEngine {
+            memo: Memo::new(memoize),
+            states: HashSet::new(),
+        }
+    }
+}
+
+impl ConsistencyChecker for SiEngine {
+    fn level(&self) -> IsolationLevel {
+        IsolationLevel::SnapshotIsolation
+    }
+
+    fn check(&mut self, h: &History) -> bool {
+        match self.memo.lookup(h) {
+            Ok(v) => v,
+            Err(key) => {
+                let v = si::satisfies_si_with(h, &mut self.states);
+                self.memo.insert(key, v);
+                v
+            }
+        }
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.memo.stats
+    }
+
+    fn reset(&mut self) {
+        self.memo.reset();
+        self.states.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventId, EventKind};
+    use crate::transaction::{SessionId, TxId};
+    use crate::value::{Value, Var};
+
+    fn lost_update() -> History {
+        let x = Var(0);
+        let mut h = History::new([]);
+        let mut id = 0u32;
+        let mut fresh = || {
+            id += 1;
+            EventId(id)
+        };
+        for s in 0..2u32 {
+            h.begin_transaction(
+                SessionId(s),
+                TxId(s + 1),
+                0,
+                Event::new(fresh(), EventKind::Begin),
+            );
+            let r = fresh();
+            h.append_event(SessionId(s), Event::new(r, EventKind::Read(x)));
+            h.set_wr(r, TxId::INIT);
+            h.append_event(
+                SessionId(s),
+                Event::new(fresh(), EventKind::Write(x, Value::Int(s as i64 + 1))),
+            );
+            h.append_event(SessionId(s), Event::new(fresh(), EventKind::Commit));
+        }
+        h
+    }
+
+    #[test]
+    fn engines_agree_with_free_functions() {
+        let h = lost_update();
+        for level in IsolationLevel::ALL {
+            let mut engine = engine_for(level);
+            assert_eq!(engine.level(), level);
+            assert_eq!(
+                engine.check(&h),
+                crate::check::satisfies(&h, level),
+                "engine disagrees with free function at {level}"
+            );
+        }
+    }
+
+    #[test]
+    fn memo_hits_on_repeat_checks() {
+        let h = lost_update();
+        let mut engine = engine_for(IsolationLevel::CausalConsistency);
+        let first = engine.check(&h);
+        let second = engine.check(&h);
+        assert_eq!(first, second);
+        let stats = engine.stats();
+        assert_eq!(stats.checks, 2);
+        assert_eq!(stats.memo_hits, 1);
+        engine.reset();
+        assert_eq!(engine.stats(), EngineStats::default());
+        assert_eq!(engine.check(&h), first);
+        assert_eq!(engine.stats().memo_hits, 0);
+    }
+
+    #[test]
+    fn unmemoized_engines_never_hit() {
+        let h = lost_update();
+        for level in IsolationLevel::ALL {
+            let mut engine = engine_for_with(level, false);
+            let a = engine.check(&h);
+            let b = engine.check(&h);
+            assert_eq!(a, b);
+            assert_eq!(engine.stats().memo_hits, 0, "{level} hit a disabled memo");
+        }
+    }
+
+    #[test]
+    fn memo_distinguishes_different_histories() {
+        // The lost-update history is CC-consistent but a variant where the
+        // second read observes the first writer is also consistent while
+        // having a different fingerprint — the memo must not conflate them.
+        let h1 = lost_update();
+        let mut h2 = lost_update();
+        let (_, read, _, _) = h2
+            .reads_from()
+            .into_iter()
+            .find(|(reader, _, _, _)| *reader == TxId(2))
+            .unwrap();
+        h2.set_wr(read, TxId(1));
+        assert_ne!(h1.fingerprint(), h2.fingerprint());
+        let mut engine = engine_for(IsolationLevel::Serializability);
+        assert!(!engine.check(&h1), "lost update is not serializable");
+        assert!(engine.check(&h2), "serial observation is serializable");
+        assert_eq!(engine.stats().memo_hits, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "only handles RC/RA/CC")]
+    fn weak_engine_rejects_strong_levels() {
+        WeakEngine::new(IsolationLevel::Serializability, true);
+    }
+}

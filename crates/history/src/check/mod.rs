@@ -15,6 +15,7 @@
 //! The slow axiom-level oracle in [`crate::axioms`] cross-validates all of
 //! these in the test suite.
 
+pub mod engine;
 pub mod ser;
 pub mod si;
 pub mod weak;
@@ -22,7 +23,14 @@ pub mod weak;
 use crate::history::History;
 use crate::isolation::IsolationLevel;
 
+pub use engine::{engine_for, engine_for_with, ConsistencyChecker, EngineStats};
+
 /// Whether the history satisfies the isolation level (Definition 2.2).
+///
+/// This is the stateless entry point: it builds a fresh
+/// [`ConsistencyChecker`] engine and runs a single check, so nothing is
+/// amortised across calls. Long-running explorations should create an
+/// engine once (via [`engine_for`]) and reuse it.
 pub fn satisfies(h: &History, level: IsolationLevel) -> bool {
     match level {
         IsolationLevel::Trivial => true,

@@ -17,11 +17,19 @@ use crate::value::Var;
 
 /// Whether the history satisfies Serializability.
 pub fn satisfies_ser(h: &History) -> bool {
+    satisfies_ser_with(h, &mut HashSet::new())
+}
+
+/// Like [`satisfies_ser`], reusing a caller-owned memo table for the
+/// failed-state set so that engines avoid reallocating it per history. The
+/// memo is cleared on entry: its entries are only meaningful within one
+/// history.
+pub(crate) fn satisfies_ser_with(h: &History, memo: &mut HashSet<StateKey>) -> bool {
+    memo.clear();
     let idx = SerIndex::new(h);
-    let mut memo: HashSet<StateKey> = HashSet::new();
     let mut frontier = vec![0usize; idx.sessions.len()];
     let mut last_writer: BTreeMap<Var, TxId> = BTreeMap::new();
-    search(&idx, &mut frontier, &mut last_writer, &mut memo)
+    search(&idx, &mut frontier, &mut last_writer, memo)
 }
 
 /// Precomputed per-transaction data used by the search.
@@ -61,7 +69,7 @@ impl SerIndex {
     }
 }
 
-type StateKey = (Vec<usize>, Vec<(u32, u32)>);
+pub(crate) type StateKey = (Vec<usize>, Vec<(u32, u32)>);
 
 fn state_key(frontier: &[usize], last_writer: &BTreeMap<Var, TxId>) -> StateKey {
     (
@@ -93,9 +101,9 @@ fn search(
         }
         let t = idx.sessions[s][frontier[s]];
         // Every external read must read from the currently-last writer.
-        let ok = idx.reads[&t].iter().all(|(x, w)| {
-            last_writer.get(x).copied().unwrap_or(TxId::INIT) == *w
-        });
+        let ok = idx.reads[&t]
+            .iter()
+            .all(|(x, w)| last_writer.get(x).copied().unwrap_or(TxId::INIT) == *w);
         if !ok {
             continue;
         }

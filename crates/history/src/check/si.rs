@@ -23,14 +23,21 @@ use crate::value::Var;
 
 /// Whether the history satisfies Snapshot Isolation.
 pub fn satisfies_si(h: &History) -> bool {
+    satisfies_si_with(h, &mut HashSet::new())
+}
+
+/// Like [`satisfies_si`], reusing a caller-owned memo table for the
+/// failed-state set. The memo is cleared on entry: its entries are only
+/// meaningful within one history.
+pub(crate) fn satisfies_si_with(h: &History, memo: &mut HashSet<StateKey>) -> bool {
+    memo.clear();
     let idx = SiIndex::new(h);
     let mut state = SiState {
         frontier: vec![0; idx.sessions.len()],
         started: vec![false; idx.sessions.len()],
         last_committed: BTreeMap::new(),
     };
-    let mut memo = HashSet::new();
-    search(&idx, &mut state, &mut memo)
+    search(&idx, &mut state, memo)
 }
 
 struct SiIndex {
@@ -72,7 +79,7 @@ struct SiState {
     last_committed: BTreeMap<Var, TxId>,
 }
 
-type StateKey = (Vec<(usize, bool)>, Vec<(u32, u32)>);
+pub(crate) type StateKey = (Vec<(usize, bool)>, Vec<(u32, u32)>);
 
 fn state_key(state: &SiState) -> StateKey {
     (
@@ -110,9 +117,9 @@ fn search(idx: &SiIndex, state: &mut SiState, memo: &mut HashSet<StateKey>) -> b
         let t = idx.sessions[s][state.frontier[s]];
         if !state.started[s] {
             // Try to start t: snapshot reads + write-conflict freedom.
-            let snapshot_ok = idx.reads[&t].iter().all(|(x, w)| {
-                state.last_committed.get(x).copied().unwrap_or(TxId::INIT) == *w
-            });
+            let snapshot_ok = idx.reads[&t]
+                .iter()
+                .all(|(x, w)| state.last_committed.get(x).copied().unwrap_or(TxId::INIT) == *w);
             if !snapshot_ok {
                 continue;
             }

@@ -7,11 +7,12 @@
 //! iff `so ∪ wr ∪ forced` is acyclic, in which case any topological order is
 //! a witness commit order.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
+use crate::event::EventKind;
 use crate::history::History;
 use crate::isolation::IsolationLevel;
-use crate::relations::Digraph;
+use crate::relations::{BitMatrix, Digraph};
 use crate::transaction::TxId;
 
 /// Checks Read Committed, Read Atomic or Causal Consistency.
@@ -20,6 +21,51 @@ use crate::transaction::TxId;
 ///
 /// Panics if called with a level outside `{RC, RA, CC}`.
 pub fn satisfies_weak(h: &History, level: IsolationLevel) -> bool {
+    satisfies_weak_with(h, level, &mut WeakScratch::default())
+}
+
+/// One axiom instance: a read of `var` in transaction (vertex) `reader`
+/// reading from `writer`, with `prefix` wr-reads of the same transaction
+/// preceding it in program order (the Read Committed premise set).
+#[derive(Debug)]
+struct ReadInfo {
+    reader: usize,
+    prefix: usize,
+    var: crate::value::Var,
+    writer: usize,
+}
+
+/// Reusable buffers for the weak-level saturation: the transaction index,
+/// the per-variable writer lists, the axiom instances, the `so ∪ wr`
+/// membership matrix, its transitive closure and the forced commit-order
+/// graph. One instance is owned by each
+/// [`crate::check::engine::WeakEngine`] and reused across histories.
+#[derive(Debug, Default)]
+pub(crate) struct WeakScratch {
+    txs: Vec<TxId>,
+    index: BTreeMap<TxId, usize>,
+    so_wr: BitMatrix,
+    reach: BitMatrix,
+    graph: Digraph,
+    writers: HashMap<crate::value::Var, Vec<usize>>,
+    reads: Vec<ReadInfo>,
+    wr_seqs: Vec<Vec<usize>>,
+}
+
+/// Like [`satisfies_weak`], reusing caller-owned scratch buffers.
+///
+/// The saturation makes a single pass over the transaction logs to index
+/// writers per variable, the axiom instances and the per-transaction
+/// sequences of wr-read sources (so no per-pair log rescans are needed),
+/// builds the direct `so ∪ wr` matrix, takes one word-packed transitive
+/// closure for the Causal Consistency premise (instead of a BFS per
+/// transaction pair), then adds the forced commit-order edges and tests
+/// acyclicity.
+pub(crate) fn satisfies_weak_with(
+    h: &History,
+    level: IsolationLevel,
+    scratch: &mut WeakScratch,
+) -> bool {
     assert!(
         matches!(
             level,
@@ -31,11 +77,42 @@ pub fn satisfies_weak(h: &History, level: IsolationLevel) -> bool {
     );
 
     // Vertex 0 is the init transaction.
-    let txs: Vec<TxId> = std::iter::once(TxId::INIT).chain(h.tx_ids()).collect();
-    let index: BTreeMap<TxId, usize> = txs.iter().enumerate().map(|(i, t)| (*t, i)).collect();
-    let mut g = Digraph::new(txs.len());
+    let WeakScratch {
+        txs,
+        index,
+        so_wr,
+        reach,
+        graph: g,
+        writers,
+        reads,
+        wr_seqs,
+    } = scratch;
+    txs.clear();
+    txs.push(TxId::INIT);
+    txs.extend(h.tx_ids());
+    index.clear();
+    index.extend(txs.iter().enumerate().map(|(i, t)| (*t, i)));
+    let n = txs.len();
+    g.reset(n);
+    so_wr.reset(n);
+    for seq in wr_seqs.iter_mut() {
+        seq.clear();
+    }
+    wr_seqs.resize_with(n, Vec::new);
+    for list in writers.values_mut() {
+        list.clear();
+    }
+    reads.clear();
 
-    // so edges (immediate successors suffice for acyclicity) and init edges.
+    // Direct so ∪ wr membership (init precedes everything, transactions of
+    // a session are ordered by position, wr edges at the transaction level)
+    // plus, in the same pass over the logs: visible writers per variable and
+    // the axiom instances with their Read Committed premise prefixes. The
+    // graph only needs the immediate successors (plus wr) since its closure
+    // equals the closure of the full relation.
+    for j in 1..n {
+        so_wr.set(0, j);
+    }
     for session in h.sessions().values() {
         if let Some(first) = session.first() {
             g.add_edge(0, index[first]);
@@ -43,34 +120,68 @@ pub fn satisfies_weak(h: &History, level: IsolationLevel) -> bool {
         for pair in session.windows(2) {
             g.add_edge(index[&pair[0]], index[&pair[1]]);
         }
-    }
-    // wr edges at the transaction level.
-    for (w, r) in h.wr_tx_edges() {
-        if w != r {
-            g.add_edge(index[&w], index[&r]);
+        for (k, a) in session.iter().enumerate() {
+            let i = index[a];
+            for b in &session[k + 1..] {
+                so_wr.set(i, index[b]);
+            }
+            let log = h.tx(*a);
+            let aborted = log.is_aborted();
+            for e in &log.events {
+                match &e.kind {
+                    EventKind::Write(x, _) if !aborted => {
+                        let list = writers.entry(*x).or_default();
+                        if list.last() != Some(&i) {
+                            list.push(i);
+                        }
+                    }
+                    EventKind::Read(x) => {
+                        if let Some(w) = h.wr_of(e.id) {
+                            let iw = index[&w];
+                            reads.push(ReadInfo {
+                                reader: i,
+                                prefix: wr_seqs[i].len(),
+                                var: *x,
+                                writer: iw,
+                            });
+                            wr_seqs[i].push(iw);
+                            if iw != i {
+                                g.add_edge(iw, i);
+                                so_wr.set(iw, i);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
         }
     }
 
-    // Forced commit-order edges from the axiom instances.
-    for (t3, alpha, x, t1) in h.reads_from() {
-        for t2 in h.writers_of(x) {
-            if t2 == t1 || t2 == t3 {
+    // Causal reachability (so ∪ wr)+ as one packed transitive closure.
+    if level == IsolationLevel::CausalConsistency {
+        reach.clone_from(so_wr);
+        reach.transitive_close();
+    }
+
+    // Forced commit-order edges from the axiom instances: for each read
+    // (t3 = reader, t1 = writer read from) and each other transaction t2
+    // writing the variable (init always does), the premise forces t2 → t1.
+    for r in reads.iter() {
+        let (i3, i1) = (r.reader, r.writer);
+        let var_writers = writers.get(&r.var).map(Vec::as_slice).unwrap_or(&[]);
+        for i2 in std::iter::once(0).chain(var_writers.iter().copied()) {
+            if i2 == i1 || i2 == i3 {
                 continue;
             }
             let premise = match level {
-                IsolationLevel::ReadCommitted => {
-                    // ∃ read c of t3, po-before α, reading from t2.
-                    let log = h.tx(t3);
-                    log.read_events()
-                        .filter(|c| log.po_before(c.id, alpha))
-                        .any(|c| h.wr_of(c.id) == Some(t2))
-                }
-                IsolationLevel::ReadAtomic => h.so_or_wr(t2, t3),
-                IsolationLevel::CausalConsistency => h.causally_before(t2, t3),
+                // ∃ read c of t3, po-before α, reading from t2.
+                IsolationLevel::ReadCommitted => wr_seqs[i3][..r.prefix].contains(&i2),
+                IsolationLevel::ReadAtomic => so_wr.get(i2, i3),
+                IsolationLevel::CausalConsistency => reach.get(i2, i3),
                 _ => unreachable!(),
             };
             if premise {
-                g.add_edge(index[&t2], index[&t1]);
+                g.add_edge(i2, i1);
             }
         }
     }

@@ -133,7 +133,10 @@ mod tests {
         assert_eq!(e.to_string(), "e3:write(x0,1)");
         let e = Event::new(EventId(4), EventKind::Read(Var(1)));
         assert_eq!(e.to_string(), "e4:read(x1)");
-        assert_eq!(Event::new(EventId(0), EventKind::Begin).to_string(), "e0:begin");
+        assert_eq!(
+            Event::new(EventId(0), EventKind::Begin).to_string(),
+            "e0:begin"
+        );
     }
 
     #[test]

@@ -149,7 +149,10 @@ impl History {
 
     /// Number of pending transactions.
     pub fn num_pending(&self) -> usize {
-        self.transactions.values().filter(|t| t.is_pending()).count()
+        self.transactions
+            .values()
+            .filter(|t| t.is_pending())
+            .count()
     }
 
     /// Committed transactions, *excluding* the implicit init transaction.
@@ -526,6 +529,17 @@ impl History {
     /// A canonical, identifier-independent summary of the history used to
     /// compare histories up to read-from equivalence (same events per
     /// session/transaction and same `po`, `so`, `wr`).
+    ///
+    /// Transactions are identified by their `(session, index)` coordinates
+    /// and variables by their order of first occurrence (scanning sessions,
+    /// then transactions, then events), so the fingerprint is independent
+    /// of both [`TxId`] allocation and [`crate::VarTable`] interning order.
+    /// The latter makes fingerprints comparable across explorations that
+    /// interned variables in different orders (e.g. parallel workers
+    /// resolving dynamically indexed globals on different branches first).
+    /// For histories generated from the same program this renaming is
+    /// lossless: the events' structure, written values and read-from
+    /// sources determine every resolved variable name.
     pub fn fingerprint(&self) -> HistoryFingerprint {
         // Map every transaction to its canonical coordinates (session, index).
         let coord = |t: TxId| -> WriterRef {
@@ -541,6 +555,12 @@ impl History {
                 WriterRef::Tx(log.session.0, idx)
             }
         };
+        // Map every variable to its first-occurrence index.
+        let mut var_ids: BTreeMap<Var, u32> = BTreeMap::new();
+        let mut canon = |x: Var| -> Var {
+            let next = var_ids.len() as u32;
+            Var(*var_ids.entry(x).or_insert(next))
+        };
         let mut sessions = Vec::new();
         for (s, txs) in &self.sessions {
             let mut fp_txs = Vec::new();
@@ -552,9 +572,9 @@ impl History {
                         EventKind::Begin => EventFingerprint::Begin,
                         EventKind::Commit => EventFingerprint::Commit,
                         EventKind::Abort => EventFingerprint::Abort,
-                        EventKind::Write(x, v) => EventFingerprint::Write(*x, v.clone()),
+                        EventKind::Write(x, v) => EventFingerprint::Write(canon(*x), v.clone()),
                         EventKind::Read(x) => {
-                            EventFingerprint::Read(*x, self.wr_of(e.id).map(coord))
+                            EventFingerprint::Read(canon(*x), self.wr_of(e.id).map(coord))
                         }
                     };
                     evs.push(fp);
@@ -564,6 +584,129 @@ impl History {
             sessions.push((s.0, fp_txs));
         }
         HistoryFingerprint { sessions }
+    }
+
+    /// A 128-bit hash of the canonical fingerprint, computed by streaming
+    /// the canonical structure into two independent hashers instead of
+    /// materialising [`HistoryFingerprint`]'s nested vectors (which clones
+    /// every event payload). Two histories with equal fingerprints always
+    /// have equal hashes; the converse holds up to the negligible collision
+    /// probability of 128 bits (hash compaction, as classically used by
+    /// stateless model checkers for visited-state sets).
+    pub fn fingerprint_hash(&self) -> (u64, u64) {
+        // Two independent multiply-xorshift streams fed word by word: far
+        // cheaper per word than a keyed hash, which matters because the
+        // memoised engines hash one history per consistency check.
+        struct Mix(u64, u64);
+        impl Mix {
+            #[inline]
+            fn add(&mut self, v: u64) {
+                self.0 = (self.0 ^ v).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                self.0 ^= self.0 >> 29;
+                self.1 = (self.1.rotate_left(23) ^ v).wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
+                self.1 ^= self.1 >> 31;
+            }
+        }
+        let mut mix = Mix(0x243f_6a88_85a3_08d3, 0x1319_8a2e_0370_7344);
+        // First-occurrence numbering of variables, as in `fingerprint`.
+        // Histories touch few distinct variables, so a linear scan beats a
+        // map here.
+        let mut var_ids: Vec<Var> = Vec::new();
+        let mut canon = |x: Var| -> u64 {
+            match var_ids.iter().position(|y| *y == x) {
+                Some(i) => i as u64,
+                None => {
+                    var_ids.push(x);
+                    (var_ids.len() - 1) as u64
+                }
+            }
+        };
+        let coord = |t: TxId| -> u64 {
+            if t.is_init() {
+                u64::MAX
+            } else {
+                let log = self.tx(t);
+                let idx = self
+                    .session_txs(log.session)
+                    .iter()
+                    .position(|x| *x == t)
+                    .expect("transaction listed in its session");
+                ((log.session.0 as u64) << 32) | idx as u64
+            }
+        };
+        for (s, txs) in &self.sessions {
+            mix.add(s.0 as u64);
+            mix.add(txs.len() as u64);
+            for t in txs {
+                let log = &self.transactions[t];
+                mix.add(log.events.len() as u64);
+                for e in &log.events {
+                    match &e.kind {
+                        EventKind::Begin => mix.add(0),
+                        EventKind::Commit => mix.add(1),
+                        EventKind::Abort => mix.add(2),
+                        EventKind::Write(x, v) => {
+                            mix.add(3);
+                            mix.add(canon(*x));
+                            match v {
+                                Value::Int(i) => {
+                                    mix.add(0);
+                                    mix.add(*i as u64);
+                                }
+                                Value::Set(s) => {
+                                    mix.add(1);
+                                    mix.add(s.len() as u64);
+                                    for id in s {
+                                        mix.add(*id as u64);
+                                    }
+                                }
+                            }
+                        }
+                        EventKind::Read(x) => {
+                            mix.add(4);
+                            mix.add(canon(*x));
+                            match self.wr_of(e.id) {
+                                None => mix.add(0),
+                                Some(w) => {
+                                    mix.add(1);
+                                    mix.add(coord(w));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (mix.0, mix.1)
+    }
+
+    // ------------------------------------------------------------------
+    // Variable renaming
+    // ------------------------------------------------------------------
+
+    /// Returns the history with every variable replaced by `f(var)`,
+    /// including the init values. Used to translate histories produced
+    /// against one [`crate::VarTable`] into another (e.g. when merging the
+    /// outputs of parallel exploration workers).
+    ///
+    /// `f` must be injective on the variables of the history, otherwise
+    /// distinct variables would be conflated.
+    pub fn map_vars(&self, mut f: impl FnMut(Var) -> Var) -> History {
+        let mut h = self.clone();
+        h.init_values = self
+            .init_values
+            .iter()
+            .map(|(x, v)| (f(*x), v.clone()))
+            .collect();
+        for log in h.transactions.values_mut() {
+            for e in &mut log.events {
+                match &mut e.kind {
+                    EventKind::Read(x) | EventKind::Write(x, _) => *x = f(*x),
+                    _ => {}
+                }
+            }
+        }
+        h
     }
 }
 
@@ -696,19 +839,28 @@ mod tests {
         };
         // t1 in session 0
         h.begin_transaction(SessionId(0), TxId(1), 0, ev(fresh().0, EventKind::Begin));
-        h.append_event(SessionId(0), Event::new(fresh(), EventKind::Write(x, Value::Int(1))));
+        h.append_event(
+            SessionId(0),
+            Event::new(fresh(), EventKind::Write(x, Value::Int(1))),
+        );
         h.append_event(SessionId(0), Event::new(fresh(), EventKind::Commit));
         // t2 in session 1
         h.begin_transaction(SessionId(1), TxId(2), 0, ev(fresh().0, EventKind::Begin));
         let r2 = fresh();
         h.append_event(SessionId(1), Event::new(r2, EventKind::Read(x)));
-        h.append_event(SessionId(1), Event::new(fresh(), EventKind::Write(x, Value::Int(2))));
+        h.append_event(
+            SessionId(1),
+            Event::new(fresh(), EventKind::Write(x, Value::Int(2))),
+        );
         h.append_event(SessionId(1), Event::new(fresh(), EventKind::Commit));
         // t4 in session 2
         h.begin_transaction(SessionId(2), TxId(4), 0, ev(fresh().0, EventKind::Begin));
         let r4 = fresh();
         h.append_event(SessionId(2), Event::new(r4, EventKind::Read(x)));
-        h.append_event(SessionId(2), Event::new(fresh(), EventKind::Write(y, Value::Int(1))));
+        h.append_event(
+            SessionId(2),
+            Event::new(fresh(), EventKind::Write(y, Value::Int(1))),
+        );
         h.append_event(SessionId(2), Event::new(fresh(), EventKind::Commit));
         // t3 in session 3
         h.begin_transaction(SessionId(3), TxId(3), 0, ev(fresh().0, EventKind::Begin));
@@ -803,12 +955,7 @@ mod tests {
     fn remove_events_builds_prefix() {
         let h = fig3_history();
         // Remove all events of t3 (session 3).
-        let doomed: BTreeSet<EventId> = h
-            .tx(TxId(3))
-            .events
-            .iter()
-            .map(|e| e.id)
-            .collect();
+        let doomed: BTreeSet<EventId> = h.tx(TxId(3)).events.iter().map(|e| e.id).collect();
         let h2 = h.remove_events(&doomed);
         assert_eq!(h2.num_transactions(), 3);
         assert!(!h2.contains_tx(TxId(3)));
@@ -833,6 +980,33 @@ mod tests {
             .unwrap();
         h3.set_wr(r3x, TxId(2));
         assert_ne!(h1.fingerprint(), h3.fingerprint());
+    }
+
+    #[test]
+    fn fingerprints_are_canonical_in_variable_ids() {
+        // Renaming variables (order-preserving or not) leaves the
+        // fingerprint unchanged: variables are numbered by first occurrence.
+        let h = fig3_history();
+        let shifted = h.map_vars(|x| Var(x.0 + 10));
+        assert_eq!(h.fingerprint(), shifted.fingerprint());
+        let swapped = h.map_vars(|x| Var(1 - x.0));
+        assert_eq!(h.fingerprint(), swapped.fingerprint());
+    }
+
+    #[test]
+    fn map_vars_rewrites_events_and_init_values() {
+        let mut h = fig3_history();
+        h.set_init_value(Var(0), Value::Int(9));
+        let mapped = h.map_vars(|x| Var(x.0 + 5));
+        assert_eq!(mapped.init_value(Var(5)), Value::Int(9));
+        assert!(mapped.writes_var(TxId(1), Var(5)));
+        assert!(!mapped.writes_var(TxId(1), Var(0)));
+        assert_eq!(mapped.writers_of(Var(6)), vec![TxId::INIT, TxId(4)]);
+        // wr edges and structure are untouched.
+        assert_eq!(mapped.wr().len(), h.wr().len());
+        assert_eq!(mapped.num_events(), h.num_events());
+        // Identity mapping is the identity.
+        assert_eq!(h.map_vars(|x| x), h);
     }
 
     #[test]

@@ -73,8 +73,10 @@ pub mod relations;
 pub mod transaction;
 pub mod value;
 
+pub use check::{engine_for, engine_for_with, ConsistencyChecker, EngineStats};
 pub use event::{Event, EventId, EventKind};
 pub use history::{EventFingerprint, History, HistoryFingerprint, WriterRef};
 pub use isolation::IsolationLevel;
+pub use relations::{BitMatrix, Digraph};
 pub use transaction::{SessionId, TransactionLog, TxId, TxStatus};
 pub use value::{Value, Var, VarTable};

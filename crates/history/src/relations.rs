@@ -2,6 +2,140 @@
 
 use std::collections::VecDeque;
 
+/// A dense boolean matrix with word-packed rows, used for adjacency and
+/// reachability over transaction graphs.
+///
+/// Rows are stored as consecutive `u64` words, so a whole-row union (the
+/// inner step of transitive closure) touches `⌈n/64⌉` words instead of `n`
+/// booleans, and a membership test is a single shift-and-mask.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct BitMatrix {
+    n: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl Clone for BitMatrix {
+    fn clone(&self) -> Self {
+        BitMatrix {
+            n: self.n,
+            words_per_row: self.words_per_row,
+            bits: self.bits.clone(),
+        }
+    }
+
+    // `clone_from` reuses the destination's backing allocation: engines
+    // clone one scratch matrix into another on every check, so the default
+    // `*self = source.clone()` would allocate on the hottest path.
+    fn clone_from(&mut self, source: &Self) {
+        self.n = source.n;
+        self.words_per_row = source.words_per_row;
+        self.bits.clone_from(&source.bits);
+    }
+}
+
+impl BitMatrix {
+    /// Creates an `n × n` zero matrix.
+    pub fn new(n: usize) -> Self {
+        let words_per_row = n.div_ceil(64);
+        BitMatrix {
+            n,
+            words_per_row,
+            bits: vec![0; n * words_per_row],
+        }
+    }
+
+    /// Number of rows (and columns).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Resizes to `n × n` and clears every bit. Keeps the backing allocation
+    /// when it is already large enough, so engines can reuse one matrix as a
+    /// scratch buffer across histories.
+    pub fn reset(&mut self, n: usize) {
+        self.n = n;
+        self.words_per_row = n.div_ceil(64);
+        let words = n * self.words_per_row;
+        self.bits.clear();
+        self.bits.resize(words, 0);
+    }
+
+    /// Whether bit `(i, j)` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        assert!(i < self.n && j < self.n, "bit index out of range");
+        self.bits[i * self.words_per_row + j / 64] >> (j % 64) & 1 == 1
+    }
+
+    /// Sets bit `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn set(&mut self, i: usize, j: usize) {
+        assert!(i < self.n && j < self.n, "bit index out of range");
+        self.bits[i * self.words_per_row + j / 64] |= 1 << (j % 64);
+    }
+
+    /// The packed words of row `i`.
+    pub fn row(&self, i: usize) -> &[u64] {
+        let start = i * self.words_per_row;
+        &self.bits[start..start + self.words_per_row]
+    }
+
+    /// Unions row `src` into row `dst` (`dst |= src`), returning whether any
+    /// bit of `dst` changed. A no-op when `src == dst`.
+    pub fn or_row_into(&mut self, src: usize, dst: usize) -> bool {
+        if src == dst {
+            return false;
+        }
+        let w = self.words_per_row;
+        let (s, d) = (src * w, dst * w);
+        let (lo, hi) = if s < d { (s, d) } else { (d, s) };
+        let (head, tail) = self.bits.split_at_mut(hi);
+        let (src_row, dst_row) = if s < d {
+            (&head[lo..lo + w], &mut tail[..w])
+        } else {
+            let (dst_row, _) = head[lo..].split_at_mut(w);
+            (&tail[..w], dst_row)
+        };
+        let mut changed = false;
+        for (dw, sw) in dst_row.iter_mut().zip(src_row) {
+            let next = *dw | *sw;
+            changed |= next != *dw;
+            *dw = next;
+        }
+        changed
+    }
+
+    /// Closes the matrix under composition: afterwards `(i, j)` is set iff
+    /// there is a non-empty path `i → … → j` through set entries. Works by
+    /// repeatedly OR-ing successor rows into predecessor rows until a
+    /// fixpoint is reached.
+    pub fn transitive_close(&mut self) {
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..self.n {
+                for j in 0..self.n {
+                    if i != j && self.get(i, j) {
+                        changed |= self.or_row_into(j, i);
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// A small directed graph over vertices `0..n`.
 ///
 /// Histories contain at most a few dozen transactions, so adjacency lists
@@ -22,6 +156,16 @@ impl Digraph {
     /// Number of vertices.
     pub fn len(&self) -> usize {
         self.adj.len()
+    }
+
+    /// Resizes to `n` vertices and removes every edge, keeping the per-vertex
+    /// allocations alive so the graph can be reused as a scratch buffer.
+    pub fn reset(&mut self, n: usize) {
+        self.adj.truncate(n);
+        for succ in &mut self.adj {
+            succ.clear();
+        }
+        self.adj.resize(n, Vec::new());
     }
 
     /// Whether the graph has no vertices.
@@ -69,24 +213,27 @@ impl Digraph {
         seen == n
     }
 
-    /// Reachability matrix: `out[a][b]` iff there is a (possibly empty) path
-    /// from `a` to `b`. Every vertex reaches itself.
-    pub fn reachability(&self) -> Vec<Vec<bool>> {
-        let n = self.len();
-        let mut out = vec![vec![false; n]; n];
-        for (start, reached) in out.iter_mut().enumerate() {
-            let mut stack = vec![start];
-            reached[start] = true;
-            while let Some(v) = stack.pop() {
-                for &w in &self.adj[v] {
-                    if !reached[w] {
-                        reached[w] = true;
-                        stack.push(w);
-                    }
-                }
+    /// Reachability matrix: `(a, b)` is set iff there is a (possibly empty)
+    /// path from `a` to `b`. Every vertex reaches itself.
+    pub fn reachability(&self) -> BitMatrix {
+        let mut m = self.adjacency();
+        m.transitive_close();
+        for v in 0..self.len() {
+            m.set(v, v);
+        }
+        m
+    }
+
+    /// The adjacency matrix of the graph as a [`BitMatrix`] (no diagonal
+    /// unless the graph has self-loops).
+    pub fn adjacency(&self) -> BitMatrix {
+        let mut m = BitMatrix::new(self.len());
+        for (v, succ) in self.adj.iter().enumerate() {
+            for &w in succ {
+                m.set(v, w);
             }
         }
-        out
+        m
     }
 
     /// Enumerates all topological orders of the graph, calling `f` on each.
@@ -176,10 +323,74 @@ mod tests {
         g.add_edge(0, 1);
         g.add_edge(1, 2);
         let r = g.reachability();
-        assert!(r[0][2]);
-        assert!(r[0][0]);
-        assert!(!r[2][0]);
-        assert!(!r[0][3]);
+        assert!(r.get(0, 2));
+        assert!(r.get(0, 0));
+        assert!(!r.get(2, 0));
+        assert!(!r.get(0, 3));
+    }
+
+    #[test]
+    fn adjacency_has_no_implicit_diagonal() {
+        let mut g = Digraph::new(3);
+        g.add_edge(0, 1);
+        let a = g.adjacency();
+        assert!(a.get(0, 1));
+        assert!(!a.get(0, 0));
+        assert!(!a.get(1, 0));
+    }
+
+    #[test]
+    fn bitmatrix_wide_rows_cross_word_boundaries() {
+        // 100 vertices forces two words per row.
+        let n = 100;
+        let mut g = Digraph::new(n);
+        for v in 0..n - 1 {
+            g.add_edge(v, v + 1);
+        }
+        let r = g.reachability();
+        assert!(r.get(0, n - 1));
+        assert!(r.get(63, 64));
+        assert!(!r.get(n - 1, 0));
+    }
+
+    #[test]
+    fn bitmatrix_transitive_close_on_cycle() {
+        let mut m = BitMatrix::new(3);
+        m.set(0, 1);
+        m.set(1, 2);
+        m.set(2, 0);
+        m.transitive_close();
+        // Every vertex reaches every vertex (including itself via the cycle).
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(m.get(i, j), "({i},{j}) should be reachable");
+            }
+        }
+    }
+
+    #[test]
+    fn bitmatrix_or_row_into_reports_changes() {
+        let mut m = BitMatrix::new(3);
+        m.set(0, 2);
+        assert!(m.or_row_into(0, 1), "first union changes row 1");
+        assert!(!m.or_row_into(0, 1), "second union is a no-op");
+        assert!(!m.or_row_into(1, 1), "self union is a no-op");
+        assert!(m.get(1, 2));
+    }
+
+    #[test]
+    fn bitmatrix_reset_reuses_and_clears() {
+        let mut m = BitMatrix::new(2);
+        m.set(1, 1);
+        m.reset(3);
+        assert_eq!(m.len(), 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(!m.get(i, j));
+            }
+        }
+        m.reset(0);
+        assert!(m.is_empty());
     }
 
     #[test]

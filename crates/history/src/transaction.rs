@@ -312,7 +312,10 @@ mod tests {
     #[test]
     fn last_write_before_resolves_internal_reads() {
         let t = sample_log();
-        assert_eq!(t.last_write_before(Var(0), EventId(3)), Some(&Value::Int(1)));
+        assert_eq!(
+            t.last_write_before(Var(0), EventId(3)),
+            Some(&Value::Int(1))
+        );
         assert_eq!(t.last_write_before(Var(0), EventId(1)), None);
         assert_eq!(t.last_write_before(Var(1), EventId(3)), None);
     }
@@ -326,7 +329,10 @@ mod tests {
         assert_eq!(t.po_position(EventId(4)), Some(4));
         assert!(t.contains_event(EventId(5)));
         assert!(!t.contains_event(EventId(50)));
-        assert_eq!(t.event(EventId(2)).unwrap().kind, EventKind::Write(Var(0), Value::Int(1)));
+        assert_eq!(
+            t.event(EventId(2)).unwrap().kind,
+            EventKind::Write(Var(0), Value::Int(1))
+        );
     }
 
     #[test]

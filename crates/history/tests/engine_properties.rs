@@ -1,0 +1,209 @@
+//! Property-based tests for the stateful [`ConsistencyChecker`] engines:
+//! on randomly generated histories, every engine agrees with the axiomatic
+//! oracle — including when one long-lived engine is reused across many
+//! histories and across in-place mutations of a history (the incremental
+//! pattern of the exploration algorithms), and when memoisation is
+//! disabled. Canonical fingerprints are also exercised: renaming variables
+//! must not change an engine's verdict or the fingerprint.
+
+use proptest::prelude::*;
+
+use txdpor_history::axioms::oracle_satisfies;
+use txdpor_history::{
+    engine_for, engine_for_with, Event, EventId, EventKind, History, IsolationLevel, SessionId,
+    TxId, Value, Var,
+};
+
+/// A compact description of a randomly generated history (same shape as
+/// `consistency_properties.rs`).
+#[derive(Clone, Debug)]
+struct RandomOp {
+    write: bool,
+    var: u32,
+    value: i64,
+    /// For reads: index into the set of previously committed writers of the
+    /// variable (modulo its size).
+    reader_choice: usize,
+}
+
+fn op_strategy() -> impl Strategy<Value = RandomOp> {
+    (any::<bool>(), 0..2u32, 0..4i64, 0..8usize).prop_map(|(write, var, value, reader_choice)| {
+        RandomOp {
+            write,
+            var,
+            value,
+            reader_choice,
+        }
+    })
+}
+
+fn blueprint_strategy() -> impl Strategy<Value = Vec<Vec<Vec<RandomOp>>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(proptest::collection::vec(op_strategy(), 1..=3), 1..=2),
+        2..=3,
+    )
+}
+
+fn build_history(blueprint: &[Vec<Vec<RandomOp>>]) -> History {
+    let mut h = History::new([]);
+    let mut next_event = 0u32;
+    let mut next_tx = 0u32;
+    let mut committed_writers: Vec<(Var, TxId)> = Vec::new();
+    for (s, session) in blueprint.iter().enumerate() {
+        for (idx, ops) in session.iter().enumerate() {
+            next_tx += 1;
+            let tx = TxId(next_tx);
+            next_event += 1;
+            h.begin_transaction(
+                SessionId(s as u32),
+                tx,
+                idx,
+                Event::new(EventId(next_event), EventKind::Begin),
+            );
+            let mut written: Vec<Var> = Vec::new();
+            for op in ops {
+                let var = Var(op.var);
+                next_event += 1;
+                if op.write {
+                    h.append_event(
+                        SessionId(s as u32),
+                        Event::new(
+                            EventId(next_event),
+                            EventKind::Write(var, Value::Int(op.value)),
+                        ),
+                    );
+                    written.push(var);
+                } else {
+                    let id = EventId(next_event);
+                    h.append_event(SessionId(s as u32), Event::new(id, EventKind::Read(var)));
+                    if !written.contains(&var) {
+                        let candidates: Vec<TxId> = std::iter::once(TxId::INIT)
+                            .chain(
+                                committed_writers
+                                    .iter()
+                                    .filter(|(v, _)| *v == var)
+                                    .map(|(_, t)| *t),
+                            )
+                            .collect();
+                        let writer = candidates[op.reader_choice % candidates.len()];
+                        h.set_wr(id, writer);
+                    }
+                }
+            }
+            next_event += 1;
+            h.append_event(
+                SessionId(s as u32),
+                Event::new(EventId(next_event), EventKind::Commit),
+            );
+            for var in written {
+                committed_writers.push((var, tx));
+            }
+        }
+    }
+    h
+}
+
+const LEVELS: [IsolationLevel; 5] = [
+    IsolationLevel::ReadCommitted,
+    IsolationLevel::ReadAtomic,
+    IsolationLevel::CausalConsistency,
+    IsolationLevel::SnapshotIsolation,
+    IsolationLevel::Serializability,
+];
+
+/// Every wr-mutation of the history: each external read redirected to each
+/// alternative committed writer of its variable (never its own
+/// transaction — the semantics only lets committed transactions serve
+/// external reads, and a transaction is never committed while still
+/// reading). This is exactly the kind of one-edge delta the exploration's
+/// `ValidWrites` generates.
+fn wr_mutations(h: &History) -> Vec<History> {
+    let mut out = Vec::new();
+    for (reader, read, var, current) in h.reads_from() {
+        for writer in h.committed_writers_of(var) {
+            if writer != current && writer != reader {
+                let mut m = h.clone();
+                m.set_wr(read, writer);
+                out.push(m);
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    #[test]
+    fn fresh_engines_agree_with_the_oracle(blueprint in blueprint_strategy()) {
+        let h = build_history(&blueprint);
+        for level in LEVELS {
+            let mut engine = engine_for(level);
+            prop_assert_eq!(
+                engine.check(&h),
+                oracle_satisfies(&h, level),
+                "fresh engine diverges for {} on:\n{}",
+                level,
+                h
+            );
+        }
+    }
+
+    #[test]
+    fn reused_engines_stay_correct_across_mutations(blueprint in blueprint_strategy()) {
+        // One long-lived engine per level, fed the base history and every
+        // one-wr-edge mutation, with repeats to exercise the memo. The
+        // verdicts must match the oracle throughout — memoised or not.
+        let h = build_history(&blueprint);
+        for level in LEVELS {
+            let mut engine = engine_for(level);
+            let mut plain = engine_for_with(level, false);
+            let mut candidates = vec![h.clone()];
+            candidates.extend(wr_mutations(&h));
+            for candidate in &candidates {
+                let expected = oracle_satisfies(candidate, level);
+                prop_assert_eq!(
+                    engine.check(candidate),
+                    expected,
+                    "reused engine diverges for {} on:\n{}",
+                    level,
+                    candidate
+                );
+                prop_assert_eq!(
+                    plain.check(candidate),
+                    expected,
+                    "unmemoised engine diverges for {} on:\n{}",
+                    level,
+                    candidate
+                );
+            }
+            // Second pass: every verdict now comes from the memo.
+            let before = engine.stats();
+            for candidate in &candidates {
+                prop_assert_eq!(engine.check(candidate), oracle_satisfies(candidate, level));
+            }
+            let after = engine.stats();
+            prop_assert_eq!(
+                after.memo_hits - before.memo_hits,
+                candidates.len() as u64,
+                "second pass should be all memo hits at {}", level
+            );
+        }
+    }
+
+    #[test]
+    fn verdicts_and_fingerprints_are_invariant_under_var_renaming(
+        (blueprint, offset) in (blueprint_strategy(), 1..5u32)
+    ) {
+        // Renaming variables (as parallel workers effectively do when they
+        // intern dynamically indexed globals in different orders) must not
+        // change fingerprints or engine verdicts.
+        let h = build_history(&blueprint);
+        let renamed = h.map_vars(|x| Var(x.0 + offset));
+        prop_assert_eq!(h.fingerprint(), renamed.fingerprint());
+        for level in LEVELS {
+            let mut engine = engine_for(level);
+            prop_assert_eq!(engine.check(&h), engine.check(&renamed));
+        }
+    }
+}

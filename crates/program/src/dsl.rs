@@ -238,8 +238,6 @@ mod tests {
         assert_eq!(t.body.len(), 3);
         assert!(matches!(t.body[0], Instr::Read { .. }));
         assert!(matches!(t.body[1], Instr::If { ref else_branch, .. } if else_branch.is_empty()));
-        assert!(
-            matches!(t.body[2], Instr::If { ref else_branch, .. } if else_branch.len() == 1)
-        );
+        assert!(matches!(t.body[2], Instr::If { ref else_branch, .. } if else_branch.len() == 1));
     }
 }

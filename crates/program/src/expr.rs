@@ -231,8 +231,14 @@ mod tests {
             set_remove(local("s"), cint(1)).eval(&env),
             Ok(Value::set_of([2]))
         );
-        assert_eq!(set_contains(local("s"), cint(2)).eval(&env), Ok(Value::Int(1)));
-        assert_eq!(set_contains(local("s"), cint(9)).eval(&env), Ok(Value::Int(0)));
+        assert_eq!(
+            set_contains(local("s"), cint(2)).eval(&env),
+            Ok(Value::Int(1))
+        );
+        assert_eq!(
+            set_contains(local("s"), cint(9)).eval(&env),
+            Ok(Value::Int(0))
+        );
         assert_eq!(set_size(local("s")).eval(&env), Ok(Value::Int(2)));
         assert_eq!(empty_set().eval(&env), Ok(Value::empty_set()));
     }

@@ -415,7 +415,8 @@ pub fn execute_serial(program: &Program) -> Result<(History, VarTable), Semantic
             }
             SchedulerStep::Continue { session, step, .. } => match step {
                 TxStep::Write { var, value } => {
-                    history.append_event(session, Event::new(fresh(), EventKind::Write(var, value)));
+                    history
+                        .append_event(session, Event::new(fresh(), EventKind::Write(var, value)));
                 }
                 TxStep::Commit => {
                     history.append_event(session, Event::new(fresh(), EventKind::Commit));

@@ -45,9 +45,7 @@ fn anomalies() -> Vec<Anomaly> {
         (
             "lost update",
             program(vec![session(vec![incr()]), session(vec![incr()])]),
-            |ctx| {
-                ctx.committed_values_of("x").contains(&Value::Int(2))
-            },
+            |ctx| ctx.committed_values_of("x").contains(&Value::Int(2)),
         ),
         (
             "write skew",
@@ -127,7 +125,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         print!("{name:<16}");
         for (outputs, violated) in cells {
-            print!(" {:>6}", format!("{}{}", outputs, if violated { "!" } else { "" }));
+            print!(
+                " {:>6}",
+                format!("{}{}", outputs, if violated { "!" } else { "" })
+            );
         }
         println!();
     }

@@ -18,7 +18,10 @@ fn withdraw(name: &str, from: &str, other: &str, amount: i64) -> TransactionDef 
             read("mine", g(from)),
             read("theirs", g(other)),
             iff(
-                ge(sub(add(local("mine"), local("theirs")), cint(amount)), cint(0)),
+                ge(
+                    sub(add(local("mine"), local("theirs")), cint(amount)),
+                    cint(0),
+                ),
                 vec![write(g(from), sub(local("mine"), cint(amount)))],
             ),
         ],

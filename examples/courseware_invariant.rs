@@ -21,7 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("== courseware: can the course capacity be exceeded? ==\n");
     for (label, base, target) in [
-        ("CC", IsolationLevel::CausalConsistency, IsolationLevel::CausalConsistency),
+        (
+            "CC",
+            IsolationLevel::CausalConsistency,
+            IsolationLevel::CausalConsistency,
+        ),
         (
             "SI",
             IsolationLevel::CausalConsistency,
@@ -38,8 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             ExploreConfig::explore_ce_star(base, target)
         };
-        let report =
-            explore_with_assertion(&p, config, Some(&courseware::capacity_invariant))?;
+        let report = explore_with_assertion(&p, config, Some(&courseware::capacity_invariant))?;
         println!(
             "{label:<4}: {:>4} histories explored, {} capacity violations ({:.2?})",
             report.outputs, report.assertion_violations, report.duration

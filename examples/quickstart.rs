@@ -51,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         IsolationLevel::CausalConsistency,
     ] {
         let report = explore(&p, ExploreConfig::explore_ce(level))?;
-        println!("  {:<4} : {:>4} histories", level.short_name(), report.outputs);
+        println!(
+            "  {:<4} : {:>4} histories",
+            level.short_name(),
+            report.outputs
+        );
     }
     for level in [
         IsolationLevel::SnapshotIsolation,
@@ -61,7 +65,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &p,
             ExploreConfig::explore_ce_star(IsolationLevel::CausalConsistency, level),
         )?;
-        println!("  {:<4} : {:>4} histories", level.short_name(), report.outputs);
+        println!(
+            "  {:<4} : {:>4} histories",
+            level.short_name(),
+            report.outputs
+        );
     }
     Ok(())
 }

@@ -51,7 +51,9 @@ pub mod prelude {
         dfs_explore, explore, explore_with_assertion, AssertionCtx, DfsConfig, ExplorationReport,
         ExploreConfig,
     };
-    pub use txdpor_history::{History, IsolationLevel, Value, Var, VarTable};
+    pub use txdpor_history::{
+        engine_for, ConsistencyChecker, History, IsolationLevel, Value, Var, VarTable,
+    };
     pub use txdpor_program::dsl::*;
     pub use txdpor_program::{execute_serial, Program, Session, TransactionDef};
 }

@@ -40,8 +40,14 @@ fn app_workloads_explore_soundly_under_every_level() {
             )
             .unwrap();
             assert!(report.outputs >= 1, "{app} under {level} has no behaviour");
-            assert_eq!(report.duplicate_outputs, 0, "{app} under {level}: duplicates");
-            assert_eq!(report.blocked, 0, "{app} under {level}: blocked exploration");
+            assert_eq!(
+                report.duplicate_outputs, 0,
+                "{app} under {level}: duplicates"
+            );
+            assert_eq!(
+                report.blocked, 0,
+                "{app} under {level}: blocked exploration"
+            );
             for h in &report.histories {
                 assert!(level.satisfies(h), "{app} under {level}: unsound output");
                 assert_eq!(h.num_pending(), 0, "{app}: incomplete output history");
@@ -96,7 +102,10 @@ fn star_algorithms_filter_monotonically() {
             ),
         )
         .unwrap();
-        assert_eq!(si.end_states, cc.end_states, "{app}: same exploration expected");
+        assert_eq!(
+            si.end_states, cc.end_states,
+            "{app}: same exploration expected"
+        );
         assert!(ser.outputs <= si.outputs, "{app}: SER admits more than SI");
         assert!(si.outputs <= cc.outputs, "{app}: SI admits more than CC");
         assert!(ser.outputs >= 1, "{app}: no serializable behaviour");
@@ -142,10 +151,7 @@ fn weaker_base_levels_explore_more_end_states() {
     .unwrap();
     let trivial = explore(
         &p,
-        ExploreConfig::explore_ce_star(
-            IsolationLevel::Trivial,
-            IsolationLevel::CausalConsistency,
-        ),
+        ExploreConfig::explore_ce_star(IsolationLevel::Trivial, IsolationLevel::CausalConsistency),
     )
     .unwrap();
     // All enumerate the same CC histories…
@@ -165,7 +171,10 @@ fn weaker_base_levels_explore_more_end_states() {
 #[test]
 fn courseware_invariant_analysis() {
     let mut p = program(vec![
-        session(vec![courseware::enroll(0, 0), courseware::get_enrollments(0)]),
+        session(vec![
+            courseware::enroll(0, 0),
+            courseware::get_enrollments(0),
+        ]),
         session(vec![courseware::enroll(1, 0)]),
     ]);
     p.init_values = courseware::initial_values();

@@ -19,21 +19,43 @@ fn fig6_history(with_final_write: bool) -> (History, Var, Var, Var) {
         id += 1;
         EventId(id)
     };
-    h.begin_transaction(SessionId(0), TxId(1), 0, Event::new(fresh(), EventKind::Begin));
-    h.append_event(SessionId(0), Event::new(fresh(), EventKind::Write(z, Value::Int(1))));
+    h.begin_transaction(
+        SessionId(0),
+        TxId(1),
+        0,
+        Event::new(fresh(), EventKind::Begin),
+    );
+    h.append_event(
+        SessionId(0),
+        Event::new(fresh(), EventKind::Write(z, Value::Int(1))),
+    );
     let r = fresh();
     h.append_event(SessionId(0), Event::new(r, EventKind::Read(x)));
     h.set_wr(r, TxId::INIT);
-    h.append_event(SessionId(0), Event::new(fresh(), EventKind::Write(y, Value::Int(1))));
+    h.append_event(
+        SessionId(0),
+        Event::new(fresh(), EventKind::Write(y, Value::Int(1))),
+    );
     h.append_event(SessionId(0), Event::new(fresh(), EventKind::Commit));
 
-    h.begin_transaction(SessionId(1), TxId(2), 0, Event::new(fresh(), EventKind::Begin));
-    h.append_event(SessionId(1), Event::new(fresh(), EventKind::Write(z, Value::Int(2))));
+    h.begin_transaction(
+        SessionId(1),
+        TxId(2),
+        0,
+        Event::new(fresh(), EventKind::Begin),
+    );
+    h.append_event(
+        SessionId(1),
+        Event::new(fresh(), EventKind::Write(z, Value::Int(2))),
+    );
     let r = fresh();
     h.append_event(SessionId(1), Event::new(r, EventKind::Read(y)));
     h.set_wr(r, TxId::INIT);
     if with_final_write {
-        h.append_event(SessionId(1), Event::new(fresh(), EventKind::Write(x, Value::Int(2))));
+        h.append_event(
+            SessionId(1),
+            Event::new(fresh(), EventKind::Write(x, Value::Int(2))),
+        );
     }
     (h, x, y, z)
 }
@@ -64,10 +86,7 @@ fn theorem_3_2_prefix_closure_on_explored_histories() {
         let report = explore(&p, base.collecting_histories()).unwrap();
         for h in report.histories.iter().take(20) {
             // Remove one causally-maximal transaction at a time.
-            let maximal: Vec<_> = h
-                .tx_ids()
-                .filter(|t| h.is_causally_maximal(*t))
-                .collect();
+            let maximal: Vec<_> = h.tx_ids().filter(|t| h.is_causally_maximal(*t)).collect();
             for t in maximal {
                 let doomed: BTreeSet<_> = h.tx(t).events.iter().map(|e| e.id).collect();
                 let prefix = h.remove_events(&doomed);
@@ -112,13 +131,13 @@ fn theorem_5_1_strong_optimality_on_workloads() {
             IsolationLevel::ReadAtomic,
             IsolationLevel::CausalConsistency,
         ] {
-            let report = explore(
-                &p,
-                ExploreConfig::explore_ce(level).tracking_duplicates(),
-            )
-            .unwrap();
+            let report =
+                explore(&p, ExploreConfig::explore_ce(level).tracking_duplicates()).unwrap();
             assert_eq!(report.blocked, 0, "{app}/{level}: fruitless exploration");
-            assert_eq!(report.duplicate_outputs, 0, "{app}/{level}: duplicate output");
+            assert_eq!(
+                report.duplicate_outputs, 0,
+                "{app}/{level}: duplicate output"
+            );
             // Strong optimality also implies every end state is output.
             assert_eq!(report.end_states, report.outputs);
         }
