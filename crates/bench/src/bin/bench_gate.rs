@@ -1,0 +1,156 @@
+//! Bench-regression gate: re-runs the deterministic courseware rows of
+//! Fig. 14 and fails (exit 1) if any count (`histories`, `end_states`,
+//! `explore_calls`) differs from the committed `BENCH_fig14.json`.
+//!
+//! The exploration counts are pure functions of the algorithm and the
+//! (seeded) benchmark program, so they are machine-independent — unlike
+//! wall-clock time and peak allocation, which are reported but never
+//! gated. Rows that timed out in the baseline are skipped (a timed-out
+//! run's counts depend on where the clock cut it off).
+//!
+//! Usage: `cargo run --release -p txdpor-bench --bin bench_gate --
+//! [--baseline BENCH_fig14.json] [--timeout <s>] [--apps courseware]`
+
+use std::time::Duration;
+
+use txdpor_bench::json::JsonValue;
+use txdpor_bench::{experiment_fig14_with, flag_value, Algorithm, ExperimentOptions, Measurement};
+use txdpor_history::IsolationLevel;
+
+/// The committed algorithm labels mapped back to configurations. Labels
+/// absent from this table (e.g. a differently-sized parallel run) are
+/// skipped with a notice rather than failing the gate.
+fn algorithm_for_label(label: &str) -> Option<Algorithm> {
+    let cc = IsolationLevel::CausalConsistency;
+    let mut table: Vec<Algorithm> = Algorithm::FIG14.to_vec();
+    table.push(Algorithm::ExploreCeNoMemo(cc));
+    table.push(Algorithm::ExploreCeNoOptimality(cc));
+    for workers in 1..=64 {
+        table.push(Algorithm::ExploreCeParallel(cc, workers));
+    }
+    table.into_iter().find(|a| a.label() == label)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let baseline_path =
+        flag_value(&args, "--baseline").unwrap_or_else(|| "BENCH_fig14.json".to_owned());
+    let apps = flag_value(&args, "--apps").unwrap_or_else(|| "courseware".to_owned());
+    let timeout: u64 = flag_value(&args, "--timeout")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60);
+
+    let text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {baseline_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let doc = match JsonValue::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench_gate: cannot parse {baseline_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let config = doc.get("config").expect("baseline has a config object");
+    let field = |v: &JsonValue, key: &str| -> i64 {
+        v.get(key)
+            .and_then(JsonValue::as_i64)
+            .unwrap_or_else(|| panic!("baseline row missing {key}"))
+    };
+    let options = ExperimentOptions {
+        variants: field(config, "variants") as usize,
+        sessions: field(config, "sessions") as usize,
+        transactions: field(config, "transactions") as usize,
+        timeout: Duration::from_secs(timeout),
+        apps: Some(apps.split(',').map(|s| s.trim().to_owned()).collect()),
+    };
+
+    // Baseline rows for the gated apps, excluding timed-out ones.
+    let rows = doc.get("rows").and_then(JsonValue::as_array).unwrap_or(&[]);
+    let gated: Vec<(&str, &str, i64, i64, i64)> = rows
+        .iter()
+        .filter(|r| {
+            let bench = r.get("benchmark").and_then(JsonValue::as_str).unwrap_or("");
+            // Benchmarks are named `<app>-<variant>`: match the app name
+            // exactly, mirroring the suite filter of `fig14_suite`.
+            options
+                .apps
+                .as_ref()
+                .expect("apps filter set above")
+                .iter()
+                .any(|a| {
+                    bench
+                        .strip_prefix(a.as_str())
+                        .is_some_and(|rest| rest.starts_with('-'))
+                })
+                && r.get("timed_out").and_then(JsonValue::as_bool) == Some(false)
+        })
+        .map(|r| {
+            (
+                r.get("benchmark").and_then(JsonValue::as_str).unwrap(),
+                r.get("algorithm").and_then(JsonValue::as_str).unwrap(),
+                field(r, "histories"),
+                field(r, "end_states"),
+                field(r, "explore_calls"),
+            )
+        })
+        .collect();
+    if gated.is_empty() {
+        eprintln!("bench_gate: no gateable rows for apps {apps:?} in {baseline_path}");
+        std::process::exit(1);
+    }
+
+    // Re-run every algorithm the baseline used on those apps.
+    let mut algorithms = Vec::new();
+    for (_, label, ..) in &gated {
+        match algorithm_for_label(label) {
+            Some(a) if !algorithms.contains(&a) => algorithms.push(a),
+            Some(_) => {}
+            None => eprintln!("bench_gate: skipping unknown algorithm label {label:?}"),
+        }
+    }
+    let measured = experiment_fig14_with(&options, &algorithms);
+    let find = |bench: &str, label: &str| -> Option<&Measurement> {
+        measured
+            .iter()
+            .find(|m| m.benchmark == bench && m.algorithm == label)
+    };
+
+    let mut failures = 0;
+    let mut checked = 0;
+    for (bench, label, histories, end_states, explore_calls) in &gated {
+        let Some(m) = find(bench, label) else {
+            if algorithm_for_label(label).is_some() {
+                eprintln!("FAIL {bench}/{label}: row missing from the re-run");
+                failures += 1;
+            }
+            continue;
+        };
+        if m.timed_out {
+            eprintln!(
+                "FAIL {bench}/{label}: timed out after {timeout}s while the baseline did not"
+            );
+            failures += 1;
+            continue;
+        }
+        checked += 1;
+        for (what, want, got) in [
+            ("histories", *histories, m.histories as i64),
+            ("end_states", *end_states, m.end_states as i64),
+            ("explore_calls", *explore_calls, m.explore_calls as i64),
+        ] {
+            if want != got {
+                eprintln!("FAIL {bench}/{label}: {what} = {got}, baseline has {want}");
+                failures += 1;
+            }
+        }
+    }
+
+    println!("bench_gate: {checked} row(s) checked against {baseline_path}, {failures} failure(s)");
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

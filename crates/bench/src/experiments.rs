@@ -20,6 +20,11 @@ pub struct ExperimentOptions {
     pub sessions: usize,
     /// Number of transactions per session.
     pub transactions: usize,
+    /// Restrict the suite to applications whose name is listed here
+    /// (comma-separated on the command line); `None` runs every app. Used
+    /// by the CI bench-regression gate to run only the fast, deterministic
+    /// configurations.
+    pub apps: Option<Vec<String>>,
 }
 
 impl Default for ExperimentOptions {
@@ -31,6 +36,7 @@ impl Default for ExperimentOptions {
             variants: 2,
             sessions: 3,
             transactions: 3,
+            apps: None,
         }
     }
 }
@@ -44,12 +50,14 @@ impl ExperimentOptions {
             variants: 5,
             sessions: 3,
             transactions: 3,
+            apps: None,
         }
     }
 
     /// Parses the common flags of the experiment binaries:
     /// `--full`, `--timeout <seconds>`, `--variants <n>`,
-    /// `--sessions <n>`, `--transactions <n>`.
+    /// `--sessions <n>`, `--transactions <n>`,
+    /// `--apps <name[,name...]>`.
     pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
         let mut options = ExperimentOptions::default();
         let mut args = args.into_iter();
@@ -80,6 +88,11 @@ impl ExperimentOptions {
                         options.transactions = v;
                     }
                 }
+                "--apps" => {
+                    if let Some(v) = args.next() {
+                        options.apps = Some(v.split(',').map(|s| s.trim().to_owned()).collect());
+                    }
+                }
                 _ => {}
             }
         }
@@ -101,6 +114,10 @@ pub fn flag_value(args: &[String], name: &str) -> Option<String> {
 pub fn fig14_suite(options: &ExperimentOptions) -> Vec<(String, Program)> {
     App::ALL
         .into_iter()
+        .filter(|app| match &options.apps {
+            None => true,
+            Some(names) => names.iter().any(|n| n == app.name()),
+        })
         .flat_map(|app| {
             benchmark_programs(
                 app,
@@ -230,6 +247,25 @@ mod tests {
         assert_eq!(full.timeout, Duration::from_secs(1800));
         let default = ExperimentOptions::from_args(Vec::<String>::new());
         assert_eq!(default.variants, ExperimentOptions::default().variants);
+        assert_eq!(default.apps, None);
+        let filtered =
+            ExperimentOptions::from_args(["--apps", "courseware,twitter"].map(String::from));
+        assert_eq!(
+            filtered.apps,
+            Some(vec!["courseware".to_owned(), "twitter".to_owned()])
+        );
+    }
+
+    #[test]
+    fn apps_filter_restricts_suite() {
+        let options = ExperimentOptions {
+            variants: 2,
+            apps: Some(vec!["courseware".to_owned()]),
+            ..ExperimentOptions::default()
+        };
+        let suite = fig14_suite(&options);
+        assert_eq!(suite.len(), 2);
+        assert!(suite.iter().all(|(name, _)| name.starts_with("courseware")));
     }
 
     #[test]
@@ -250,6 +286,7 @@ mod tests {
             variants: 1,
             sessions: 2,
             transactions: 1,
+            apps: None,
         };
         let rows = experiment_fig14_with(
             &options,

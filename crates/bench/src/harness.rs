@@ -97,6 +97,12 @@ pub struct Measurement {
     pub time: Duration,
     /// Peak bytes allocated during the run.
     pub peak_alloc: usize,
+    /// Number of `History` clones performed during the run (the quantity
+    /// the arena/journal representation exists to minimise; tracked so
+    /// future perf work has a trajectory beyond wall-clock).
+    pub history_clones: u64,
+    /// Approximate heap bytes moved by those clones.
+    pub history_bytes_copied: u64,
     /// Whether the run hit its timeout.
     pub timed_out: bool,
 }
@@ -164,6 +170,7 @@ fn run_inner(
     timeout: Duration,
 ) -> Measurement {
     alloc::reset_peak();
+    txdpor_history::reset_clone_stats();
     let start = Instant::now();
     let (histories, end_states, explore_calls, timed_out) = match algorithm {
         Algorithm::ExploreCe(level) => {
@@ -248,6 +255,7 @@ fn run_inner(
             )
         }
     };
+    let (history_clones, history_bytes_copied) = txdpor_history::clone_stats();
     Measurement {
         benchmark: benchmark.to_owned(),
         algorithm: algorithm.label(),
@@ -256,6 +264,8 @@ fn run_inner(
         explore_calls,
         time: start.elapsed(),
         peak_alloc: alloc::peak_bytes(),
+        history_clones,
+        history_bytes_copied,
         timed_out,
     }
 }

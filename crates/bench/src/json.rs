@@ -40,6 +40,237 @@ impl JsonValue {
     pub fn uint(v: u64) -> Self {
         JsonValue::Int(v as i64)
     }
+
+    /// The value of an object field, if this is an object with that key.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The integer payload (floats with integral value included).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Int(i) => Some(*i),
+            JsonValue::Float(x) if x.fract() == 0.0 => Some(*x as i64),
+            _ => None,
+        }
+    }
+
+    /// The string payload.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document (the subset this module emits: objects,
+    /// arrays, strings with escapes, numbers, booleans and null). Used by
+    /// the bench-regression gate to read the committed baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with the byte offset of the first syntax error.
+    pub fn parse(input: &str) -> Result<JsonValue, String> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing input at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+}
+
+/// Recursive-descent parser over the emitted JSON subset.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".to_owned()),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        let mut float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' | b'-' | b'+' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("invalid number at byte {start}"))?;
+        if float {
+            text.parse()
+                .map(JsonValue::Float)
+                .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+        } else {
+            text.parse()
+                .map(JsonValue::Int)
+                .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = Vec::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return String::from_utf8(out)
+                        .map_err(|_| "invalid UTF-8 in string".to_owned());
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push(b'"'),
+                        Some(b'\\') => out.push(b'\\'),
+                        Some(b'/') => out.push(b'/'),
+                        Some(b'n') => out.push(b'\n'),
+                        Some(b'r') => out.push(b'\r'),
+                        Some(b't') => out.push(b'\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| {
+                                    format!("invalid \\u escape at byte {}", self.pos)
+                                })?;
+                            let c = char::from_u32(hex)
+                                .ok_or_else(|| format!("invalid code point {hex:#x}"))?;
+                            let mut buf = [0u8; 4];
+                            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("invalid escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    out.push(b);
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string".to_owned()),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
 }
 
 /// Escapes a string for inclusion in a JSON document (quotes, backslashes
@@ -107,6 +338,11 @@ pub fn measurement_json(m: &Measurement) -> JsonValue {
         (
             "peak_alloc_bytes".into(),
             JsonValue::uint(m.peak_alloc as u64),
+        ),
+        ("history_clones".into(), JsonValue::uint(m.history_clones)),
+        (
+            "history_bytes_copied".into(),
+            JsonValue::uint(m.history_bytes_copied),
         ),
         ("timed_out".into(), JsonValue::Bool(m.timed_out)),
     ])
@@ -176,6 +412,8 @@ mod tests {
             explore_calls: 10,
             time: Duration::from_millis(1500),
             peak_alloc: 4096,
+            history_clones: 12,
+            history_bytes_copied: 2048,
             timed_out: false,
         }
     }
@@ -212,6 +450,8 @@ mod tests {
             "\"summary\"",
             "\"time_secs\":1.5",
             "\"histories\":2",
+            "\"history_clones\":12",
+            "\"history_bytes_copied\":2048",
             "\"speedup\":2.0",
         ] {
             assert!(doc.contains(key), "missing {key} in {doc}");
@@ -222,6 +462,54 @@ mod tests {
         // a real parser over the emitted file).
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn parse_roundtrips_emitted_documents() {
+        let rows = vec![sample_measurement()];
+        let doc = experiment_json(
+            "fig14",
+            &ExperimentOptions::default(),
+            &rows,
+            vec![
+                ("speedup".into(), JsonValue::Float(2.5)),
+                ("none".into(), JsonValue::Null),
+            ],
+        );
+        let text = doc.to_string();
+        let parsed = JsonValue::parse(&text).unwrap();
+        assert_eq!(parsed.to_string(), text, "parse ∘ render is the identity");
+        assert_eq!(
+            parsed.get("experiment").and_then(JsonValue::as_str),
+            Some("fig14")
+        );
+        let row = &parsed.get("rows").and_then(JsonValue::as_array).unwrap()[0];
+        assert_eq!(row.get("histories").and_then(JsonValue::as_i64), Some(2));
+        assert_eq!(
+            row.get("timed_out").and_then(JsonValue::as_bool),
+            Some(false)
+        );
+        assert_eq!(
+            row.get("benchmark").and_then(JsonValue::as_str),
+            Some("tiny \"quoted\"\n")
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(JsonValue::parse("{\"a\":").is_err());
+        assert!(JsonValue::parse("[1,2").is_err());
+        assert!(JsonValue::parse("{} trailing").is_err());
+        assert!(JsonValue::parse("\"unterminated").is_err());
+        assert!(JsonValue::parse("tru").is_err());
+        assert_eq!(
+            JsonValue::parse(" [1, -2.5, null] ").unwrap(),
+            JsonValue::Array(vec![
+                JsonValue::Int(1),
+                JsonValue::Float(-2.5),
+                JsonValue::Null
+            ])
+        );
     }
 
     #[test]

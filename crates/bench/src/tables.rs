@@ -172,6 +172,8 @@ mod tests {
             explore_calls: 100,
             time: Duration::from_secs(secs),
             peak_alloc: 5 * 1024 * 1024,
+            history_clones: 7,
+            history_bytes_copied: 4096,
             timed_out,
         }
     }

@@ -69,16 +69,14 @@ pub fn dfs_explore(
         program,
         config: &config,
         vars: VarTable::new(),
-        next_event: 0,
-        next_tx: 0,
         report: ExplorationReport::default(),
         seen: HashSet::new(),
         deadline: config.timeout.map(|t| Instant::now() + t),
         checker: engine_for(config.level),
     };
     let start = Instant::now();
-    let initial = initial_history(program, &mut dfs.vars);
-    dfs.explore(initial)?;
+    let mut initial = initial_history(program, &mut dfs.vars);
+    dfs.explore(&mut initial)?;
     let stats = dfs.checker.stats();
     dfs.report.engine_checks = stats.checks;
     dfs.report.engine_memo_hits = stats.memo_hits;
@@ -94,8 +92,6 @@ struct Dfs<'a> {
     program: &'a Program,
     config: &'a DfsConfig,
     vars: VarTable,
-    next_event: u32,
-    next_tx: u32,
     report: ExplorationReport,
     /// Hash-compacted fingerprints of the distinct histories seen so far.
     /// The baseline reaches each history through many interleavings, so the
@@ -109,16 +105,6 @@ struct Dfs<'a> {
 }
 
 impl Dfs<'_> {
-    fn fresh_event(&mut self) -> EventId {
-        self.next_event += 1;
-        EventId(self.next_event)
-    }
-
-    fn fresh_tx(&mut self) -> TxId {
-        self.next_tx += 1;
-        TxId(self.next_tx)
-    }
-
     fn timed_out(&mut self) -> bool {
         if let Some(deadline) = self.deadline {
             if Instant::now() >= deadline {
@@ -129,7 +115,11 @@ impl Dfs<'_> {
         false
     }
 
-    fn explore(&mut self, h: History) -> Result<(), ExploreError> {
+    /// One node of the baseline search. The history is mutated in place:
+    /// every branch extends `h` under a [`History::checkpoint`] and rolls
+    /// back before trying the next branch, so the whole DFS runs on a
+    /// single history arena with no clone per child.
+    fn explore(&mut self, h: &mut History) -> Result<(), ExploreError> {
         if self.timed_out() {
             return Ok(());
         }
@@ -137,27 +127,26 @@ impl Dfs<'_> {
         self.report.max_events = self.report.max_events.max(h.num_events());
         if h.num_pending() > 0 {
             // Continue the unique pending transaction.
-            match oracle_next(self.program, &h, &mut self.vars)? {
+            match oracle_next(self.program, h, &mut self.vars)? {
                 SchedulerStep::Continue { session, step, .. } => match step {
                     TxStep::Read {
                         var,
                         internal_value: None,
                         ..
                     } => {
-                        let ev = Event::new(self.fresh_event(), EventKind::Read(var));
-                        let mut trial = h.clone();
-                        trial.append_event(session, ev.clone());
+                        let ev = Event::new(EventId(h.max_event_id() + 1), EventKind::Read(var));
+                        let mark = h.checkpoint();
+                        h.append_event(session, ev.clone());
                         let mut any = false;
-                        for writer in trial.committed_writers_of(var) {
-                            trial.set_wr(ev.id, writer);
-                            if self.checker.check(&trial) {
+                        for writer in h.committed_writers_of(var) {
+                            h.set_wr(ev.id, writer);
+                            if self.checker.check(h) {
                                 any = true;
-                                let mut next = h.clone();
-                                next.append_event(session, ev.clone());
-                                next.set_wr(ev.id, writer);
-                                self.explore(next)?;
+                                self.explore(h)?;
                             }
+                            h.unset_wr(ev.id);
                         }
+                        h.rollback(mark);
                         if !any {
                             self.report.blocked += 1;
                         }
@@ -171,18 +160,20 @@ impl Dfs<'_> {
                             TxStep::Commit => EventKind::Commit,
                             TxStep::Abort => EventKind::Abort,
                         };
-                        let ev = Event::new(self.fresh_event(), kind);
-                        let mut next = h;
-                        next.append_event(session, ev);
+                        let ev = Event::new(EventId(h.max_event_id() + 1), kind);
+                        let mark = h.checkpoint();
+                        h.append_event(session, ev);
                         // Rule `write` of the operational semantics requires
                         // the extended history to remain consistent; for
                         // levels that are not causally extensible (SI, SER)
                         // this can prune the branch.
-                        if is_write && !self.checker.check(&next) {
+                        if is_write && !self.checker.check(h) {
                             self.report.blocked += 1;
-                            return Ok(());
+                        } else {
+                            self.explore(h)?;
                         }
-                        self.explore(next)
+                        h.rollback(mark);
+                        Ok(())
                     }
                 },
                 _ => unreachable!("a pending transaction always yields a Continue step"),
@@ -198,11 +189,12 @@ impl Dfs<'_> {
                 let started = h.session_txs(session).len();
                 if started < sess.transactions.len() {
                     any = true;
-                    let tx = self.fresh_tx();
-                    let ev = Event::new(self.fresh_event(), EventKind::Begin);
-                    let mut next = h.clone();
-                    next.begin_transaction(session, tx, started, ev);
-                    self.explore(next)?;
+                    let tx = TxId(h.max_tx_id() + 1);
+                    let ev = Event::new(EventId(h.max_event_id() + 1), EventKind::Begin);
+                    let mark = h.checkpoint();
+                    h.begin_transaction(session, tx, started, ev);
+                    self.explore(h)?;
+                    h.rollback(mark);
                 }
             }
             if !any {
@@ -210,7 +202,7 @@ impl Dfs<'_> {
                 self.report.end_states += 1;
                 let new = self.seen.insert(h.fingerprint_hash());
                 if new && self.config.collect_histories {
-                    self.report.histories.push(h);
+                    self.report.histories.push(h.clone());
                 }
             }
             Ok(())

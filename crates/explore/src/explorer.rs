@@ -7,8 +7,8 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use txdpor_history::{
-    engine_for_with, ConsistencyChecker, Event, EventId, EventKind, HistoryFingerprint, SessionId,
-    TxId, Var, VarTable,
+    engine_for_with, ConsistencyChecker, Event, EventId, EventKind, History, HistoryFingerprint,
+    SessionId, TxId, Var, VarTable,
 };
 use txdpor_program::{
     initial_history, oracle_next, replay_all, Program, SchedulerStep, SemanticsError, TxStep,
@@ -172,9 +172,9 @@ fn explore_parallel(
                         let task = queue.lock().expect("task queue lock").pop();
                         let Some(h) = task else { break };
                         // Event/transaction identifiers only need to be
-                        // unique within a branch; continue from the task's
-                        // maxima (fingerprints are identifier-independent).
-                        (worker.next_event, worker.next_tx) = counters_from(&h);
+                        // unique within a branch; the history tracks its own
+                        // id high-water marks (fingerprints are
+                        // identifier-independent).
                         if let Err(e) = worker.explore(h) {
                             *failure.lock().expect("failure lock") = Some(e);
                             break;
@@ -208,13 +208,6 @@ fn explore_parallel(
     report.duration = start.elapsed();
     report.vars = vars;
     Ok(report)
-}
-
-/// Smallest fresh event/transaction counters for a branch rooted at `h`.
-fn counters_from(h: &OrderedHistory) -> (u32, u32) {
-    let next_event = h.history.events().map(|(_, e)| e.id.0).max().unwrap_or(0);
-    let next_tx = h.history.tx_ids().map(|t| t.0).max().unwrap_or(0);
-    (next_event, next_tx)
 }
 
 /// Folds one worker's report into the merged report, translating the
@@ -253,8 +246,10 @@ fn merge_worker(
 enum Expansion {
     /// The history is complete: no session has a next step. Carries the
     /// node back to the caller (expansion takes the node by value so that
-    /// single-child steps extend it in place instead of cloning).
-    Complete(OrderedHistory),
+    /// single-child steps extend it in place instead of cloning). Boxed:
+    /// the flat-arena history is a dozen vector headers inline, and this
+    /// variant rides in every expansion result.
+    Complete(Box<OrderedHistory>),
     /// The node's children in serial visit order: each extension of the
     /// history followed by its `Optimality`-approved re-orderings.
     Children(Vec<OrderedHistory>),
@@ -265,8 +260,6 @@ struct Explorer<'a> {
     config: &'a ExploreConfig,
     assertion: Option<&'a AssertionFn>,
     vars: VarTable,
-    next_event: u32,
-    next_tx: u32,
     report: ExplorationReport,
     seen: HashSet<HistoryFingerprint>,
     deadline: Option<Instant>,
@@ -288,8 +281,6 @@ impl<'a> Explorer<'a> {
             config,
             assertion,
             vars: VarTable::new(),
-            next_event: 0,
-            next_tx: 0,
             report: ExplorationReport::default(),
             seen: HashSet::new(),
             deadline: config.timeout.map(|t| Instant::now() + t),
@@ -299,14 +290,17 @@ impl<'a> Explorer<'a> {
         }
     }
 
-    fn fresh_event(&mut self) -> EventId {
-        self.next_event += 1;
-        EventId(self.next_event)
+    /// Fresh identifiers are derived from the history's id high-water marks
+    /// (ids only need to be unique within a branch; fingerprints are
+    /// identifier-independent). Keeping ids branch-local keeps the
+    /// direct-indexed arena vectors dense no matter how long the
+    /// exploration runs.
+    fn fresh_event(h: &History) -> EventId {
+        EventId(h.max_event_id() + 1)
     }
 
-    fn fresh_tx(&mut self) -> TxId {
-        self.next_tx += 1;
-        TxId(self.next_tx)
+    fn fresh_tx(h: &History) -> TxId {
+        TxId(h.max_tx_id() + 1)
     }
 
     /// Folds the engines' counters into the report (once, at the end of
@@ -378,16 +372,16 @@ impl<'a> Explorer<'a> {
     /// (used by the breadth-first seeding pass of the parallel mode; the
     /// serial recursion streams the same children instead of materialising
     /// them).
-    fn expand(&mut self, h: OrderedHistory) -> Result<Expansion, ExploreError> {
+    fn expand(&mut self, mut h: OrderedHistory) -> Result<Expansion, ExploreError> {
         debug_assert_eq!(h.check_invariants(), Ok(()));
         match oracle_next(self.program, &h.history, &mut self.vars)? {
-            SchedulerStep::Finished => Ok(Expansion::Complete(h)),
+            SchedulerStep::Finished => Ok(Expansion::Complete(Box::new(h))),
             SchedulerStep::Begin {
                 session,
                 program_index,
             } => {
-                let tx = self.fresh_tx();
-                let ev = Event::new(self.fresh_event(), EventKind::Begin);
+                let tx = Self::fresh_tx(&h.history);
+                let ev = Event::new(Self::fresh_event(&h.history), EventKind::Begin);
                 let mut extended = h;
                 extended
                     .history
@@ -403,8 +397,8 @@ impl<'a> Explorer<'a> {
                     internal_value: None,
                     ..
                 } => {
-                    let ev = Event::new(self.fresh_event(), EventKind::Read(var));
-                    let writers = self.valid_writes(&h, session, &ev);
+                    let ev = Event::new(Self::fresh_event(&h.history), EventKind::Read(var));
+                    let writers = self.valid_writes(&mut h, session, &ev);
                     if writers.is_empty() {
                         self.report.blocked += 1;
                     }
@@ -435,7 +429,7 @@ impl<'a> Explorer<'a> {
                         TxStep::Commit => EventKind::Commit,
                         TxStep::Abort => EventKind::Abort,
                     };
-                    let ev = Event::new(self.fresh_event(), kind);
+                    let ev = Event::new(Self::fresh_event(&h.history), kind);
                     let mut extended = h;
                     extended.history.append_event(session, ev.clone());
                     extended.push(ev.id);
@@ -475,17 +469,33 @@ impl<'a> Explorer<'a> {
     /// `ValidWrites(h, e)` (§5.1): the committed transactions writing
     /// `var(e)` such that extending the history with `e` reading from them
     /// keeps it consistent with the exploration level.
-    fn valid_writes(&mut self, h: &OrderedHistory, session: SessionId, ev: &Event) -> Vec<TxId> {
+    ///
+    /// The trial extension mutates `h` in place under a checkpoint instead
+    /// of cloning it: the read is appended once, and each candidate's wr
+    /// edge is set, checked and explicitly unset, so no candidate's check
+    /// ever observes the previous candidate's edge. The rollback restores
+    /// `h` exactly (the history order is untouched: trial events are never
+    /// pushed onto `h.order`).
+    fn valid_writes(
+        &mut self,
+        h: &mut OrderedHistory,
+        session: SessionId,
+        ev: &Event,
+    ) -> Vec<TxId> {
         let var = ev.var().expect("valid_writes takes a read event");
-        let mut trial = h.history.clone();
-        trial.append_event(session, ev.clone());
+        let history = &mut h.history;
+        let mark = history.checkpoint();
+        history.append_event(session, ev.clone());
         let mut out = Vec::new();
-        for writer in trial.committed_writers_of(var) {
-            trial.set_wr(ev.id, writer);
-            if self.checker.check(&trial) {
+        for writer in history.committed_writers_of(var) {
+            history.set_wr(ev.id, writer);
+            let consistent = self.checker.check(history);
+            history.unset_wr(ev.id);
+            if consistent {
                 out.push(writer);
             }
         }
+        history.rollback(mark);
         out
     }
 
@@ -805,5 +815,72 @@ mod tests {
     fn error_display() {
         let e = ExploreError::Semantics(SemanticsError::MultiplePending);
         assert!(e.to_string().contains("semantics error"));
+    }
+
+    /// Regression test for the `ValidWrites` trial protocol: the candidate
+    /// set on a history with two committed writers is pinned, every
+    /// verdict agrees with a from-scratch check on an independent history
+    /// clone (so no candidate's check can have observed a stale wr edge
+    /// left by the previous candidate), and the trial leaves the node's
+    /// history bit-identical.
+    #[test]
+    fn valid_writes_pins_two_writer_candidate_set() {
+        use txdpor_history::{engine_for, History, IsolationLevel, Value};
+
+        let x = Var(0);
+        let mut history = History::new([]);
+        let mut order = Vec::new();
+        let mut id = 0u32;
+        let mut fresh = || {
+            id += 1;
+            EventId(id)
+        };
+        // Session 0: t1 = write(x,1); session 1: t2 = write(x,2); both
+        // committed. Session 2: t3 pending, about to read x.
+        for (s, (t, v)) in [(TxId(1), 1i64), (TxId(2), 2i64)].into_iter().enumerate() {
+            let b = fresh();
+            history.begin_transaction(SessionId(s as u32), t, 0, Event::new(b, EventKind::Begin));
+            order.push(b);
+            let w = fresh();
+            history.append_event(
+                SessionId(s as u32),
+                Event::new(w, EventKind::Write(x, Value::Int(v))),
+            );
+            order.push(w);
+            let c = fresh();
+            history.append_event(SessionId(s as u32), Event::new(c, EventKind::Commit));
+            order.push(c);
+        }
+        let b = fresh();
+        history.begin_transaction(SessionId(2), TxId(3), 0, Event::new(b, EventKind::Begin));
+        order.push(b);
+        let mut h = OrderedHistory { history, order };
+        h.check_invariants().unwrap();
+        let snapshot = h.clone();
+
+        let p = fig12_program(); // any program: valid_writes only uses the checker
+        let config = ExploreConfig::explore_ce(IsolationLevel::CausalConsistency);
+        let mut explorer = Explorer::new(&p, &config, None);
+        let ev = Event::new(EventId(100), EventKind::Read(x));
+        let writers = explorer.valid_writes(&mut h, SessionId(2), &ev);
+
+        // The candidate set is exactly {init, t1, t2} under CC.
+        assert_eq!(writers, vec![TxId::INIT, TxId(1), TxId(2)]);
+        // The trial rolled everything back.
+        assert_eq!(h, snapshot);
+        assert_eq!(h.history.live_hash(), snapshot.history.live_hash());
+        // Cross-validate every candidate on an independent clone with a
+        // fresh engine: identical verdicts, trial order irrelevant.
+        for writer in &writers {
+            let mut trial = snapshot.history.clone();
+            trial.append_event(SessionId(2), ev.clone());
+            trial.set_wr(ev.id, *writer);
+            let mut engine = engine_for(IsolationLevel::CausalConsistency);
+            assert!(
+                engine.check(&trial),
+                "candidate {writer} validated by the journal protocol but \
+                 rejected from scratch"
+            );
+        }
     }
 }

@@ -73,11 +73,13 @@ fn swapped_pivot(h: &OrderedHistory, read: EventId) -> bool {
         return false;
     }
     // Condition (2): no transaction t' with t' <_or tr(r), t' < r in history
-    // order, and (writer, t') ∈ (so ∪ wr)+.
+    // order, and (writer, t') ∈ (so ∪ wr)+. One forward BFS from the writer
+    // answers every membership query.
+    let writer_descendants = h.history.causal_descendants(writer);
     for t_prime in h.history.tx_ids() {
         if oracle_key(h, t_prime) < oracle_key(h, reader_tx)
             && !h.event_before_tx(read, t_prime)
-            && h.history.causally_before(writer, t_prime)
+            && writer_descendants.contains(t_prime)
         {
             return false;
         }
@@ -125,6 +127,7 @@ pub fn read_latest(
     let r_pos = h.pos(read).expect("read is ordered");
 
     // h' = h \ { e | r ≤ e ∧ (tr(e), t) ∉ (so ∪ wr)* }
+    let target_ancestors = h.history.causal_ancestors(target);
     let doomed: std::collections::BTreeSet<EventId> = h
         .order
         .iter()
@@ -132,33 +135,40 @@ pub fn read_latest(
         .filter(|(i, _)| *i >= r_pos)
         .filter(|(_, e)| {
             let tx = h.history.tx_of_event(**e).expect("ordered event has owner");
-            !h.history.causally_before_eq(tx, target)
+            !(tx == target || target_ancestors.contains(tx))
         })
         .map(|(_, e)| *e)
         .collect();
-    let pruned = h.history.remove_events(&doomed);
+    let mut pruned = h.history.remove_events(&doomed);
+    if !pruned.contains_tx(reader_tx) {
+        // The reader's prefix always survives (its begin precedes r), so
+        // this should not happen; be conservative if it does.
+        return false;
+    }
 
     // Candidate writers: in the causal past of tr(r) within h' (excluding the
     // wr dependency of r itself, which was removed together with r), writing
-    // var(r), and keeping the history consistent when read from.
+    // var(r), and keeping the history consistent when read from. The trial
+    // `h' ⊕ r ⊕ wr(t', r)` is built once in place and each candidate's wr
+    // edge is set, checked and unset — no clone per candidate. `pruned` is
+    // local and dropped afterwards, so no checkpoint is needed (the journal
+    // stays disarmed); only the per-candidate unset matters, so the next
+    // check never sees the previous candidate's edge.
+    let reader_ancestors = pruned.causal_ancestors(reader_tx);
+    let candidates: Vec<TxId> = std::iter::once(TxId::INIT).chain(pruned.tx_ids()).collect();
+    pruned.append_event(reader_session, read_event.clone());
     let mut best: Option<(i64, TxId)> = None;
-    for t_prime in std::iter::once(TxId::INIT).chain(pruned.tx_ids()) {
+    for t_prime in candidates {
         if !pruned.writes_var(t_prime, var) {
             continue;
         }
-        if !pruned.contains_tx(reader_tx) {
-            // The reader's prefix always survives (its begin precedes r), so
-            // this should not happen; be conservative if it does.
-            return false;
-        }
-        if !t_prime.is_init() && !pruned.causally_before_eq(t_prime, reader_tx) {
+        if !t_prime.is_init() && t_prime != reader_tx && !reader_ancestors.contains(t_prime) {
             continue;
         }
-        // Try h' ⊕ r ⊕ wr(t', r).
-        let mut trial = pruned.clone();
-        trial.append_event(reader_session, read_event.clone());
-        trial.set_wr(read, t_prime);
-        if !checker.check(&trial) {
+        pruned.set_wr(read, t_prime);
+        let consistent = checker.check(&pruned);
+        pruned.unset_wr(read);
+        if !consistent {
             continue;
         }
         let key = h.tx_order_key(t_prime);

@@ -132,7 +132,7 @@ impl OrderedHistory {
         }
         // Every read follows the transaction it reads from.
         for (r, w) in self.history.wr() {
-            if !w.is_init() && !self.tx_before_event(*w, *r) {
+            if !w.is_init() && !self.tx_before_event(w, r) {
                 return Err(format!("read {r} does not follow its writer {w}"));
             }
         }

@@ -44,6 +44,9 @@ pub fn compute_reorderings(h: &OrderedHistory) -> Vec<Reordering> {
         .history
         .tx_of_event(last)
         .expect("last event belongs to a transaction");
+    // One backward BFS answers every `(tr(r), target) ∈ (so ∪ wr)*` query
+    // below in O(1).
+    let ancestors = h.history.causal_ancestors(target);
     let mut out = Vec::new();
     for log in h.history.transactions() {
         if log.id == target {
@@ -54,7 +57,7 @@ pub fn compute_reorderings(h: &OrderedHistory) -> Vec<Reordering> {
             if !h.history.writes_var(target, x) || target.is_init() {
                 continue;
             }
-            if h.history.causally_before_eq(log.id, target) {
+            if ancestors.contains(log.id) {
                 continue;
             }
             if !h.tx_before_event(log.id, last) {
@@ -75,13 +78,14 @@ pub fn compute_reorderings(h: &OrderedHistory) -> Vec<Reordering> {
 /// `t` (including `t` itself).
 pub fn doomed_events(h: &OrderedHistory, read: EventId, target: TxId) -> BTreeSet<EventId> {
     let r_pos = h.pos(read).expect("read is in the history order");
+    let ancestors = h.history.causal_ancestors(target);
     h.order
         .iter()
         .enumerate()
         .filter(|(i, _)| *i > r_pos)
         .filter(|(_, e)| {
             let tx = h.history.tx_of_event(**e).expect("ordered event has owner");
-            !h.history.causally_before_eq(tx, target)
+            !(tx == target || ancestors.contains(tx))
         })
         .map(|(_, e)| *e)
         .collect()

@@ -53,8 +53,8 @@ fn aborted_writer_is_never_read_from() {
     assert_eq!(report.outputs, 1, "aborted writes must be invisible");
     for h in &report.histories {
         let x = report.vars.get("x").unwrap();
-        assert_eq!(h.wr().len(), 1);
-        for writer in h.wr().values() {
+        assert_eq!(h.wr_count(), 1);
+        for (_, writer) in h.wr() {
             assert!(writer.is_init());
         }
         assert_eq!(h.writers_of(x).len(), 1, "only init writes x visibly");

@@ -1,0 +1,162 @@
+//! Dense, direct-indexed containers backing the flat [`crate::History`]
+//! arena.
+//!
+//! The exploration engines allocate transaction, event and session
+//! identifiers contiguously from zero (per exploration branch), so the
+//! classic map-shaped relations of a history — `wr`, `event ↦ owner`,
+//! `session ↦ transactions` — are stored as plain vectors indexed by the
+//! raw `u32` id. Lookups are a bounds check and a load; cloning is a
+//! handful of `memcpy`s; absent entries are an inline sentinel instead of
+//! a tree node. Sparse ids (hand-built histories in tests) still work:
+//! the vectors simply grow to the largest id used.
+
+use crate::transaction::TxId;
+
+/// Sentinel for an absent entry in an [`IdMap`].
+pub(crate) const NONE: u32 = u32::MAX;
+
+/// A direct-indexed map from a `u32` identifier to a `u32` value, with an
+/// inline [`NONE`] sentinel for absent entries and an O(1) entry count.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct IdMap {
+    slots: Vec<u32>,
+    len: u32,
+}
+
+impl IdMap {
+    /// The value stored for `id`, if any.
+    #[inline]
+    pub fn get(&self, id: u32) -> Option<u32> {
+        match self.slots.get(id as usize) {
+            Some(&v) if v != NONE => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Stores `value` for `id`, growing the map as needed; returns the
+    /// previous value.
+    #[inline]
+    pub fn set(&mut self, id: u32, value: u32) -> Option<u32> {
+        debug_assert_ne!(value, NONE, "NONE is reserved as the absence sentinel");
+        if id as usize >= self.slots.len() {
+            self.slots.resize(id as usize + 1, NONE);
+        }
+        let prev = std::mem::replace(&mut self.slots[id as usize], value);
+        if prev == NONE {
+            self.len += 1;
+            None
+        } else {
+            Some(prev)
+        }
+    }
+
+    /// Removes the entry for `id`, returning the previous value.
+    #[inline]
+    pub fn clear(&mut self, id: u32) -> Option<u32> {
+        match self.slots.get_mut(id as usize) {
+            Some(slot) if *slot != NONE => {
+                let prev = std::mem::replace(slot, NONE);
+                self.len -= 1;
+                Some(prev)
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of present entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Present `(id, value)` pairs in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v != NONE)
+            .map(|(i, v)| (i as u32, *v))
+    }
+
+    /// Approximate heap footprint in bytes (for the clone counters).
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// A bitset over transaction identifiers (`TxId.0`), used to answer many
+/// causal-reachability queries against the same pivot transaction with one
+/// BFS instead of one BFS per query.
+#[derive(Clone, Debug, Default)]
+pub struct TxSet {
+    words: Vec<u64>,
+}
+
+impl TxSet {
+    /// An empty set able to hold ids up to `max_id`.
+    pub fn with_capacity(max_id: u32) -> Self {
+        TxSet {
+            words: vec![0; max_id as usize / 64 + 1],
+        }
+    }
+
+    /// Inserts a transaction; returns whether it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, t: TxId) -> bool {
+        let (w, b) = (t.0 as usize / 64, t.0 % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let fresh = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        fresh
+    }
+
+    /// Whether the set contains `t`.
+    #[inline]
+    pub fn contains(&self, t: TxId) -> bool {
+        self.words
+            .get(t.0 as usize / 64)
+            .is_some_and(|w| w & (1 << (t.0 % 64)) != 0)
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idmap_roundtrip() {
+        let mut m = IdMap::default();
+        assert_eq!(m.get(3), None);
+        assert_eq!(m.set(3, 7), None);
+        assert_eq!(m.get(3), Some(7));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.set(3, 8), Some(7));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.set(0, 1), None);
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![(0, 1), (3, 8)]);
+        assert_eq!(m.clear(3), Some(8));
+        assert_eq!(m.clear(3), None);
+        assert_eq!(m.len(), 1);
+        assert!(m.heap_bytes() >= 4 * 4);
+    }
+
+    #[test]
+    fn txset_membership() {
+        let mut s = TxSet::with_capacity(4);
+        assert!(s.is_empty());
+        assert!(s.insert(TxId(2)));
+        assert!(!s.insert(TxId(2)));
+        assert!(s.insert(TxId(100)));
+        assert!(s.contains(TxId(2)) && s.contains(TxId(100)));
+        assert!(!s.contains(TxId(3)));
+        assert!(!s.is_empty());
+    }
+}

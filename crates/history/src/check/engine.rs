@@ -10,39 +10,49 @@
 //! * every engine owns its **scratch buffers** (transaction indices,
 //!   word-packed reachability matrices, failed-state memo tables), so a
 //!   check allocates close to nothing after warm-up;
-//! * every engine owns a **result memo keyed by the canonical
-//!   fingerprint** (its streamed 128-bit hash,
-//!   [`History::fingerprint_hash`]): re-deciding a history that is
-//!   read-from equivalent to one seen before is a single hash lookup.
-//!   Because a swap shares its prefix with the history it was derived
-//!   from, the memo turns the re-saturation after a swap into cache hits
-//!   for the unchanged prefix and real work only for the affected suffix.
+//! * every engine owns a **result memo keyed by the rolling structural
+//!   hash** ([`History::live_hash`]): the flat-arena history maintains the
+//!   128-bit key incrementally on every push/pop/set-wr, so a memo lookup
+//!   is a load instead of a walk of the history. Re-deciding a history
+//!   that is structurally equal to one seen before (e.g. the unchanged
+//!   prefix re-reached after a rollback or a swap) is a single hash
+//!   lookup.
 //!
 //! # Incrementality contract
 //!
-//! The memo assumes that consistency is invariant under read-from
-//! equivalence: two histories with equal fingerprints (same
-//! per-session event structure, same `po`, `so` and `wr` up to renaming of
-//! transaction and variable identifiers) satisfy exactly the same isolation
-//! levels. This holds because the axioms of §2.2.2 only mention `po`, `so`,
-//! `wr` and the existence of a commit order — never raw identifiers.
+//! The memo assumes that consistency depends only on the structure the
+//! rolling hash covers: per-session event sequences (`po`), session order,
+//! written values and the `wr` relation by `(session, index)` writer
+//! coordinates. This holds because the axioms of §2.2.2 only mention `po`,
+//! `so`, `wr` and the existence of a commit order — never raw identifiers.
+//! Unlike the canonical [`History::fingerprint_hash`], the rolling hash is
+//! not invariant under *variable renaming* — irrelevant within one engine,
+//! whose exploration interns variables consistently; renamed twins miss
+//! the memo and simply recompute the same verdict.
 //! Keys are hash-compacted to 128 bits (as classically done for
 //! visited-state sets in stateless model checking), so a collision —
-//! astronomically unlikely — could misclassify one history. The memo is
-//! bounded ([`MEMO_CAPACITY`] entries) and is cleared wholesale when
-//! full, so engines are safe to keep alive for arbitrarily long
-//! explorations.
+//! astronomically unlikely — could misclassify one history. The memo is a
+//! direct-mapped table of 16-byte slots (the verdict is packed into one
+//! key bit) that grows geometrically up to [`MEMO_CAPACITY`] slots;
+//! colliding keys simply evict, so memory stays hard-bounded no matter how
+//! long the exploration runs. Scratch buffers (the one-pass saturation
+//! index of the weak engine, the failed-state tables of SER/SI) likewise
+//! survive arbitrarily many checkpoint/rollback cycles of the histories
+//! they are fed.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 use crate::check::{ser, si, weak};
 use crate::history::History;
 use crate::isolation::IsolationLevel;
 
-/// Maximum number of memoised results an engine retains before the memo is
-/// cleared wholesale (a simple epoch eviction that bounds memory without
-/// bookkeeping on the hot path).
-pub const MEMO_CAPACITY: usize = 1 << 17;
+/// Maximum number of slots of an engine's direct-mapped result memo
+/// (16 bytes per slot: a hard 1 MiB ceiling per engine). The table starts
+/// at [`MEMO_INITIAL_SLOTS`] and doubles while more than half full.
+pub const MEMO_CAPACITY: usize = 1 << 16;
+
+/// Initial slot count of the direct-mapped result memo.
+const MEMO_INITIAL_SLOTS: usize = 1 << 10;
 
 /// Counters exposed by every engine, for reporting and tests.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -101,17 +111,24 @@ pub fn engine_for_with(level: IsolationLevel, memoize: bool) -> Box<dyn Consiste
     }
 }
 
-/// The shared fingerprint-keyed result memo.
+/// The shared result memo: a direct-mapped cache over 128-bit keys.
 ///
-/// Keys are the 128-bit [`History::fingerprint_hash`] — the canonical
-/// fingerprint run through two independent hashers instead of materialised
-/// as nested vectors, so a lookup costs one walk of the history and no
-/// allocation (hash compaction, as classically used for visited-state sets
-/// in stateless model checking; the collision probability is negligible at
-/// 128 bits).
+/// Keys are the [`History::live_hash`] — the rolling structural hash the
+/// flat-arena history maintains incrementally, so a lookup costs a load
+/// and one table probe, no walk and no allocation (hash compaction, as
+/// classically used for visited-state sets in stateless model checking;
+/// the collision probability is negligible at 127 bits — the lowest key
+/// bit carries the memoised verdict). Slots hold `(key.0, key.1 | verdict)`
+/// with `(0, 0)` as the empty sentinel; a colliding key overwrites the
+/// previous occupant (lossy, never incorrect: verdicts are only trusted on
+/// exact key matches). The table starts small and doubles while more than
+/// half full, up to [`MEMO_CAPACITY`] slots — 16 bytes each, so an
+/// engine's memo peaks at 1 MiB instead of the multi-megabyte id-keyed
+/// map it replaces.
 #[derive(Debug, Default)]
 struct Memo {
-    map: HashMap<(u64, u64), bool>,
+    slots: Vec<(u64, u64)>,
+    occupied: usize,
     enabled: bool,
     stats: EngineStats,
 }
@@ -119,7 +136,8 @@ struct Memo {
 impl Memo {
     fn new(enabled: bool) -> Self {
         Memo {
-            map: HashMap::new(),
+            slots: Vec::new(),
+            occupied: 0,
             enabled,
             stats: EngineStats::default(),
         }
@@ -133,27 +151,48 @@ impl Memo {
         if !self.enabled {
             return Err(None);
         }
-        let key = h.fingerprint_hash();
-        match self.map.get(&key) {
-            Some(&v) => {
+        let key = h.live_hash();
+        if !self.slots.is_empty() {
+            let (k0, k1v) = self.slots[key.0 as usize & (self.slots.len() - 1)];
+            if k0 == key.0 && k1v & !1 == key.1 & !1 {
                 self.stats.memo_hits += 1;
-                Ok(v)
+                return Ok(k1v & 1 == 1);
             }
-            None => Err(Some(key)),
         }
+        Err(Some(key))
     }
 
     fn insert(&mut self, key: Option<(u64, u64)>, verdict: bool) {
-        if let Some(key) = key {
-            if self.map.len() >= MEMO_CAPACITY {
-                self.map.clear();
+        let Some(key) = key else { return };
+        if self.slots.is_empty() {
+            self.slots.resize(MEMO_INITIAL_SLOTS, (0, 0));
+        } else if self.occupied * 2 >= self.slots.len() && self.slots.len() < MEMO_CAPACITY {
+            // Double and re-home the live entries (each slot is
+            // self-contained, so growth is a reinsertion pass).
+            let doubled = self.slots.len() * 2;
+            let old = std::mem::replace(&mut self.slots, vec![(0, 0); doubled]);
+            self.occupied = 0;
+            for (k0, k1v) in old {
+                if (k0, k1v) != (0, 0) {
+                    let slot = k0 as usize & (self.slots.len() - 1);
+                    if self.slots[slot] == (0, 0) {
+                        self.occupied += 1;
+                    }
+                    self.slots[slot] = (k0, k1v);
+                }
             }
-            self.map.insert(key, verdict);
         }
+        let slot = key.0 as usize & (self.slots.len() - 1);
+        if self.slots[slot] == (0, 0) {
+            self.occupied += 1;
+        }
+        self.slots[slot] = (key.0, (key.1 & !1) | verdict as u64);
     }
 
     fn reset(&mut self) {
-        self.map.clear();
+        self.slots.clear();
+        self.slots.shrink_to_fit();
+        self.occupied = 0;
         self.stats = EngineStats::default();
     }
 }
@@ -430,5 +469,20 @@ mod tests {
     #[should_panic(expected = "only handles RC/RA/CC")]
     fn weak_engine_rejects_strong_levels() {
         WeakEngine::new(IsolationLevel::Serializability, true);
+    }
+
+    #[test]
+    fn empty_history_is_consistent_on_a_warm_engine() {
+        // Regression: the direct-mapped memo's empty-slot sentinel must not
+        // alias the empty history's key — a warm engine once answered
+        // `false` for `History::default()` straight from an untouched slot.
+        for level in IsolationLevel::ALL {
+            let mut engine = engine_for(level);
+            engine.check(&lost_update()); // initialise the memo table
+            assert!(
+                engine.check(&History::default()),
+                "warm {level} engine rejected the empty history"
+            );
+        }
     }
 }

@@ -32,23 +32,34 @@ pub(crate) fn satisfies_ser_with(h: &History, memo: &mut HashSet<StateKey>) -> b
     search(&idx, &mut frontier, &mut last_writer, memo)
 }
 
-/// Precomputed per-transaction data used by the search.
+/// Precomputed per-transaction data used by the search, stored in dense
+/// arena-slot-indexed vectors (`History::tx_index`) instead of id-keyed
+/// maps.
 struct SerIndex {
-    /// Transactions of each session, in session order.
-    sessions: Vec<Vec<TxId>>,
-    /// External reads of each transaction: (variable, writer).
-    reads: BTreeMap<TxId, Vec<(Var, TxId)>>,
-    /// Visible writes of each transaction.
-    writes: BTreeMap<TxId, Vec<Var>>,
+    /// Transactions of each session as `(id, arena slot)`, in session order.
+    sessions: Vec<Vec<(TxId, usize)>>,
+    /// External reads of each transaction (by slot): (variable, writer).
+    reads: Vec<Vec<(Var, TxId)>>,
+    /// Visible writes of each transaction (by slot).
+    writes: Vec<Vec<Var>>,
 }
 
 impl SerIndex {
     fn new(h: &History) -> Self {
-        let sessions: Vec<Vec<TxId>> = h.sessions().values().cloned().collect();
-        let mut reads = BTreeMap::new();
-        let mut writes = BTreeMap::new();
+        let sessions: Vec<Vec<(TxId, usize)>> = h
+            .sessions()
+            .map(|(_, txs)| {
+                txs.iter()
+                    .map(|t| (*t, h.tx_index(*t).expect("session transaction slot")))
+                    .collect()
+            })
+            .collect();
+        let n = h.num_transactions();
+        let mut reads = vec![Vec::new(); n];
+        let mut writes = vec![Vec::new(); n];
         for t in h.transactions() {
-            let r: Vec<(Var, TxId)> = t
+            let slot = h.tx_index(t.id).expect("transaction slot");
+            reads[slot] = t
                 .external_reads()
                 .iter()
                 .filter_map(|e| {
@@ -57,9 +68,7 @@ impl SerIndex {
                     Some((x, w))
                 })
                 .collect();
-            let w: Vec<Var> = t.visible_writes().keys().copied().collect();
-            reads.insert(t.id, r);
-            writes.insert(t.id, w);
+            writes[slot] = t.visible_writes().keys().copied().collect();
         }
         SerIndex {
             sessions,
@@ -99,9 +108,9 @@ fn search(
         if frontier[s] >= idx.sessions[s].len() {
             continue;
         }
-        let t = idx.sessions[s][frontier[s]];
+        let (t, slot) = idx.sessions[s][frontier[s]];
         // Every external read must read from the currently-last writer.
-        let ok = idx.reads[&t]
+        let ok = idx.reads[slot]
             .iter()
             .all(|(x, w)| last_writer.get(x).copied().unwrap_or(TxId::INIT) == *w);
         if !ok {
@@ -110,7 +119,7 @@ fn search(
         // Append t.
         frontier[s] += 1;
         let mut saved: Vec<(Var, Option<TxId>)> = Vec::new();
-        for x in &idx.writes[&t] {
+        for x in &idx.writes[slot] {
             saved.push((*x, last_writer.insert(*x, t)));
         }
         if search(idx, frontier, last_writer, memo) {

@@ -40,26 +40,35 @@ pub(crate) fn satisfies_si_with(h: &History, memo: &mut HashSet<StateKey>) -> bo
     search(&idx, &mut state, memo)
 }
 
+/// Per-transaction data in dense arena-slot-indexed vectors
+/// (`History::tx_index`) instead of id-keyed maps.
 struct SiIndex {
-    sessions: Vec<Vec<TxId>>,
-    reads: BTreeMap<TxId, Vec<(Var, TxId)>>,
-    writes: BTreeMap<TxId, Vec<Var>>,
+    sessions: Vec<Vec<(TxId, usize)>>,
+    reads: Vec<Vec<(Var, TxId)>>,
+    writes: Vec<Vec<Var>>,
 }
 
 impl SiIndex {
     fn new(h: &History) -> Self {
-        let sessions: Vec<Vec<TxId>> = h.sessions().values().cloned().collect();
-        let mut reads = BTreeMap::new();
-        let mut writes = BTreeMap::new();
+        let sessions: Vec<Vec<(TxId, usize)>> = h
+            .sessions()
+            .map(|(_, txs)| {
+                txs.iter()
+                    .map(|t| (*t, h.tx_index(*t).expect("session transaction slot")))
+                    .collect()
+            })
+            .collect();
+        let n = h.num_transactions();
+        let mut reads = vec![Vec::new(); n];
+        let mut writes = vec![Vec::new(); n];
         for t in h.transactions() {
-            let r: Vec<(Var, TxId)> = t
+            let slot = h.tx_index(t.id).expect("transaction slot");
+            reads[slot] = t
                 .external_reads()
                 .iter()
                 .filter_map(|e| Some((e.var()?, h.wr_of(e.id)?)))
                 .collect();
-            let w: Vec<Var> = t.visible_writes().keys().copied().collect();
-            reads.insert(t.id, r);
-            writes.insert(t.id, w);
+            writes[slot] = t.visible_writes().keys().copied().collect();
         }
         SiIndex {
             sessions,
@@ -114,22 +123,22 @@ fn search(idx: &SiIndex, state: &mut SiState, memo: &mut HashSet<StateKey>) -> b
         if state.frontier[s] >= idx.sessions[s].len() {
             continue;
         }
-        let t = idx.sessions[s][state.frontier[s]];
+        let (t, slot) = idx.sessions[s][state.frontier[s]];
         if !state.started[s] {
             // Try to start t: snapshot reads + write-conflict freedom.
-            let snapshot_ok = idx.reads[&t]
+            let snapshot_ok = idx.reads[slot]
                 .iter()
                 .all(|(x, w)| state.last_committed.get(x).copied().unwrap_or(TxId::INIT) == *w);
             if !snapshot_ok {
                 continue;
             }
-            let conflict_free = idx.writes[&t].iter().all(|x| {
+            let conflict_free = idx.writes[slot].iter().all(|x| {
                 (0..idx.sessions.len()).all(|s2| {
                     if s2 == s || !state.started[s2] {
                         return true;
                     }
-                    let t2 = idx.sessions[s2][state.frontier[s2]];
-                    !idx.writes[&t2].contains(x)
+                    let (_, slot2) = idx.sessions[s2][state.frontier[s2]];
+                    !idx.writes[slot2].contains(x)
                 })
             });
             if !conflict_free {
@@ -145,7 +154,7 @@ fn search(idx: &SiIndex, state: &mut SiState, memo: &mut HashSet<StateKey>) -> b
             state.started[s] = false;
             state.frontier[s] += 1;
             let mut saved: Vec<(Var, Option<TxId>)> = Vec::new();
-            for x in &idx.writes[&t] {
+            for x in &idx.writes[slot] {
                 saved.push((*x, state.last_committed.insert(*x, t)));
             }
             let found = search(idx, state, memo);

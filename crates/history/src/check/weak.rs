@@ -7,7 +7,7 @@
 //! iff `so ∪ wr ∪ forced` is acyclic, in which case any topological order is
 //! a witness commit order.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 
 use crate::event::EventKind;
 use crate::history::History;
@@ -43,7 +43,8 @@ struct ReadInfo {
 #[derive(Debug, Default)]
 pub(crate) struct WeakScratch {
     txs: Vec<TxId>,
-    index: BTreeMap<TxId, usize>,
+    /// Direct-indexed `TxId.0 ↦ vertex` (dense ids; `u32::MAX` = absent).
+    index: Vec<u32>,
     so_wr: BitMatrix,
     reach: BitMatrix,
     graph: Digraph,
@@ -90,8 +91,13 @@ pub(crate) fn satisfies_weak_with(
     txs.clear();
     txs.push(TxId::INIT);
     txs.extend(h.tx_ids());
+    // Direct-indexed vertex lookup over the dense transaction ids.
     index.clear();
-    index.extend(txs.iter().enumerate().map(|(i, t)| (*t, i)));
+    index.resize(h.max_tx_id() as usize + 1, u32::MAX);
+    for (i, t) in txs.iter().enumerate() {
+        index[t.0 as usize] = i as u32;
+    }
+    let idx = |t: TxId| index[t.0 as usize] as usize;
     let n = txs.len();
     g.reset(n);
     so_wr.reset(n);
@@ -113,17 +119,17 @@ pub(crate) fn satisfies_weak_with(
     for j in 1..n {
         so_wr.set(0, j);
     }
-    for session in h.sessions().values() {
+    for (_, session) in h.sessions() {
         if let Some(first) = session.first() {
-            g.add_edge(0, index[first]);
+            g.add_edge(0, idx(*first));
         }
         for pair in session.windows(2) {
-            g.add_edge(index[&pair[0]], index[&pair[1]]);
+            g.add_edge(idx(pair[0]), idx(pair[1]));
         }
         for (k, a) in session.iter().enumerate() {
-            let i = index[a];
+            let i = idx(*a);
             for b in &session[k + 1..] {
-                so_wr.set(i, index[b]);
+                so_wr.set(i, idx(*b));
             }
             let log = h.tx(*a);
             let aborted = log.is_aborted();
@@ -137,7 +143,7 @@ pub(crate) fn satisfies_weak_with(
                     }
                     EventKind::Read(x) => {
                         if let Some(w) = h.wr_of(e.id) {
-                            let iw = index[&w];
+                            let iw = idx(w);
                             reads.push(ReadInfo {
                                 reader: i,
                                 prefix: wr_seqs[i].len(),

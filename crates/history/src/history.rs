@@ -8,55 +8,242 @@
 //! global variable and precedes all other transactions in `so`; it is kept
 //! implicit (no explicit transaction log) which matches the paper's
 //! treatment of `init` in figures.
+//!
+//! # Representation
+//!
+//! The history is stored as a flat arena rather than as id-keyed maps: the
+//! transaction logs live in one dense vector, and the relations
+//! `tx ↦ log`, `tx ↦ session position`, `event ↦ owner` and
+//! `event ↦ wr source` are direct-indexed vectors over the raw `u32`
+//! identifiers ([`crate::arena`]). Exploration engines allocate ids
+//! contiguously per branch (see [`History::max_event_id`]), so lookups are
+//! O(1) loads and cloning a history is a handful of flat copies — the
+//! "compact copy" the DPOR sibling expansion relies on.
+//!
+//! # Undo journal
+//!
+//! Trial extensions (`ValidWrites`, `readLatest`, the DFS baseline) no
+//! longer clone the history: they [`History::checkpoint`] it, mutate it in
+//! place through the journaled mutators ([`History::append_event`],
+//! [`History::set_wr`], [`History::unset_wr`], [`History::pop_event`],
+//! [`History::begin_transaction`]) and [`History::rollback`] to the mark,
+//! which restores the history bit-for-bit (asserted by property tests).
+//! A rolling structural hash ([`History::live_hash`]) is maintained
+//! incrementally across all mutations so that memoised consistency engines
+//! obtain their key in O(1) instead of re-walking the history.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
 
+use crate::arena::{IdMap, TxSet, NONE};
 use crate::event::{Event, EventId, EventKind};
 use crate::transaction::{SessionId, TransactionLog, TxId};
 use crate::value::{Value, Var, VarTable};
 
+/// A checkpoint of a [`History`], restored by [`History::rollback`].
+///
+/// Marks are positions in the undo journal; they must be rolled back in
+/// LIFO order (rolling back an outer mark discards inner ones).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct HistoryMark {
+    journal_len: usize,
+}
+
+/// One recorded mutation, undone (in reverse order) by `rollback`.
+#[derive(Clone, Debug)]
+enum JournalOp {
+    /// A `begin_transaction`: the transaction is the last of `session`.
+    Begin {
+        session: SessionId,
+        prev_max_event: u32,
+        prev_max_tx: u32,
+    },
+    /// An `append_event` to the last transaction of `session`.
+    Append {
+        session: SessionId,
+        prev_max_event: u32,
+    },
+    /// A `pop_event` from the last transaction of `session`; re-pushed on
+    /// rollback.
+    Pop { session: SessionId, event: Event },
+    /// A `set_wr`/`unset_wr` of `read`; `prev` is the raw previous writer
+    /// id ([`NONE`] for absent).
+    SetWr { read: EventId, prev: u32 },
+}
+
 /// A history `⟨T, so, wr⟩` (Definition 2.1).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Debug)]
 pub struct History {
     /// Initial values of global variables, written by the implicit `init`
-    /// transaction. Variables absent from the map have value `Value::Int(0)`.
-    init_values: BTreeMap<Var, Value>,
-    /// Transaction logs, excluding the implicit initial transaction.
-    transactions: BTreeMap<TxId, TransactionLog>,
-    /// Session order: for each session, the sequence of its transactions.
-    sessions: BTreeMap<SessionId, Vec<TxId>>,
-    /// Write-read relation: external read event ↦ transaction it reads from.
-    wr: BTreeMap<EventId, TxId>,
-    /// Reverse index: event ↦ owning transaction (excludes `init`).
-    event_owner: BTreeMap<EventId, TxId>,
+    /// transaction, sorted by variable. Variables absent from the list
+    /// have value `Value::Int(0)`.
+    init_values: Vec<(Var, Value)>,
+    /// Transaction-log arena, in allocation order.
+    logs: Vec<TransactionLog>,
+    /// `TxId.0 ↦` index into `logs`.
+    tx_slot: IdMap,
+    /// `TxId.0 ↦` position of the transaction within its session.
+    tx_sidx: IdMap,
+    /// `SessionId.0 ↦` the session's transaction sequence (session order).
+    sessions: Vec<Vec<TxId>>,
+    /// Write-read relation: `EventId.0 ↦` writer `TxId.0`.
+    wr: IdMap,
+    /// Reverse index: `EventId.0 ↦` owning `TxId.0` (excludes `init`).
+    owner: IdMap,
+    /// Number of pending (incomplete) transactions.
+    pending: u32,
+    /// Largest transaction id ever used in this branch (fresh-id source).
+    max_tx_id: u32,
+    /// Largest event id ever used in this branch (fresh-id source).
+    max_event_id: u32,
+    /// Rolling structural hash, updated on every mutation.
+    hash: (u64, u64),
+    /// Undo journal; only recording while a checkpoint is outstanding.
+    journal: Vec<JournalOp>,
+    /// Number of outstanding checkpoints.
+    journal_depth: u32,
+}
+
+// ----------------------------------------------------------------------
+// Rolling-hash helpers
+// ----------------------------------------------------------------------
+
+/// Seed of the rolling structural hash. Nonzero so that the common empty
+/// history never aliases all-zero slot sentinels in downstream tables
+/// (e.g. the consistency engines' direct-mapped memo).
+const HASH_SEED: (u64, u64) = (0x9e37_79b9_7f4a_7c15, 0x2545_f491_4f6c_dd1d);
+
+/// Finalising 64-bit mixer (splitmix64).
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Absorbs one word into a running payload hash.
+#[inline]
+fn fold(h: u64, v: u64) -> u64 {
+    mix(h ^ v.wrapping_mul(0xc2b2_ae3d_27d4_eb4f))
+}
+
+/// Position key of an event: session, index of its transaction within the
+/// session, and program-order position. These coordinates are fixed at
+/// push time and never change while the event is live, which is what makes
+/// the XOR-composed rolling hash sound under push/pop/set/unset.
+#[inline]
+fn pos_key(session: u32, sidx: u32, po: u32) -> u64 {
+    mix(((session as u64) << 42) ^ ((sidx as u64) << 21) ^ po as u64)
+}
+
+/// Canonical writer coordinate used by wr contributions.
+#[inline]
+fn writer_coord(session: u32, sidx: u32) -> u64 {
+    ((session as u64) << 32) | sidx as u64
+}
+
+/// 128-bit contribution of a finished payload hash.
+#[inline]
+fn contrib(p: u64) -> (u64, u64) {
+    (
+        mix(p ^ 0x243f_6a88_85a3_08d3),
+        mix(p ^ 0x1319_8a2e_0370_7344),
+    )
+}
+
+/// Payload hash of an event (kind, variable, value) at a position key.
+fn event_payload(key: u64, kind: &EventKind) -> u64 {
+    let mut p = fold(key, 0x5eed);
+    match kind {
+        EventKind::Begin => p = fold(p, 0),
+        EventKind::Commit => p = fold(p, 1),
+        EventKind::Abort => p = fold(p, 2),
+        EventKind::Write(x, v) => {
+            p = fold(p, 3);
+            p = fold(p, x.0 as u64);
+            match v {
+                Value::Int(i) => {
+                    p = fold(p, 0);
+                    p = fold(p, *i as u64);
+                }
+                Value::Set(s) => {
+                    p = fold(p, 1);
+                    p = fold(p, s.len() as u64);
+                    for id in s {
+                        p = fold(p, *id as u64);
+                    }
+                }
+            }
+        }
+        EventKind::Read(x) => {
+            p = fold(p, 4);
+            p = fold(p, x.0 as u64);
+        }
+    }
+    p
+}
+
+/// Payload hash of a wr edge at the read's position key.
+#[inline]
+fn wr_payload(key: u64, coord: u64) -> u64 {
+    fold(fold(key, 0x77), coord)
+}
+
+#[inline]
+fn xor_into(hash: &mut (u64, u64), c: (u64, u64)) {
+    hash.0 ^= c.0;
+    hash.1 ^= c.1;
 }
 
 impl History {
     /// Creates an empty history whose initial transaction writes the given
-    /// initial values. Variables not listed default to `0`.
+    /// initial values. Variables not listed default to `0`; a variable
+    /// listed several times keeps its last value (map semantics).
     pub fn new<I: IntoIterator<Item = (Var, Value)>>(init_values: I) -> Self {
+        let mut init: Vec<(Var, Value)> = Vec::new();
+        for (x, v) in init_values {
+            match init.binary_search_by_key(&x, |(y, _)| *y) {
+                Ok(i) => init[i].1 = v,
+                Err(i) => init.insert(i, (x, v)),
+            }
+        }
         History {
-            init_values: init_values.into_iter().collect(),
-            transactions: BTreeMap::new(),
-            sessions: BTreeMap::new(),
-            wr: BTreeMap::new(),
-            event_owner: BTreeMap::new(),
+            init_values: init,
+            logs: Vec::new(),
+            tx_slot: IdMap::default(),
+            tx_sidx: IdMap::default(),
+            sessions: Vec::new(),
+            wr: IdMap::default(),
+            owner: IdMap::default(),
+            pending: 0,
+            max_tx_id: 0,
+            max_event_id: 0,
+            hash: HASH_SEED,
+            journal: Vec::new(),
+            journal_depth: 0,
         }
     }
 
     /// The initial value of a global variable (default `0`).
     pub fn init_value(&self, x: Var) -> Value {
-        self.init_values.get(&x).cloned().unwrap_or_default()
+        self.init_values
+            .iter()
+            .find(|(y, _)| *y == x)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_default()
     }
 
     /// Sets the initial value written by the `init` transaction for `x`.
     pub fn set_init_value(&mut self, x: Var, v: Value) {
-        self.init_values.insert(x, v);
+        match self.init_values.binary_search_by_key(&x, |(y, _)| *y) {
+            Ok(i) => self.init_values[i].1 = v,
+            Err(i) => self.init_values.insert(i, (x, v)),
+        }
     }
 
-    /// All initial values explicitly recorded.
-    pub fn init_values(&self) -> &BTreeMap<Var, Value> {
+    /// All initial values explicitly recorded, sorted by variable.
+    pub fn init_values(&self) -> &[(Var, Value)] {
         &self.init_values
     }
 
@@ -64,24 +251,38 @@ impl History {
     // Structure: transactions, sessions, events
     // ------------------------------------------------------------------
 
-    /// Identifiers of all non-initial transactions.
+    /// Identifiers of all non-initial transactions, in ascending id order.
     pub fn tx_ids(&self) -> impl Iterator<Item = TxId> + '_ {
-        self.transactions.keys().copied()
+        self.tx_slot.iter().map(|(id, _)| TxId(id))
     }
 
-    /// All non-initial transaction logs.
+    /// All non-initial transaction logs, in ascending [`TxId`] order.
     pub fn transactions(&self) -> impl Iterator<Item = &TransactionLog> {
-        self.transactions.values()
+        self.tx_slot
+            .iter()
+            .map(|(_, slot)| &self.logs[slot as usize])
     }
 
     /// Number of non-initial transactions.
     pub fn num_transactions(&self) -> usize {
-        self.transactions.len()
+        self.tx_slot.len()
     }
 
     /// Total number of events (excluding the implicit init writes).
     pub fn num_events(&self) -> usize {
-        self.event_owner.len()
+        self.owner.len()
+    }
+
+    /// Largest transaction id used so far (0 when none); fresh ids for this
+    /// exploration branch are allocated as `max_tx_id() + 1`.
+    pub fn max_tx_id(&self) -> u32 {
+        self.max_tx_id
+    }
+
+    /// Largest event id used so far (0 when none); fresh ids for this
+    /// exploration branch are allocated as `max_event_id() + 1`.
+    pub fn max_event_id(&self) -> u32 {
+        self.max_event_id
     }
 
     /// The transaction log with the given id.
@@ -90,39 +291,64 @@ impl History {
     ///
     /// Panics if the id is [`TxId::INIT`] or unknown.
     pub fn tx(&self, id: TxId) -> &TransactionLog {
-        self.transactions
-            .get(&id)
+        self.get_tx(id)
             .unwrap_or_else(|| panic!("unknown transaction {id}"))
     }
 
     /// The transaction log with the given id, if it exists (never for init).
+    #[inline]
     pub fn get_tx(&self, id: TxId) -> Option<&TransactionLog> {
-        self.transactions.get(&id)
+        self.tx_slot.get(id.0).map(|slot| &self.logs[slot as usize])
+    }
+
+    /// Dense arena index of a transaction (its position in allocation
+    /// order), used by the checking engines for direct-indexed scratch
+    /// tables.
+    #[inline]
+    pub fn tx_index(&self, id: TxId) -> Option<usize> {
+        self.tx_slot.get(id.0).map(|slot| slot as usize)
+    }
+
+    /// Position of a transaction within its session's order.
+    #[inline]
+    pub fn tx_session_index(&self, id: TxId) -> Option<usize> {
+        self.tx_sidx.get(id.0).map(|i| i as usize)
     }
 
     /// Whether the history contains the given transaction (init always counts).
     pub fn contains_tx(&self, id: TxId) -> bool {
-        id.is_init() || self.transactions.contains_key(&id)
+        id.is_init() || self.tx_slot.get(id.0).is_some()
     }
 
-    /// Session order as stored: for each session, its transaction sequence.
-    pub fn sessions(&self) -> &BTreeMap<SessionId, Vec<TxId>> {
-        &self.sessions
+    /// Session order: for each non-empty session (ascending id), its
+    /// transaction sequence.
+    pub fn sessions(&self) -> impl Iterator<Item = (SessionId, &[TxId])> {
+        self.sessions
+            .iter()
+            .enumerate()
+            .filter(|(_, txs)| !txs.is_empty())
+            .map(|(s, txs)| (SessionId(s as u32), txs.as_slice()))
     }
 
     /// Transactions of a session in session order.
     pub fn session_txs(&self, s: SessionId) -> &[TxId] {
-        self.sessions.get(&s).map(Vec::as_slice).unwrap_or(&[])
+        self.sessions
+            .get(s.0 as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// The last transaction of a session, if the session started any.
     pub fn last_tx_of_session(&self, s: SessionId) -> Option<TxId> {
-        self.sessions.get(&s).and_then(|v| v.last().copied())
+        self.sessions
+            .get(s.0 as usize)
+            .and_then(|v| v.last().copied())
     }
 
     /// Owning transaction of an event.
+    #[inline]
     pub fn tx_of_event(&self, e: EventId) -> Option<TxId> {
-        self.event_owner.get(&e).copied()
+        self.owner.get(e.0).map(TxId)
     }
 
     /// The event with the given identifier.
@@ -131,17 +357,16 @@ impl History {
         self.tx(tx).event(e)
     }
 
-    /// Iterates over all events of the history with their owning transaction.
+    /// Iterates over all events of the history with their owning
+    /// transaction, in ascending transaction-id order.
     pub fn events(&self) -> impl Iterator<Item = (TxId, &Event)> {
-        self.transactions
-            .values()
+        self.transactions()
             .flat_map(|t| t.events.iter().map(move |e| (t.id, e)))
     }
 
     /// Pending (incomplete) transactions.
     pub fn pending_txs(&self) -> Vec<TxId> {
-        self.transactions
-            .values()
+        self.transactions()
             .filter(|t| t.is_pending())
             .map(|t| t.id)
             .collect()
@@ -149,16 +374,12 @@ impl History {
 
     /// Number of pending transactions.
     pub fn num_pending(&self) -> usize {
-        self.transactions
-            .values()
-            .filter(|t| t.is_pending())
-            .count()
+        self.pending as usize
     }
 
     /// Committed transactions, *excluding* the implicit init transaction.
     pub fn committed_txs(&self) -> Vec<TxId> {
-        self.transactions
-            .values()
+        self.transactions()
             .filter(|t| t.is_committed())
             .map(|t| t.id)
             .collect()
@@ -172,6 +393,85 @@ impl History {
     /// Whether a transaction is complete (committed or aborted).
     pub fn is_complete_tx(&self, t: TxId) -> bool {
         t.is_init() || self.get_tx(t).is_some_and(|t| t.is_complete())
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint / rollback
+    // ------------------------------------------------------------------
+
+    /// Opens a checkpoint: subsequent mutations are recorded in the undo
+    /// journal until the matching [`rollback`](History::rollback). While no
+    /// checkpoint is outstanding the journal is not written, so permanent
+    /// extensions pay nothing.
+    pub fn checkpoint(&mut self) -> HistoryMark {
+        self.journal_depth += 1;
+        HistoryMark {
+            journal_len: self.journal.len(),
+        }
+    }
+
+    /// Undoes every mutation recorded since `mark`, restoring the history
+    /// (structure, relations, counters and rolling hash) to its state at
+    /// [`checkpoint`](History::checkpoint) time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no checkpoint is outstanding or the mark is stale (taken
+    /// after mutations that were already rolled back).
+    pub fn rollback(&mut self, mark: HistoryMark) {
+        assert!(self.journal_depth > 0, "rollback without checkpoint");
+        assert!(mark.journal_len <= self.journal.len(), "stale history mark");
+        while self.journal.len() > mark.journal_len {
+            let op = self.journal.pop().expect("journal entry");
+            match op {
+                JournalOp::Begin {
+                    session,
+                    prev_max_event,
+                    prev_max_tx,
+                } => {
+                    self.undo_begin(session);
+                    self.max_event_id = prev_max_event;
+                    self.max_tx_id = prev_max_tx;
+                }
+                JournalOp::Append {
+                    session,
+                    prev_max_event,
+                } => {
+                    self.do_pop(session);
+                    self.max_event_id = prev_max_event;
+                }
+                JournalOp::Pop { session, event } => {
+                    self.do_append(session, event);
+                }
+                JournalOp::SetWr { read, prev } => {
+                    let key = self.event_pos_key(read);
+                    if let Some(cur) = self.wr.get(read.0) {
+                        let c = contrib(wr_payload(key, self.tx_coord(TxId(cur))));
+                        xor_into(&mut self.hash, c);
+                    }
+                    if prev == NONE {
+                        self.wr.clear(read.0);
+                    } else {
+                        self.wr.set(read.0, prev);
+                        let c = contrib(wr_payload(key, self.tx_coord(TxId(prev))));
+                        xor_into(&mut self.hash, c);
+                    }
+                }
+            }
+        }
+        self.journal_depth -= 1;
+    }
+
+    /// Whether a checkpoint is currently outstanding (journal armed).
+    pub fn in_checkpoint(&self) -> bool {
+        self.journal_depth > 0
+    }
+
+    #[inline]
+    fn record(&mut self, op: JournalOp) {
+        if self.journal_depth > 0 {
+            self.journal.push(op);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -193,16 +493,62 @@ impl History {
         begin: Event,
     ) {
         assert!(!id.is_init(), "cannot begin the init transaction");
-        assert!(
-            !self.transactions.contains_key(&id),
-            "transaction {id} already exists"
-        );
+        assert!(!self.contains_tx(id), "transaction {id} already exists");
         assert!(begin.kind.is_begin(), "first event must be begin");
+        self.record(JournalOp::Begin {
+            session: s,
+            prev_max_event: self.max_event_id,
+            prev_max_tx: self.max_tx_id,
+        });
+        self.do_begin(s, id, program_index, begin);
+    }
+
+    fn do_begin(&mut self, s: SessionId, id: TxId, program_index: usize, begin: Event) {
+        if s.0 as usize >= self.sessions.len() {
+            self.sessions.resize_with(s.0 as usize + 1, Vec::new);
+        }
+        let sidx = self.sessions[s.0 as usize].len() as u32;
+        let c = contrib(event_payload(pos_key(s.0, sidx, 0), &begin.kind));
+        xor_into(&mut self.hash, c);
+        self.owner.set(begin.id.0, id.0);
+        self.max_event_id = self.max_event_id.max(begin.id.0);
+        self.max_tx_id = self.max_tx_id.max(id.0);
+        // `begin_transaction` always seeds with a begin event; rebuilds
+        // (`remove_events`) may seed a truncated log with any first kept
+        // event, including one that completes the transaction outright.
+        let complete = matches!(begin.kind, EventKind::Commit | EventKind::Abort);
         let mut log = TransactionLog::new(id, s, program_index);
-        self.event_owner.insert(begin.id, id);
         log.push(begin);
-        self.transactions.insert(id, log);
-        self.sessions.entry(s).or_default().push(id);
+        self.tx_slot.set(id.0, self.logs.len() as u32);
+        self.tx_sidx.set(id.0, sidx);
+        self.logs.push(log);
+        self.sessions[s.0 as usize].push(id);
+        if !complete {
+            self.pending += 1;
+        }
+    }
+
+    /// Undoes the most recent live `begin_transaction` of `session` (its
+    /// log holds only the begin event by journal-ordering).
+    fn undo_begin(&mut self, s: SessionId) {
+        let id = self.sessions[s.0 as usize]
+            .pop()
+            .expect("session has a transaction to undo");
+        let slot = self.tx_slot.clear(id.0).expect("begun transaction");
+        self.tx_sidx.clear(id.0);
+        debug_assert_eq!(
+            slot as usize,
+            self.logs.len() - 1,
+            "begin undone out of order"
+        );
+        let log = self.logs.pop().expect("log arena entry");
+        debug_assert_eq!(log.events.len(), 1, "begin undone with live events");
+        let begin = &log.events[0];
+        let sidx = self.sessions[s.0 as usize].len() as u32;
+        let c = contrib(event_payload(pos_key(s.0, sidx, 0), &begin.kind));
+        xor_into(&mut self.hash, c);
+        self.owner.clear(begin.id.0);
+        self.pending -= 1;
     }
 
     /// Appends an event to the last (pending) transaction of session `s`
@@ -215,11 +561,79 @@ impl History {
         let tx = self
             .last_tx_of_session(s)
             .unwrap_or_else(|| panic!("session {s} has no transaction"));
-        let log = self.transactions.get_mut(&tx).expect("tx exists");
-        assert!(log.is_pending(), "last transaction of {s} is complete");
-        self.event_owner.insert(event.id, tx);
-        log.push(event);
+        assert!(
+            self.tx(tx).is_pending(),
+            "last transaction of {s} is complete"
+        );
+        self.record(JournalOp::Append {
+            session: s,
+            prev_max_event: self.max_event_id,
+        });
+        self.do_append(s, event);
         tx
+    }
+
+    fn do_append(&mut self, s: SessionId, event: Event) {
+        let tx = self.sessions[s.0 as usize]
+            .last()
+            .copied()
+            .expect("session has a transaction");
+        let sidx = self.tx_sidx.get(tx.0).expect("tx session index");
+        let slot = self.tx_slot.get(tx.0).expect("tx slot") as usize;
+        let po = self.logs[slot].events.len() as u32;
+        let c = contrib(event_payload(pos_key(s.0, sidx, po), &event.kind));
+        xor_into(&mut self.hash, c);
+        if matches!(event.kind, EventKind::Commit | EventKind::Abort) {
+            self.pending -= 1;
+        }
+        self.owner.set(event.id.0, tx.0);
+        self.max_event_id = self.max_event_id.max(event.id.0);
+        self.logs[slot].events.push(event);
+    }
+
+    /// Removes and returns the last event of the last transaction of
+    /// session `s` — the exact inverse of [`append_event`](History::append_event).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event is the transaction's begin (undo the begin via
+    /// [`rollback`](History::rollback) instead) or if it is a read whose wr
+    /// dependency has not been [`unset_wr`](History::unset_wr) first.
+    pub fn pop_event(&mut self, s: SessionId) -> Event {
+        let tx = self
+            .last_tx_of_session(s)
+            .unwrap_or_else(|| panic!("session {s} has no transaction"));
+        let len = self.tx(tx).events.len();
+        assert!(len > 1, "cannot pop a transaction's begin event");
+        let event = self.do_pop(s);
+        self.record(JournalOp::Pop {
+            session: s,
+            event: event.clone(),
+        });
+        event
+    }
+
+    fn do_pop(&mut self, s: SessionId) -> Event {
+        let tx = self.sessions[s.0 as usize]
+            .last()
+            .copied()
+            .expect("session has a transaction");
+        let sidx = self.tx_sidx.get(tx.0).expect("tx session index");
+        let slot = self.tx_slot.get(tx.0).expect("tx slot") as usize;
+        let event = self.logs[slot].events.pop().expect("event to pop");
+        assert!(
+            self.wr.get(event.id.0).is_none(),
+            "popped read {} still has a wr dependency",
+            event.id
+        );
+        let po = self.logs[slot].events.len() as u32;
+        let c = contrib(event_payload(pos_key(s.0, sidx, po), &event.kind));
+        xor_into(&mut self.hash, c);
+        if matches!(event.kind, EventKind::Commit | EventKind::Abort) {
+            self.pending += 1;
+        }
+        self.owner.clear(event.id.0);
+        event
     }
 
     /// Adds (or replaces) a write-read dependency `wr(writer, read)`.
@@ -238,12 +652,62 @@ impl History {
             self.writes_var(writer, x),
             "wr source {writer} does not write {x}"
         );
-        self.wr.insert(read, writer);
+        self.do_set_wr(read, writer);
     }
 
-    /// Removes the wr dependency of a read, if any.
+    fn do_set_wr(&mut self, read: EventId, writer: TxId) {
+        let key = self.event_pos_key(read);
+        let prev = self.wr.set(read.0, writer.0);
+        if let Some(prev) = prev {
+            let c = contrib(wr_payload(key, self.tx_coord(TxId(prev))));
+            xor_into(&mut self.hash, c);
+        }
+        let c = contrib(wr_payload(key, self.tx_coord(writer)));
+        xor_into(&mut self.hash, c);
+        self.record(JournalOp::SetWr {
+            read,
+            prev: prev.unwrap_or(NONE),
+        });
+    }
+
+    /// Removes the wr dependency of a read, if any — the inverse of
+    /// [`set_wr`](History::set_wr). `ValidWrites`-style candidate trials
+    /// must call this between candidates so that the next consistency check
+    /// never sees the previous candidate's edge.
+    pub fn unset_wr(&mut self, read: EventId) {
+        if let Some(prev) = self.wr.clear(read.0) {
+            let key = self.event_pos_key(read);
+            let c = contrib(wr_payload(key, self.tx_coord(TxId(prev))));
+            xor_into(&mut self.hash, c);
+            self.record(JournalOp::SetWr { read, prev });
+        }
+    }
+
+    /// Removes the wr dependency of a read, if any (alias of
+    /// [`unset_wr`](History::unset_wr), kept for the pre-journal API).
     pub fn clear_wr(&mut self, read: EventId) {
-        self.wr.remove(&read);
+        self.unset_wr(read);
+    }
+
+    /// Position key of a live event (for hash contributions).
+    fn event_pos_key(&self, e: EventId) -> u64 {
+        let tx = self.tx_of_event(e).expect("event has an owner");
+        let log = self.tx(tx);
+        let po = log.po_position(e).expect("event in its log") as u32;
+        let sidx = self.tx_sidx.get(tx.0).expect("tx session index");
+        pos_key(log.session.0, sidx, po)
+    }
+
+    /// Canonical `(session, index)` coordinate of a transaction for hash
+    /// contributions (`u64::MAX` for init).
+    fn tx_coord(&self, t: TxId) -> u64 {
+        if t.is_init() {
+            u64::MAX
+        } else {
+            let log = self.tx(t);
+            let sidx = self.tx_sidx.get(t.0).expect("tx session index");
+            writer_coord(log.session.0, sidx)
+        }
     }
 
     // ------------------------------------------------------------------
@@ -251,28 +715,33 @@ impl History {
     // ------------------------------------------------------------------
 
     /// The transaction a read event reads from, if it has a wr dependency.
+    #[inline]
     pub fn wr_of(&self, read: EventId) -> Option<TxId> {
-        self.wr.get(&read).copied()
+        self.wr.get(read.0).map(TxId)
     }
 
-    /// The full write-read relation (read event ↦ writer transaction).
-    pub fn wr(&self) -> &BTreeMap<EventId, TxId> {
-        &self.wr
+    /// The write-read relation as `(read event, writer transaction)` pairs,
+    /// in ascending event-id order.
+    pub fn wr(&self) -> impl Iterator<Item = (EventId, TxId)> + '_ {
+        self.wr.iter().map(|(e, w)| (EventId(e), TxId(w)))
+    }
+
+    /// Number of wr edges (external reads with a dependency).
+    pub fn wr_count(&self) -> usize {
+        self.wr.len()
     }
 
     /// Whether `(a, b)` is in the transaction-level write-read relation:
     /// some read of `b` reads from `a`.
     pub fn wr_tx_edge(&self, a: TxId, b: TxId) -> bool {
-        self.wr
-            .iter()
-            .any(|(r, w)| *w == a && self.tx_of_event(*r) == Some(b))
+        self.wr()
+            .any(|(r, w)| w == a && self.tx_of_event(r) == Some(b))
     }
 
     /// All transaction-level write-read edges `(writer, reader)`.
     pub fn wr_tx_edges(&self) -> BTreeSet<(TxId, TxId)> {
-        self.wr
-            .iter()
-            .filter_map(|(r, w)| Some((*w, self.tx_of_event(*r)?)))
+        self.wr()
+            .filter_map(|(r, w)| Some((w, self.tx_of_event(r)?)))
             .filter(|(w, r)| w != r)
             .collect()
     }
@@ -281,13 +750,13 @@ impl History {
     /// `(reader, read event, variable, writer)`.
     pub fn reads_from(&self) -> Vec<(TxId, EventId, Var, TxId)> {
         let mut out = Vec::new();
-        for (r, w) in &self.wr {
-            let reader = self.tx_of_event(*r).expect("read owner");
+        for (r, w) in self.wr() {
+            let reader = self.tx_of_event(r).expect("read owner");
             let x = self
-                .event(*r)
+                .event(r)
                 .and_then(Event::var)
                 .expect("read has a variable");
-            out.push((reader, *r, x, *w));
+            out.push((reader, r, x, w));
         }
         out
     }
@@ -314,25 +783,24 @@ impl History {
     }
 
     /// All transactions (including `init` and pending ones, excluding
-    /// aborted ones) that write variable `x`.
+    /// aborted ones) that write variable `x`, in ascending id order.
     pub fn writers_of(&self, x: Var) -> Vec<TxId> {
         let mut out = vec![TxId::INIT];
         out.extend(
-            self.transactions
-                .values()
+            self.transactions()
                 .filter(|t| t.writes_var(x))
                 .map(|t| t.id),
         );
         out
     }
 
-    /// Committed transactions (including `init`) that write variable `x`.
-    /// These are the candidate sources of a wr dependency in the semantics.
+    /// Committed transactions (including `init`) that write variable `x`,
+    /// in ascending id order. These are the candidate sources of a wr
+    /// dependency in the semantics.
     pub fn committed_writers_of(&self, x: Var) -> Vec<TxId> {
         let mut out = vec![TxId::INIT];
         out.extend(
-            self.transactions
-                .values()
+            self.transactions()
                 .filter(|t| t.is_committed() && t.writes_var(x))
                 .map(|t| t.id),
         );
@@ -377,10 +845,10 @@ impl History {
         if ta.session != tb.session {
             return false;
         }
-        let seq = self.session_txs(ta.session);
-        let pa = seq.iter().position(|t| *t == a);
-        let pb = seq.iter().position(|t| *t == b);
-        matches!((pa, pb), (Some(i), Some(j)) if i < j)
+        match (self.tx_sidx.get(a.0), self.tx_sidx.get(b.0)) {
+            (Some(i), Some(j)) => i < j,
+            _ => false,
+        }
     }
 
     /// Whether `(a, b)` is in `so ∪ wr` (transaction level).
@@ -388,34 +856,102 @@ impl History {
         self.so_before(a, b) || self.wr_tx_edge(a, b)
     }
 
-    /// Immediate `so ∪ wr` successors of a transaction, used for causal
-    /// reachability. For init, the first transaction of each session.
-    fn so_wr_successors(&self, t: TxId) -> Vec<TxId> {
-        let mut succ = Vec::new();
+    /// The strict causal ancestors of `t`: every `t'` with
+    /// `(t', t) ∈ (so ∪ wr)+`. One backward BFS; membership queries against
+    /// the same pivot are then O(1), which is what the swap machinery uses
+    /// (`ComputeReorderings`, `doomed_events` and `readLatest` all test many
+    /// transactions against one pivot).
+    pub fn causal_ancestors(&self, t: TxId) -> TxSet {
+        let mut set = TxSet::with_capacity(self.max_tx_id.max(1));
         if t.is_init() {
-            for txs in self.sessions.values() {
-                if let Some(first) = txs.first() {
-                    succ.push(*first);
-                }
-            }
-        } else if let Some(log) = self.get_tx(t) {
-            let seq = self.session_txs(log.session);
-            if let Some(pos) = seq.iter().position(|x| *x == t) {
-                if pos + 1 < seq.len() {
-                    succ.push(seq[pos + 1]);
-                }
-            }
+            return set;
         }
-        for (r, w) in &self.wr {
-            if *w == t {
-                if let Some(reader) = self.tx_of_event(*r) {
-                    if reader != t && !succ.contains(&reader) {
-                        succ.push(reader);
+        let mut queue: VecDeque<TxId> = VecDeque::new();
+        let push_preds = |u: TxId, set: &mut TxSet, queue: &mut VecDeque<TxId>| {
+            let Some(log) = self.get_tx(u) else { return };
+            let sidx = self.tx_sidx.get(u.0).expect("tx session index") as usize;
+            if sidx == 0 {
+                set.insert(TxId::INIT);
+            } else {
+                let prev = self.sessions[log.session.0 as usize][sidx - 1];
+                if set.insert(prev) {
+                    queue.push_back(prev);
+                }
+            }
+            for e in &log.events {
+                if e.kind.is_read() {
+                    if let Some(w) = self.wr_of(e.id) {
+                        if w != u && set.insert(w) {
+                            queue.push_back(w);
+                        }
                     }
                 }
             }
+        };
+        push_preds(t, &mut set, &mut queue);
+        while let Some(u) = queue.pop_front() {
+            push_preds(u, &mut set, &mut queue);
         }
-        succ
+        set
+    }
+
+    /// The strict causal descendants of `t`: every `t'` with
+    /// `(t, t') ∈ (so ∪ wr)+` (one forward BFS, see
+    /// [`causal_ancestors`](History::causal_ancestors)).
+    pub fn causal_descendants(&self, t: TxId) -> TxSet {
+        let mut set = TxSet::with_capacity(self.max_tx_id.max(1));
+        // Reverse wr adjacency: writer slot ↦ readers.
+        let mut readers: Vec<Vec<TxId>> = vec![Vec::new(); self.logs.len() + 1];
+        for (r, w) in self.wr() {
+            if let Some(reader) = self.tx_of_event(r) {
+                if reader != w {
+                    let slot = if w.is_init() {
+                        self.logs.len()
+                    } else {
+                        self.tx_index(w).expect("writer slot")
+                    };
+                    readers[slot].push(reader);
+                }
+            }
+        }
+        let mut queue: VecDeque<TxId> = VecDeque::new();
+        let push_succs = |u: TxId, set: &mut TxSet, queue: &mut VecDeque<TxId>| {
+            if u.is_init() {
+                for txs in &self.sessions {
+                    if let Some(first) = txs.first() {
+                        if set.insert(*first) {
+                            queue.push_back(*first);
+                        }
+                    }
+                }
+                let rs = &readers[self.logs.len()];
+                for r in rs {
+                    if set.insert(*r) {
+                        queue.push_back(*r);
+                    }
+                }
+                return;
+            }
+            let Some(log) = self.get_tx(u) else { return };
+            let sidx = self.tx_sidx.get(u.0).expect("tx session index") as usize;
+            let session = &self.sessions[log.session.0 as usize];
+            if sidx + 1 < session.len() {
+                let next = session[sidx + 1];
+                if set.insert(next) {
+                    queue.push_back(next);
+                }
+            }
+            for r in &readers[self.tx_index(u).expect("tx slot")] {
+                if set.insert(*r) {
+                    queue.push_back(*r);
+                }
+            }
+        };
+        push_succs(t, &mut set, &mut queue);
+        while let Some(u) = queue.pop_front() {
+            push_succs(u, &mut set, &mut queue);
+        }
+        set
     }
 
     /// Whether `(a, b)` is in the causal order `(so ∪ wr)+`.
@@ -429,17 +965,7 @@ impl History {
         if b.is_init() {
             return false;
         }
-        let mut seen = BTreeSet::new();
-        let mut queue: VecDeque<TxId> = self.so_wr_successors(a).into();
-        while let Some(t) = queue.pop_front() {
-            if t == b {
-                return true;
-            }
-            if seen.insert(t) {
-                queue.extend(self.so_wr_successors(t));
-            }
-        }
-        false
+        self.causal_ancestors(b).contains(a)
     }
 
     /// Whether `(a, b)` is in `(so ∪ wr)*` (reflexive causal order).
@@ -454,11 +980,12 @@ impl History {
         if t.is_init() {
             return preds;
         }
-        // Reverse reachability by scanning all transactions (histories are small).
-        let mut all: Vec<TxId> = vec![TxId::INIT];
-        all.extend(self.tx_ids());
-        for a in all {
-            if a != t && self.causally_before(a, t) {
+        let set = self.causal_ancestors(t);
+        if set.contains(TxId::INIT) {
+            preds.insert(TxId::INIT);
+        }
+        for a in self.tx_ids() {
+            if a != t && set.contains(a) {
                 preds.insert(a);
             }
         }
@@ -467,10 +994,13 @@ impl History {
 
     /// Whether `t` is `(so ∪ wr)+`-maximal: no transaction is causally after it.
     pub fn is_causally_maximal(&self, t: TxId) -> bool {
+        if t.is_init() {
+            return self.num_transactions() == 0;
+        }
+        let desc = self.causal_descendants(t);
         !self
             .tx_ids()
-            .chain(std::iter::once(TxId::INIT))
-            .any(|other| other != t && self.causally_before(t, other))
+            .any(|other| other != t && desc.contains(other))
     }
 
     // ------------------------------------------------------------------
@@ -480,43 +1010,30 @@ impl History {
     /// Returns the history obtained by deleting the given events from its
     /// transaction logs (`h \ D` in §5.2). Transaction logs that become
     /// empty are removed altogether; wr dependencies whose read was removed
-    /// are dropped.
+    /// are dropped. This is a single O(live-size) compact copy into a fresh
+    /// arena.
     pub fn remove_events(&self, doomed: &BTreeSet<EventId>) -> History {
-        let mut h = History {
-            init_values: self.init_values.clone(),
-            transactions: BTreeMap::new(),
-            sessions: BTreeMap::new(),
-            wr: BTreeMap::new(),
-            event_owner: BTreeMap::new(),
-        };
-        for (s, txs) in &self.sessions {
-            let mut kept_txs = Vec::new();
+        let mut h = History::new(self.init_values.iter().cloned());
+        for (_, txs) in self.sessions() {
             for t in txs {
-                let log = &self.transactions[t];
-                let kept: Vec<Event> = log
-                    .events
-                    .iter()
-                    .filter(|e| !doomed.contains(&e.id))
-                    .cloned()
-                    .collect();
-                if kept.is_empty() {
-                    continue;
+                let log = self.tx(*t);
+                let mut started = false;
+                for e in &log.events {
+                    if doomed.contains(&e.id) {
+                        continue;
+                    }
+                    if !started {
+                        h.do_begin(log.session, log.id, log.program_index, e.clone());
+                        started = true;
+                    } else {
+                        h.do_append(log.session, e.clone());
+                    }
                 }
-                let mut new_log = TransactionLog::new(log.id, log.session, log.program_index);
-                for e in kept {
-                    h.event_owner.insert(e.id, log.id);
-                    new_log.events.push(e);
-                }
-                h.transactions.insert(log.id, new_log);
-                kept_txs.push(*t);
-            }
-            if !kept_txs.is_empty() {
-                h.sessions.insert(*s, kept_txs);
             }
         }
-        for (r, w) in &self.wr {
-            if h.event_owner.contains_key(r) && h.contains_tx(*w) {
-                h.wr.insert(*r, *w);
+        for (r, w) in self.wr() {
+            if h.tx_of_event(r).is_some() && h.contains_tx(w) {
+                h.do_set_wr(r, w);
             }
         }
         h
@@ -547,25 +1064,26 @@ impl History {
                 WriterRef::Init
             } else {
                 let log = self.tx(t);
-                let idx = self
-                    .session_txs(log.session)
-                    .iter()
-                    .position(|x| *x == t)
-                    .expect("transaction listed in its session");
+                let idx = self.tx_session_index(t).expect("tx session index");
                 WriterRef::Tx(log.session.0, idx)
             }
         };
         // Map every variable to its first-occurrence index.
-        let mut var_ids: BTreeMap<Var, u32> = BTreeMap::new();
+        let mut var_ids: Vec<Var> = Vec::new();
         let mut canon = |x: Var| -> Var {
-            let next = var_ids.len() as u32;
-            Var(*var_ids.entry(x).or_insert(next))
+            match var_ids.iter().position(|y| *y == x) {
+                Some(i) => Var(i as u32),
+                None => {
+                    var_ids.push(x);
+                    Var(var_ids.len() as u32 - 1)
+                }
+            }
         };
         let mut sessions = Vec::new();
-        for (s, txs) in &self.sessions {
+        for (s, txs) in self.sessions() {
             let mut fp_txs = Vec::new();
             for t in txs {
-                let log = &self.transactions[t];
+                let log = self.tx(*t);
                 let mut evs = Vec::new();
                 for e in &log.events {
                     let fp = match &e.kind {
@@ -595,8 +1113,7 @@ impl History {
     /// stateless model checkers for visited-state sets).
     pub fn fingerprint_hash(&self) -> (u64, u64) {
         // Two independent multiply-xorshift streams fed word by word: far
-        // cheaper per word than a keyed hash, which matters because the
-        // memoised engines hash one history per consistency check.
+        // cheaper per word than a keyed hash.
         struct Mix(u64, u64);
         impl Mix {
             #[inline]
@@ -626,19 +1143,15 @@ impl History {
                 u64::MAX
             } else {
                 let log = self.tx(t);
-                let idx = self
-                    .session_txs(log.session)
-                    .iter()
-                    .position(|x| *x == t)
-                    .expect("transaction listed in its session");
+                let idx = self.tx_session_index(t).expect("tx session index");
                 ((log.session.0 as u64) << 32) | idx as u64
             }
         };
-        for (s, txs) in &self.sessions {
+        for (s, txs) in self.sessions() {
             mix.add(s.0 as u64);
             mix.add(txs.len() as u64);
             for t in txs {
-                let log = &self.transactions[t];
+                let log = self.tx(*t);
                 mix.add(log.events.len() as u64);
                 for e in &log.events {
                     match &e.kind {
@@ -680,6 +1193,39 @@ impl History {
         (mix.0, mix.1)
     }
 
+    /// The incrementally maintained rolling structural hash, updated in
+    /// O(1) on every push/pop/set/unset. Unlike
+    /// [`fingerprint_hash`](History::fingerprint_hash) it is *not*
+    /// canonical in variable identifiers (it hashes the raw [`Var`] ids),
+    /// which is exactly what a per-worker consistency-engine memo needs:
+    /// within one exploration the variable table is fixed, so equal rolling
+    /// hashes coincide with equal structure up to the usual 128-bit hash
+    /// compaction, and the key costs a load instead of a walk of the
+    /// history.
+    #[inline]
+    pub fn live_hash(&self) -> (u64, u64) {
+        self.hash
+    }
+
+    /// Recomputes the rolling hash from scratch (used after bulk rewrites
+    /// such as [`map_vars`](History::map_vars), and by debug assertions).
+    fn recompute_live_hash(&mut self) {
+        let mut hash = HASH_SEED;
+        for (s, txs) in self.sessions() {
+            for (sidx, t) in txs.iter().enumerate() {
+                let log = self.tx(*t);
+                for (po, e) in log.events.iter().enumerate() {
+                    let key = pos_key(s.0, sidx as u32, po as u32);
+                    xor_into(&mut hash, contrib(event_payload(key, &e.kind)));
+                    if let Some(w) = self.wr_of(e.id) {
+                        xor_into(&mut hash, contrib(wr_payload(key, self.tx_coord(w))));
+                    }
+                }
+            }
+        }
+        self.hash = hash;
+    }
+
     // ------------------------------------------------------------------
     // Variable renaming
     // ------------------------------------------------------------------
@@ -693,12 +1239,15 @@ impl History {
     /// distinct variables would be conflated.
     pub fn map_vars(&self, mut f: impl FnMut(Var) -> Var) -> History {
         let mut h = self.clone();
-        h.init_values = self
-            .init_values
-            .iter()
-            .map(|(x, v)| (f(*x), v.clone()))
-            .collect();
-        for log in h.transactions.values_mut() {
+        h.init_values = Vec::new();
+        for (x, v) in &self.init_values {
+            let y = f(*x);
+            match h.init_values.binary_search_by_key(&y, |(z, _)| *z) {
+                Ok(i) => h.init_values[i].1 = v.clone(),
+                Err(i) => h.init_values.insert(i, (y, v.clone())),
+            }
+        }
+        for log in &mut h.logs {
             for e in &mut log.events {
                 match &mut e.kind {
                     EventKind::Read(x) | EventKind::Write(x, _) => *x = f(*x),
@@ -706,9 +1255,87 @@ impl History {
                 }
             }
         }
+        h.recompute_live_hash();
         h
     }
 }
+
+impl Clone for History {
+    /// A compact O(live-size) copy of the arena. The undo journal is *not*
+    /// cloned: a clone is a plain snapshot with no outstanding checkpoints.
+    fn clone(&self) -> Self {
+        crate::stats::record_clone(self.heap_bytes_estimate());
+        History {
+            init_values: self.init_values.clone(),
+            logs: self.logs.clone(),
+            tx_slot: self.tx_slot.clone(),
+            tx_sidx: self.tx_sidx.clone(),
+            sessions: self.sessions.clone(),
+            wr: self.wr.clone(),
+            owner: self.owner.clone(),
+            pending: self.pending,
+            max_tx_id: self.max_tx_id,
+            max_event_id: self.max_event_id,
+            hash: self.hash,
+            journal: Vec::new(),
+            journal_depth: 0,
+        }
+    }
+}
+
+impl History {
+    /// Approximate heap footprint of the history in bytes (used by the
+    /// benchmark clone counters).
+    pub fn heap_bytes_estimate(&self) -> usize {
+        let mut bytes = self.init_values.len() * std::mem::size_of::<(Var, Value)>()
+            + self.logs.len() * std::mem::size_of::<TransactionLog>()
+            + self.tx_slot.heap_bytes()
+            + self.tx_sidx.heap_bytes()
+            + self.wr.heap_bytes()
+            + self.owner.heap_bytes()
+            + self.sessions.len() * std::mem::size_of::<Vec<TxId>>();
+        for log in &self.logs {
+            bytes += log.events.len() * std::mem::size_of::<Event>();
+        }
+        for txs in &self.sessions {
+            bytes += txs.len() * std::mem::size_of::<TxId>();
+        }
+        bytes
+    }
+}
+
+impl PartialEq for History {
+    /// Logical equality: same init values, session orders, transaction
+    /// logs and wr relation. Arena slot order, id-allocation high-water
+    /// marks and the journal are representation details and do not
+    /// participate.
+    fn eq(&self, other: &Self) -> bool {
+        if self.init_values != other.init_values
+            || self.num_events() != other.num_events()
+            || self.num_transactions() != other.num_transactions()
+            || self.wr_count() != other.wr_count()
+        {
+            return false;
+        }
+        let mut a = self.sessions();
+        let mut b = other.sessions();
+        loop {
+            match (a.next(), b.next()) {
+                (None, None) => break,
+                (Some((sa, txa)), Some((sb, txb))) if sa == sb && txa == txb => {}
+                _ => return false,
+            }
+        }
+        for t in self.tx_ids() {
+            if other.get_tx(t) != Some(self.tx(t)) {
+                return false;
+            }
+        }
+        self.wr().all(|(r, w)| other.wr_of(r) == Some(w))
+    }
+}
+
+impl Eq for History {}
 
 impl Default for History {
     fn default() -> Self {
@@ -753,10 +1380,10 @@ pub struct HistoryFingerprint {
 
 impl fmt::Display for History {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (s, txs) in &self.sessions {
+        for (s, txs) in self.sessions() {
             writeln!(f, "session {s}:")?;
             for t in txs {
-                let log = &self.transactions[t];
+                let log = self.tx(*t);
                 write!(f, "  {t} [{:?}]:", log.status())?;
                 for e in &log.events {
                     write!(f, " {}", e.kind)?;
@@ -791,10 +1418,10 @@ impl History {
 impl fmt::Display for HistoryDisplay<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let h = self.history;
-        for (s, txs) in &h.sessions {
+        for (s, txs) in h.sessions() {
             writeln!(f, "session {s}:")?;
             for t in txs {
-                let log = &h.transactions[t];
+                let log = h.tx(*t);
                 write!(f, "  {t} [{:?}]:", log.status())?;
                 for e in &log.events {
                     match &e.kind {
@@ -890,6 +1517,8 @@ mod tests {
         assert_eq!(h.last_tx_of_session(SessionId(3)), Some(TxId(3)));
         assert_eq!(h.last_tx_of_session(SessionId(9)), None);
         assert_eq!(h.events().count(), h.num_events());
+        assert_eq!(h.max_tx_id(), 4);
+        assert_eq!(h.max_event_id(), 15);
     }
 
     #[test]
@@ -941,6 +1570,28 @@ mod tests {
     }
 
     #[test]
+    fn causal_sets_match_pairwise_queries() {
+        let h = fig3_history();
+        let all: Vec<TxId> = std::iter::once(TxId::INIT).chain(h.tx_ids()).collect();
+        for t in &all {
+            let anc = h.causal_ancestors(*t);
+            let desc = h.causal_descendants(*t);
+            for u in &all {
+                assert_eq!(
+                    anc.contains(*u),
+                    h.causally_before(*u, *t),
+                    "ancestors({t}) disagrees on {u}"
+                );
+                assert_eq!(
+                    desc.contains(*u),
+                    h.causally_before(*t, *u),
+                    "descendants({t}) disagrees on {u}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn wr_tx_edges_and_so_or_wr() {
         let h = fig3_history();
         assert!(h.wr_tx_edge(TxId(1), TxId(2)));
@@ -959,11 +1610,12 @@ mod tests {
         let h2 = h.remove_events(&doomed);
         assert_eq!(h2.num_transactions(), 3);
         assert!(!h2.contains_tx(TxId(3)));
-        assert!(h2.sessions().get(&SessionId(3)).is_none());
+        assert!(h2.session_txs(SessionId(3)).is_empty());
         // wr entries of removed reads are gone; others remain.
-        assert_eq!(h2.wr().len(), 2);
+        assert_eq!(h2.wr_count(), 2);
         // Removing nothing is the identity.
         assert_eq!(h.remove_events(&BTreeSet::new()), h);
+        assert_eq!(h.remove_events(&BTreeSet::new()).live_hash(), h.live_hash());
     }
 
     #[test]
@@ -971,6 +1623,7 @@ mod tests {
         let h1 = fig3_history();
         let h2 = fig3_history();
         assert_eq!(h1.fingerprint(), h2.fingerprint());
+        assert_eq!(h1.live_hash(), h2.live_hash());
         // Changing a wr dependency changes the fingerprint.
         let mut h3 = fig3_history();
         let (_, r3x, _, _) = h3
@@ -980,6 +1633,7 @@ mod tests {
             .unwrap();
         h3.set_wr(r3x, TxId(2));
         assert_ne!(h1.fingerprint(), h3.fingerprint());
+        assert_ne!(h1.live_hash(), h3.live_hash());
     }
 
     #[test]
@@ -1003,10 +1657,11 @@ mod tests {
         assert!(!mapped.writes_var(TxId(1), Var(0)));
         assert_eq!(mapped.writers_of(Var(6)), vec![TxId::INIT, TxId(4)]);
         // wr edges and structure are untouched.
-        assert_eq!(mapped.wr().len(), h.wr().len());
+        assert_eq!(mapped.wr_count(), h.wr_count());
         assert_eq!(mapped.num_events(), h.num_events());
         // Identity mapping is the identity.
         assert_eq!(h.map_vars(|x| x), h);
+        assert_eq!(h.map_vars(|x| x).live_hash(), h.live_hash());
     }
 
     #[test]
@@ -1022,6 +1677,46 @@ mod tests {
     }
 
     #[test]
+    fn empty_history_hash_is_not_the_zero_sentinel() {
+        // Downstream tables (the engines' direct-mapped memo) use all-zero
+        // slots as "empty"; the empty history's hash must not alias them.
+        assert_ne!(History::default().live_hash(), (0, 0));
+    }
+
+    #[test]
+    fn remove_events_keeps_pending_counter_in_sync() {
+        // Dooming a transaction's begin while keeping its commit rebuilds a
+        // log that is complete from its first event; the O(1) pending
+        // counter must agree with the status scan.
+        let mut h = History::new([]);
+        h.begin_transaction(SessionId(0), TxId(1), 0, ev(1, EventKind::Begin));
+        h.append_event(SessionId(0), ev(2, EventKind::Commit));
+        let h2 = h.remove_events(&BTreeSet::from([EventId(1)]));
+        assert_eq!(h2.num_pending(), h2.pending_txs().len());
+        assert_eq!(h2.num_pending(), 0);
+        // And symmetrically for a kept abort.
+        let mut h = History::new([]);
+        h.begin_transaction(SessionId(0), TxId(1), 0, ev(1, EventKind::Begin));
+        h.append_event(SessionId(0), ev(2, EventKind::Abort));
+        let h2 = h.remove_events(&BTreeSet::from([EventId(1)]));
+        assert_eq!(h2.num_pending(), h2.pending_txs().len());
+    }
+
+    #[test]
+    fn duplicate_init_values_keep_the_last_entry() {
+        // Map semantics, as with the previous BTreeMap representation.
+        let h = History::new([(Var(0), Value::Int(1)), (Var(0), Value::Int(2))]);
+        assert_eq!(h.init_value(Var(0)), Value::Int(2));
+        assert_eq!(h.init_values().len(), 1);
+        // A non-injective map_vars collapses entries the same way.
+        let mut h = History::new([(Var(0), Value::Int(1)), (Var(1), Value::Int(2))]);
+        h.set_init_value(Var(0), Value::Int(5));
+        let collapsed = h.map_vars(|_| Var(0));
+        assert_eq!(collapsed.init_values().len(), 1);
+        assert_eq!(collapsed.init_value(Var(0)), Value::Int(2));
+    }
+
+    #[test]
     fn init_values_defaults() {
         let mut h = History::new([(Var(0), Value::Int(7))]);
         assert_eq!(h.init_value(Var(0)), Value::Int(7));
@@ -1029,5 +1724,96 @@ mod tests {
         h.set_init_value(Var(5), Value::Int(3));
         assert_eq!(h.init_value(Var(5)), Value::Int(3));
         assert_eq!(h.init_values().len(), 2);
+    }
+
+    #[test]
+    fn checkpoint_rollback_restores_history() {
+        let mut h = fig3_history();
+        let snapshot = h.clone();
+        let hash_before = h.live_hash();
+        let mark = h.checkpoint();
+        // Mutate: new transaction, events, wr edges.
+        h.begin_transaction(SessionId(4), TxId(5), 0, ev(100, EventKind::Begin));
+        let r = EventId(101);
+        h.append_event(SessionId(4), Event::new(r, EventKind::Read(Var(0))));
+        h.set_wr(r, TxId(1));
+        h.set_wr(r, TxId(2));
+        h.unset_wr(r);
+        h.set_wr(r, TxId::INIT);
+        h.append_event(SessionId(4), ev(102, EventKind::Commit));
+        assert_ne!(h, snapshot);
+        assert_eq!(h.max_event_id(), 102);
+        h.rollback(mark);
+        assert_eq!(h, snapshot);
+        assert_eq!(h.live_hash(), hash_before);
+        assert_eq!(h.fingerprint(), snapshot.fingerprint());
+        assert_eq!(h.max_event_id(), snapshot.max_event_id());
+        assert_eq!(h.max_tx_id(), snapshot.max_tx_id());
+        assert_eq!(h.num_pending(), snapshot.num_pending());
+    }
+
+    #[test]
+    fn nested_checkpoints_roll_back_in_lifo_order() {
+        let mut h = fig3_history();
+        let outer_snapshot = h.clone();
+        let outer = h.checkpoint();
+        h.begin_transaction(SessionId(4), TxId(5), 0, ev(100, EventKind::Begin));
+        let inner_snapshot = h.clone();
+        let inner = h.checkpoint();
+        let r = EventId(101);
+        h.append_event(SessionId(4), Event::new(r, EventKind::Read(Var(0))));
+        h.set_wr(r, TxId(1));
+        h.unset_wr(r);
+        h.rollback(inner);
+        assert_eq!(h, inner_snapshot);
+        h.rollback(outer);
+        assert_eq!(h, outer_snapshot);
+    }
+
+    #[test]
+    fn pop_event_is_journaled_and_inverse_of_append() {
+        let mut h = fig3_history();
+        let snapshot = h.clone();
+        let mark = h.checkpoint();
+        // Pop t3's commit and the read of y (after unsetting its wr).
+        let commit = h.pop_event(SessionId(3));
+        assert!(commit.kind.is_commit());
+        assert_eq!(h.num_pending(), 1);
+        let r3y = h.tx(TxId(3)).events.last().unwrap().id;
+        h.unset_wr(r3y);
+        let read = h.pop_event(SessionId(3));
+        assert!(read.kind.is_read());
+        h.rollback(mark);
+        assert_eq!(h, snapshot);
+        assert_eq!(h.live_hash(), snapshot.live_hash());
+        assert_eq!(h.num_pending(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "still has a wr dependency")]
+    fn pop_event_requires_wr_unset() {
+        let mut h = fig3_history();
+        h.pop_event(SessionId(3)); // commit
+        h.pop_event(SessionId(3)); // read(y) with live wr edge: panic
+    }
+
+    #[test]
+    fn live_hash_matches_recomputation() {
+        let mut h = fig3_history();
+        let incremental = h.live_hash();
+        h.recompute_live_hash();
+        assert_eq!(h.live_hash(), incremental);
+    }
+
+    #[test]
+    fn equality_is_representation_independent() {
+        // A history rebuilt through remove_events has a different arena
+        // layout (session-major slots) but must compare equal.
+        let h = fig3_history();
+        let rebuilt = h.remove_events(&BTreeSet::new());
+        assert_eq!(h, rebuilt);
+        assert_eq!(rebuilt, h);
+        assert_eq!(h.fingerprint(), rebuilt.fingerprint());
+        assert_eq!(h.live_hash(), rebuilt.live_hash());
     }
 }

@@ -64,19 +64,23 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod arena;
 pub mod axioms;
 pub mod check;
 pub mod event;
 pub mod history;
 pub mod isolation;
 pub mod relations;
+pub mod stats;
 pub mod transaction;
 pub mod value;
 
+pub use arena::TxSet;
 pub use check::{engine_for, engine_for_with, ConsistencyChecker, EngineStats};
 pub use event::{Event, EventId, EventKind};
-pub use history::{EventFingerprint, History, HistoryFingerprint, WriterRef};
+pub use history::{EventFingerprint, History, HistoryFingerprint, HistoryMark, WriterRef};
 pub use isolation::IsolationLevel;
 pub use relations::{BitMatrix, Digraph};
+pub use stats::{clone_stats, reset_clone_stats};
 pub use transaction::{SessionId, TransactionLog, TxId, TxStatus};
 pub use value::{Value, Var, VarTable};

@@ -1,0 +1,53 @@
+//! Process-wide counters for [`crate::History`] clones.
+//!
+//! Wall-clock alone is a noisy perf signal; the benchmark harness also
+//! records *how many times* the exploration duplicated a history and
+//! roughly how many heap bytes those copies moved, so that future perf
+//! work has a machine-independent trajectory. The counters are relaxed
+//! atomics: negligible next to the cost of the clone they measure, and
+//! correct across the parallel exploration workers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CLONES: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Records one history clone of approximately `bytes` heap bytes
+/// (called by `History::clone`).
+#[inline]
+pub(crate) fn record_clone(bytes: usize) {
+    CLONES.fetch_add(1, Ordering::Relaxed);
+    BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
+}
+
+/// `(clones, approximate bytes copied)` since process start or the last
+/// [`reset_clone_stats`].
+pub fn clone_stats() -> (u64, u64) {
+    (
+        CLONES.load(Ordering::Relaxed),
+        BYTES.load(Ordering::Relaxed),
+    )
+}
+
+/// Resets both clone counters to zero.
+pub fn reset_clone_stats() {
+    CLONES.store(0, Ordering::Relaxed);
+    BYTES.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::History;
+
+    #[test]
+    fn clone_counters_advance() {
+        // Other tests clone concurrently, so only monotonicity is checked.
+        let (c0, b0) = clone_stats();
+        let h = History::default();
+        let _c = h.clone();
+        let (c1, b1) = clone_stats();
+        assert!(c1 > c0);
+        assert!(b1 >= b0);
+    }
+}

@@ -541,7 +541,7 @@ mod tests {
             ],
         )])]);
         let (h, vars) = execute_serial(&p).unwrap();
-        assert_eq!(h.wr().len(), 0, "internal read has no wr dependency");
+        assert_eq!(h.wr_count(), 0, "internal read has no wr dependency");
         let y = vars.get("y").unwrap();
         let t = h.transactions().next().unwrap();
         assert_eq!(t.visible_write_value(y), Some(&Value::Int(7)));
