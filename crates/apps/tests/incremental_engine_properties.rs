@@ -1,0 +1,178 @@
+//! Property tests for the incremental consistency engines, driven by random
+//! interleavings of the benchmark application workloads.
+//!
+//! A long-lived engine follows one history through random scheduler walks,
+//! checkpoint/mutate/rollback cycles and `ValidWrites`-style wr churn,
+//! syncing its index from the history's mutation-delta log. At every step
+//! its verdict must be bit-identical to a fresh from-scratch engine on the
+//! same history — for every isolation level, with and without result
+//! memoisation. This pins the whole observer pipeline: delta recording
+//! (including the inverse deltas emitted by rollbacks and
+//! `retract_begin`), incremental closure maintenance, the LIFO undo stack
+//! and each destructive fallback path.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use txdpor_apps::workload::{client_program, App, WorkloadConfig};
+use txdpor_history::{
+    engine_for, engine_for_with, ConsistencyChecker, Event, EventId, EventKind, History,
+    IsolationLevel, TxId, VarTable,
+};
+use txdpor_program::{initial_history, oracle_next, Program, SchedulerStep, TxStep};
+
+/// Applies one scheduler step to the history, choosing the wr source of
+/// external reads at random among the committed writers. Returns `false`
+/// when the program is finished.
+fn apply_random_step(
+    program: &Program,
+    h: &mut History,
+    vars: &mut VarTable,
+    rng: &mut StdRng,
+) -> bool {
+    let fresh_event = EventId(h.max_event_id() + 1);
+    match oracle_next(program, h, vars).expect("workload programs replay cleanly") {
+        SchedulerStep::Finished => false,
+        SchedulerStep::Begin {
+            session,
+            program_index,
+        } => {
+            let tx = TxId(h.max_tx_id() + 1);
+            h.begin_transaction(
+                session,
+                tx,
+                program_index,
+                Event::new(fresh_event, EventKind::Begin),
+            );
+            true
+        }
+        SchedulerStep::Continue { session, step, .. } => {
+            match step {
+                TxStep::Read {
+                    var,
+                    internal_value,
+                    ..
+                } => {
+                    h.append_event(session, Event::new(fresh_event, EventKind::Read(var)));
+                    if internal_value.is_none() {
+                        let writers = h.committed_writers_of(var);
+                        let pick = writers[rng.gen_range(0..writers.len())];
+                        h.set_wr(fresh_event, pick);
+                    }
+                }
+                TxStep::Write { var, value } => {
+                    h.append_event(
+                        session,
+                        Event::new(fresh_event, EventKind::Write(var, value)),
+                    );
+                }
+                TxStep::Commit => {
+                    h.append_event(session, Event::new(fresh_event, EventKind::Commit));
+                }
+                TxStep::Abort => {
+                    h.append_event(session, Event::new(fresh_event, EventKind::Abort));
+                }
+            }
+            true
+        }
+    }
+}
+
+/// `ValidWrites`-style churn: re-point every re-pointable external read to
+/// a random committed writer, unset it, and restore a random choice. The
+/// replacement `set_wr` and the out-of-po-order re-insertions exercise the
+/// engines' destructive-unset and full-rebuild fallbacks.
+fn churn_wr_edges(h: &mut History, rng: &mut StdRng) {
+    let reads = h.reads_from();
+    for (_, read, var, _) in reads {
+        let writers = h.committed_writers_of(var);
+        h.set_wr(read, writers[rng.gen_range(0..writers.len())]);
+        h.unset_wr(read);
+        h.set_wr(read, writers[rng.gen_range(0..writers.len())]);
+    }
+}
+
+/// One synced engine per isolation level: memoisation disabled so every
+/// check exercises the sync-and-decide path, plus a memoised causal engine
+/// for the production configuration.
+struct EngineFleet {
+    engines: Vec<Box<dyn ConsistencyChecker>>,
+}
+
+impl EngineFleet {
+    fn new() -> Self {
+        let mut engines: Vec<Box<dyn ConsistencyChecker>> = IsolationLevel::ALL
+            .into_iter()
+            .map(|level| engine_for_with(level, false))
+            .collect();
+        engines.push(engine_for(IsolationLevel::CausalConsistency));
+        EngineFleet { engines }
+    }
+
+    /// Asserts every engine agrees with a fresh from-scratch check.
+    fn assert_agree(&mut self, h: &History) {
+        for engine in &mut self.engines {
+            let level = engine.level();
+            assert_eq!(
+                engine.check(h),
+                level.satisfies(h),
+                "incrementally synced {level} engine disagrees with a fresh check on\n{h}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn incremental_engines_match_fresh_engines(
+        (app_idx, seed, prefix, muts) in (0usize..5, 1u64..1000, 0usize..12, 1usize..10)
+    ) {
+        let app = App::ALL[app_idx];
+        let program = client_program(&WorkloadConfig {
+            app,
+            sessions: 3,
+            transactions_per_session: 2,
+            seed,
+        });
+        let mut vars = VarTable::new();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1dc0_ffee);
+        let mut h = initial_history(&program, &mut vars);
+        let mut fleet = EngineFleet::new();
+        fleet.assert_agree(&h);
+
+        // Random prefix walk with the engines shadowing every step.
+        for _ in 0..prefix {
+            if !apply_random_step(&program, &mut h, &mut vars, &mut rng) {
+                break;
+            }
+            fleet.assert_agree(&h);
+        }
+
+        // Checkpoint, keep walking (checking as we go), churn wr edges,
+        // roll back — the engines must follow the inverse deltas too.
+        let snapshot = h.clone();
+        let mark = h.checkpoint();
+        for _ in 0..muts {
+            if !apply_random_step(&program, &mut h, &mut vars, &mut rng) {
+                break;
+            }
+            fleet.assert_agree(&h);
+        }
+        churn_wr_edges(&mut h, &mut rng);
+        fleet.assert_agree(&h);
+        h.rollback(mark);
+        prop_assert_eq!(&h, &snapshot);
+        fleet.assert_agree(&h);
+
+        // The engines keep tracking after the rollback.
+        for _ in 0..muts {
+            if !apply_random_step(&program, &mut h, &mut vars, &mut rng) {
+                break;
+            }
+            fleet.assert_agree(&h);
+        }
+    }
+}

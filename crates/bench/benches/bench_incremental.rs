@@ -1,0 +1,81 @@
+//! Criterion benchmark: incremental vs from-scratch consistency checking
+//! on a tpcc-shaped history.
+//!
+//! Reproduces the `ValidWrites` inner loop — toggle one wr edge, decide,
+//! untoggle — three ways: through a stateless from-scratch check per call,
+//! through an engine whose index syncs incrementally from the history's
+//! delta log (memoisation disabled, so every call exercises sync + decide),
+//! and through a fully memoised engine (the production configuration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use txdpor_apps::workload::{client_program, App, WorkloadConfig};
+use txdpor_history::{engine_for_with, History, IsolationLevel, TxId};
+use txdpor_program::execute_serial;
+
+/// A committed tpcc history plus one external read and two alternative
+/// writers for it, so every iteration changes the history (no trivial
+/// repeat-checks).
+fn tpcc_toggle() -> (History, txdpor_history::EventId, Vec<TxId>) {
+    let program = client_program(&WorkloadConfig {
+        app: App::Tpcc,
+        sessions: 3,
+        transactions_per_session: 3,
+        seed: 1,
+    });
+    let (history, _) = execute_serial(&program).expect("serial execution succeeds");
+    let (_, read, var, _) = history
+        .reads_from()
+        .into_iter()
+        .find(|(_, _, var, _)| history.committed_writers_of(*var).len() >= 2)
+        .expect("tpcc has a variable with several committed writers");
+    let writers = history.committed_writers_of(var);
+    (history, read, writers)
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_check");
+    group.sample_size(30);
+    let level = IsolationLevel::CausalConsistency;
+    let (mut history, read, writers) = tpcc_toggle();
+
+    group.bench_function("full_rebuild_per_check", |b| {
+        let mut k = 0usize;
+        b.iter(|| {
+            history.unset_wr(read);
+            history.set_wr(read, writers[k % writers.len()]);
+            k += 1;
+            black_box(level.satisfies(black_box(&history)))
+        });
+    });
+
+    group.bench_function("incremental_no_memo", |b| {
+        let mut engine = engine_for_with(level, false);
+        engine.check(&history); // initial rebuild outside the loop
+        let mut k = 0usize;
+        b.iter(|| {
+            history.unset_wr(read);
+            history.set_wr(read, writers[k % writers.len()]);
+            k += 1;
+            black_box(engine.check(black_box(&history)))
+        });
+    });
+
+    group.bench_function("incremental_memoized", |b| {
+        let mut engine = engine_for_with(level, true);
+        engine.check(&history);
+        let mut k = 0usize;
+        b.iter(|| {
+            history.unset_wr(read);
+            history.set_wr(read, writers[k % writers.len()]);
+            k += 1;
+            black_box(engine.check(black_box(&history)))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental);
+criterion_main!(benches);

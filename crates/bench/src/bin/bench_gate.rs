@@ -149,6 +149,39 @@ fn main() {
         }
     }
 
+    // Catastrophic-slowdown guard: the fresh run must not time out more
+    // often than the baseline did *on the gated sub-suite* (counted from
+    // the baseline rows matching the app filter — the summary's timeout
+    // count covers the full suite and would mask sub-suite regressions on
+    // rows the per-row check skips because their baseline also timed out).
+    let in_suite = |bench: &str| {
+        options
+            .apps
+            .as_ref()
+            .expect("apps filter set above")
+            .iter()
+            .any(|a| {
+                bench
+                    .strip_prefix(a.as_str())
+                    .is_some_and(|rest| rest.starts_with('-'))
+            })
+    };
+    let baseline_timeouts = rows
+        .iter()
+        .filter(|r| {
+            in_suite(r.get("benchmark").and_then(JsonValue::as_str).unwrap_or(""))
+                && r.get("timed_out").and_then(JsonValue::as_bool) == Some(true)
+        })
+        .count();
+    let fresh_timeouts = measured.iter().filter(|m| m.timed_out).count();
+    if fresh_timeouts > baseline_timeouts {
+        eprintln!(
+            "FAIL timeouts: fresh run hit {fresh_timeouts} timeout(s), baseline has \
+             {baseline_timeouts} on this sub-suite"
+        );
+        failures += 1;
+    }
+
     println!("bench_gate: {checked} row(s) checked against {baseline_path}, {failures} failure(s)");
     if failures > 0 {
         std::process::exit(1);

@@ -53,9 +53,17 @@ fn main() {
     );
 
     let cc_level = IsolationLevel::CausalConsistency;
+    let explicit_workers = flag_value(&args, "--workers").is_some();
     let mut algorithms: Vec<Algorithm> = Algorithm::FIG14.to_vec();
     algorithms.push(Algorithm::ExploreCeNoMemo(cc_level));
-    algorithms.push(Algorithm::ExploreCeParallel(cc_level, workers));
+    if explicit_workers || workers > 1 {
+        algorithms.push(Algorithm::ExploreCeParallel(cc_level, workers));
+    } else {
+        // Auto-derived worker count on a single-core machine: the parallel
+        // mode's seeding/merge overhead can only lose, so fall back to the
+        // serial algorithm (pass --workers N to force a parallel row).
+        println!("single core detected: skipping the parallel configuration (serial fallback)");
+    }
     if with_ablation {
         algorithms.push(Algorithm::ExploreCeNoOptimality(cc_level));
     }

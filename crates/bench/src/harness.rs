@@ -24,8 +24,9 @@ pub enum Algorithm {
     /// disabled (sound and complete but redundant).
     ExploreCeNoOptimality(IsolationLevel),
     /// Ablation: `explore-ce(I)` with the consistency engines' fingerprint
-    /// memoisation disabled, reproducing the cost model of the seed's
-    /// stateless checkers (results are unchanged).
+    /// memoisation disabled — every check runs the (still incrementally
+    /// synced) decision procedure, isolating the memo's contribution
+    /// (results are unchanged).
     ExploreCeNoMemo(IsolationLevel),
     /// `explore-ce(I)` with the root-level reordering frontier partitioned
     /// across the given number of workers. Output-history fingerprints are
@@ -103,6 +104,10 @@ pub struct Measurement {
     pub history_clones: u64,
     /// Approximate heap bytes moved by those clones.
     pub history_bytes_copied: u64,
+    /// Consistency-engine counters summed over every engine of the run:
+    /// check/memo traffic, the incremental-sync vs full-rebuild split and
+    /// the nanoseconds spent deciding memo misses.
+    pub engine: txdpor_history::EngineStats,
     /// Whether the run hit its timeout.
     pub timed_out: bool,
 }
@@ -172,101 +177,49 @@ fn run_inner(
     alloc::reset_peak();
     txdpor_history::reset_clone_stats();
     let start = Instant::now();
-    let (histories, end_states, explore_calls, timed_out) = match algorithm {
-        Algorithm::ExploreCe(level) => {
-            let report = explore(
-                program,
-                ExploreConfig::explore_ce(level).with_timeout(timeout),
-            )
-            .expect("benchmark programs replay cleanly");
-            (
-                report.outputs,
-                report.end_states,
-                report.explore_calls,
-                report.timed_out,
-            )
-        }
-        Algorithm::ExploreCeNoOptimality(level) => {
-            let report = explore(
-                program,
-                ExploreConfig::explore_ce(level)
-                    .without_optimality()
-                    .with_timeout(timeout),
-            )
-            .expect("benchmark programs replay cleanly");
-            (
-                report.outputs,
-                report.end_states,
-                report.explore_calls,
-                report.timed_out,
-            )
-        }
-        Algorithm::ExploreCeNoMemo(level) => {
-            let report = explore(
-                program,
-                ExploreConfig::explore_ce(level)
-                    .without_memo()
-                    .with_timeout(timeout),
-            )
-            .expect("benchmark programs replay cleanly");
-            (
-                report.outputs,
-                report.end_states,
-                report.explore_calls,
-                report.timed_out,
-            )
-        }
-        Algorithm::ExploreCeParallel(level, workers) => {
-            let report = explore(
-                program,
-                ExploreConfig::explore_ce(level)
-                    .with_workers(workers)
-                    .with_timeout(timeout),
-            )
-            .expect("benchmark programs replay cleanly");
-            (
-                report.outputs,
-                report.end_states,
-                report.explore_calls,
-                report.timed_out,
-            )
-        }
-        Algorithm::ExploreCeStar(base, target) => {
-            let report = explore(
-                program,
-                ExploreConfig::explore_ce_star(base, target).with_timeout(timeout),
-            )
-            .expect("benchmark programs replay cleanly");
-            (
-                report.outputs,
-                report.end_states,
-                report.explore_calls,
-                report.timed_out,
-            )
-        }
-        Algorithm::Dfs(level) => {
-            let report = dfs_explore(program, DfsConfig::new(level).with_timeout(timeout))
-                .expect("benchmark programs replay cleanly");
-            (
-                report.outputs,
-                report.end_states,
-                report.explore_calls,
-                report.timed_out,
-            )
-        }
-    };
+    let report = match algorithm {
+        Algorithm::ExploreCe(level) => explore(
+            program,
+            ExploreConfig::explore_ce(level).with_timeout(timeout),
+        ),
+        Algorithm::ExploreCeNoOptimality(level) => explore(
+            program,
+            ExploreConfig::explore_ce(level)
+                .without_optimality()
+                .with_timeout(timeout),
+        ),
+        Algorithm::ExploreCeNoMemo(level) => explore(
+            program,
+            ExploreConfig::explore_ce(level)
+                .without_memo()
+                .with_timeout(timeout),
+        ),
+        Algorithm::ExploreCeParallel(level, workers) => explore(
+            program,
+            ExploreConfig::explore_ce(level)
+                .with_workers(workers)
+                .with_timeout(timeout),
+        ),
+        Algorithm::ExploreCeStar(base, target) => explore(
+            program,
+            ExploreConfig::explore_ce_star(base, target).with_timeout(timeout),
+        ),
+        Algorithm::Dfs(level) => dfs_explore(program, DfsConfig::new(level).with_timeout(timeout)),
+    }
+    .expect("benchmark programs replay cleanly");
     let (history_clones, history_bytes_copied) = txdpor_history::clone_stats();
     Measurement {
         benchmark: benchmark.to_owned(),
         algorithm: algorithm.label(),
-        histories,
-        end_states,
-        explore_calls,
+        histories: report.outputs,
+        end_states: report.end_states,
+        explore_calls: report.explore_calls,
         time: start.elapsed(),
         peak_alloc: alloc::peak_bytes(),
         history_clones,
         history_bytes_copied,
-        timed_out,
+        engine: report.engine_stats,
+        timed_out: report.timed_out,
     }
 }
 

@@ -344,6 +344,27 @@ pub fn measurement_json(m: &Measurement) -> JsonValue {
             "history_bytes_copied".into(),
             JsonValue::uint(m.history_bytes_copied),
         ),
+        ("engine_checks".into(), JsonValue::uint(m.engine.checks)),
+        ("memo_hits".into(), JsonValue::uint(m.engine.memo_hits)),
+        ("memo_misses".into(), JsonValue::uint(m.engine.memo_misses)),
+        (
+            "memo_evictions".into(),
+            JsonValue::uint(m.engine.memo_evictions),
+        ),
+        (
+            "memo_occupied".into(),
+            JsonValue::uint(m.engine.memo_occupied),
+        ),
+        ("memo_slots".into(), JsonValue::uint(m.engine.memo_slots)),
+        (
+            "incremental_hits".into(),
+            JsonValue::uint(m.engine.incremental_hits),
+        ),
+        (
+            "full_rebuilds".into(),
+            JsonValue::uint(m.engine.full_rebuilds),
+        ),
+        ("check_nanos".into(), JsonValue::uint(m.engine.check_nanos)),
         ("timed_out".into(), JsonValue::Bool(m.timed_out)),
     ])
 }
@@ -414,6 +435,17 @@ mod tests {
             peak_alloc: 4096,
             history_clones: 12,
             history_bytes_copied: 2048,
+            engine: txdpor_history::EngineStats {
+                checks: 100,
+                memo_hits: 40,
+                memo_misses: 60,
+                memo_evictions: 3,
+                memo_occupied: 57,
+                memo_slots: 1024,
+                incremental_hits: 50,
+                full_rebuilds: 10,
+                check_nanos: 123_456,
+            },
             timed_out: false,
         }
     }

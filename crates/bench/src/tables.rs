@@ -174,6 +174,7 @@ mod tests {
             peak_alloc: 5 * 1024 * 1024,
             history_clones: 7,
             history_bytes_copied: 4096,
+            engine: txdpor_history::EngineStats::default(),
             timed_out,
         }
     }

@@ -80,6 +80,7 @@ pub fn dfs_explore(
     let stats = dfs.checker.stats();
     dfs.report.engine_checks = stats.checks;
     dfs.report.engine_memo_hits = stats.memo_hits;
+    dfs.report.engine_stats = stats;
     let mut report = dfs.report;
     report.duration = start.elapsed();
     report.vars = dfs.vars;
@@ -137,14 +138,15 @@ impl Dfs<'_> {
                         let ev = Event::new(EventId(h.max_event_id() + 1), EventKind::Read(var));
                         let mark = h.checkpoint();
                         h.append_event(session, ev.clone());
+                        let trial = h.prepare_wr_trial(ev.id);
                         let mut any = false;
                         for writer in h.committed_writers_of(var) {
-                            h.set_wr(ev.id, writer);
+                            h.set_wr_trial(&trial, writer);
                             if self.checker.check(h) {
                                 any = true;
                                 self.explore(h)?;
                             }
-                            h.unset_wr(ev.id);
+                            h.unset_wr_trial(&trial);
                         }
                         h.rollback(mark);
                         if !any {

@@ -18,7 +18,7 @@ use crate::assertion::{AssertionCtx, AssertionFn};
 use crate::config::{ExplorationReport, ExploreConfig};
 use crate::optimality::optimality;
 use crate::ordered::OrderedHistory;
-use crate::swap::compute_reorderings;
+use crate::swap::compute_reorderings_and_ancestors;
 
 /// Seed the parallel frontier with this many tasks per worker before
 /// handing the queue over, so that uneven subtree sizes still keep every
@@ -104,7 +104,9 @@ pub fn explore_with_assertion(
         config.exploration_level
     );
     let start = Instant::now();
-    if config.workers > 1 {
+    let workers =
+        config.effective_workers(std::thread::available_parallelism().ok().map(|n| n.get()));
+    if workers > 1 {
         return explore_parallel(program, &config, assertion, start);
     }
     let mut explorer = Explorer::new(program, &config, assertion);
@@ -228,6 +230,7 @@ fn merge_worker(
     report.end_states += worker.end_states;
     report.engine_checks += worker.engine_checks;
     report.engine_memo_hits += worker.engine_memo_hits;
+    report.engine_stats.absorb(&worker.engine_stats);
     report.outputs += worker.outputs;
     report.blocked += worker.blocked;
     report.assertion_violations += worker.assertion_violations;
@@ -308,12 +311,11 @@ impl<'a> Explorer<'a> {
     fn record_engine_stats(&mut self) {
         let mut stats = self.checker.stats();
         if let Some(output) = &self.output_checker {
-            let o = output.stats();
-            stats.checks += o.checks;
-            stats.memo_hits += o.memo_hits;
+            stats.absorb(&output.stats());
         }
         self.report.engine_checks += stats.checks;
         self.report.engine_memo_hits += stats.memo_hits;
+        self.report.engine_stats.absorb(&stats);
     }
 
     fn timed_out(&mut self) -> bool {
@@ -444,21 +446,27 @@ impl<'a> Explorer<'a> {
     /// Appends an extension and its `exploreSwaps` results (Algorithm 2) to
     /// the children list, preserving the serial visit order (the extension
     /// first, then each approved re-ordering).
-    fn push_with_swaps(&mut self, extended: OrderedHistory, out: &mut Vec<OrderedHistory>) {
+    fn push_with_swaps(&mut self, mut extended: OrderedHistory, out: &mut Vec<OrderedHistory>) {
         let mut swaps = Vec::new();
         if !self.timed_out() {
-            for reordering in compute_reorderings(&extended) {
-                if self.timed_out() {
-                    break;
-                }
-                if let Some(swapped) = optimality(
-                    &extended,
-                    reordering.read,
-                    reordering.target,
-                    self.checker.as_mut(),
-                    self.config.full_optimality,
-                ) {
-                    swaps.push(swapped);
+            // All re-orderings share the just-committed target: one
+            // causal-ancestors BFS serves every candidate (doomed-set
+            // computation, in-place trials and the materialised swaps).
+            if let Some((ancestors, reorderings)) = compute_reorderings_and_ancestors(&extended) {
+                for reordering in reorderings {
+                    if self.timed_out() {
+                        break;
+                    }
+                    if let Some(swapped) = optimality(
+                        &mut extended,
+                        reordering.read,
+                        reordering.target,
+                        &ancestors,
+                        self.checker.as_mut(),
+                        self.config.full_optimality,
+                    ) {
+                        swaps.push(swapped);
+                    }
                 }
             }
         }
@@ -486,11 +494,12 @@ impl<'a> Explorer<'a> {
         let history = &mut h.history;
         let mark = history.checkpoint();
         history.append_event(session, ev.clone());
+        let trial = history.prepare_wr_trial(ev.id);
         let mut out = Vec::new();
         for writer in history.committed_writers_of(var) {
-            history.set_wr(ev.id, writer);
+            history.set_wr_trial(&trial, writer);
             let consistent = self.checker.check(history);
-            history.unset_wr(ev.id);
+            history.unset_wr_trial(&trial);
             if consistent {
                 out.push(writer);
             }

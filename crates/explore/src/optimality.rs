@@ -10,10 +10,10 @@
 //! well as the re-ordered read itself, is not already swapped and reads
 //! from the causally latest valid write.
 
-use txdpor_history::{ConsistencyChecker, EventId, EventKind, TxId};
+use txdpor_history::{ConsistencyChecker, EventId, EventKind, TxId, TxSet};
 
 use crate::ordered::OrderedHistory;
-use crate::swap::{doomed_events, swap};
+use crate::swap::pop_doomed;
 
 /// Oracle-order key of a transaction: `(session, program index)`, with the
 /// init transaction smaller than everything.
@@ -105,9 +105,10 @@ fn swapped_pivot(h: &OrderedHistory, read: EventId) -> bool {
 /// outside the causal past of `t` are removed, and keep the history
 /// consistent with the checker's level when `r` reads from them.
 pub fn read_latest(
-    h: &OrderedHistory,
+    h: &mut OrderedHistory,
     read: EventId,
     target: TxId,
+    target_ancestors: &TxSet,
     checker: &mut dyn ConsistencyChecker,
 ) -> bool {
     let Some(current_writer) = h.history.wr_of(read) else {
@@ -126,60 +127,65 @@ pub fn read_latest(
     let reader_session = h.history.tx(reader_tx).session;
     let r_pos = h.pos(read).expect("read is ordered");
 
-    // h' = h \ { e | r ≤ e ∧ (tr(e), t) ∉ (so ∪ wr)* }
-    let target_ancestors = h.history.causal_ancestors(target);
-    let doomed: std::collections::BTreeSet<EventId> = h
-        .order
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| *i >= r_pos)
-        .filter(|(_, e)| {
-            let tx = h.history.tx_of_event(**e).expect("ordered event has owner");
-            !(tx == target || target_ancestors.contains(tx))
-        })
-        .map(|(_, e)| *e)
-        .collect();
-    let mut pruned = h.history.remove_events(&doomed);
-    if !pruned.contains_tx(reader_tx) {
+    // h' = h \ { e | r ≤ e ∧ (tr(e), t) ∉ (so ∪ wr)* }, built in place
+    // under a checkpoint instead of copying the history out of the arena
+    // (the read itself is always deleted: its transaction is never in the
+    // causal past of `t` when this predicate is evaluated).
+    let history = &mut h.history;
+    let mark = history.checkpoint();
+    pop_doomed(history, &h.order, r_pos, target, target_ancestors);
+    if !history.contains_tx(reader_tx) {
         // The reader's prefix always survives (its begin precedes r), so
         // this should not happen; be conservative if it does.
+        history.rollback(mark);
         return false;
     }
 
-    // Candidate writers: in the causal past of tr(r) within h' (excluding the
-    // wr dependency of r itself, which was removed together with r), writing
-    // var(r), and keeping the history consistent when read from. The trial
-    // `h' ⊕ r ⊕ wr(t', r)` is built once in place and each candidate's wr
-    // edge is set, checked and unset — no clone per candidate. `pruned` is
-    // local and dropped afterwards, so no checkpoint is needed (the journal
-    // stays disarmed); only the per-candidate unset matters, so the next
-    // check never sees the previous candidate's edge.
-    let reader_ancestors = pruned.causal_ancestors(reader_tx);
-    let candidates: Vec<TxId> = std::iter::once(TxId::INIT).chain(pruned.tx_ids()).collect();
-    pruned.append_event(reader_session, read_event.clone());
-    let mut best: Option<(i64, TxId)> = None;
+    // Candidate writers: in the causal past of tr(r) within h' (excluding
+    // the wr dependency of r itself, which was deleted together with r),
+    // writing var(r), and keeping the history consistent when read from.
+    // The trial `h' ⊕ r ⊕ wr(t', r)` extends the same arena and each
+    // candidate's wr edge is set, checked and unset, so the consistency
+    // engine syncs incrementally across the whole loop; the rollback
+    // restores the node's history bit-for-bit.
+    let reader_ancestors = history.causal_ancestors(reader_tx);
+    let candidates: Vec<TxId> = std::iter::once(TxId::INIT)
+        .chain(history.tx_ids())
+        .collect();
+    history.append_event(reader_session, read_event);
+    let trial = history.prepare_wr_trial(read);
+    let mut valid: Vec<TxId> = Vec::new();
     for t_prime in candidates {
-        if !pruned.writes_var(t_prime, var) {
+        if !history.writes_var(t_prime, var) {
             continue;
         }
         if !t_prime.is_init() && t_prime != reader_tx && !reader_ancestors.contains(t_prime) {
             continue;
         }
-        pruned.set_wr(read, t_prime);
-        let consistent = checker.check(&pruned);
-        pruned.unset_wr(read);
-        if !consistent {
-            continue;
-        }
-        let key = h.tx_order_key(t_prime);
-        if best.map(|(k, _)| key > k).unwrap_or(true) {
-            best = Some((key, t_prime));
+        history.set_wr_trial(&trial, t_prime);
+        let consistent = checker.check(history);
+        history.unset_wr_trial(&trial);
+        if consistent {
+            valid.push(t_prime);
         }
     }
-    match best {
-        Some((_, latest)) => latest == current_writer,
-        None => false,
+    history.rollback(mark);
+    // The causally latest valid writer is the one whose last event comes
+    // latest in the (restored) history order: the first event found by a
+    // backward scan. `init` has no ordered events and only wins alone.
+    if valid.is_empty() {
+        return false;
     }
+    let latest = h
+        .order
+        .iter()
+        .rev()
+        .find_map(|e| {
+            let t = h.history.tx_of_event(*e).expect("ordered event is live");
+            valid.contains(&t).then_some(t)
+        })
+        .unwrap_or(TxId::INIT);
+    latest == current_writer
 }
 
 /// The full `Optimality(h_<, r, t)` condition (§5.3): the swapped history is
@@ -194,40 +200,98 @@ pub fn read_latest(
 /// Returns the swapped ordered history when the condition holds so that the
 /// caller does not need to recompute it.
 pub fn optimality(
-    h: &OrderedHistory,
+    h: &mut OrderedHistory,
     read: EventId,
     target: TxId,
+    target_ancestors: &TxSet,
     checker: &mut dyn ConsistencyChecker,
     full_condition: bool,
 ) -> Option<OrderedHistory> {
-    let swapped_history = swap(h, read, target);
-    if !checker.check(&swapped_history.history) {
+    // Consistency of the swapped history, decided on an in-place trial:
+    // pop the doomed suffix, redirect the read, check, roll back. The
+    // trial history is structurally identical to `swap(h, read, target)`
+    // — same logs, same wr, same rolling hash — so the verdict (and even
+    // the engine's memo entry) transfers to the history materialised
+    // below, which is only built once the whole condition passes.
+    let r_pos = h.pos(read).expect("read is ordered");
+    let mark = h.history.checkpoint();
+    pop_doomed(
+        &mut h.history,
+        &h.order,
+        r_pos + 1,
+        target,
+        target_ancestors,
+    );
+    h.history.set_wr(read, target);
+    let consistent = checker.check(&h.history);
+    h.history.rollback(mark);
+    if !consistent {
         return None;
     }
-    if !full_condition {
-        // Ablation mode: only the consistency of the swapped history is
-        // required (sound and complete, but redundant).
-        return Some(swapped_history);
-    }
-    let doomed = doomed_events(h, read, target);
-    let mut to_check: Vec<EventId> = vec![read];
-    for e in &doomed {
-        let Some(ev) = h.history.event(*e) else {
-            continue;
-        };
-        if matches!(ev.kind, EventKind::Read(_)) && h.history.wr_of(*e).is_some() {
-            to_check.push(*e);
+    if full_condition {
+        // Every read deleted by the swap, plus `r` itself, must not be
+        // already swapped and must read from the causally latest valid
+        // write.
+        let mut to_check: Vec<EventId> = vec![read];
+        for e in &h.order[r_pos + 1..] {
+            let tx = h.history.tx_of_event(*e).expect("ordered event has owner");
+            if tx == target || target_ancestors.contains(tx) {
+                continue;
+            }
+            let ev = h.history.event(*e).expect("ordered event is live");
+            if matches!(ev.kind, EventKind::Read(_)) && h.history.wr_of(*e).is_some() {
+                to_check.push(*e);
+            }
+        }
+        for r_prime in to_check {
+            if swapped(h, r_prime) {
+                return None;
+            }
+            if !read_latest(h, r_prime, target, target_ancestors, checker) {
+                return None;
+            }
         }
     }
-    for r_prime in to_check {
-        if swapped(h, r_prime) {
-            return None;
-        }
-        if !read_latest(h, r_prime, target, checker) {
-            return None;
-        }
-    }
-    Some(swapped_history)
+    Some(materialize_swap(h, read, target, target_ancestors))
+}
+
+/// Materialises `Swap(h, r, t)` (§5.2) for an accepted re-ordering by
+/// re-running the in-place trial and taking a flat arena clone of it —
+/// cheaper than re-building the pruned history event by event
+/// ([`History::remove_events`]), whose rolling-hash mixing dominates. The
+/// result is identical to [`crate::swap::swap`] (asserted by tests).
+fn materialize_swap(
+    h: &mut OrderedHistory,
+    read: EventId,
+    target: TxId,
+    target_ancestors: &TxSet,
+) -> OrderedHistory {
+    let r_pos = h.pos(read).expect("read is ordered");
+    let mark = h.history.checkpoint();
+    pop_doomed(
+        &mut h.history,
+        &h.order,
+        r_pos + 1,
+        target,
+        target_ancestors,
+    );
+    h.history.set_wr(read, target);
+    let read_tx = h
+        .history
+        .tx_of_event(read)
+        .expect("read survives the deletion");
+    // The order keeps surviving events except those of the read's (now
+    // pending) transaction, then appends that transaction in program order.
+    let mut order: Vec<EventId> = h
+        .order
+        .iter()
+        .filter(|e| h.history.tx_of_event(**e).is_some_and(|t| t != read_tx))
+        .copied()
+        .collect();
+    order.extend(h.history.tx(read_tx).events.iter().map(|e| e.id));
+    let history = h.history.clone();
+    h.history.rollback(mark);
+    OrderedHistory { history, order }
 }
 
 #[cfg(test)]
@@ -324,22 +388,26 @@ mod tests {
         // In the branch where t3 reads from init, both deleted reads read
         // from their causally latest write (init is the only causal writer),
         // so the swap of (r2, t4) is enabled.
-        let (h, r2, r3) = fig12(true);
+        let (mut h, r2, r3) = fig12(true);
         let target = TxId(4);
-        assert!(read_latest(&h, r2, target, ck.as_mut()));
-        assert!(read_latest(&h, r3, target, ck.as_mut()));
-        assert!(optimality(&h, r2, target, ck.as_mut(), true).is_some());
+        let anc = h.history.causal_ancestors(target);
+        let snapshot = h.clone();
+        assert!(read_latest(&mut h, r2, target, &anc, ck.as_mut()));
+        assert!(read_latest(&mut h, r3, target, &anc, ck.as_mut()));
+        assert!(optimality(&mut h, r2, target, &anc, ck.as_mut(), true).is_some());
+        assert_eq!(h, snapshot, "in-place trials must restore the history");
 
         // In the branch where t3 reads from t1: once the wr edge of r3
         // itself is excluded, t1 is not in r3's causal past, so the
         // causally latest valid writer is init while r3 reads from t1 —
         // the swap must be disabled (this is exactly Fig. 12's argument).
-        let (h, r2, r3) = fig12(false);
-        assert!(read_latest(&h, r2, target, ck.as_mut()));
-        assert!(!read_latest(&h, r3, target, ck.as_mut()));
-        assert!(optimality(&h, r2, target, ck.as_mut(), true).is_none());
+        let (mut h, r2, r3) = fig12(false);
+        let anc = h.history.causal_ancestors(target);
+        assert!(read_latest(&mut h, r2, target, &anc, ck.as_mut()));
+        assert!(!read_latest(&mut h, r3, target, &anc, ck.as_mut()));
+        assert!(optimality(&mut h, r2, target, &anc, ck.as_mut(), true).is_none());
         // The ablation mode (consistency only) would still allow it.
-        assert!(optimality(&h, r2, target, ck.as_mut(), false).is_some());
+        assert!(optimality(&mut h, r2, target, &anc, ck.as_mut(), false).is_some());
     }
 
     /// Fig. 13: four single-transaction sessions; after swapping t3 before
@@ -379,11 +447,31 @@ mod tests {
 
         // Swapping (r1, t4) would delete r2 (t2 is not in t4's causal past),
         // and r2 is swapped, so Optimality rejects it.
+        let mut h1 = h1;
         let reorderings = compute_reorderings(&h1);
         assert!(reorderings.iter().any(|p| p.read == r1 && p.target == t4));
-        assert!(optimality(&h1, r1, t4, ck.as_mut(), true).is_none());
+        let anc = h1.history.causal_ancestors(t4);
+        assert!(optimality(&mut h1, r1, t4, &anc, ck.as_mut(), true).is_none());
         // Without the swapped-check ablation it would be allowed.
-        assert!(optimality(&h1, r1, t4, ck.as_mut(), false).is_some());
+        assert!(optimality(&mut h1, r1, t4, &anc, ck.as_mut(), false).is_some());
+    }
+
+    #[test]
+    fn materialized_swap_equals_swap() {
+        // The accepted-path materialisation (flat clone of the in-place
+        // trial) must produce exactly `Swap(h, r, t)`: same history, same
+        // order, same rolling hash (so memo entries transfer).
+        let (mut h, r2, _) = fig12(true);
+        let target = TxId(4);
+        let anc = h.history.causal_ancestors(target);
+        let mut ck = engine_for(IsolationLevel::CausalConsistency);
+        let got = optimality(&mut h, r2, target, &anc, ck.as_mut(), true)
+            .expect("fig12 swap of (r2, t4) is accepted");
+        let want = crate::swap::swap(&h, r2, target);
+        assert_eq!(got.history, want.history);
+        assert_eq!(got.order, want.order);
+        assert_eq!(got.history.live_hash(), want.history.live_hash());
+        got.check_invariants().unwrap();
     }
 
     #[test]
@@ -417,10 +505,11 @@ mod tests {
         b.begin(1);
         b.write(1, x, 1);
         b.commit(1);
-        let h = b.done();
+        let mut h = b.done();
         let t2 = TxId(2);
         let mut ck = engine_for(IsolationLevel::CausalConsistency);
-        let res = optimality(&h, r, t2, ck.as_mut(), true);
+        let anc = h.history.causal_ancestors(t2);
+        let res = optimality(&mut h, r, t2, &anc, ck.as_mut(), true);
         assert!(res.is_some());
         let sh = res.unwrap();
         sh.check_invariants().unwrap();

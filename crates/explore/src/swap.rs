@@ -11,7 +11,7 @@
 
 use std::collections::BTreeSet;
 
-use txdpor_history::{EventId, EventKind, TxId};
+use txdpor_history::{EventId, EventKind, History, TxId, TxSet};
 
 use crate::ordered::OrderedHistory;
 
@@ -31,14 +31,22 @@ pub struct Reordering {
 /// just-committed transaction `t`, such that `t` writes `var(r)` and the
 /// transaction of `r` is not causally before `t`.
 pub fn compute_reorderings(h: &OrderedHistory) -> Vec<Reordering> {
-    let Some(last) = h.last() else {
-        return Vec::new();
-    };
-    let Some(last_event) = h.history.event(last) else {
-        return Vec::new();
-    };
+    compute_reorderings_and_ancestors(h)
+        .map(|(_, out)| out)
+        .unwrap_or_default()
+}
+
+/// Like [`compute_reorderings`], also handing back the causal ancestors of
+/// the just-committed target so the explorer can reuse the BFS across the
+/// in-place `Optimality` trials and the materialised swaps (`None` when the
+/// last event is not a commit).
+pub(crate) fn compute_reorderings_and_ancestors(
+    h: &OrderedHistory,
+) -> Option<(TxSet, Vec<Reordering>)> {
+    let last = h.last()?;
+    let last_event = h.history.event(last)?;
     if !last_event.kind.is_commit() {
-        return Vec::new();
+        return None;
     }
     let target = h
         .history
@@ -70,15 +78,26 @@ pub fn compute_reorderings(h: &OrderedHistory) -> Vec<Reordering> {
             });
         }
     }
-    out
+    Some((ancestors, out))
 }
 
 /// The set `D` of events deleted by `Swap(h, r, t)`: events strictly after
 /// `r` in the history order whose transaction is not in the causal past of
 /// `t` (including `t` itself).
 pub fn doomed_events(h: &OrderedHistory, read: EventId, target: TxId) -> BTreeSet<EventId> {
+    doomed_events_with(h, read, target, &h.history.causal_ancestors(target))
+}
+
+/// Like [`doomed_events`], with the causal ancestors of `target`
+/// precomputed by the caller (the explorer computes them once per commit
+/// and reuses them across every candidate re-ordering).
+pub fn doomed_events_with(
+    h: &OrderedHistory,
+    read: EventId,
+    target: TxId,
+    ancestors: &TxSet,
+) -> BTreeSet<EventId> {
     let r_pos = h.pos(read).expect("read is in the history order");
-    let ancestors = h.history.causal_ancestors(target);
     h.order
         .iter()
         .enumerate()
@@ -91,12 +110,60 @@ pub fn doomed_events(h: &OrderedHistory, read: EventId, target: TxId) -> BTreeSe
         .collect()
 }
 
+/// Deletes the doomed events *in place* under the caller's checkpoint:
+/// every event at position `≥ from` of the order whose transaction is
+/// outside the causal past of `target` is popped (in reverse order, so
+/// each is the po-last of its session when reached), and transactions
+/// reduced to their begin are retracted outright. Because the doomed
+/// events of a session always form a suffix of its event sequence (doomed
+/// transactions form a suffix of the session, and a straddling
+/// transaction's kept events precede `from`), the result is structurally
+/// identical to [`History::remove_events`] on the doomed set — same
+/// logs, same wr relation, same rolling hash — without building a second
+/// history. The caller's [`History::rollback`] restores everything.
+pub(crate) fn pop_doomed(
+    history: &mut History,
+    order: &[EventId],
+    from: usize,
+    target: TxId,
+    ancestors: &TxSet,
+) {
+    for p in (from..order.len()).rev() {
+        let e = order[p];
+        let tx = history.tx_of_event(e).expect("ordered event is live");
+        if tx == target || ancestors.contains(tx) {
+            continue;
+        }
+        let log = history.tx(tx);
+        let session = log.session;
+        debug_assert_eq!(history.last_tx_of_session(session), Some(tx));
+        if log.events.len() == 1 {
+            debug_assert_eq!(log.events[0].id, e, "only the begin is left");
+            history.retract_begin(session);
+        } else {
+            history.unset_wr(e);
+            history.pop_event(session);
+        }
+    }
+}
+
 /// `Swap(h_<, r, t)` (§5.2): produces the ordered history in which `r`
 /// reads from `t`, all events after `r` outside the causal past of `t` are
 /// removed, and the (now pending) transaction of `r` is moved to the end of
 /// the history order.
 pub fn swap(h: &OrderedHistory, read: EventId, target: TxId) -> OrderedHistory {
-    let doomed = doomed_events(h, read, target);
+    swap_with(h, read, target, &h.history.causal_ancestors(target))
+}
+
+/// Like [`swap`], with the causal ancestors of `target` precomputed by the
+/// caller.
+pub fn swap_with(
+    h: &OrderedHistory,
+    read: EventId,
+    target: TxId,
+    ancestors: &TxSet,
+) -> OrderedHistory {
+    let doomed = doomed_events_with(h, read, target, ancestors);
     let mut history = h.history.remove_events(&doomed);
     // Redirect the wr dependency of the read to the target transaction.
     history.set_wr(read, target);

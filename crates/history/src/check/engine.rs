@@ -7,9 +7,12 @@
 //! The free functions in [`crate::check`] recompute everything from scratch
 //! on every call; the engines here make the hot path incremental:
 //!
-//! * every engine owns its **scratch buffers** (transaction indices,
-//!   word-packed reachability matrices, failed-state memo tables), so a
-//!   check allocates close to nothing after warm-up;
+//! * every engine owns an **incrementally synced index** over the history
+//!   it last saw (transaction vertex tables, writers-per-variable lists,
+//!   axiom instances, word-packed reachability, the SER/SI per-transaction
+//!   view), kept current through the history's mutation-observer API — see
+//!   *Syncing from the delta log* below — so a check after one appended
+//!   event or one toggled wr edge pays delta cost, not a rebuild;
 //! * every engine owns a **result memo keyed by the rolling structural
 //!   hash** ([`History::live_hash`]): the flat-arena history maintains the
 //!   128-bit key incrementally on every push/pop/set-wr, so a memo lookup
@@ -17,6 +20,26 @@
 //!   that is structurally equal to one seen before (e.g. the unchanged
 //!   prefix re-reached after a rollback or a swap) is a single hash
 //!   lookup.
+//!
+//! # Syncing from the delta log
+//!
+//! Each [`History`] exposes an identity ([`History::uid`], fresh per
+//! `new`/`clone`), a per-mutation generation counter
+//! ([`History::generation`]) and a bounded chronological log of
+//! self-contained mutation records ([`History::deltas_since`], entries of
+//! type [`crate::history::HistoryDelta`]); rollbacks emit the *inverse*
+//! deltas of the operations they undo. An engine remembers the
+//! `(uid, generation)` it is synced to and, on the next memo miss, replays
+//! the missing window: forward deltas update the index and push an undo
+//! record (dirtied reachability rows are saved first), inverse deltas pop
+//! and restore those records in LIFO order — mirroring the history's own
+//! checkpoint/undo journal — or, when the matching forward delta predates
+//! the engine's last rebuild, are applied destructively. Anything the
+//! engine cannot replay (another history's uid, a trimmed window, an
+//! out-of-po-order wr insertion, a non-LIFO inverse) falls back to a full
+//! rebuild; [`EngineStats::incremental_hits`] / [`EngineStats::full_rebuilds`]
+//! expose the split, and [`EngineStats::check_nanos`] the time spent
+//! deciding misses.
 //!
 //! # Incrementality contract
 //!
@@ -41,7 +64,9 @@
 //! they are fed.
 
 use std::collections::HashSet;
+use std::time::Instant;
 
+use crate::check::frontier::FrontierIndex;
 use crate::check::{ser, si, weak};
 use crate::history::History;
 use crate::isolation::IsolationLevel;
@@ -61,6 +86,42 @@ pub struct EngineStats {
     pub checks: u64,
     /// Number of calls answered from the fingerprint memo.
     pub memo_hits: u64,
+    /// Number of calls that missed the memo (and ran the decision
+    /// procedure). `checks = memo_hits + memo_misses` for memoised engines.
+    pub memo_misses: u64,
+    /// Number of memo insertions that overwrote a live entry with a
+    /// different key (the direct-mapped table is lossy by design).
+    pub memo_evictions: u64,
+    /// Live entries of the memo table at observation time.
+    pub memo_occupied: u64,
+    /// Capacity (slots) of the memo table at observation time.
+    pub memo_slots: u64,
+    /// Memo misses served by an incremental index sync (delta replay, no
+    /// rebuild). Zero for engines without incremental state (`Trivial`).
+    pub incremental_hits: u64,
+    /// Memo misses that fell back to rebuilding the engine's index from
+    /// scratch.
+    pub full_rebuilds: u64,
+    /// Total wall-clock nanoseconds spent deciding memo misses (sync +
+    /// decision procedure). Memo hits are a single table probe and are not
+    /// timed — an `Instant` pair per hit would dominate the hit itself.
+    pub check_nanos: u64,
+}
+
+impl EngineStats {
+    /// Folds another engine's counters into this one (summing counts;
+    /// occupancy and capacity add up across engines).
+    pub fn absorb(&mut self, other: &EngineStats) {
+        self.checks += other.checks;
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
+        self.memo_evictions += other.memo_evictions;
+        self.memo_occupied += other.memo_occupied;
+        self.memo_slots += other.memo_slots;
+        self.incremental_hits += other.incremental_hits;
+        self.full_rebuilds += other.full_rebuilds;
+        self.check_nanos += other.check_nanos;
+    }
 }
 
 /// A stateful decision procedure for `h ∈ I` at a fixed isolation level.
@@ -149,6 +210,7 @@ impl Memo {
     fn lookup(&mut self, h: &History) -> Result<bool, Option<(u64, u64)>> {
         self.stats.checks += 1;
         if !self.enabled {
+            self.stats.memo_misses += 1;
             return Err(None);
         }
         let key = h.live_hash();
@@ -159,6 +221,7 @@ impl Memo {
                 return Ok(k1v & 1 == 1);
             }
         }
+        self.stats.memo_misses += 1;
         Err(Some(key))
     }
 
@@ -183,10 +246,21 @@ impl Memo {
             }
         }
         let slot = key.0 as usize & (self.slots.len() - 1);
-        if self.slots[slot] == (0, 0) {
+        let prev = self.slots[slot];
+        if prev == (0, 0) {
             self.occupied += 1;
+        } else if prev.0 != key.0 || prev.1 & !1 != key.1 & !1 {
+            self.stats.memo_evictions += 1;
         }
         self.slots[slot] = (key.0, (key.1 & !1) | verdict as u64);
+    }
+
+    /// Snapshot of the memo's counters plus its current occupancy.
+    fn stats(&self) -> EngineStats {
+        let mut s = self.stats;
+        s.memo_occupied = self.occupied as u64;
+        s.memo_slots = self.slots.len() as u64;
+        s
     }
 
     fn reset(&mut self) {
@@ -229,7 +303,8 @@ impl ConsistencyChecker for TrivialEngine {
 pub struct WeakEngine {
     level: IsolationLevel,
     memo: Memo,
-    scratch: weak::WeakScratch,
+    idx: weak::WeakIndex,
+    nanos: u64,
 }
 
 impl WeakEngine {
@@ -251,7 +326,8 @@ impl WeakEngine {
         WeakEngine {
             level,
             memo: Memo::new(memoize),
-            scratch: weak::WeakScratch::default(),
+            idx: weak::WeakIndex::new(level),
+            nanos: 0,
         }
     }
 }
@@ -265,19 +341,30 @@ impl ConsistencyChecker for WeakEngine {
         match self.memo.lookup(h) {
             Ok(v) => v,
             Err(key) => {
-                let v = weak::satisfies_weak_with(h, self.level, &mut self.scratch);
+                // Only misses are timed: a hit is a single table probe,
+                // and an `Instant` pair per hit would dominate it.
+                let start = Instant::now();
+                let v = weak::satisfies_weak_with(h, &mut self.idx);
                 self.memo.insert(key, v);
+                self.nanos += start.elapsed().as_nanos() as u64;
                 v
             }
         }
     }
 
     fn stats(&self) -> EngineStats {
-        self.memo.stats
+        let mut s = self.memo.stats();
+        s.incremental_hits = self.idx.incremental_hits;
+        s.full_rebuilds = self.idx.full_rebuilds;
+        s.check_nanos = self.nanos;
+        s
     }
 
     fn reset(&mut self) {
         self.memo.reset();
+        self.idx.incremental_hits = 0;
+        self.idx.full_rebuilds = 0;
+        self.nanos = 0;
     }
 }
 
@@ -286,7 +373,9 @@ impl ConsistencyChecker for WeakEngine {
 #[derive(Debug)]
 pub struct SerEngine {
     memo: Memo,
+    idx: FrontierIndex,
     states: HashSet<ser::StateKey>,
+    nanos: u64,
 }
 
 impl SerEngine {
@@ -294,7 +383,9 @@ impl SerEngine {
     pub fn new(memoize: bool) -> Self {
         SerEngine {
             memo: Memo::new(memoize),
+            idx: FrontierIndex::default(),
             states: HashSet::new(),
+            nanos: 0,
         }
     }
 }
@@ -308,20 +399,31 @@ impl ConsistencyChecker for SerEngine {
         match self.memo.lookup(h) {
             Ok(v) => v,
             Err(key) => {
-                let v = ser::satisfies_ser_with(h, &mut self.states);
+                // Only misses are timed: a hit is a single table probe,
+                // and an `Instant` pair per hit would dominate it.
+                let start = Instant::now();
+                let v = ser::satisfies_ser_with(h, &mut self.idx, &mut self.states);
                 self.memo.insert(key, v);
+                self.nanos += start.elapsed().as_nanos() as u64;
                 v
             }
         }
     }
 
     fn stats(&self) -> EngineStats {
-        self.memo.stats
+        let mut s = self.memo.stats();
+        s.incremental_hits = self.idx.incremental_hits;
+        s.full_rebuilds = self.idx.full_rebuilds;
+        s.check_nanos = self.nanos;
+        s
     }
 
     fn reset(&mut self) {
         self.memo.reset();
         self.states.clear();
+        self.idx.incremental_hits = 0;
+        self.idx.full_rebuilds = 0;
+        self.nanos = 0;
     }
 }
 
@@ -330,7 +432,9 @@ impl ConsistencyChecker for SerEngine {
 #[derive(Debug)]
 pub struct SiEngine {
     memo: Memo,
+    idx: FrontierIndex,
     states: HashSet<si::StateKey>,
+    nanos: u64,
 }
 
 impl SiEngine {
@@ -338,7 +442,9 @@ impl SiEngine {
     pub fn new(memoize: bool) -> Self {
         SiEngine {
             memo: Memo::new(memoize),
+            idx: FrontierIndex::default(),
             states: HashSet::new(),
+            nanos: 0,
         }
     }
 }
@@ -352,20 +458,31 @@ impl ConsistencyChecker for SiEngine {
         match self.memo.lookup(h) {
             Ok(v) => v,
             Err(key) => {
-                let v = si::satisfies_si_with(h, &mut self.states);
+                // Only misses are timed: a hit is a single table probe,
+                // and an `Instant` pair per hit would dominate it.
+                let start = Instant::now();
+                let v = si::satisfies_si_with(h, &mut self.idx, &mut self.states);
                 self.memo.insert(key, v);
+                self.nanos += start.elapsed().as_nanos() as u64;
                 v
             }
         }
     }
 
     fn stats(&self) -> EngineStats {
-        self.memo.stats
+        let mut s = self.memo.stats();
+        s.incremental_hits = self.idx.incremental_hits;
+        s.full_rebuilds = self.idx.full_rebuilds;
+        s.check_nanos = self.nanos;
+        s
     }
 
     fn reset(&mut self) {
         self.memo.reset();
         self.states.clear();
+        self.idx.incremental_hits = 0;
+        self.idx.full_rebuilds = 0;
+        self.nanos = 0;
     }
 }
 

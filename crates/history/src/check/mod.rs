@@ -16,6 +16,7 @@
 //! these in the test suite.
 
 pub mod engine;
+pub(crate) mod frontier;
 pub mod ser;
 pub mod si;
 pub mod weak;

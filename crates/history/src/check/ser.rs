@@ -11,71 +11,31 @@
 
 use std::collections::{BTreeMap, HashSet};
 
+use crate::check::frontier::FrontierIndex;
 use crate::history::History;
 use crate::transaction::TxId;
 use crate::value::Var;
 
 /// Whether the history satisfies Serializability.
 pub fn satisfies_ser(h: &History) -> bool {
-    satisfies_ser_with(h, &mut HashSet::new())
+    satisfies_ser_with(h, &mut FrontierIndex::default(), &mut HashSet::new())
 }
 
-/// Like [`satisfies_ser`], reusing a caller-owned memo table for the
-/// failed-state set so that engines avoid reallocating it per history. The
-/// memo is cleared on entry: its entries are only meaningful within one
-/// history.
-pub(crate) fn satisfies_ser_with(h: &History, memo: &mut HashSet<StateKey>) -> bool {
+/// Like [`satisfies_ser`], reusing a caller-owned per-transaction index
+/// (incrementally synced to `h`, see [`FrontierIndex`]) and memo table for
+/// the failed-state set, so that engines avoid rebuilding either per
+/// history. The memo is cleared on entry: its entries are only meaningful
+/// within one history.
+pub(crate) fn satisfies_ser_with(
+    h: &History,
+    idx: &mut FrontierIndex,
+    memo: &mut HashSet<StateKey>,
+) -> bool {
     memo.clear();
-    let idx = SerIndex::new(h);
+    idx.sync(h);
     let mut frontier = vec![0usize; idx.sessions.len()];
     let mut last_writer: BTreeMap<Var, TxId> = BTreeMap::new();
-    search(&idx, &mut frontier, &mut last_writer, memo)
-}
-
-/// Precomputed per-transaction data used by the search, stored in dense
-/// arena-slot-indexed vectors (`History::tx_index`) instead of id-keyed
-/// maps.
-struct SerIndex {
-    /// Transactions of each session as `(id, arena slot)`, in session order.
-    sessions: Vec<Vec<(TxId, usize)>>,
-    /// External reads of each transaction (by slot): (variable, writer).
-    reads: Vec<Vec<(Var, TxId)>>,
-    /// Visible writes of each transaction (by slot).
-    writes: Vec<Vec<Var>>,
-}
-
-impl SerIndex {
-    fn new(h: &History) -> Self {
-        let sessions: Vec<Vec<(TxId, usize)>> = h
-            .sessions()
-            .map(|(_, txs)| {
-                txs.iter()
-                    .map(|t| (*t, h.tx_index(*t).expect("session transaction slot")))
-                    .collect()
-            })
-            .collect();
-        let n = h.num_transactions();
-        let mut reads = vec![Vec::new(); n];
-        let mut writes = vec![Vec::new(); n];
-        for t in h.transactions() {
-            let slot = h.tx_index(t.id).expect("transaction slot");
-            reads[slot] = t
-                .external_reads()
-                .iter()
-                .filter_map(|e| {
-                    let x = e.var()?;
-                    let w = h.wr_of(e.id)?;
-                    Some((x, w))
-                })
-                .collect();
-            writes[slot] = t.visible_writes().keys().copied().collect();
-        }
-        SerIndex {
-            sessions,
-            reads,
-            writes,
-        }
-    }
+    search(idx, &mut frontier, &mut last_writer, memo)
 }
 
 pub(crate) type StateKey = (Vec<usize>, Vec<(u32, u32)>);
@@ -88,7 +48,7 @@ fn state_key(frontier: &[usize], last_writer: &BTreeMap<Var, TxId>) -> StateKey 
 }
 
 fn search(
-    idx: &SerIndex,
+    idx: &FrontierIndex,
     frontier: &mut Vec<usize>,
     last_writer: &mut BTreeMap<Var, TxId>,
     memo: &mut HashSet<StateKey>,
@@ -110,7 +70,7 @@ fn search(
         }
         let (t, slot) = idx.sessions[s][frontier[s]];
         // Every external read must read from the currently-last writer.
-        let ok = idx.reads[slot]
+        let ok = idx.reads[slot as usize]
             .iter()
             .all(|(x, w)| last_writer.get(x).copied().unwrap_or(TxId::INIT) == *w);
         if !ok {
@@ -119,8 +79,8 @@ fn search(
         // Append t.
         frontier[s] += 1;
         let mut saved: Vec<(Var, Option<TxId>)> = Vec::new();
-        for x in &idx.writes[slot] {
-            saved.push((*x, last_writer.insert(*x, t)));
+        for x in idx.visible_writes(slot as usize) {
+            saved.push((x, last_writer.insert(x, t)));
         }
         if search(idx, frontier, last_writer, memo) {
             return true;

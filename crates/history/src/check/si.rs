@@ -17,65 +17,33 @@
 
 use std::collections::{BTreeMap, HashSet};
 
+use crate::check::frontier::FrontierIndex;
 use crate::history::History;
 use crate::transaction::TxId;
 use crate::value::Var;
 
 /// Whether the history satisfies Snapshot Isolation.
 pub fn satisfies_si(h: &History) -> bool {
-    satisfies_si_with(h, &mut HashSet::new())
+    satisfies_si_with(h, &mut FrontierIndex::default(), &mut HashSet::new())
 }
 
-/// Like [`satisfies_si`], reusing a caller-owned memo table for the
-/// failed-state set. The memo is cleared on entry: its entries are only
+/// Like [`satisfies_si`], reusing a caller-owned per-transaction index
+/// (incrementally synced to `h`, see [`FrontierIndex`]) and memo table for
+/// the failed-state set. The memo is cleared on entry: its entries are only
 /// meaningful within one history.
-pub(crate) fn satisfies_si_with(h: &History, memo: &mut HashSet<StateKey>) -> bool {
+pub(crate) fn satisfies_si_with(
+    h: &History,
+    idx: &mut FrontierIndex,
+    memo: &mut HashSet<StateKey>,
+) -> bool {
     memo.clear();
-    let idx = SiIndex::new(h);
+    idx.sync(h);
     let mut state = SiState {
         frontier: vec![0; idx.sessions.len()],
         started: vec![false; idx.sessions.len()],
         last_committed: BTreeMap::new(),
     };
-    search(&idx, &mut state, memo)
-}
-
-/// Per-transaction data in dense arena-slot-indexed vectors
-/// (`History::tx_index`) instead of id-keyed maps.
-struct SiIndex {
-    sessions: Vec<Vec<(TxId, usize)>>,
-    reads: Vec<Vec<(Var, TxId)>>,
-    writes: Vec<Vec<Var>>,
-}
-
-impl SiIndex {
-    fn new(h: &History) -> Self {
-        let sessions: Vec<Vec<(TxId, usize)>> = h
-            .sessions()
-            .map(|(_, txs)| {
-                txs.iter()
-                    .map(|t| (*t, h.tx_index(*t).expect("session transaction slot")))
-                    .collect()
-            })
-            .collect();
-        let n = h.num_transactions();
-        let mut reads = vec![Vec::new(); n];
-        let mut writes = vec![Vec::new(); n];
-        for t in h.transactions() {
-            let slot = h.tx_index(t.id).expect("transaction slot");
-            reads[slot] = t
-                .external_reads()
-                .iter()
-                .filter_map(|e| Some((e.var()?, h.wr_of(e.id)?)))
-                .collect();
-            writes[slot] = t.visible_writes().keys().copied().collect();
-        }
-        SiIndex {
-            sessions,
-            reads,
-            writes,
-        }
-    }
+    search(idx, &mut state, memo)
 }
 
 struct SiState {
@@ -106,7 +74,7 @@ fn state_key(state: &SiState) -> StateKey {
     )
 }
 
-fn search(idx: &SiIndex, state: &mut SiState, memo: &mut HashSet<StateKey>) -> bool {
+fn search(idx: &FrontierIndex, state: &mut SiState, memo: &mut HashSet<StateKey>) -> bool {
     let done = state
         .frontier
         .iter()
@@ -126,19 +94,19 @@ fn search(idx: &SiIndex, state: &mut SiState, memo: &mut HashSet<StateKey>) -> b
         let (t, slot) = idx.sessions[s][state.frontier[s]];
         if !state.started[s] {
             // Try to start t: snapshot reads + write-conflict freedom.
-            let snapshot_ok = idx.reads[slot]
+            let snapshot_ok = idx.reads[slot as usize]
                 .iter()
                 .all(|(x, w)| state.last_committed.get(x).copied().unwrap_or(TxId::INIT) == *w);
             if !snapshot_ok {
                 continue;
             }
-            let conflict_free = idx.writes[slot].iter().all(|x| {
+            let conflict_free = idx.visible_writes(slot as usize).all(|x| {
                 (0..idx.sessions.len()).all(|s2| {
                     if s2 == s || !state.started[s2] {
                         return true;
                     }
                     let (_, slot2) = idx.sessions[s2][state.frontier[s2]];
-                    !idx.writes[slot2].contains(x)
+                    !idx.writes_var(slot2 as usize, x)
                 })
             });
             if !conflict_free {
@@ -154,8 +122,8 @@ fn search(idx: &SiIndex, state: &mut SiState, memo: &mut HashSet<StateKey>) -> b
             state.started[s] = false;
             state.frontier[s] += 1;
             let mut saved: Vec<(Var, Option<TxId>)> = Vec::new();
-            for x in &idx.writes[slot] {
-                saved.push((*x, state.last_committed.insert(*x, t)));
+            for x in idx.visible_writes(slot as usize) {
+                saved.push((x, state.last_committed.insert(x, t)));
             }
             let found = search(idx, state, memo);
             for (x, old) in saved.into_iter().rev() {

@@ -6,14 +6,42 @@
 //! axioms can be computed in a single pass. The history satisfies the level
 //! iff `so ∪ wr ∪ forced` is acyclic, in which case any topological order is
 //! a witness commit order.
+//!
+//! # Incremental index
+//!
+//! The hot loops of the exploration (`ValidWrites`, `readLatest`, the DFS
+//! baseline) re-check the *same* history after appending one event or
+//! toggling one wr edge. [`WeakIndex`] therefore separates the check into
+//! two parts:
+//!
+//! * **structural state** maintained across checks — the vertex table,
+//!   per-session vertex lists, writers-per-var index, axiom instances
+//!   (reads with a wr edge), the direct `so ∪ wr` matrix, its transitive
+//!   closure (Causal Consistency only) and the base `so ∪ wr` graph. It
+//!   syncs to a history by replaying the mutation deltas recorded since the
+//!   last sync ([`History::deltas_since`]), paying O(delta) instead of
+//!   O(events); reachability is updated under edge insertion by row-OR
+//!   propagation from the new edge only. Inverse deltas (pops, unset wr
+//!   edges) are undone by restoring the dirty closure rows saved when the
+//!   matching forward delta was applied — mirroring the history's own
+//!   checkpoint/undo journal — or, when the matching forward delta predates
+//!   the last full rebuild, by recomputing just the affected relation. A
+//!   delta stream the index cannot replay (an out-of-order wr insertion, a
+//!   trimmed delta window, a different history) triggers a full rebuild.
+//! * **per-check work** — collecting the forced commit-order edges from the
+//!   axiom instances and testing acyclicity of `base ∪ forced` — which is
+//!   bounded by the number of axiom instances, not by the history size.
 
-use std::collections::HashMap;
+use std::collections::VecDeque;
 
-use crate::event::EventKind;
-use crate::history::History;
+use crate::history::{DeltaEventInfo, History, HistoryDelta};
 use crate::isolation::IsolationLevel;
 use crate::relations::{BitMatrix, Digraph};
 use crate::transaction::TxId;
+use crate::value::Var;
+
+/// Absent-vertex sentinel of the direct-indexed `TxId.0 ↦ vertex` table.
+const NO_VERTEX: u32 = u32::MAX;
 
 /// Checks Read Committed, Read Atomic or Causal Consistency.
 ///
@@ -21,7 +49,9 @@ use crate::transaction::TxId;
 ///
 /// Panics if called with a level outside `{RC, RA, CC}`.
 pub fn satisfies_weak(h: &History, level: IsolationLevel) -> bool {
-    satisfies_weak_with(h, level, &mut WeakScratch::default())
+    let mut idx = WeakIndex::new(level);
+    idx.sync(h);
+    idx.decide()
 }
 
 /// One axiom instance: a read of `var` in transaction (vertex) `reader`
@@ -29,170 +59,864 @@ pub fn satisfies_weak(h: &History, level: IsolationLevel) -> bool {
 /// preceding it in program order (the Read Committed premise set).
 #[derive(Debug)]
 struct ReadInfo {
-    reader: usize,
-    prefix: usize,
-    var: crate::value::Var,
-    writer: usize,
+    /// Identifier of the read event (for delta matching).
+    read: u32,
+    reader: u32,
+    writer: u32,
+    /// Number of entries of `wr_seqs[reader]` that po-precede this read.
+    prefix: u32,
+    var: Var,
 }
 
-/// Reusable buffers for the weak-level saturation: the transaction index,
-/// the per-variable writer lists, the axiom instances, the `so ∪ wr`
-/// membership matrix, its transitive closure and the forced commit-order
-/// graph. One instance is owned by each
-/// [`crate::check::engine::WeakEngine`] and reused across histories.
+/// Undo record for one applied delta, restored in LIFO order when the
+/// history rolls the corresponding mutation back.
+#[derive(Debug)]
+enum UndoRec {
+    /// A `Begin`: the transaction is the last vertex; `g_edge` is the base
+    /// edge added from its session predecessor (or the init vertex).
+    Begin { tx: u32, g_edge: (u32, u32) },
+    /// An appended event.
+    Append { event: u32, kind: AppliedAppend },
+    /// A fresh wr edge. `rows` is the `(start, count, row width)` of the
+    /// saved closure rows in the [`SavedRows`] arena.
+    SetWr {
+        read: u32,
+        so_wr_was_set: bool,
+        g_pushed: bool,
+        rows: (u32, u32, u32),
+    },
+}
+
+/// What applying an `Append` delta changed, by event kind.
+#[derive(Debug)]
+enum AppliedAppend {
+    /// Reads and commits leave the index untouched (a read only matters
+    /// once its wr edge arrives; commit status is irrelevant to the weak
+    /// levels).
+    Inert,
+    /// A write: `new_var` records whether this was the vertex's first
+    /// (visible) write to the variable, i.e. whether the writers index and
+    /// the per-vertex written-variable list gained an entry.
+    Write { var: Var, new_var: bool },
+    /// An abort: the vertex's writes were removed from the writers index at
+    /// the recorded positions.
+    Abort { removed: Vec<(Var, u32)> },
+}
+
+/// Arena for closure rows saved before an incremental update dirties them,
+/// so a matched inverse delta restores them without recomputation.
 #[derive(Debug, Default)]
-pub(crate) struct WeakScratch {
-    txs: Vec<TxId>,
-    /// Direct-indexed `TxId.0 ↦ vertex` (dense ids; `u32::MAX` = absent).
-    index: Vec<u32>,
-    so_wr: BitMatrix,
-    reach: BitMatrix,
-    graph: Digraph,
-    writers: HashMap<crate::value::Var, Vec<usize>>,
-    reads: Vec<ReadInfo>,
-    wr_seqs: Vec<Vec<usize>>,
+struct SavedRows {
+    words: Vec<u64>,
+    /// `(row index, word offset into `words`)`; the row width is recorded
+    /// per [`UndoRec::SetWr`] (the stride can only grow between save and
+    /// restore, and only by then-undone mutations, so a restore zero-fills
+    /// any extra words — whose columns were cleared by those undos).
+    entries: Vec<(u32, u32)>,
 }
 
-/// Like [`satisfies_weak`], reusing caller-owned scratch buffers.
-///
-/// The saturation makes a single pass over the transaction logs to index
-/// writers per variable, the axiom instances and the per-transaction
-/// sequences of wr-read sources (so no per-pair log rescans are needed),
-/// builds the direct `so ∪ wr` matrix, takes one word-packed transitive
-/// closure for the Causal Consistency premise (instead of a BFS per
-/// transaction pair), then adds the forced commit-order edges and tests
-/// acyclicity.
-pub(crate) fn satisfies_weak_with(
-    h: &History,
+/// Reusable, incrementally synced state for the weak-level checks. One
+/// instance is owned by each [`crate::check::engine::WeakEngine`].
+#[derive(Debug)]
+pub(crate) struct WeakIndex {
     level: IsolationLevel,
-    scratch: &mut WeakScratch,
-) -> bool {
-    assert!(
-        matches!(
+    /// Whether the transitive closure `reach` is maintained (CC only).
+    want_reach: bool,
+    /// Identity + generation of the history this index is synced to.
+    uid: u64,
+    gen: u64,
+    synced: bool,
+    /// Vertex table: vertex 0 is the init transaction.
+    txs: Vec<TxId>,
+    /// Direct-indexed `TxId.0 ↦ vertex` ([`NO_VERTEX`] = absent).
+    index: Vec<u32>,
+    /// Per-vertex session id / position within the session (unused for 0).
+    vtx_session: Vec<u32>,
+    vtx_sidx: Vec<u32>,
+    vtx_aborted: Vec<bool>,
+    /// Per-session vertex sequences (session order).
+    session_vtx: Vec<Vec<u32>>,
+    /// Per-vertex `(var, write-event count)` pairs, first-write order.
+    vtx_writes: Vec<Vec<(Var, u32)>>,
+    /// Per-variable non-aborted writer vertices.
+    writers: Vec<Vec<u32>>,
+    /// Direct `so ∪ wr` membership (all session pairs, init row, wr edges).
+    so_wr: BitMatrix,
+    /// Transitive closure of `so_wr` (maintained when `want_reach`).
+    reach: BitMatrix,
+    /// Base graph: session chains + init edges + wr edges (no forced edges).
+    graph: Digraph,
+    /// Axiom instances: reads with a wr dependency.
+    reads: Vec<ReadInfo>,
+    /// Per-vertex wr-read writer vertices, in program order, plus the po
+    /// positions of those reads (ascending).
+    wr_seqs: Vec<Vec<u32>>,
+    wr_read_pos: Vec<Vec<u32>>,
+    /// Verdict of the last `decide` for the current sync point, reused
+    /// verbatim while the history's generation is unchanged (covers
+    /// re-checks whose memo entry was evicted).
+    verdict: Option<bool>,
+    /// LIFO undo journal mirroring the history's, plus the saved-row arena.
+    undo: Vec<UndoRec>,
+    saved: SavedRows,
+    /// Statistics: how the last `sync` was served.
+    pub(crate) incremental_hits: u64,
+    pub(crate) full_rebuilds: u64,
+    // Per-check scratch.
+    forced: Vec<(u32, u32)>,
+    forced_heads: Vec<u32>,
+    forced_sorted: Vec<u32>,
+    indeg: Vec<u32>,
+    kahn: VecDeque<u32>,
+    row_buf: Vec<u64>,
+}
+
+impl WeakIndex {
+    /// Creates an empty index for one of `{RC, RA, CC}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with a level outside `{RC, RA, CC}`.
+    pub fn new(level: IsolationLevel) -> Self {
+        assert!(
+            matches!(
+                level,
+                IsolationLevel::ReadCommitted
+                    | IsolationLevel::ReadAtomic
+                    | IsolationLevel::CausalConsistency
+            ),
+            "satisfies_weak only handles RC/RA/CC, got {level}"
+        );
+        WeakIndex {
             level,
-            IsolationLevel::ReadCommitted
-                | IsolationLevel::ReadAtomic
-                | IsolationLevel::CausalConsistency
-        ),
-        "satisfies_weak only handles RC/RA/CC, got {level}"
-    );
-
-    // Vertex 0 is the init transaction.
-    let WeakScratch {
-        txs,
-        index,
-        so_wr,
-        reach,
-        graph: g,
-        writers,
-        reads,
-        wr_seqs,
-    } = scratch;
-    txs.clear();
-    txs.push(TxId::INIT);
-    txs.extend(h.tx_ids());
-    // Direct-indexed vertex lookup over the dense transaction ids.
-    index.clear();
-    index.resize(h.max_tx_id() as usize + 1, u32::MAX);
-    for (i, t) in txs.iter().enumerate() {
-        index[t.0 as usize] = i as u32;
-    }
-    let idx = |t: TxId| index[t.0 as usize] as usize;
-    let n = txs.len();
-    g.reset(n);
-    so_wr.reset(n);
-    for seq in wr_seqs.iter_mut() {
-        seq.clear();
-    }
-    wr_seqs.resize_with(n, Vec::new);
-    for list in writers.values_mut() {
-        list.clear();
-    }
-    reads.clear();
-
-    // Direct so ∪ wr membership (init precedes everything, transactions of
-    // a session are ordered by position, wr edges at the transaction level)
-    // plus, in the same pass over the logs: visible writers per variable and
-    // the axiom instances with their Read Committed premise prefixes. The
-    // graph only needs the immediate successors (plus wr) since its closure
-    // equals the closure of the full relation.
-    for j in 1..n {
-        so_wr.set(0, j);
-    }
-    for (_, session) in h.sessions() {
-        if let Some(first) = session.first() {
-            g.add_edge(0, idx(*first));
+            want_reach: level == IsolationLevel::CausalConsistency,
+            uid: 0,
+            gen: 0,
+            synced: false,
+            txs: Vec::new(),
+            index: Vec::new(),
+            vtx_session: Vec::new(),
+            vtx_sidx: Vec::new(),
+            vtx_aborted: Vec::new(),
+            session_vtx: Vec::new(),
+            vtx_writes: Vec::new(),
+            writers: Vec::new(),
+            so_wr: BitMatrix::default(),
+            reach: BitMatrix::default(),
+            graph: Digraph::default(),
+            reads: Vec::new(),
+            wr_seqs: Vec::new(),
+            wr_read_pos: Vec::new(),
+            verdict: None,
+            undo: Vec::new(),
+            saved: SavedRows::default(),
+            incremental_hits: 0,
+            full_rebuilds: 0,
+            forced: Vec::new(),
+            forced_heads: Vec::new(),
+            forced_sorted: Vec::new(),
+            indeg: Vec::new(),
+            kahn: VecDeque::new(),
+            row_buf: Vec::new(),
         }
-        for pair in session.windows(2) {
-            g.add_edge(idx(pair[0]), idx(pair[1]));
-        }
-        for (k, a) in session.iter().enumerate() {
-            let i = idx(*a);
-            for b in &session[k + 1..] {
-                so_wr.set(i, idx(*b));
+    }
+
+    /// Brings the index in sync with `h`, replaying the recorded mutation
+    /// deltas when possible and rebuilding from scratch otherwise.
+    pub fn sync(&mut self, h: &History) {
+        if self.synced && self.uid == h.uid() {
+            if self.gen == h.generation() {
+                self.incremental_hits += 1;
+                return;
             }
-            let log = h.tx(*a);
-            let aborted = log.is_aborted();
-            for e in &log.events {
-                match &e.kind {
-                    EventKind::Write(x, _) if !aborted => {
-                        let list = writers.entry(*x).or_default();
-                        if list.last() != Some(&i) {
-                            list.push(i);
+            self.verdict = None;
+            let replayed = match h.deltas_since(self.gen) {
+                None => false,
+                Some(deltas) => {
+                    let mut ok = true;
+                    for d in deltas {
+                        if !self.apply(d) {
+                            ok = false;
+                            break;
                         }
                     }
-                    EventKind::Read(x) => {
-                        if let Some(w) = h.wr_of(e.id) {
-                            let iw = idx(w);
-                            reads.push(ReadInfo {
-                                reader: i,
-                                prefix: wr_seqs[i].len(),
-                                var: *x,
-                                writer: iw,
-                            });
-                            wr_seqs[i].push(iw);
-                            if iw != i {
-                                g.add_edge(iw, i);
-                                so_wr.set(iw, i);
+                    ok
+                }
+            };
+            if replayed {
+                self.gen = h.generation();
+                self.incremental_hits += 1;
+                return;
+            }
+        }
+        self.rebuild(h);
+        self.full_rebuilds += 1;
+    }
+
+    /// Decides the isolation level for the currently synced history:
+    /// collects the forced commit-order edges from the axiom instances and
+    /// tests acyclicity of the base graph extended with them.
+    pub fn decide(&mut self) -> bool {
+        debug_assert!(self.synced, "decide on an unsynced index");
+        let forced = &mut self.forced;
+        forced.clear();
+        for r in &self.reads {
+            let (i3, i1) = (r.reader, r.writer);
+            let var_writers = self
+                .writers
+                .get(r.var.0 as usize)
+                .map(Vec::as_slice)
+                .unwrap_or(&[]);
+            for i2 in std::iter::once(0).chain(var_writers.iter().copied()) {
+                if i2 == i1 || i2 == i3 {
+                    continue;
+                }
+                let premise = match self.level {
+                    // ∃ read c of t3, po-before α, reading from t2.
+                    IsolationLevel::ReadCommitted => {
+                        self.wr_seqs[i3 as usize][..r.prefix as usize].contains(&i2)
+                    }
+                    IsolationLevel::ReadAtomic => self.so_wr.get(i2 as usize, i3 as usize),
+                    IsolationLevel::CausalConsistency => self.reach.get(i2 as usize, i3 as usize),
+                    _ => unreachable!(),
+                };
+                if premise {
+                    forced.push((i2, i1));
+                }
+            }
+        }
+        // Kahn's algorithm over the base graph plus the forced edges
+        // (forced edges may repeat base edges; multiplicity is harmless as
+        // long as in-degrees count it symmetrically). Forced edges are
+        // bucketed by source with a counting sort so relaxation touches
+        // each edge once instead of scanning the list per vertex.
+        let n = self.txs.len();
+        self.forced_heads.clear();
+        self.forced_heads.resize(n + 1, 0);
+        for &(a, _) in forced.iter() {
+            self.forced_heads[a as usize + 1] += 1;
+        }
+        for v in 0..n {
+            self.forced_heads[v + 1] += self.forced_heads[v];
+        }
+        self.forced_sorted.clear();
+        self.forced_sorted.resize(forced.len(), 0);
+        {
+            let mut cursor = std::mem::take(&mut self.indeg);
+            cursor.clear();
+            cursor.extend_from_slice(&self.forced_heads[..n]);
+            for &(a, b) in forced.iter() {
+                let c = &mut cursor[a as usize];
+                self.forced_sorted[*c as usize] = b;
+                *c += 1;
+            }
+            self.indeg = cursor;
+        }
+        self.indeg.clear();
+        self.indeg.resize(n, 0);
+        for v in 0..n {
+            for &w in self.graph.successors(v) {
+                self.indeg[w] += 1;
+            }
+        }
+        for &(_, b) in forced.iter() {
+            self.indeg[b as usize] += 1;
+        }
+        self.kahn.clear();
+        for v in 0..n {
+            if self.indeg[v] == 0 {
+                self.kahn.push_back(v as u32);
+            }
+        }
+        let mut seen = 0usize;
+        while let Some(v) = self.kahn.pop_front() {
+            seen += 1;
+            for &w in self.graph.successors(v as usize) {
+                self.indeg[w] -= 1;
+                if self.indeg[w] == 0 {
+                    self.kahn.push_back(w as u32);
+                }
+            }
+            let bucket =
+                self.forced_heads[v as usize] as usize..self.forced_heads[v as usize + 1] as usize;
+            for k in bucket {
+                let b = self.forced_sorted[k];
+                self.indeg[b as usize] -= 1;
+                if self.indeg[b as usize] == 0 {
+                    self.kahn.push_back(b);
+                }
+            }
+        }
+        seen == n
+    }
+
+    // ------------------------------------------------------------------
+    // Full rebuild
+    // ------------------------------------------------------------------
+
+    /// Rebuilds every structure from scratch with a single pass over the
+    /// transaction logs, and re-anchors the sync point at `h`'s current
+    /// generation.
+    fn rebuild(&mut self, h: &History) {
+        self.verdict = None;
+        self.undo.clear();
+        self.saved.words.clear();
+        self.saved.entries.clear();
+        self.txs.clear();
+        self.txs.push(TxId::INIT);
+        self.txs.extend(h.tx_ids());
+        let n = self.txs.len();
+        self.index.clear();
+        self.index.resize(h.max_tx_id() as usize + 1, NO_VERTEX);
+        for (i, t) in self.txs.iter().enumerate() {
+            self.index[t.0 as usize] = i as u32;
+        }
+        self.vtx_session.clear();
+        self.vtx_session.resize(n, u32::MAX);
+        self.vtx_sidx.clear();
+        self.vtx_sidx.resize(n, u32::MAX);
+        self.vtx_aborted.clear();
+        self.vtx_aborted.resize(n, false);
+        for s in &mut self.session_vtx {
+            s.clear();
+        }
+        for w in &mut self.vtx_writes {
+            w.clear();
+        }
+        self.vtx_writes.resize_with(n, Vec::new);
+        for w in &mut self.writers {
+            w.clear();
+        }
+        for seq in &mut self.wr_seqs {
+            seq.clear();
+        }
+        self.wr_seqs.resize_with(n, Vec::new);
+        for pos in &mut self.wr_read_pos {
+            pos.clear();
+        }
+        self.wr_read_pos.resize_with(n, Vec::new);
+        self.reads.clear();
+        self.graph.reset(n);
+        self.so_wr.reset(n);
+
+        for j in 1..n {
+            self.so_wr.set(0, j);
+        }
+        for (sid, session) in h.sessions() {
+            if self.session_vtx.len() <= sid.0 as usize {
+                self.session_vtx.resize_with(sid.0 as usize + 1, Vec::new);
+            }
+            for (k, a) in session.iter().enumerate() {
+                let i = self.index[a.0 as usize] as usize;
+                self.session_vtx[sid.0 as usize].push(i as u32);
+                self.vtx_session[i] = sid.0;
+                self.vtx_sidx[i] = k as u32;
+                let pred = if k == 0 {
+                    0
+                } else {
+                    self.index[session[k - 1].0 as usize] as usize
+                };
+                self.graph.add_edge(pred, i);
+                for b in &session[k + 1..] {
+                    self.so_wr.set(i, self.index[b.0 as usize] as usize);
+                }
+                let log = h.tx(*a);
+                let aborted = log.is_aborted();
+                self.vtx_aborted[i] = aborted;
+                for (po, e) in log.events.iter().enumerate() {
+                    match &e.kind {
+                        crate::event::EventKind::Write(x, _) => {
+                            self.note_write(i as u32, *x, aborted);
+                        }
+                        crate::event::EventKind::Read(x) => {
+                            if let Some(w) = h.wr_of(e.id) {
+                                let iw = self.index[w.0 as usize];
+                                self.push_read(e.id.0, i as u32, iw, *x, po as u32);
+                                if iw as usize != i {
+                                    self.graph.add_edge(iw as usize, i);
+                                    self.so_wr.set(iw as usize, i);
+                                }
                             }
                         }
+                        _ => {}
                     }
-                    _ => {}
+                }
+            }
+        }
+
+        // Causal reachability (so ∪ wr)+ as one packed transitive closure.
+        if self.want_reach {
+            self.reach.clone_from(&self.so_wr);
+            self.reach.transitive_close();
+        }
+        self.uid = h.uid();
+        self.gen = h.generation();
+        self.synced = true;
+    }
+
+    /// Records a write event of vertex `i` to `x`: bumps the per-vertex
+    /// count and indexes the writer on its first write (skipping the
+    /// writers index for aborted vertices). Returns whether a new
+    /// `(vertex, var)` entry was created.
+    fn note_write(&mut self, i: u32, x: Var, aborted: bool) -> bool {
+        if let Some(entry) = self.vtx_writes[i as usize]
+            .iter_mut()
+            .find(|(y, _)| *y == x)
+        {
+            entry.1 += 1;
+            return false;
+        }
+        self.vtx_writes[i as usize].push((x, 1));
+        if self.writers.len() <= x.0 as usize {
+            self.writers.resize_with(x.0 as usize + 1, Vec::new);
+        }
+        if !aborted {
+            self.writers[x.0 as usize].push(i);
+        }
+        true
+    }
+
+    /// Appends an axiom instance for a wr read of vertex `i` at po position
+    /// `po` reading from vertex `iw`.
+    fn push_read(&mut self, read: u32, i: u32, iw: u32, x: Var, po: u32) {
+        let prefix = self.wr_seqs[i as usize].len() as u32;
+        self.reads.push(ReadInfo {
+            read,
+            reader: i,
+            writer: iw,
+            prefix,
+            var: x,
+        });
+        self.wr_seqs[i as usize].push(iw);
+        self.wr_read_pos[i as usize].push(po);
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental delta replay
+    // ------------------------------------------------------------------
+
+    /// Applies one observed mutation. Returns `false` when the delta cannot
+    /// be replayed incrementally (the caller falls back to a rebuild; the
+    /// index may be left half-updated and must not be used before then).
+    fn apply(&mut self, d: &HistoryDelta) -> bool {
+        match *d {
+            HistoryDelta::Begin { session, tx } => {
+                self.apply_begin(session.0, tx);
+                true
+            }
+            HistoryDelta::UndoBegin { tx, .. } => match self.undo.last() {
+                Some(UndoRec::Begin { tx: t, .. }) if *t == tx.0 => {
+                    let Some(UndoRec::Begin { g_edge, .. }) = self.undo.pop() else {
+                        unreachable!()
+                    };
+                    self.undo_begin(g_edge);
+                    true
+                }
+                None if self.txs.last() == Some(&tx) => {
+                    // The matching Begin predates the last rebuild: undoing
+                    // a begin needs no saved state (the vertex is the last
+                    // one and fully disconnected on the outgoing side).
+                    let v = (self.txs.len() - 1) as u32;
+                    let s = self.vtx_session[v as usize] as usize;
+                    let pred = match self.session_vtx[s].len() {
+                        0 | 1 => 0,
+                        k => self.session_vtx[s][k - 2],
+                    };
+                    self.undo_begin((pred, v));
+                    true
+                }
+                // A `retract_begin` of a transaction that is not the newest
+                // vertex (or a mismatched stack top) would need vertex
+                // renumbering: rebuild instead.
+                _ => false,
+            },
+            HistoryDelta::Append {
+                event, info, tx, ..
+            } => {
+                let Some(&v) = self.index.get(tx.0 as usize) else {
+                    return false;
+                };
+                if v == NO_VERTEX {
+                    return false;
+                }
+                let kind = match info {
+                    DeltaEventInfo::Read(_) | DeltaEventInfo::Commit => AppliedAppend::Inert,
+                    DeltaEventInfo::Write(x) => {
+                        debug_assert!(!self.vtx_aborted[v as usize]);
+                        let new_var = self.note_write(v, x, false);
+                        AppliedAppend::Write { var: x, new_var }
+                    }
+                    DeltaEventInfo::Abort => {
+                        self.vtx_aborted[v as usize] = true;
+                        let mut removed = Vec::new();
+                        for k in 0..self.vtx_writes[v as usize].len() {
+                            let (x, _) = self.vtx_writes[v as usize][k];
+                            let list = &mut self.writers[x.0 as usize];
+                            let pos = list
+                                .iter()
+                                .position(|w| *w == v)
+                                .expect("aborted writer was indexed");
+                            list.remove(pos);
+                            removed.push((x, pos as u32));
+                        }
+                        AppliedAppend::Abort { removed }
+                    }
+                };
+                self.undo.push(UndoRec::Append {
+                    event: event.0,
+                    kind,
+                });
+                true
+            }
+            HistoryDelta::Pop {
+                event, tx, info, ..
+            } => match self.undo.last() {
+                Some(UndoRec::Append { event: e, .. }) if *e == event.0 => {
+                    let Some(UndoRec::Append { kind, .. }) = self.undo.pop() else {
+                        unreachable!()
+                    };
+                    let v = self.index[tx.0 as usize];
+                    self.undo_append(v, kind);
+                    true
+                }
+                None => self.destructive_pop(tx, info),
+                Some(_) => false,
+            },
+            HistoryDelta::SetWr {
+                read,
+                reader,
+                writer,
+                var,
+                po,
+            } => self.apply_set_wr(read.0, reader, writer, var, po),
+            HistoryDelta::UnsetWr {
+                read,
+                reader,
+                writer,
+                po,
+                ..
+            } => match self.undo.last() {
+                Some(UndoRec::SetWr { read: r, .. }) if *r == read.0 => {
+                    let Some(UndoRec::SetWr {
+                        so_wr_was_set,
+                        g_pushed,
+                        rows,
+                        ..
+                    }) = self.undo.pop()
+                    else {
+                        unreachable!()
+                    };
+                    self.undo_set_wr(reader, writer, so_wr_was_set, g_pushed, rows);
+                    true
+                }
+                None => self.destructive_unset_wr(read.0, reader, writer, po),
+                Some(_) => false,
+            },
+        }
+    }
+
+    fn apply_begin(&mut self, session: u32, tx: TxId) {
+        let v = self.txs.len() as u32;
+        self.txs.push(tx);
+        if self.index.len() <= tx.0 as usize {
+            self.index.resize(tx.0 as usize + 1, NO_VERTEX);
+        }
+        debug_assert_eq!(self.index[tx.0 as usize], NO_VERTEX);
+        self.index[tx.0 as usize] = v;
+        if self.session_vtx.len() <= session as usize {
+            self.session_vtx.resize_with(session as usize + 1, Vec::new);
+        }
+        let sidx = self.session_vtx[session as usize].len() as u32;
+        let pred = self.session_vtx[session as usize]
+            .last()
+            .copied()
+            .unwrap_or(0);
+        self.vtx_session.push(session);
+        self.vtx_sidx.push(sidx);
+        self.vtx_aborted.push(false);
+        self.vtx_writes.push(Vec::new());
+        self.wr_seqs.push(Vec::new());
+        self.wr_read_pos.push(Vec::new());
+        let n = v as usize + 1;
+        self.so_wr.grow(n);
+        self.so_wr.set(0, v as usize);
+        for k in 0..sidx {
+            let p = self.session_vtx[session as usize][k as usize] as usize;
+            self.so_wr.set(p, v as usize);
+        }
+        self.graph.add_vertex();
+        let added = self.graph.try_add_edge(pred as usize, v as usize);
+        debug_assert!(added, "fresh vertex cannot have the base edge already");
+        if self.want_reach {
+            // The new vertex is a sink: its ancestors are the init vertex,
+            // its session predecessor and everything reaching it.
+            self.reach.grow(n);
+            for w in 0..v as usize {
+                if w == 0 || w == pred as usize || self.reach.get(w, pred as usize) {
+                    self.reach.set(w, v as usize);
+                }
+            }
+        }
+        self.session_vtx[session as usize].push(v);
+        self.undo.push(UndoRec::Begin {
+            tx: tx.0,
+            g_edge: (pred, v),
+        });
+    }
+
+    /// Removes the last vertex (a begin-only transaction: no writes, no wr
+    /// reads in either direction, by journal LIFO ordering).
+    fn undo_begin(&mut self, g_edge: (u32, u32)) {
+        let v = self.txs.len() - 1;
+        debug_assert_eq!(g_edge.1 as usize, v);
+        debug_assert!(self.vtx_writes[v].is_empty(), "begin undone with writes");
+        debug_assert!(self.wr_seqs[v].is_empty(), "begin undone with wr reads");
+        let tx = self.txs.pop().expect("vertex to pop");
+        self.index[tx.0 as usize] = NO_VERTEX;
+        let s = self.vtx_session.pop().expect("vertex session") as usize;
+        self.vtx_sidx.pop();
+        self.vtx_aborted.pop();
+        self.vtx_writes.pop();
+        self.wr_seqs.pop();
+        self.wr_read_pos.pop();
+        let popped = self.session_vtx[s].pop();
+        debug_assert_eq!(popped, Some(v as u32));
+        self.graph.remove_edge(g_edge.0 as usize, v);
+        self.graph.pop_vertex();
+        self.so_wr.shrink(v);
+        if self.want_reach {
+            self.reach.shrink(v);
+        }
+    }
+
+    fn undo_append(&mut self, v: u32, kind: AppliedAppend) {
+        match kind {
+            AppliedAppend::Inert => {}
+            AppliedAppend::Write { var, new_var } => {
+                let entry = self.vtx_writes[v as usize]
+                    .iter_mut()
+                    .rev()
+                    .find(|(y, _)| *y == var)
+                    .expect("undone write was recorded");
+                entry.1 -= 1;
+                if entry.1 == 0 {
+                    debug_assert!(new_var, "count reached zero for a repeated write");
+                    let (x, _) = self.vtx_writes[v as usize].pop().expect("write entry");
+                    debug_assert_eq!(x, var, "write entries are undone in LIFO order");
+                    if !self.vtx_aborted[v as usize] {
+                        let popped = self.writers[var.0 as usize].pop();
+                        debug_assert_eq!(popped, Some(v));
+                    }
+                }
+            }
+            AppliedAppend::Abort { removed } => {
+                self.vtx_aborted[v as usize] = false;
+                for (x, pos) in removed.into_iter().rev() {
+                    self.writers[x.0 as usize].insert(pos as usize, v);
                 }
             }
         }
     }
 
-    // Causal reachability (so ∪ wr)+ as one packed transitive closure.
-    if level == IsolationLevel::CausalConsistency {
-        reach.clone_from(so_wr);
-        reach.transitive_close();
+    /// Handles a `Pop` whose matching `Append` predates the last rebuild:
+    /// the effects are recomputed from the per-vertex write counts instead
+    /// of an undo record.
+    fn destructive_pop(&mut self, tx: TxId, info: DeltaEventInfo) -> bool {
+        let v = self.index[tx.0 as usize];
+        match info {
+            DeltaEventInfo::Read(_) | DeltaEventInfo::Commit => {}
+            DeltaEventInfo::Write(x) => {
+                let Some(k) = self.vtx_writes[v as usize]
+                    .iter()
+                    .position(|(y, _)| *y == x)
+                else {
+                    return false;
+                };
+                self.vtx_writes[v as usize][k].1 -= 1;
+                if self.vtx_writes[v as usize][k].1 == 0 {
+                    self.vtx_writes[v as usize].remove(k);
+                    if !self.vtx_aborted[v as usize] {
+                        let list = &mut self.writers[x.0 as usize];
+                        let pos = list.iter().position(|w| *w == v).expect("writer indexed");
+                        list.remove(pos);
+                    }
+                }
+            }
+            DeltaEventInfo::Abort => {
+                self.vtx_aborted[v as usize] = false;
+                for k in 0..self.vtx_writes[v as usize].len() {
+                    let (x, _) = self.vtx_writes[v as usize][k];
+                    self.writers[x.0 as usize].push(v);
+                }
+            }
+        }
+        true
     }
 
-    // Forced commit-order edges from the axiom instances: for each read
-    // (t3 = reader, t1 = writer read from) and each other transaction t2
-    // writing the variable (init always does), the premise forces t2 → t1.
-    for r in reads.iter() {
-        let (i3, i1) = (r.reader, r.writer);
-        let var_writers = writers.get(&r.var).map(Vec::as_slice).unwrap_or(&[]);
-        for i2 in std::iter::once(0).chain(var_writers.iter().copied()) {
-            if i2 == i1 || i2 == i3 {
-                continue;
+    fn apply_set_wr(&mut self, read: u32, reader: TxId, writer: TxId, var: Var, po: u32) -> bool {
+        let (Some(&i), Some(&iw)) = (
+            self.index.get(reader.0 as usize),
+            self.index.get(writer.0 as usize),
+        ) else {
+            return false;
+        };
+        if i == NO_VERTEX || iw == NO_VERTEX {
+            return false;
+        }
+        // Only po-in-order insertions keep the prefix fields of later
+        // axiom instances valid; out-of-order churn forces a rebuild.
+        if self.wr_read_pos[i as usize]
+            .last()
+            .is_some_and(|l| *l >= po)
+        {
+            return false;
+        }
+        self.push_read(read, i, iw, var, po);
+        let (mut so_wr_was_set, mut g_pushed) = (true, false);
+        let mut rows = (
+            self.saved.entries.len() as u32,
+            0u32,
+            self.reach.words_per_row() as u32,
+        );
+        if iw != i {
+            so_wr_was_set = self.so_wr.get(iw as usize, i as usize);
+            if !so_wr_was_set {
+                self.so_wr.set(iw as usize, i as usize);
             }
-            let premise = match level {
-                // ∃ read c of t3, po-before α, reading from t2.
-                IsolationLevel::ReadCommitted => wr_seqs[i3][..r.prefix].contains(&i2),
-                IsolationLevel::ReadAtomic => so_wr.get(i2, i3),
-                IsolationLevel::CausalConsistency => reach.get(i2, i3),
-                _ => unreachable!(),
-            };
-            if premise {
-                g.add_edge(i2, i1);
+            g_pushed = self.graph.try_add_edge(iw as usize, i as usize);
+            if self.want_reach {
+                self.reach_insert_saving(iw as usize, i as usize);
+                rows.1 = self.saved.entries.len() as u32 - rows.0;
+            }
+        }
+        self.undo.push(UndoRec::SetWr {
+            read,
+            so_wr_was_set,
+            g_pushed,
+            rows,
+        });
+        true
+    }
+
+    /// Inserts edge `(u, v)` into the closure `reach`, saving every dirtied
+    /// row in the arena: rows of `u` and of every vertex reaching `u` gain
+    /// `v`'s successor set plus `v` itself.
+    fn reach_insert_saving(&mut self, u: usize, v: usize) {
+        if self.reach.get(u, v) {
+            return;
+        }
+        let n = self.txs.len();
+        self.row_buf.clear();
+        self.row_buf.extend_from_slice(self.reach.row(v));
+        for w in 0..n {
+            if (w == u || self.reach.get(w, u)) && !self.reach.get(w, v) {
+                let offset = self.saved.words.len() as u32;
+                self.saved.words.extend_from_slice(self.reach.row(w));
+                self.saved.entries.push((w as u32, offset));
+                let buf = std::mem::take(&mut self.row_buf);
+                self.reach.or_into_row_with_bit(w, &buf, v);
+                self.row_buf = buf;
             }
         }
     }
 
-    g.is_acyclic()
+    fn undo_set_wr(
+        &mut self,
+        reader: TxId,
+        writer: TxId,
+        so_wr_was_set: bool,
+        g_pushed: bool,
+        rows: (u32, u32, u32),
+    ) {
+        let i = self.index[reader.0 as usize];
+        let iw = self.index[writer.0 as usize];
+        let r = self.reads.pop().expect("read instance to undo");
+        debug_assert_eq!((r.reader, r.writer), (i, iw));
+        self.wr_seqs[i as usize].pop();
+        self.wr_read_pos[i as usize].pop();
+        if iw != i {
+            if !so_wr_was_set {
+                self.so_wr.clear_bit(iw as usize, i as usize);
+            }
+            if g_pushed {
+                self.graph.remove_edge(iw as usize, i as usize);
+            }
+            if self.want_reach {
+                let (start, len, width) = (rows.0 as usize, rows.1 as usize, rows.2 as usize);
+                for k in (start..start + len).rev() {
+                    let (row, offset) = self.saved.entries[k];
+                    let words = &self.saved.words[offset as usize..offset as usize + width];
+                    self.reach.restore_row(row as usize, words);
+                }
+                if len > 0 {
+                    self.saved
+                        .words
+                        .truncate(self.saved.entries[start].1 as usize);
+                }
+                self.saved.entries.truncate(start);
+            }
+        }
+    }
+
+    /// Handles an `UnsetWr` whose matching `SetWr` predates the last
+    /// rebuild: indexes are fixed up in place and (for Causal Consistency)
+    /// the closure is recomputed from the direct relation — cheaper than a
+    /// rebuild, which would also rescan every transaction log.
+    fn destructive_unset_wr(&mut self, read: u32, reader: TxId, writer: TxId, po: u32) -> bool {
+        let i = self.index[reader.0 as usize];
+        let iw = self.index[writer.0 as usize];
+        let Some(pos) = self.reads.iter().position(|r| r.read == read) else {
+            return false;
+        };
+        self.reads.swap_remove(pos);
+        let Ok(k) = self.wr_read_pos[i as usize].binary_search(&po) else {
+            return false;
+        };
+        self.wr_seqs[i as usize].remove(k);
+        self.wr_read_pos[i as usize].remove(k);
+        for r in &mut self.reads {
+            if r.reader == i && r.prefix > k as u32 {
+                r.prefix -= 1;
+            }
+        }
+        if iw != i {
+            let still_wr = self.reads.iter().any(|r| r.reader == i && r.writer == iw);
+            if !still_wr {
+                let same_session =
+                    iw != 0 && self.vtx_session[iw as usize] == self.vtx_session[i as usize];
+                let so_pair = iw == 0
+                    || (same_session && self.vtx_sidx[iw as usize] < self.vtx_sidx[i as usize]);
+                if !so_pair {
+                    self.so_wr.clear_bit(iw as usize, i as usize);
+                }
+                let chain_edge = if iw == 0 {
+                    self.vtx_sidx[i as usize] == 0
+                } else {
+                    same_session && self.vtx_sidx[iw as usize] + 1 == self.vtx_sidx[i as usize]
+                };
+                if !chain_edge {
+                    self.graph.remove_edge(iw as usize, i as usize);
+                }
+                if self.want_reach {
+                    self.reach.clone_from(&self.so_wr);
+                    self.reach.transitive_close();
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Like [`satisfies_weak`], reusing a caller-owned index (the engines'
+/// entry point).
+pub(crate) fn satisfies_weak_with(h: &History, idx: &mut WeakIndex) -> bool {
+    idx.sync(h);
+    if let Some(v) = idx.verdict {
+        return v;
+    }
+    let v = idx.decide();
+    idx.verdict = Some(v);
+    v
 }
 
 #[cfg(test)]
@@ -381,5 +1105,44 @@ mod tests {
     #[should_panic(expected = "only handles RC/RA/CC")]
     fn rejects_strong_levels() {
         satisfies_weak(&History::default(), IsolationLevel::Serializability);
+    }
+
+    /// The incremental fast path: a candidate loop (set → check → unset)
+    /// over one index must answer exactly like fresh indexes, and end up
+    /// synced incrementally rather than via rebuilds.
+    #[test]
+    fn incremental_candidate_loop_matches_fresh_checks() {
+        let x = Var(0);
+        let mut b = Builder::new();
+        let t1 = b.begin(0);
+        b.write(0, x, 1);
+        b.commit(0);
+        let t2 = b.begin(1);
+        b.write(1, x, 2);
+        b.commit(1);
+        b.begin(2);
+        let mut h = b.h;
+        let read = EventId(100);
+        let mark = h.checkpoint();
+        h.append_event(SessionId(2), Event::new(read, EventKind::Read(x)));
+
+        let mut idx = WeakIndex::new(IsolationLevel::CausalConsistency);
+        idx.sync(&h); // first sync: one rebuild
+        assert_eq!(idx.full_rebuilds, 1);
+        for writer in [TxId::INIT, t1, t2] {
+            h.set_wr(read, writer);
+            let inc = satisfies_weak_with(&h, &mut idx);
+            let fresh = satisfies_weak(&h, IsolationLevel::CausalConsistency);
+            assert_eq!(inc, fresh, "incremental disagrees for writer {writer}");
+            h.unset_wr(read);
+            assert_eq!(
+                satisfies_weak_with(&h, &mut idx),
+                satisfies_weak(&h, IsolationLevel::CausalConsistency)
+            );
+        }
+        h.rollback(mark);
+        assert!(satisfies_weak_with(&h, &mut idx));
+        assert_eq!(idx.full_rebuilds, 1, "candidate loop forced a rebuild");
+        assert!(idx.incremental_hits >= 6);
     }
 }

@@ -34,11 +34,23 @@
 
 use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::arena::{IdMap, TxSet, NONE};
 use crate::event::{Event, EventId, EventKind};
 use crate::transaction::{SessionId, TransactionLog, TxId};
 use crate::value::{Value, Var, VarTable};
+
+/// Prepared coordinates of a read event for repeated wr-candidate trials
+/// (see [`History::prepare_wr_trial`]).
+#[derive(Copy, Clone, Debug)]
+pub struct WrTrial {
+    read: EventId,
+    reader: TxId,
+    var: Var,
+    po: u32,
+    key: u64,
+}
 
 /// A checkpoint of a [`History`], restored by [`History::rollback`].
 ///
@@ -69,6 +81,132 @@ enum JournalOp {
     /// A `set_wr`/`unset_wr` of `read`; `prev` is the raw previous writer
     /// id ([`NONE`] for absent).
     SetWr { read: EventId, prev: u32 },
+    /// A `retract_begin`: the begin-only transaction is re-begun on
+    /// rollback.
+    Retract {
+        session: SessionId,
+        tx: TxId,
+        program_index: usize,
+        begin: Event,
+    },
+}
+
+// ----------------------------------------------------------------------
+// Mutation observers: identity, generation and the delta log
+// ----------------------------------------------------------------------
+
+/// Source of fresh history identities (see [`History::uid`]).
+static NEXT_HISTORY_UID: AtomicU64 = AtomicU64::new(1);
+
+/// Number of mutations retained by the delta log. Observers whose sync
+/// generation has been trimmed out of the window fall back to a full
+/// rebuild, so the capacity only bounds how far behind an observer may lag
+/// while still syncing incrementally (hot loops stay within a handful of
+/// mutations).
+pub const DELTA_LOG_CAPACITY: usize = 4096;
+
+/// Structural summary of an appended or popped event, carried by
+/// [`HistoryDelta`] so observers can replay mutations without consulting
+/// the history (whose state has moved on by the time they sync). Written
+/// values are omitted: no consistency axiom inspects them.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum DeltaEventInfo {
+    /// A read of the variable (its wr edge, if any, travels separately as
+    /// [`HistoryDelta::SetWr`]).
+    Read(Var),
+    /// A write to the variable.
+    Write(Var),
+    /// A commit event.
+    Commit,
+    /// An abort event.
+    Abort,
+}
+
+impl DeltaEventInfo {
+    fn of(kind: &EventKind) -> Option<DeltaEventInfo> {
+        match kind {
+            EventKind::Read(x) => Some(DeltaEventInfo::Read(*x)),
+            EventKind::Write(x, _) => Some(DeltaEventInfo::Write(*x)),
+            EventKind::Commit => Some(DeltaEventInfo::Commit),
+            EventKind::Abort => Some(DeltaEventInfo::Abort),
+            EventKind::Begin => None,
+        }
+    }
+}
+
+/// One observed mutation of a [`History`], as recorded in the drainable
+/// delta log (see [`History::deltas_since`]). Each primitive mutator emits
+/// exactly one delta; a [`History::rollback`] emits the *inverse* deltas of
+/// the operations it undoes, so the log is always a faithful chronological
+/// account of the history's evolution. Every delta is self-contained:
+/// observers never need to query the history for an entity that a later
+/// delta in the same window may have removed again.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum HistoryDelta {
+    /// A transaction began (its log holds only the begin event).
+    Begin {
+        /// Session the transaction was appended to.
+        session: SessionId,
+        /// Identifier of the new transaction.
+        tx: TxId,
+    },
+    /// A `Begin` was rolled back (the transaction is gone again; by journal
+    /// LIFO ordering it was the most recently begun live transaction).
+    UndoBegin {
+        /// Session the transaction was removed from.
+        session: SessionId,
+        /// Identifier of the removed transaction.
+        tx: TxId,
+    },
+    /// An event was appended to the (pending) transaction `tx`.
+    Append {
+        /// Owning transaction.
+        tx: TxId,
+        /// Identifier of the appended event.
+        event: EventId,
+        /// Structural summary of the event.
+        info: DeltaEventInfo,
+        /// Program-order position of the event within the transaction log.
+        po: u32,
+    },
+    /// The po-last event of `tx` was popped again.
+    Pop {
+        /// Owning transaction.
+        tx: TxId,
+        /// Identifier of the popped event.
+        event: EventId,
+        /// Structural summary of the event.
+        info: DeltaEventInfo,
+        /// Program-order position the event had within the transaction log.
+        po: u32,
+    },
+    /// The read acquired a wr dependency on `writer` (it had none before; a
+    /// replacement is logged as an `UnsetWr` followed by a `SetWr`).
+    SetWr {
+        /// The read event.
+        read: EventId,
+        /// Transaction owning the read.
+        reader: TxId,
+        /// Transaction the read now reads from.
+        writer: TxId,
+        /// Variable being read.
+        var: Var,
+        /// Program-order position of the read within its transaction log.
+        po: u32,
+    },
+    /// The read's wr dependency on `writer` was removed.
+    UnsetWr {
+        /// The read event.
+        read: EventId,
+        /// Transaction owning the read.
+        reader: TxId,
+        /// Transaction the read used to read from.
+        writer: TxId,
+        /// Variable being read.
+        var: Var,
+        /// Program-order position of the read within its transaction log.
+        po: u32,
+    },
 }
 
 /// A history `⟨T, so, wr⟩` (Definition 2.1).
@@ -102,6 +240,15 @@ pub struct History {
     journal: Vec<JournalOp>,
     /// Number of outstanding checkpoints.
     journal_depth: u32,
+    /// Identity of this history instance (fresh per `new`/`clone`), used by
+    /// observers to detect that their sync generation belongs to a
+    /// different object.
+    uid: u64,
+    /// Generation of the oldest delta retained in `deltas`.
+    delta_base: u64,
+    /// Ring of the most recent mutations (capacity
+    /// [`DELTA_LOG_CAPACITY`]); `generation()` = `delta_base + len`.
+    deltas: VecDeque<HistoryDelta>,
 }
 
 // ----------------------------------------------------------------------
@@ -222,6 +369,9 @@ impl History {
             hash: HASH_SEED,
             journal: Vec::new(),
             journal_depth: 0,
+            uid: NEXT_HISTORY_UID.fetch_add(1, Ordering::Relaxed),
+            delta_base: 0,
+            deltas: VecDeque::new(),
         }
     }
 
@@ -429,32 +579,73 @@ impl History {
                     prev_max_event,
                     prev_max_tx,
                 } => {
-                    self.undo_begin(session);
+                    let tx = self.undo_begin(session);
                     self.max_event_id = prev_max_event;
                     self.max_tx_id = prev_max_tx;
+                    self.emit(HistoryDelta::UndoBegin { session, tx });
                 }
                 JournalOp::Append {
                     session,
                     prev_max_event,
                 } => {
-                    self.do_pop(session);
+                    let (tx, po, event) = self.do_pop(session);
                     self.max_event_id = prev_max_event;
+                    if let Some(info) = DeltaEventInfo::of(&event.kind) {
+                        self.emit(HistoryDelta::Pop {
+                            tx,
+                            event: event.id,
+                            info,
+                            po,
+                        });
+                    }
                 }
                 JournalOp::Pop { session, event } => {
-                    self.do_append(session, event);
+                    let info = DeltaEventInfo::of(&event.kind);
+                    let id = event.id;
+                    let (tx, po) = self.do_append(session, event);
+                    if let Some(info) = info {
+                        self.emit(HistoryDelta::Append {
+                            tx,
+                            event: id,
+                            info,
+                            po,
+                        });
+                    }
+                }
+                JournalOp::Retract {
+                    session,
+                    tx,
+                    program_index,
+                    begin,
+                } => {
+                    self.do_begin(session, tx, program_index, begin);
+                    self.emit(HistoryDelta::Begin { session, tx });
                 }
                 JournalOp::SetWr { read, prev } => {
-                    let key = self.event_pos_key(read);
+                    let (reader, var, po, key) = self.read_coords_key(read);
                     if let Some(cur) = self.wr.get(read.0) {
                         let c = contrib(wr_payload(key, self.tx_coord(TxId(cur))));
                         xor_into(&mut self.hash, c);
-                    }
-                    if prev == NONE {
                         self.wr.clear(read.0);
-                    } else {
+                        self.emit(HistoryDelta::UnsetWr {
+                            read,
+                            reader,
+                            writer: TxId(cur),
+                            var,
+                            po,
+                        });
+                    }
+                    if prev != NONE {
                         self.wr.set(read.0, prev);
                         let c = contrib(wr_payload(key, self.tx_coord(TxId(prev))));
                         xor_into(&mut self.hash, c);
+                        self.emit(HistoryDelta::SetWr {
+                            read,
+                            reader,
+                            writer: TxId(prev),
+                            var,
+                            po,
+                        });
                     }
                 }
             }
@@ -472,6 +663,49 @@ impl History {
         if self.journal_depth > 0 {
             self.journal.push(op);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation observation (generation counter + delta log)
+    // ------------------------------------------------------------------
+
+    /// Identity of this history instance. Fresh for every `new` and every
+    /// `clone`: two histories never share a uid, so an observer that
+    /// remembers `(uid, generation)` can tell a stale sync point from a
+    /// different history altogether.
+    #[inline]
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    /// Generation counter: incremented once per observed mutation
+    /// (including the inverse mutations performed by
+    /// [`rollback`](History::rollback)). `generation() == g` from a
+    /// previous sync means the history is unchanged since then.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.delta_base + self.deltas.len() as u64
+    }
+
+    /// The mutations observed since generation `gen`, oldest first, or
+    /// `None` when the window is gone — `gen` predates the retained
+    /// [`DELTA_LOG_CAPACITY`] suffix or lies in the future (a sync point
+    /// from another history). Observers replay the returned deltas to
+    /// catch up and fall back to a full resync on `None`.
+    pub fn deltas_since(&self, gen: u64) -> Option<impl Iterator<Item = &HistoryDelta> + '_> {
+        if gen < self.delta_base || gen > self.generation() {
+            return None;
+        }
+        Some(self.deltas.range((gen - self.delta_base) as usize..))
+    }
+
+    #[inline]
+    fn emit(&mut self, delta: HistoryDelta) {
+        if self.deltas.len() == DELTA_LOG_CAPACITY {
+            self.deltas.pop_front();
+            self.delta_base += 1;
+        }
+        self.deltas.push_back(delta);
     }
 
     // ------------------------------------------------------------------
@@ -501,6 +735,7 @@ impl History {
             prev_max_tx: self.max_tx_id,
         });
         self.do_begin(s, id, program_index, begin);
+        self.emit(HistoryDelta::Begin { session: s, tx: id });
     }
 
     fn do_begin(&mut self, s: SessionId, id: TxId, program_index: usize, begin: Event) {
@@ -529,19 +764,13 @@ impl History {
     }
 
     /// Undoes the most recent live `begin_transaction` of `session` (its
-    /// log holds only the begin event by journal-ordering).
-    fn undo_begin(&mut self, s: SessionId) {
+    /// log holds only the begin event by journal-ordering), returning the
+    /// removed transaction's id.
+    fn undo_begin(&mut self, s: SessionId) -> TxId {
         let id = self.sessions[s.0 as usize]
             .pop()
             .expect("session has a transaction to undo");
-        let slot = self.tx_slot.clear(id.0).expect("begun transaction");
-        self.tx_sidx.clear(id.0);
-        debug_assert_eq!(
-            slot as usize,
-            self.logs.len() - 1,
-            "begin undone out of order"
-        );
-        let log = self.logs.pop().expect("log arena entry");
+        let log = self.detach_log(id);
         debug_assert_eq!(log.events.len(), 1, "begin undone with live events");
         let begin = &log.events[0];
         let sidx = self.sessions[s.0 as usize].len() as u32;
@@ -549,6 +778,62 @@ impl History {
         xor_into(&mut self.hash, c);
         self.owner.clear(begin.id.0);
         self.pending -= 1;
+        id
+    }
+
+    /// Removes a transaction's log from the arena (swap-remove, fixing the
+    /// moved log's slot). Arena slot order is a representation detail:
+    /// every public traversal goes through `tx_slot` by id.
+    fn detach_log(&mut self, id: TxId) -> TransactionLog {
+        let slot = self.tx_slot.clear(id.0).expect("live transaction") as usize;
+        self.tx_sidx.clear(id.0);
+        let log = self.logs.swap_remove(slot);
+        if slot < self.logs.len() {
+            let moved = self.logs[slot].id;
+            self.tx_slot.set(moved.0, slot as u32);
+        }
+        log
+    }
+
+    /// Removes the last transaction of session `s`, which must be a
+    /// *begin-only* pending transaction (just its begin event) — the
+    /// journaled counterpart of undoing a [`begin_transaction`] that
+    /// predates the current checkpoint. The in-place trial extensions of
+    /// the exploration use this to excise whole doomed transactions
+    /// without copying the history; [`rollback`](History::rollback)
+    /// re-begins the transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session has no transaction or its last transaction
+    /// holds more than its begin event (pop those first).
+    ///
+    /// [`begin_transaction`]: History::begin_transaction
+    pub fn retract_begin(&mut self, s: SessionId) {
+        let tx = self
+            .last_tx_of_session(s)
+            .unwrap_or_else(|| panic!("session {s} has no transaction"));
+        assert_eq!(
+            self.tx(tx).events.len(),
+            1,
+            "retracted transaction must be begin-only"
+        );
+        self.sessions[s.0 as usize].pop();
+        let sidx = self.sessions[s.0 as usize].len() as u32;
+        let mut log = self.detach_log(tx);
+        let begin = log.events.pop().expect("begin event");
+        assert!(begin.kind.is_begin(), "first event must be begin");
+        let c = contrib(event_payload(pos_key(s.0, sidx, 0), &begin.kind));
+        xor_into(&mut self.hash, c);
+        self.owner.clear(begin.id.0);
+        self.pending -= 1;
+        self.record(JournalOp::Retract {
+            session: s,
+            tx,
+            program_index: log.program_index,
+            begin,
+        });
+        self.emit(HistoryDelta::UndoBegin { session: s, tx });
     }
 
     /// Appends an event to the last (pending) transaction of session `s`
@@ -569,11 +854,21 @@ impl History {
             session: s,
             prev_max_event: self.max_event_id,
         });
-        self.do_append(s, event);
+        let info = DeltaEventInfo::of(&event.kind);
+        let id = event.id;
+        let (_, po) = self.do_append(s, event);
+        if let Some(info) = info {
+            self.emit(HistoryDelta::Append {
+                tx,
+                event: id,
+                info,
+                po,
+            });
+        }
         tx
     }
 
-    fn do_append(&mut self, s: SessionId, event: Event) {
+    fn do_append(&mut self, s: SessionId, event: Event) -> (TxId, u32) {
         let tx = self.sessions[s.0 as usize]
             .last()
             .copied()
@@ -589,6 +884,7 @@ impl History {
         self.owner.set(event.id.0, tx.0);
         self.max_event_id = self.max_event_id.max(event.id.0);
         self.logs[slot].events.push(event);
+        (tx, po)
     }
 
     /// Removes and returns the last event of the last transaction of
@@ -605,15 +901,23 @@ impl History {
             .unwrap_or_else(|| panic!("session {s} has no transaction"));
         let len = self.tx(tx).events.len();
         assert!(len > 1, "cannot pop a transaction's begin event");
-        let event = self.do_pop(s);
+        let (tx, po, event) = self.do_pop(s);
         self.record(JournalOp::Pop {
             session: s,
             event: event.clone(),
         });
+        if let Some(info) = DeltaEventInfo::of(&event.kind) {
+            self.emit(HistoryDelta::Pop {
+                tx,
+                event: event.id,
+                info,
+                po,
+            });
+        }
         event
     }
 
-    fn do_pop(&mut self, s: SessionId) -> Event {
+    fn do_pop(&mut self, s: SessionId) -> (TxId, u32, Event) {
         let tx = self.sessions[s.0 as usize]
             .last()
             .copied()
@@ -633,7 +937,7 @@ impl History {
             self.pending += 1;
         }
         self.owner.clear(event.id.0);
-        event
+        (tx, po, event)
     }
 
     /// Adds (or replaces) a write-read dependency `wr(writer, read)`.
@@ -652,11 +956,32 @@ impl History {
             self.writes_var(writer, x),
             "wr source {writer} does not write {x}"
         );
-        self.do_set_wr(read, writer);
+        let (reader, _, po, key) = self.read_coords_key(read);
+        let prev = self.set_wr_keyed(read, writer, key);
+        if let Some(prev) = prev {
+            self.emit(HistoryDelta::UnsetWr {
+                read,
+                reader,
+                writer: TxId(prev),
+                var: x,
+                po,
+            });
+        }
+        self.emit(HistoryDelta::SetWr {
+            read,
+            reader,
+            writer,
+            var: x,
+            po,
+        });
     }
 
-    fn do_set_wr(&mut self, read: EventId, writer: TxId) {
+    fn do_set_wr(&mut self, read: EventId, writer: TxId) -> Option<u32> {
         let key = self.event_pos_key(read);
+        self.set_wr_keyed(read, writer, key)
+    }
+
+    fn set_wr_keyed(&mut self, read: EventId, writer: TxId, key: u64) -> Option<u32> {
         let prev = self.wr.set(read.0, writer.0);
         if let Some(prev) = prev {
             let c = contrib(wr_payload(key, self.tx_coord(TxId(prev))));
@@ -668,6 +993,7 @@ impl History {
             read,
             prev: prev.unwrap_or(NONE),
         });
+        prev
     }
 
     /// Removes the wr dependency of a read, if any — the inverse of
@@ -676,10 +1002,17 @@ impl History {
     /// never sees the previous candidate's edge.
     pub fn unset_wr(&mut self, read: EventId) {
         if let Some(prev) = self.wr.clear(read.0) {
-            let key = self.event_pos_key(read);
+            let (reader, var, po, key) = self.read_coords_key(read);
             let c = contrib(wr_payload(key, self.tx_coord(TxId(prev))));
             xor_into(&mut self.hash, c);
             self.record(JournalOp::SetWr { read, prev });
+            self.emit(HistoryDelta::UnsetWr {
+                read,
+                reader,
+                writer: TxId(prev),
+                var,
+                po,
+            });
         }
     }
 
@@ -687,6 +1020,85 @@ impl History {
     /// [`unset_wr`](History::unset_wr), kept for the pre-journal API).
     pub fn clear_wr(&mut self, read: EventId) {
         self.unset_wr(read);
+    }
+
+    /// Resolves a read's coordinates once for a candidate loop that will
+    /// set and unset its wr dependency many times (`ValidWrites`,
+    /// `readLatest`, the DFS read branch). The returned handle is valid
+    /// while the read stays live at the same position — i.e. until it is
+    /// popped or its transaction retracted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event is unknown or not a read.
+    pub fn prepare_wr_trial(&self, read: EventId) -> WrTrial {
+        let (reader, var, po, key) = self.read_coords_key(read);
+        WrTrial {
+            read,
+            reader,
+            var,
+            po,
+            key,
+        }
+    }
+
+    /// Sets `wr(writer, read)` through a prepared handle — the fast path of
+    /// [`set_wr`](History::set_wr), skipping the per-call coordinate
+    /// resolution. The read must currently have no wr dependency.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the writer does not write the read's
+    /// variable or the read already has a dependency.
+    pub fn set_wr_trial(&mut self, trial: &WrTrial, writer: TxId) {
+        debug_assert!(
+            self.writes_var(writer, trial.var),
+            "wr source {writer} does not write {}",
+            trial.var
+        );
+        let prev = self.set_wr_keyed(trial.read, writer, trial.key);
+        debug_assert!(prev.is_none(), "wr trial over an existing dependency");
+        self.emit(HistoryDelta::SetWr {
+            read: trial.read,
+            reader: trial.reader,
+            writer,
+            var: trial.var,
+            po: trial.po,
+        });
+    }
+
+    /// Removes the wr dependency set through [`set_wr_trial`](History::set_wr_trial) — the fast
+    /// path of [`unset_wr`](History::unset_wr).
+    pub fn unset_wr_trial(&mut self, trial: &WrTrial) {
+        if let Some(prev) = self.wr.clear(trial.read.0) {
+            let c = contrib(wr_payload(trial.key, self.tx_coord(TxId(prev))));
+            xor_into(&mut self.hash, c);
+            self.record(JournalOp::SetWr {
+                read: trial.read,
+                prev,
+            });
+            self.emit(HistoryDelta::UnsetWr {
+                read: trial.read,
+                reader: trial.reader,
+                writer: TxId(prev),
+                var: trial.var,
+                po: trial.po,
+            });
+        }
+    }
+
+    /// Owner, variable, program-order position and hash position key of a
+    /// live read event, resolved in one pass over its transaction log (the
+    /// wr mutators need all four).
+    fn read_coords_key(&self, read: EventId) -> (TxId, Var, u32, u64) {
+        let tx = self.tx_of_event(read).expect("event has an owner");
+        let log = self.tx(tx);
+        let po = log.po_position(read).expect("event in its log") as u32;
+        let var = log.events[po as usize]
+            .var()
+            .expect("wr reads have a variable");
+        let sidx = self.tx_sidx.get(tx.0).expect("tx session index");
+        (tx, var, po, pos_key(log.session.0, sidx, po))
     }
 
     /// Position key of a live event (for hash contributions).
@@ -1279,6 +1691,9 @@ impl Clone for History {
             hash: self.hash,
             journal: Vec::new(),
             journal_depth: 0,
+            uid: NEXT_HISTORY_UID.fetch_add(1, Ordering::Relaxed),
+            delta_base: 0,
+            deltas: VecDeque::new(),
         }
     }
 }
@@ -1519,6 +1934,121 @@ mod tests {
         assert_eq!(h.events().count(), h.num_events());
         assert_eq!(h.max_tx_id(), 4);
         assert_eq!(h.max_event_id(), 15);
+    }
+
+    #[test]
+    fn retract_begin_round_trips_through_rollback() {
+        // Build fig3, checkpoint, strip session 3 down to its begin and
+        // retract it (exactly what the in-place swap trials do), then
+        // retract... the rollback must restore everything bit-for-bit even
+        // though another transaction was begun in between (exercising the
+        // swap-remove arena path).
+        let mut h = fig3_history();
+        let snapshot = h.clone();
+        let hash = h.live_hash();
+        let mark = h.checkpoint();
+        let s3 = SessionId(3);
+        // Unset the wr edges of session 3's reads, pop its events, retract.
+        let reads: Vec<EventId> = h.tx(TxId(3)).events[1..].iter().map(|e| e.id).collect();
+        for e in reads.into_iter().rev() {
+            h.unset_wr(e);
+            h.pop_event(s3);
+        }
+        h.retract_begin(s3);
+        assert!(!h.contains_tx(TxId(3)));
+        assert_eq!(h.num_transactions(), 3);
+        // Begin a fresh transaction elsewhere so the retracted slot is not
+        // the arena tail at rollback time.
+        h.begin_transaction(
+            SessionId(0),
+            TxId(9),
+            1,
+            Event::new(EventId(99), EventKind::Begin),
+        );
+        h.rollback(mark);
+        assert_eq!(h, snapshot);
+        assert_eq!(h.live_hash(), hash);
+        assert_eq!(h.fingerprint(), snapshot.fingerprint());
+    }
+
+    #[test]
+    #[should_panic(expected = "begin-only")]
+    fn retract_begin_rejects_non_stub_transactions() {
+        let mut h = fig3_history();
+        h.retract_begin(SessionId(3));
+    }
+
+    #[test]
+    fn mutation_deltas_are_observable_and_self_inverse() {
+        let mut h = History::new([]);
+        let g0 = h.generation();
+        let uid = h.uid();
+        h.begin_transaction(SessionId(0), TxId(1), 0, ev(1, EventKind::Begin));
+        h.append_event(SessionId(0), ev(2, EventKind::Write(Var(0), Value::Int(1))));
+        assert_eq!(h.generation(), g0 + 2);
+        let deltas: Vec<HistoryDelta> = h.deltas_since(g0).unwrap().copied().collect();
+        assert_eq!(
+            deltas,
+            vec![
+                HistoryDelta::Begin {
+                    session: SessionId(0),
+                    tx: TxId(1)
+                },
+                HistoryDelta::Append {
+                    tx: TxId(1),
+                    event: EventId(2),
+                    info: DeltaEventInfo::Write(Var(0)),
+                    po: 1
+                },
+            ]
+        );
+        // A rollback emits the inverse deltas rather than rewinding the log.
+        let mark = h.checkpoint();
+        let g1 = h.generation();
+        h.append_event(SessionId(0), ev(3, EventKind::Commit));
+        h.rollback(mark);
+        let tail: Vec<HistoryDelta> = h.deltas_since(g1).unwrap().copied().collect();
+        assert_eq!(
+            tail,
+            vec![
+                HistoryDelta::Append {
+                    tx: TxId(1),
+                    event: EventId(3),
+                    info: DeltaEventInfo::Commit,
+                    po: 2
+                },
+                HistoryDelta::Pop {
+                    tx: TxId(1),
+                    event: EventId(3),
+                    info: DeltaEventInfo::Commit,
+                    po: 2
+                },
+            ]
+        );
+        // Out-of-window and foreign sync points are rejected; clones are
+        // fresh observers.
+        assert!(h.deltas_since(h.generation() + 1).is_none());
+        let clone = h.clone();
+        assert_ne!(clone.uid(), uid);
+        assert_eq!(clone.generation(), 0);
+        assert_eq!(clone.deltas_since(0).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn delta_log_window_is_bounded() {
+        let mut h = History::new([]);
+        h.begin_transaction(SessionId(0), TxId(1), 0, ev(1, EventKind::Begin));
+        let start = h.generation();
+        for i in 0..DELTA_LOG_CAPACITY as u32 + 10 {
+            let e = EventId(2 + 2 * i);
+            h.append_event(SessionId(0), Event::new(e, EventKind::Read(Var(0))));
+            h.set_wr(e, TxId::INIT);
+            h.unset_wr(e);
+            h.pop_event(SessionId(0));
+        }
+        assert!(h.deltas_since(start).is_none(), "window must be trimmed");
+        let recent = h.generation() - 10;
+        assert_eq!(h.deltas_since(recent).unwrap().count(), 10);
     }
 
     #[test]

@@ -78,7 +78,10 @@ pub mod value;
 pub use arena::TxSet;
 pub use check::{engine_for, engine_for_with, ConsistencyChecker, EngineStats};
 pub use event::{Event, EventId, EventKind};
-pub use history::{EventFingerprint, History, HistoryFingerprint, HistoryMark, WriterRef};
+pub use history::{
+    DeltaEventInfo, EventFingerprint, History, HistoryDelta, HistoryFingerprint, HistoryMark,
+    WrTrial, WriterRef, DELTA_LOG_CAPACITY,
+};
 pub use isolation::IsolationLevel;
 pub use relations::{BitMatrix, Digraph};
 pub use stats::{clone_stats, reset_clone_stats};

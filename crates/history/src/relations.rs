@@ -66,6 +66,62 @@ impl BitMatrix {
         self.bits.resize(words, 0);
     }
 
+    /// Grows the matrix to `n × n`, preserving every existing bit (new rows
+    /// and columns start clear). Keeps the row stride when possible so the
+    /// incremental engines can add one vertex in O(row) instead of
+    /// rebuilding the matrix.
+    pub fn grow(&mut self, n: usize) {
+        assert!(n >= self.n, "grow cannot shrink the matrix");
+        let new_words_per_row = n.div_ceil(64).max(self.words_per_row);
+        if new_words_per_row == self.words_per_row {
+            self.bits.resize(n * self.words_per_row, 0);
+        } else {
+            // Stride change: re-home the rows back to front so the copy
+            // never overlaps unprocessed data.
+            let old_wpr = self.words_per_row;
+            self.bits.resize(n * new_words_per_row, 0);
+            for i in (0..self.n).rev() {
+                for w in (0..old_wpr).rev() {
+                    self.bits[i * new_words_per_row + w] = self.bits[i * old_wpr + w];
+                }
+                for w in old_wpr..new_words_per_row {
+                    self.bits[i * new_words_per_row + w] = 0;
+                }
+            }
+            self.words_per_row = new_words_per_row;
+        }
+        self.n = n;
+    }
+
+    /// Shrinks the matrix to `n × n`, clearing the dropped rows and columns
+    /// so a later [`grow`](BitMatrix::grow) sees zeros. The row stride is
+    /// kept, making a shrink-by-one O(n) for the incremental engines.
+    pub fn shrink(&mut self, n: usize) {
+        assert!(n <= self.n, "shrink cannot grow the matrix");
+        let wpr = self.words_per_row;
+        // Zero the dropped rows.
+        for w in &mut self.bits[n * wpr..self.n * wpr] {
+            *w = 0;
+        }
+        // Clear the dropped columns in the surviving rows.
+        let full_words = n / 64;
+        let mask = if n % 64 == 0 {
+            0
+        } else {
+            (1u64 << (n % 64)) - 1
+        };
+        for i in 0..n {
+            let row = i * wpr;
+            if n % 64 != 0 {
+                self.bits[row + full_words] &= mask;
+            }
+            for w in &mut self.bits[row + full_words + (n % 64 != 0) as usize..row + wpr] {
+                *w = 0;
+            }
+        }
+        self.n = n;
+    }
+
     /// Whether bit `(i, j)` is set.
     ///
     /// # Panics
@@ -74,6 +130,49 @@ impl BitMatrix {
     pub fn get(&self, i: usize, j: usize) -> bool {
         assert!(i < self.n && j < self.n, "bit index out of range");
         self.bits[i * self.words_per_row + j / 64] >> (j % 64) & 1 == 1
+    }
+
+    /// Clears bit `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn clear_bit(&mut self, i: usize, j: usize) {
+        assert!(i < self.n && j < self.n, "bit index out of range");
+        self.bits[i * self.words_per_row + j / 64] &= !(1 << (j % 64));
+    }
+
+    /// Number of words per row (the stride of [`BitMatrix::row`]).
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// Copies `words` into row `i` (extra row words beyond the slice are
+    /// cleared) — the restore half of the incremental engines'
+    /// save-dirty-rows protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is longer than a row.
+    pub fn restore_row(&mut self, i: usize, words: &[u64]) {
+        let wpr = self.words_per_row;
+        assert!(words.len() <= wpr, "saved row wider than the matrix");
+        let row = &mut self.bits[i * wpr..(i + 1) * wpr];
+        row[..words.len()].copy_from_slice(words);
+        for w in &mut row[words.len()..] {
+            *w = 0;
+        }
+    }
+
+    /// Unions `words` (and bit `j`) into row `i`: the closure step for an
+    /// inserted edge, where `words` is a copy of the new successor's row.
+    pub fn or_into_row_with_bit(&mut self, i: usize, words: &[u64], j: usize) {
+        let wpr = self.words_per_row;
+        let row = &mut self.bits[i * wpr..(i + 1) * wpr];
+        for (dw, sw) in row.iter_mut().zip(words) {
+            *dw |= *sw;
+        }
+        row[j / 64] |= 1 << (j % 64);
     }
 
     /// Sets bit `(i, j)`.
@@ -179,10 +278,53 @@ impl Digraph {
     ///
     /// Panics if `a` or `b` is out of range.
     pub fn add_edge(&mut self, a: usize, b: usize) {
+        self.try_add_edge(a, b);
+    }
+
+    /// Adds the edge `a → b`, returning whether it was newly inserted
+    /// (`false` when already present). The incremental engines record the
+    /// flag so an undo only removes edges it actually added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn try_add_edge(&mut self, a: usize, b: usize) -> bool {
         assert!(a < self.len() && b < self.len(), "vertex out of range");
-        if !self.adj[a].contains(&b) {
+        if self.adj[a].contains(&b) {
+            false
+        } else {
             self.adj[a].push(b);
+            true
         }
+    }
+
+    /// Removes the edge `a → b` if present (edges are unique).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn remove_edge(&mut self, a: usize, b: usize) {
+        if let Some(pos) = self.adj[a].iter().position(|w| *w == b) {
+            self.adj[a].remove(pos);
+        }
+    }
+
+    /// Appends a fresh vertex (with no edges), returning its index.
+    pub fn add_vertex(&mut self) -> usize {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Removes the last vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is empty or the vertex still has outgoing
+    /// edges. Incoming edges are the caller's responsibility: they live in
+    /// other vertices' adjacency lists and would dangle silently.
+    pub fn pop_vertex(&mut self) {
+        let last = self.adj.pop().expect("graph has a vertex to pop");
+        assert!(last.is_empty(), "popped vertex still has outgoing edges");
     }
 
     /// Successors of a vertex.
