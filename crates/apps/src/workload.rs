@@ -10,6 +10,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use txdpor_history::{IsolationLevel, LevelSpec};
 use txdpor_program::{Program, Session, TransactionDef};
 
 use crate::{courseware, shopping_cart, tpcc, twitter, wikipedia};
@@ -146,6 +147,182 @@ pub fn benchmark_programs(
         .collect()
 }
 
+/// A paper-shaped *mixed isolation* scenario: a per-transaction-type level
+/// assignment over one application's workload, mirroring how production
+/// databases run read-only analytics at Read Committed next to payment
+/// transactions at Serializability. Each scenario names a default level
+/// plus a set of `transaction name ↦ level` rules; applied to a concrete
+/// client program it yields the [`LevelSpec`] assigning every generated
+/// transaction (by its session and position) the level of its type.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MixedScenario {
+    /// Courseware: enrolments must be serializable, the rest stays causal.
+    CoursewareEnrollSer,
+    /// Courseware: enrollment queries demoted to Read Committed in an
+    /// otherwise serializable deployment.
+    CoursewareReadsRc,
+    /// Shopping cart: cart mutations at SER, browsing stays causal.
+    ShoppingCartAddSer,
+    /// Shopping cart: `get_cart` at RC next to serializable mutations.
+    ShoppingCartReadsRc,
+    /// TPC-C: `payment` at SER while `new_order` and the rest run causal
+    /// (the canonical mixed-workload example).
+    TpccPaymentSer,
+    /// TPC-C: the read-only `order_status`/`stock_level` queries at RC in
+    /// a serializable deployment.
+    TpccReadsRc,
+    /// Twitter: publishing tweets and follows at SER, timeline stays
+    /// causal.
+    TwitterTweetSer,
+    /// Twitter: timeline reads at RC next to serializable writes.
+    TwitterTimelineRc,
+    /// Wikipedia: page updates at SER, everything else causal.
+    WikipediaUpdateSer,
+    /// Wikipedia: anonymous/authenticated page reads at RC in a
+    /// serializable deployment.
+    WikipediaReadsRc,
+}
+
+impl MixedScenario {
+    /// All scenarios — two per application, in [`App::ALL`] order.
+    pub const ALL: [MixedScenario; 10] = [
+        MixedScenario::CoursewareEnrollSer,
+        MixedScenario::CoursewareReadsRc,
+        MixedScenario::ShoppingCartAddSer,
+        MixedScenario::ShoppingCartReadsRc,
+        MixedScenario::TpccPaymentSer,
+        MixedScenario::TpccReadsRc,
+        MixedScenario::TwitterTweetSer,
+        MixedScenario::TwitterTimelineRc,
+        MixedScenario::WikipediaUpdateSer,
+        MixedScenario::WikipediaReadsRc,
+    ];
+
+    /// The application whose workloads the scenario applies to.
+    pub fn app(self) -> App {
+        match self {
+            MixedScenario::CoursewareEnrollSer | MixedScenario::CoursewareReadsRc => {
+                App::Courseware
+            }
+            MixedScenario::ShoppingCartAddSer | MixedScenario::ShoppingCartReadsRc => {
+                App::ShoppingCart
+            }
+            MixedScenario::TpccPaymentSer | MixedScenario::TpccReadsRc => App::Tpcc,
+            MixedScenario::TwitterTweetSer | MixedScenario::TwitterTimelineRc => App::Twitter,
+            MixedScenario::WikipediaUpdateSer | MixedScenario::WikipediaReadsRc => App::Wikipedia,
+        }
+    }
+
+    /// Globally unique scenario name (`<app>:<slug>`), used in benchmark
+    /// labels and the fig14 JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            MixedScenario::CoursewareEnrollSer => "courseware:enroll-ser",
+            MixedScenario::CoursewareReadsRc => "courseware:reads-rc",
+            MixedScenario::ShoppingCartAddSer => "shoppingCart:cart-ser",
+            MixedScenario::ShoppingCartReadsRc => "shoppingCart:reads-rc",
+            MixedScenario::TpccPaymentSer => "tpcc:pay-ser",
+            MixedScenario::TpccReadsRc => "tpcc:reads-rc",
+            MixedScenario::TwitterTweetSer => "twitter:tweet-ser",
+            MixedScenario::TwitterTimelineRc => "twitter:timeline-rc",
+            MixedScenario::WikipediaUpdateSer => "wikipedia:update-ser",
+            MixedScenario::WikipediaReadsRc => "wikipedia:reads-rc",
+        }
+    }
+
+    /// The level of every transaction type without a rule.
+    pub fn default_level(self) -> IsolationLevel {
+        match self {
+            MixedScenario::CoursewareEnrollSer
+            | MixedScenario::ShoppingCartAddSer
+            | MixedScenario::TpccPaymentSer
+            | MixedScenario::TwitterTweetSer
+            | MixedScenario::WikipediaUpdateSer => IsolationLevel::CausalConsistency,
+            MixedScenario::CoursewareReadsRc
+            | MixedScenario::ShoppingCartReadsRc
+            | MixedScenario::TpccReadsRc
+            | MixedScenario::TwitterTimelineRc
+            | MixedScenario::WikipediaReadsRc => IsolationLevel::Serializability,
+        }
+    }
+
+    /// The `transaction name ↦ level` rules of the scenario.
+    pub fn rules(self) -> &'static [(&'static str, IsolationLevel)] {
+        use IsolationLevel::{ReadCommitted, Serializability};
+        match self {
+            MixedScenario::CoursewareEnrollSer => &[("enroll", Serializability)],
+            MixedScenario::CoursewareReadsRc => &[("get_enrollments", ReadCommitted)],
+            MixedScenario::ShoppingCartAddSer => &[
+                ("add_item", Serializability),
+                ("remove_item", Serializability),
+                ("change_quantity", Serializability),
+            ],
+            MixedScenario::ShoppingCartReadsRc => &[("get_cart", ReadCommitted)],
+            MixedScenario::TpccPaymentSer => &[("payment", Serializability)],
+            MixedScenario::TpccReadsRc => &[
+                ("order_status", ReadCommitted),
+                ("stock_level", ReadCommitted),
+            ],
+            MixedScenario::TwitterTweetSer => &[
+                ("publish_tweet", Serializability),
+                ("follow", Serializability),
+            ],
+            MixedScenario::TwitterTimelineRc => &[
+                ("get_timeline", ReadCommitted),
+                ("get_tweets", ReadCommitted),
+                ("get_followers", ReadCommitted),
+            ],
+            MixedScenario::WikipediaUpdateSer => &[("update_page", Serializability)],
+            MixedScenario::WikipediaReadsRc => &[
+                ("get_page_anonymous", ReadCommitted),
+                ("get_page_authenticated", ReadCommitted),
+            ],
+        }
+    }
+
+    /// The weakest level the scenario assigns — the natural (uniform,
+    /// causally-extensible) exploration base for `explore-ce*` against the
+    /// scenario's spec.
+    pub fn base_level(self) -> IsolationLevel {
+        let mut weakest = self.default_level();
+        for &(_, l) in self.rules() {
+            if l.weaker_or_equal(weakest) {
+                weakest = l;
+            }
+        }
+        weakest
+    }
+
+    /// Resolves the scenario against a concrete client program: every
+    /// transaction whose type name matches a rule gets the rule's level,
+    /// everything else the default.
+    pub fn spec_for(self, program: &Program) -> LevelSpec {
+        let mut spec = LevelSpec::uniform(self.default_level());
+        for (s, session) in program.sessions.iter().enumerate() {
+            for (i, t) in session.transactions.iter().enumerate() {
+                if let Some(&(_, level)) = self.rules().iter().find(|(n, _)| *n == t.name) {
+                    spec = spec.with_override(s as u32, i as u32, level);
+                }
+            }
+        }
+        spec
+    }
+
+    /// The scenarios of one application.
+    pub fn scenarios_for(app: App) -> Vec<MixedScenario> {
+        MixedScenario::ALL
+            .into_iter()
+            .filter(|s| s.app() == app)
+            .collect()
+    }
+}
+
+impl std::fmt::Display for MixedScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// The full benchmark suite of Fig. 14 / Table F.1: five client programs
 /// per application, 3 sessions × 3 transactions.
 pub fn paper_benchmark_suite() -> Vec<(String, Program)> {
@@ -193,6 +370,84 @@ mod tests {
                 let result = txdpor_program::execute_serial(&p);
                 assert!(result.is_ok(), "{app} seed {seed} failed: {result:?}");
             }
+        }
+    }
+
+    #[test]
+    fn two_mixed_scenarios_per_app_with_unique_names() {
+        use std::collections::BTreeSet;
+        for app in App::ALL {
+            assert_eq!(
+                MixedScenario::scenarios_for(app).len(),
+                2,
+                "{app} needs two mixed scenarios"
+            );
+        }
+        let names: BTreeSet<_> = MixedScenario::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), MixedScenario::ALL.len());
+        for s in MixedScenario::ALL {
+            assert!(
+                s.name().starts_with(s.app().name()),
+                "{} must be prefixed by its app",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_scenario_rules_name_real_transaction_types() {
+        // Guard against rule-name typos: every rule name must be produced
+        // by the app's transaction generator.
+        use std::collections::BTreeSet;
+        for scenario in MixedScenario::ALL {
+            let mut seen: BTreeSet<String> = BTreeSet::new();
+            let mut rng = StdRng::seed_from_u64(7);
+            for _ in 0..500 {
+                seen.insert(scenario.app().random_transaction(&mut rng).name.clone());
+            }
+            for (name, _) in scenario.rules() {
+                assert!(
+                    seen.contains(*name),
+                    "{scenario}: rule names unknown transaction type {name:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_scenario_specs_resolve_by_transaction_type() {
+        for scenario in MixedScenario::ALL {
+            let program = client_program(&WorkloadConfig {
+                app: scenario.app(),
+                sessions: 3,
+                transactions_per_session: 3,
+                seed: 1,
+            });
+            let spec = scenario.spec_for(&program);
+            for (s, session) in program.sessions.iter().enumerate() {
+                for (i, t) in session.transactions.iter().enumerate() {
+                    let want = scenario
+                        .rules()
+                        .iter()
+                        .find(|(n, _)| *n == t.name)
+                        .map(|&(_, l)| l)
+                        .unwrap_or(scenario.default_level());
+                    assert_eq!(
+                        spec.level_of(s as u32, i as u32),
+                        want,
+                        "{scenario} mis-assigned {} at s{s}.t{i}",
+                        t.name
+                    );
+                }
+            }
+            // The uniform base is pointwise weaker than the resolved spec,
+            // as `explore-ce*` requires.
+            let base = txdpor_history::LevelSpec::uniform(scenario.base_level());
+            assert!(
+                base.weaker_or_equal(&spec),
+                "{scenario}: base {} not pointwise weaker than {spec}",
+                scenario.base_level()
+            );
         }
     }
 

@@ -15,10 +15,10 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use txdpor_apps::workload::{client_program, App, WorkloadConfig};
+use txdpor_apps::workload::{client_program, App, MixedScenario, WorkloadConfig};
 use txdpor_history::{
-    engine_for, engine_for_with, ConsistencyChecker, Event, EventId, EventKind, History,
-    IsolationLevel, TxId, VarTable,
+    engine_for, engine_for_spec_with, engine_for_with, ConsistencyChecker, Event, EventId,
+    EventKind, History, IsolationLevel, LevelSpec, MixedEngine, TxId, VarTable, DELTA_LOG_CAPACITY,
 };
 use txdpor_program::{initial_history, oracle_next, Program, SchedulerStep, TxStep};
 
@@ -93,31 +93,50 @@ fn churn_wr_edges(h: &mut History, rng: &mut StdRng) {
     }
 }
 
-/// One synced engine per isolation level: memoisation disabled so every
-/// check exercises the sync-and-decide path, plus a memoised causal engine
-/// for the production configuration.
+/// A fleet of long-lived engines, each paired with the [`LevelSpec`] it
+/// decides: one per isolation level (memoisation disabled so every check
+/// exercises the sync-and-decide path), a memoised causal engine for the
+/// production configuration, the *mixed* engines of the given specs, and
+/// — pinning the uniform-degeneration guarantee — a [`MixedEngine`]
+/// *forced* onto the mixed code path for every uniform level.
 struct EngineFleet {
-    engines: Vec<Box<dyn ConsistencyChecker>>,
+    engines: Vec<(Box<dyn ConsistencyChecker>, LevelSpec)>,
 }
 
 impl EngineFleet {
-    fn new() -> Self {
-        let mut engines: Vec<Box<dyn ConsistencyChecker>> = IsolationLevel::ALL
+    fn new(mixed_specs: &[LevelSpec]) -> Self {
+        let mut engines: Vec<(Box<dyn ConsistencyChecker>, LevelSpec)> = IsolationLevel::ALL
             .into_iter()
-            .map(|level| engine_for_with(level, false))
+            .map(|level| {
+                (
+                    engine_for_with(level, false) as Box<dyn ConsistencyChecker>,
+                    LevelSpec::uniform(level),
+                )
+            })
             .collect();
-        engines.push(engine_for(IsolationLevel::CausalConsistency));
+        engines.push((
+            engine_for(IsolationLevel::CausalConsistency),
+            LevelSpec::uniform(IsolationLevel::CausalConsistency),
+        ));
+        for level in IsolationLevel::ALL {
+            let spec = LevelSpec::uniform(level);
+            engines.push((Box::new(MixedEngine::new(spec.clone(), false)), spec));
+        }
+        for spec in mixed_specs {
+            engines.push((engine_for_spec_with(spec, false), spec.clone()));
+            engines.push((engine_for_spec_with(spec, true), spec.clone()));
+        }
         EngineFleet { engines }
     }
 
-    /// Asserts every engine agrees with a fresh from-scratch check.
+    /// Asserts every engine agrees with a fresh from-scratch check of its
+    /// spec.
     fn assert_agree(&mut self, h: &History) {
-        for engine in &mut self.engines {
-            let level = engine.level();
+        for (engine, spec) in &mut self.engines {
             assert_eq!(
                 engine.check(h),
-                level.satisfies(h),
-                "incrementally synced {level} engine disagrees with a fresh check on\n{h}"
+                spec.satisfies(h),
+                "incrementally synced {spec} engine disagrees with a fresh check on\n{h}"
             );
         }
     }
@@ -140,7 +159,13 @@ proptest! {
         let mut vars = VarTable::new();
         let mut rng = StdRng::seed_from_u64(seed ^ 0x1dc0_ffee);
         let mut h = initial_history(&program, &mut vars);
-        let mut fleet = EngineFleet::new();
+        // The app's paper-shaped mixed scenarios, resolved against this
+        // program, ride along in the fleet.
+        let mixed_specs: Vec<LevelSpec> = MixedScenario::scenarios_for(app)
+            .into_iter()
+            .map(|sc| sc.spec_for(&program))
+            .collect();
+        let mut fleet = EngineFleet::new(&mixed_specs);
         fleet.assert_agree(&h);
 
         // Random prefix walk with the engines shadowing every step.
@@ -174,5 +199,84 @@ proptest! {
             }
             fleet.assert_agree(&h);
         }
+    }
+}
+
+/// Regression: a churn burst that overflows [`DELTA_LOG_CAPACITY`] between
+/// two engine syncs — with a checkpoint open across the burst — followed
+/// by a rollback must leave every engine on the *full-rebuild* path (the
+/// trimmed delta window is unreplayable), never on a silently divergent
+/// incremental sync. Verdicts are pinned bit-identical to fresh engines on
+/// both sides of the overflow boundary.
+#[test]
+fn delta_log_eviction_with_open_checkpoint_forces_full_rebuild() {
+    let program = client_program(&WorkloadConfig {
+        app: App::Tpcc,
+        sessions: 3,
+        transactions_per_session: 2,
+        seed: 5,
+    });
+    let mut vars = VarTable::new();
+    let mut rng = StdRng::seed_from_u64(0xeb1c7);
+    let mut h = initial_history(&program, &mut vars);
+    // Walk until at least one re-pointable external read exists.
+    while h.reads_from().is_empty() {
+        assert!(
+            apply_random_step(&program, &mut h, &mut vars, &mut rng),
+            "tpcc workloads read before finishing"
+        );
+    }
+    let mixed = MixedScenario::TpccPaymentSer.spec_for(&program);
+    let mut fleet = EngineFleet::new(std::slice::from_ref(&mixed));
+    fleet.assert_agree(&h); // sync every engine at the pre-burst generation
+
+    let stats_before: Vec<_> = fleet.engines.iter().map(|(e, _)| e.stats()).collect();
+
+    // Open a checkpoint and churn one read's wr edge until the delta ring
+    // has wrapped well past the engines' sync generation, then roll back.
+    let snapshot = h.clone();
+    let synced_gen = h.generation();
+    let mark = h.checkpoint();
+    let (_, read, var, _) = h.reads_from()[0];
+    let writers = h.committed_writers_of(var);
+    for i in 0..DELTA_LOG_CAPACITY {
+        h.set_wr(read, writers[i % writers.len()]);
+        h.unset_wr(read);
+        h.set_wr(read, writers[(i + 1) % writers.len()]);
+        h.unset_wr(read);
+    }
+    h.rollback(mark);
+    assert_eq!(h, snapshot, "rollback must restore the history exactly");
+    assert!(
+        h.deltas_since(synced_gen).is_none(),
+        "the burst must actually trim the engines' sync window"
+    );
+
+    // Every engine re-syncs by rebuilding — and answers exactly like a
+    // fresh engine. Memoised engines may legitimately serve the restored
+    // (structurally pre-burst) history from their memo instead; what is
+    // forbidden is an *incremental* sync across the trimmed window.
+    fleet.assert_agree(&h);
+    for ((engine, spec), before) in fleet.engines.iter().zip(stats_before) {
+        let after = engine.stats();
+        let rebuilt = after.full_rebuilds > before.full_rebuilds;
+        let memo_served = after.memo_hits > before.memo_hits;
+        let trivial = spec.as_uniform() == Some(IsolationLevel::Trivial);
+        assert!(
+            rebuilt || memo_served || trivial,
+            "{spec} engine crossed a trimmed delta window without a rebuild"
+        );
+        assert_eq!(
+            after.incremental_hits, before.incremental_hits,
+            "{spec} engine claimed an incremental sync across a trimmed delta window"
+        );
+    }
+
+    // And keeps tracking incrementally afterwards.
+    for _ in 0..6 {
+        if !apply_random_step(&program, &mut h, &mut vars, &mut rng) {
+            break;
+        }
+        fleet.assert_agree(&h);
     }
 }

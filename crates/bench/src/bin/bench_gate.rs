@@ -1,35 +1,25 @@
 //! Bench-regression gate: re-runs the deterministic courseware rows of
 //! Fig. 14 and fails (exit 1) if any count (`histories`, `end_states`,
-//! `explore_calls`) differs from the committed `BENCH_fig14.json`.
+//! `explore_calls`) or `levels` spec label differs from the committed
+//! `BENCH_fig14.json`.
 //!
 //! The exploration counts are pure functions of the algorithm and the
 //! (seeded) benchmark program, so they are machine-independent — unlike
 //! wall-clock time and peak allocation, which are reported but never
 //! gated. Rows that timed out in the baseline are skipped (a timed-out
-//! run's counts depend on where the clock cut it off).
+//! run's counts depend on where the clock cut it off). Rows the re-run
+//! produces that the baseline does not know are listed once as *new* and
+//! do not fail the gate; missing, mismatching and extra rows are collected
+//! into one readable report (see [`txdpor_bench::gate`]).
 //!
 //! Usage: `cargo run --release -p txdpor-bench --bin bench_gate --
 //! [--baseline BENCH_fig14.json] [--timeout <s>] [--apps courseware]`
 
 use std::time::Duration;
 
+use txdpor_bench::gate::{algorithm_for_label, baseline_rows, compare};
 use txdpor_bench::json::JsonValue;
-use txdpor_bench::{experiment_fig14_with, flag_value, Algorithm, ExperimentOptions, Measurement};
-use txdpor_history::IsolationLevel;
-
-/// The committed algorithm labels mapped back to configurations. Labels
-/// absent from this table (e.g. a differently-sized parallel run) are
-/// skipped with a notice rather than failing the gate.
-fn algorithm_for_label(label: &str) -> Option<Algorithm> {
-    let cc = IsolationLevel::CausalConsistency;
-    let mut table: Vec<Algorithm> = Algorithm::FIG14.to_vec();
-    table.push(Algorithm::ExploreCeNoMemo(cc));
-    table.push(Algorithm::ExploreCeNoOptimality(cc));
-    for workers in 1..=64 {
-        table.push(Algorithm::ExploreCeParallel(cc, workers));
-    }
-    table.into_iter().find(|a| a.label() == label)
-}
+use txdpor_bench::{experiment_fig14_with, flag_value, ExperimentOptions};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,136 +44,60 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let config = doc.get("config").expect("baseline has a config object");
-    let field = |v: &JsonValue, key: &str| -> i64 {
-        v.get(key)
-            .and_then(JsonValue::as_i64)
-            .unwrap_or_else(|| panic!("baseline row missing {key}"))
+    let config = doc.get("config");
+    let field = |key: &str| -> usize {
+        match config.and_then(|c| c.get(key)).and_then(JsonValue::as_i64) {
+            Some(v) => v as usize,
+            None => {
+                eprintln!("bench_gate: baseline config lacks {key:?}");
+                std::process::exit(1);
+            }
+        }
     };
+    let app_names: Vec<String> = apps.split(',').map(|s| s.trim().to_owned()).collect();
     let options = ExperimentOptions {
-        variants: field(config, "variants") as usize,
-        sessions: field(config, "sessions") as usize,
-        transactions: field(config, "transactions") as usize,
+        variants: field("variants"),
+        sessions: field("sessions"),
+        transactions: field("transactions"),
         timeout: Duration::from_secs(timeout),
-        apps: Some(apps.split(',').map(|s| s.trim().to_owned()).collect()),
+        apps: Some(app_names.clone()),
+        levels: None,
     };
 
-    // Baseline rows for the gated apps, excluding timed-out ones.
-    let rows = doc.get("rows").and_then(JsonValue::as_array).unwrap_or(&[]);
-    let gated: Vec<(&str, &str, i64, i64, i64)> = rows
-        .iter()
-        .filter(|r| {
-            let bench = r.get("benchmark").and_then(JsonValue::as_str).unwrap_or("");
-            // Benchmarks are named `<app>-<variant>`: match the app name
-            // exactly, mirroring the suite filter of `fig14_suite`.
-            options
-                .apps
-                .as_ref()
-                .expect("apps filter set above")
-                .iter()
-                .any(|a| {
-                    bench
-                        .strip_prefix(a.as_str())
-                        .is_some_and(|rest| rest.starts_with('-'))
-                })
-                && r.get("timed_out").and_then(JsonValue::as_bool) == Some(false)
+    // Benchmarks are named `<app>-<variant>`: match the app name exactly,
+    // mirroring the suite filter of `fig14_suite`.
+    let in_suite = |bench: &str| {
+        app_names.iter().any(|a| {
+            bench
+                .strip_prefix(a.as_str())
+                .is_some_and(|rest| rest.starts_with('-'))
         })
-        .map(|r| {
-            (
-                r.get("benchmark").and_then(JsonValue::as_str).unwrap(),
-                r.get("algorithm").and_then(JsonValue::as_str).unwrap(),
-                field(r, "histories"),
-                field(r, "end_states"),
-                field(r, "explore_calls"),
-            )
-        })
-        .collect();
-    if gated.is_empty() {
+    };
+    let (gated, notices) = baseline_rows(&doc, in_suite);
+    if gated.iter().all(|r| r.timed_out) {
         eprintln!("bench_gate: no gateable rows for apps {apps:?} in {baseline_path}");
+        for n in &notices {
+            eprintln!("note {n}");
+        }
         std::process::exit(1);
     }
 
-    // Re-run every algorithm the baseline used on those apps.
+    // Re-run every algorithm with a count-comparable (non-timed-out)
+    // baseline row on those apps; algorithms whose baseline rows all
+    // timed out have nothing to compare and would only burn the timeout.
     let mut algorithms = Vec::new();
-    for (_, label, ..) in &gated {
-        match algorithm_for_label(label) {
+    for row in gated.iter().filter(|r| !r.timed_out) {
+        match algorithm_for_label(&row.algorithm) {
             Some(a) if !algorithms.contains(&a) => algorithms.push(a),
-            Some(_) => {}
-            None => eprintln!("bench_gate: skipping unknown algorithm label {label:?}"),
+            _ => {}
         }
     }
     let measured = experiment_fig14_with(&options, &algorithms);
-    let find = |bench: &str, label: &str| -> Option<&Measurement> {
-        measured
-            .iter()
-            .find(|m| m.benchmark == bench && m.algorithm == label)
-    };
 
-    let mut failures = 0;
-    let mut checked = 0;
-    for (bench, label, histories, end_states, explore_calls) in &gated {
-        let Some(m) = find(bench, label) else {
-            if algorithm_for_label(label).is_some() {
-                eprintln!("FAIL {bench}/{label}: row missing from the re-run");
-                failures += 1;
-            }
-            continue;
-        };
-        if m.timed_out {
-            eprintln!(
-                "FAIL {bench}/{label}: timed out after {timeout}s while the baseline did not"
-            );
-            failures += 1;
-            continue;
-        }
-        checked += 1;
-        for (what, want, got) in [
-            ("histories", *histories, m.histories as i64),
-            ("end_states", *end_states, m.end_states as i64),
-            ("explore_calls", *explore_calls, m.explore_calls as i64),
-        ] {
-            if want != got {
-                eprintln!("FAIL {bench}/{label}: {what} = {got}, baseline has {want}");
-                failures += 1;
-            }
-        }
-    }
-
-    // Catastrophic-slowdown guard: the fresh run must not time out more
-    // often than the baseline did *on the gated sub-suite* (counted from
-    // the baseline rows matching the app filter — the summary's timeout
-    // count covers the full suite and would mask sub-suite regressions on
-    // rows the per-row check skips because their baseline also timed out).
-    let in_suite = |bench: &str| {
-        options
-            .apps
-            .as_ref()
-            .expect("apps filter set above")
-            .iter()
-            .any(|a| {
-                bench
-                    .strip_prefix(a.as_str())
-                    .is_some_and(|rest| rest.starts_with('-'))
-            })
-    };
-    let baseline_timeouts = rows
-        .iter()
-        .filter(|r| {
-            in_suite(r.get("benchmark").and_then(JsonValue::as_str).unwrap_or(""))
-                && r.get("timed_out").and_then(JsonValue::as_bool) == Some(true)
-        })
-        .count();
-    let fresh_timeouts = measured.iter().filter(|m| m.timed_out).count();
-    if fresh_timeouts > baseline_timeouts {
-        eprintln!(
-            "FAIL timeouts: fresh run hit {fresh_timeouts} timeout(s), baseline has \
-             {baseline_timeouts} on this sub-suite"
-        );
-        failures += 1;
-    }
-
-    println!("bench_gate: {checked} row(s) checked against {baseline_path}, {failures} failure(s)");
-    if failures > 0 {
+    let mut report = compare(&gated, &measured, timeout);
+    report.notices.splice(0..0, notices);
+    print!("{}", report.render(&baseline_path));
+    if !report.ok() {
         std::process::exit(1);
     }
 }

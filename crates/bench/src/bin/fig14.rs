@@ -16,8 +16,8 @@
 use txdpor_bench::json::JsonValue;
 use txdpor_bench::tables::print_cactus;
 use txdpor_bench::{
-    average_speedup, experiment_fig14_with, flag_value, write_experiment_json, Algorithm,
-    ExperimentOptions, Measurement,
+    average_speedup, experiment_fig14_with, fig14_mixed_algorithms, flag_value,
+    write_experiment_json, Algorithm, ExperimentOptions, Measurement,
 };
 use txdpor_history::IsolationLevel;
 
@@ -67,6 +67,10 @@ fn main() {
     if with_ablation {
         algorithms.push(Algorithm::ExploreCeNoOptimality(cc_level));
     }
+    // The mixed-isolation scenarios (two per application, e.g. TPC-C
+    // payment@SER next to new-order@CC): each runs only on its own
+    // application's programs.
+    algorithms.extend(fig14_mixed_algorithms());
 
     let rows = experiment_fig14_with(&options, &algorithms);
     println!();

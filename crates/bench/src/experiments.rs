@@ -3,8 +3,10 @@
 
 use std::time::Duration;
 
-use txdpor_apps::workload::{benchmark_programs, client_program, App, WorkloadConfig};
-use txdpor_history::IsolationLevel;
+use txdpor_apps::workload::{
+    benchmark_programs, client_program, App, MixedScenario, WorkloadConfig,
+};
+use txdpor_history::{IsolationLevel, ParseLevelError};
 use txdpor_program::Program;
 
 use crate::harness::{run, Algorithm, Measurement};
@@ -25,6 +27,11 @@ pub struct ExperimentOptions {
     /// by the CI bench-regression gate to run only the fast, deterministic
     /// configurations.
     pub apps: Option<Vec<String>>,
+    /// Restrict the suite to algorithm configurations whose involved
+    /// isolation levels are all listed here (comma-separated short names
+    /// on the command line, e.g. `--levels CC,SER`); `None` runs every
+    /// configuration.
+    pub levels: Option<Vec<IsolationLevel>>,
 }
 
 impl Default for ExperimentOptions {
@@ -37,6 +44,7 @@ impl Default for ExperimentOptions {
             sessions: 3,
             transactions: 3,
             apps: None,
+            levels: None,
         }
     }
 }
@@ -51,13 +59,17 @@ impl ExperimentOptions {
             sessions: 3,
             transactions: 3,
             apps: None,
+            levels: None,
         }
     }
 
     /// Parses the common flags of the experiment binaries:
     /// `--full`, `--timeout <seconds>`, `--variants <n>`,
     /// `--sessions <n>`, `--transactions <n>`,
-    /// `--apps <name[,name...]>`.
+    /// `--apps <name[,name...]>`, `--levels <name[,name...]>`.
+    ///
+    /// An unknown isolation level in `--levels` prints the accepted names
+    /// and exits with status 2 (a controlled rejection, not a panic).
     pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
         let mut options = ExperimentOptions::default();
         let mut args = args.into_iter();
@@ -65,8 +77,11 @@ impl ExperimentOptions {
             match arg.as_str() {
                 "--full" => {
                     let timeout = options.timeout.max(Duration::from_secs(30 * 60));
+                    let (apps, levels) = (options.apps.take(), options.levels.take());
                     options = ExperimentOptions::paper();
                     options.timeout = timeout;
+                    options.apps = apps;
+                    options.levels = levels;
                 }
                 "--timeout" => {
                     if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
@@ -93,11 +108,39 @@ impl ExperimentOptions {
                         options.apps = Some(v.split(',').map(|s| s.trim().to_owned()).collect());
                     }
                 }
+                "--levels" => {
+                    if let Some(v) = args.next() {
+                        match parse_levels(&v) {
+                            Ok(levels) => options.levels = Some(levels),
+                            Err(e) => {
+                                eprintln!("--levels: {e}");
+                                std::process::exit(2);
+                            }
+                        }
+                    }
+                }
                 _ => {}
             }
         }
         options
     }
+
+    /// Whether the algorithm configuration passes the `--levels` filter:
+    /// with no filter everything runs; otherwise every level the
+    /// configuration involves must be listed.
+    pub fn allows_algorithm(&self, algo: &Algorithm) -> bool {
+        match &self.levels {
+            None => true,
+            Some(allowed) => algo.involved_levels().iter().all(|l| allowed.contains(l)),
+        }
+    }
+}
+
+/// Parses a comma-separated list of isolation-level short names
+/// (`"CC,SER"`), as accepted by the `--levels` flag. The error of an
+/// unknown name lists the accepted short names.
+pub fn parse_levels(s: &str) -> Result<Vec<IsolationLevel>, ParseLevelError> {
+    s.split(',').map(|part| part.trim().parse()).collect()
 }
 
 /// The value following a `--flag` in an argument list, for valued flags
@@ -136,6 +179,9 @@ pub fn experiment_fig14(options: &ExperimentOptions) -> Vec<Measurement> {
 }
 
 /// Like [`experiment_fig14`] but with a custom set of algorithms.
+/// Configurations are skipped on benchmarks they do not apply to (mixed
+/// scenarios only run on their own application) and when rejected by the
+/// `--levels` filter.
 pub fn experiment_fig14_with(
     options: &ExperimentOptions,
     algorithms: &[Algorithm],
@@ -143,11 +189,24 @@ pub fn experiment_fig14_with(
     let mut out = Vec::new();
     for (name, program) in fig14_suite(options) {
         for algo in algorithms {
+            if !algo.applicable_to(&name) || !options.allows_algorithm(algo) {
+                continue;
+            }
             eprintln!("[fig14] {name} / {algo} ...");
             out.push(run(&name, &program, *algo, options.timeout));
         }
     }
     out
+}
+
+/// The mixed-isolation configurations of the fig14 suite: one
+/// `explore-ce*` row per [`MixedScenario`] (two per application), each
+/// running only on its own application's programs.
+pub fn fig14_mixed_algorithms() -> Vec<Algorithm> {
+    MixedScenario::ALL
+        .into_iter()
+        .map(Algorithm::ExploreCeMixed)
+        .collect()
 }
 
 /// The applications used by the scalability experiments (Fig. 15): TPC-C
@@ -257,6 +316,72 @@ mod tests {
     }
 
     #[test]
+    fn levels_parsing_round_trips_and_rejects_unknown_names() {
+        assert_eq!(
+            parse_levels("CC, SER"),
+            Ok(vec![
+                IsolationLevel::CausalConsistency,
+                IsolationLevel::Serializability
+            ])
+        );
+        assert_eq!(parse_levels("true"), Ok(vec![IsolationLevel::Trivial]));
+        let err = parse_levels("CC,serializable").unwrap_err().to_string();
+        assert!(err.contains("serializable"), "{err}");
+        assert!(err.contains("SER") && err.contains("true"), "{err}");
+        let parsed = ExperimentOptions::from_args(["--levels", "RC,CC"].map(String::from));
+        assert_eq!(
+            parsed.levels,
+            Some(vec![
+                IsolationLevel::ReadCommitted,
+                IsolationLevel::CausalConsistency
+            ])
+        );
+    }
+
+    #[test]
+    fn levels_filter_restricts_algorithms() {
+        let mut options = ExperimentOptions::default();
+        let cc = Algorithm::ExploreCe(IsolationLevel::CausalConsistency);
+        let cc_ser = Algorithm::ExploreCeStar(
+            IsolationLevel::CausalConsistency,
+            IsolationLevel::Serializability,
+        );
+        assert!(options.allows_algorithm(&cc));
+        assert!(options.allows_algorithm(&cc_ser));
+        options.levels = Some(vec![IsolationLevel::CausalConsistency]);
+        assert!(options.allows_algorithm(&cc));
+        assert!(!options.allows_algorithm(&cc_ser), "SER is not listed");
+        // A mixed scenario involves its base, default and rule levels.
+        let mixed = Algorithm::ExploreCeMixed(MixedScenario::TpccPaymentSer);
+        assert!(!options.allows_algorithm(&mixed));
+        options.levels = Some(vec![
+            IsolationLevel::CausalConsistency,
+            IsolationLevel::Serializability,
+        ]);
+        assert!(options.allows_algorithm(&mixed));
+    }
+
+    #[test]
+    fn mixed_algorithms_only_run_on_their_own_app() {
+        let options = ExperimentOptions {
+            timeout: Duration::from_secs(5),
+            variants: 1,
+            sessions: 2,
+            transactions: 1,
+            apps: None,
+            levels: None,
+        };
+        let rows = experiment_fig14_with(
+            &options,
+            &[Algorithm::ExploreCeMixed(MixedScenario::TpccPaymentSer)],
+        );
+        assert_eq!(rows.len(), 1, "one tpcc variant, one scenario");
+        assert_eq!(rows[0].benchmark, "tpcc-1");
+        assert_eq!(rows[0].algorithm, "CC + mix:tpcc:pay-ser");
+        assert!(!rows[0].levels.is_empty());
+    }
+
+    #[test]
     fn apps_filter_restricts_suite() {
         let options = ExperimentOptions {
             variants: 2,
@@ -287,6 +412,7 @@ mod tests {
             sessions: 2,
             transactions: 1,
             apps: None,
+            levels: None,
         };
         let rows = experiment_fig14_with(
             &options,

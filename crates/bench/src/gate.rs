@@ -1,0 +1,445 @@
+//! Row-diff logic of the bench-regression gate (`bench_gate` binary).
+//!
+//! The gate re-runs the deterministic rows of the committed
+//! `BENCH_fig14.json` and compares the machine-independent exploration
+//! counts (`histories`, `end_states`, `explore_calls`) plus the `levels`
+//! spec label. The comparison is *set-based* and collected into one
+//! readable report:
+//!
+//! * baseline rows missing from the re-run are failures;
+//! * re-run rows absent from the baseline are reported once as **new**
+//!   (non-fatal — adding a configuration must not abort the gate);
+//! * malformed baseline rows (missing fields) are skipped with a notice
+//!   instead of panicking at the first absent key;
+//! * a fresh run may not time out more often than the baseline did on the
+//!   gated sub-suite.
+
+use crate::harness::{Algorithm, Measurement};
+use crate::json::JsonValue;
+use txdpor_apps::workload::MixedScenario;
+use txdpor_history::IsolationLevel;
+
+/// One gateable row of the committed baseline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BaselineRow {
+    /// Benchmark identifier (`tpcc-2`).
+    pub benchmark: String,
+    /// Algorithm label (`CC + SER`).
+    pub algorithm: String,
+    /// The `levels` spec label, absent in pre-mixed baselines.
+    pub levels: Option<String>,
+    /// Gated counts.
+    pub histories: i64,
+    /// Number of complete executions.
+    pub end_states: i64,
+    /// Number of explore calls.
+    pub explore_calls: i64,
+    /// Whether the baseline run hit its timeout (counts not comparable).
+    pub timed_out: bool,
+}
+
+/// Outcome of comparing a re-run against the baseline rows.
+#[derive(Clone, Debug, Default)]
+pub struct GateReport {
+    /// Rows whose counts were compared.
+    pub checked: usize,
+    /// Human-readable failures (count mismatches, missing rows, timeout
+    /// regressions).
+    pub failures: Vec<String>,
+    /// Re-run rows with no baseline counterpart — listed once, non-fatal.
+    pub new_rows: Vec<String>,
+    /// Non-fatal notices (malformed baseline rows, unknown labels,
+    /// timed-out baselines skipped).
+    pub notices: Vec<String>,
+}
+
+impl GateReport {
+    /// Whether the gate passes.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Renders the full report, sections ordered new → notices → failures
+    /// so the verdict-relevant lines come last.
+    pub fn render(&self, baseline_path: &str) -> String {
+        let mut out = String::new();
+        for row in &self.new_rows {
+            out.push_str(&format!("NEW  {row} (not in baseline; not gated)\n"));
+        }
+        for notice in &self.notices {
+            out.push_str(&format!("note {notice}\n"));
+        }
+        for failure in &self.failures {
+            out.push_str(&format!("FAIL {failure}\n"));
+        }
+        out.push_str(&format!(
+            "bench_gate: {} row(s) checked against {baseline_path}, {} new, {} failure(s)\n",
+            self.checked,
+            self.new_rows.len(),
+            self.failures.len()
+        ));
+        out
+    }
+}
+
+/// The committed algorithm labels mapped back to configurations. Labels
+/// absent from this table (e.g. a differently-sized parallel run) are
+/// reported as notices rather than failing the gate.
+pub fn algorithm_for_label(label: &str) -> Option<Algorithm> {
+    let cc = IsolationLevel::CausalConsistency;
+    let mut table: Vec<Algorithm> = Algorithm::FIG14.to_vec();
+    table.push(Algorithm::ExploreCeNoMemo(cc));
+    table.push(Algorithm::ExploreCeNoOptimality(cc));
+    for workers in 1..=64 {
+        table.push(Algorithm::ExploreCeParallel(cc, workers));
+    }
+    table.extend(
+        MixedScenario::ALL
+            .into_iter()
+            .map(Algorithm::ExploreCeMixed),
+    );
+    table.into_iter().find(|a| a.label() == label)
+}
+
+/// Extracts the gateable rows of a parsed baseline document, keeping only
+/// benchmarks accepted by `in_suite`. Malformed rows become notices
+/// instead of panics.
+pub fn baseline_rows<F: Fn(&str) -> bool>(
+    doc: &JsonValue,
+    in_suite: F,
+) -> (Vec<BaselineRow>, Vec<String>) {
+    let mut rows = Vec::new();
+    let mut notices = Vec::new();
+    for (i, r) in doc
+        .get("rows")
+        .and_then(JsonValue::as_array)
+        .unwrap_or(&[])
+        .iter()
+        .enumerate()
+    {
+        let benchmark = r.get("benchmark").and_then(JsonValue::as_str);
+        let algorithm = r.get("algorithm").and_then(JsonValue::as_str);
+        let (Some(benchmark), Some(algorithm)) = (benchmark, algorithm) else {
+            notices.push(format!(
+                "baseline row #{i} lacks benchmark/algorithm; skipped"
+            ));
+            continue;
+        };
+        if !in_suite(benchmark) {
+            continue;
+        }
+        let ints = ["histories", "end_states", "explore_calls"]
+            .map(|k| r.get(k).and_then(JsonValue::as_i64));
+        let timed_out = r.get("timed_out").and_then(JsonValue::as_bool);
+        let ([Some(histories), Some(end_states), Some(explore_calls)], Some(timed_out)) =
+            (ints, timed_out)
+        else {
+            notices.push(format!(
+                "baseline row {benchmark}/{algorithm} lacks a gated field; skipped"
+            ));
+            continue;
+        };
+        rows.push(BaselineRow {
+            benchmark: benchmark.to_owned(),
+            algorithm: algorithm.to_owned(),
+            levels: r
+                .get("levels")
+                .and_then(JsonValue::as_str)
+                .map(str::to_owned),
+            histories,
+            end_states,
+            explore_calls,
+            timed_out,
+        });
+    }
+    (rows, notices)
+}
+
+/// Compares a fresh run against the baseline rows (both restricted to the
+/// gated sub-suite) into one report.
+pub fn compare(
+    baseline: &[BaselineRow],
+    measured: &[Measurement],
+    timeout_secs: u64,
+) -> GateReport {
+    let mut report = GateReport::default();
+    let find = |bench: &str, label: &str| -> Option<&Measurement> {
+        measured
+            .iter()
+            .find(|m| m.benchmark == bench && m.algorithm == label)
+    };
+
+    for row in baseline {
+        if row.timed_out {
+            // A timed-out run's counts depend on where the clock cut it
+            // off; only the timeout-regression guard below sees it.
+            continue;
+        }
+        let Some(m) = find(&row.benchmark, &row.algorithm) else {
+            if algorithm_for_label(&row.algorithm).is_some() {
+                report.failures.push(format!(
+                    "{}/{}: row missing from the re-run",
+                    row.benchmark, row.algorithm
+                ));
+            } else {
+                report.notices.push(format!(
+                    "{}/{}: unknown algorithm label; skipped",
+                    row.benchmark, row.algorithm
+                ));
+            }
+            continue;
+        };
+        if m.timed_out {
+            report.failures.push(format!(
+                "{}/{}: timed out after {timeout_secs}s while the baseline did not",
+                row.benchmark, row.algorithm
+            ));
+            continue;
+        }
+        report.checked += 1;
+        if let Some(levels) = &row.levels {
+            if *levels != m.levels {
+                report.failures.push(format!(
+                    "{}/{}: levels = {:?}, baseline has {:?}",
+                    row.benchmark, row.algorithm, m.levels, levels
+                ));
+            }
+        }
+        for (what, want, got) in [
+            ("histories", row.histories, m.histories as i64),
+            ("end_states", row.end_states, m.end_states as i64),
+            ("explore_calls", row.explore_calls, m.explore_calls as i64),
+        ] {
+            if want != got {
+                report.failures.push(format!(
+                    "{}/{}: {what} = {got}, baseline has {want}",
+                    row.benchmark, row.algorithm
+                ));
+            }
+        }
+    }
+
+    // Rows the re-run produced that the baseline does not know: new
+    // configurations (e.g. freshly added mixed scenarios) — non-fatal.
+    for m in measured {
+        let known = baseline
+            .iter()
+            .any(|row| row.benchmark == m.benchmark && row.algorithm == m.algorithm);
+        if !known {
+            report
+                .new_rows
+                .push(format!("{}/{}", m.benchmark, m.algorithm));
+        }
+    }
+
+    // Catastrophic-slowdown guard: the fresh run must not time out more
+    // often than the baseline did on the gated sub-suite. Rows without a
+    // baseline counterpart are excluded — a new (ungated) configuration
+    // timing out must not abort the gate either.
+    let baseline_timeouts = baseline.iter().filter(|r| r.timed_out).count();
+    let fresh_timeouts = measured
+        .iter()
+        .filter(|m| {
+            m.timed_out
+                && baseline
+                    .iter()
+                    .any(|row| row.benchmark == m.benchmark && row.algorithm == m.algorithm)
+        })
+        .count();
+    if fresh_timeouts > baseline_timeouts {
+        report.failures.push(format!(
+            "timeouts: fresh run hit {fresh_timeouts} timeout(s), baseline has \
+             {baseline_timeouts} on this sub-suite"
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use txdpor_history::EngineStats;
+
+    fn row(benchmark: &str, algorithm: &str, counts: (i64, i64, i64)) -> BaselineRow {
+        BaselineRow {
+            benchmark: benchmark.into(),
+            algorithm: algorithm.into(),
+            levels: Some("CC".into()),
+            histories: counts.0,
+            end_states: counts.1,
+            explore_calls: counts.2,
+            timed_out: false,
+        }
+    }
+
+    fn measurement(benchmark: &str, algorithm: &str, counts: (u64, u64, u64)) -> Measurement {
+        Measurement {
+            benchmark: benchmark.into(),
+            algorithm: algorithm.into(),
+            levels: "CC".into(),
+            histories: counts.0,
+            end_states: counts.1,
+            explore_calls: counts.2,
+            time: Duration::from_millis(1),
+            peak_alloc: 0,
+            history_clones: 0,
+            history_bytes_copied: 0,
+            engine: EngineStats::default(),
+            timed_out: false,
+        }
+    }
+
+    #[test]
+    fn matching_rows_pass() {
+        let baseline = [row("courseware-1", "CC", (30, 30, 401))];
+        let measured = [measurement("courseware-1", "CC", (30, 30, 401))];
+        let report = compare(&baseline, &measured, 60);
+        assert!(report.ok(), "{report:?}");
+        assert_eq!(report.checked, 1);
+        assert!(report.new_rows.is_empty());
+    }
+
+    #[test]
+    fn count_mismatches_are_collected_not_fatal_per_row() {
+        let baseline = [
+            row("courseware-1", "CC", (30, 30, 401)),
+            row("courseware-2", "CC", (10, 10, 100)),
+        ];
+        let measured = [
+            measurement("courseware-1", "CC", (31, 29, 401)),
+            measurement("courseware-2", "CC", (10, 10, 100)),
+        ];
+        let report = compare(&baseline, &measured, 60);
+        assert!(!report.ok());
+        // Both diverging counts of the first row are reported; the second
+        // row still gets checked.
+        assert_eq!(report.failures.len(), 2, "{:?}", report.failures);
+        assert_eq!(report.checked, 2);
+    }
+
+    #[test]
+    fn rows_missing_from_baseline_are_new_and_nonfatal() {
+        // The re-run produced a freshly added mixed row the baseline does
+        // not know: reported once as NEW, gate still green.
+        let baseline = [row("tpcc-1", "CC", (5, 5, 50))];
+        let measured = [
+            measurement("tpcc-1", "CC", (5, 5, 50)),
+            measurement("tpcc-1", "CC + mix:tpcc:pay-ser", (4, 5, 60)),
+        ];
+        let report = compare(&baseline, &measured, 60);
+        assert!(report.ok(), "{:?}", report.failures);
+        assert_eq!(report.new_rows, vec!["tpcc-1/CC + mix:tpcc:pay-ser"]);
+        let rendered = report.render("BENCH_fig14.json");
+        assert!(rendered.contains("NEW  tpcc-1/CC + mix:tpcc:pay-ser"));
+        assert!(rendered.contains("0 failure(s)"));
+    }
+
+    #[test]
+    fn baseline_rows_missing_from_rerun_fail_once_each() {
+        let baseline = [
+            row("courseware-1", "CC", (30, 30, 401)),
+            row("courseware-1", "CC + SER", (30, 30, 401)),
+        ];
+        let measured = [measurement("courseware-1", "CC", (30, 30, 401))];
+        let report = compare(&baseline, &measured, 60);
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].contains("missing from the re-run"));
+    }
+
+    #[test]
+    fn unknown_labels_are_notices() {
+        let baseline = [row("courseware-1", "CC par128", (30, 30, 401))];
+        let report = compare(&baseline, &[], 60);
+        assert!(report.ok());
+        assert_eq!(report.notices.len(), 1);
+        assert!(report.notices[0].contains("unknown algorithm label"));
+    }
+
+    #[test]
+    fn levels_field_is_compared_when_present() {
+        let baseline = [row("courseware-1", "CC", (30, 30, 401))];
+        let mut m = measurement("courseware-1", "CC", (30, 30, 401));
+        m.levels = "CC[s0.t0=SER]".into();
+        let report = compare(&baseline, &[m], 60);
+        assert!(!report.ok());
+        assert!(report.failures[0].contains("levels"));
+
+        // Pre-mixed baselines without the field stay comparable.
+        let mut old = row("courseware-1", "CC", (30, 30, 401));
+        old.levels = None;
+        let report = compare(
+            &[old],
+            &[measurement("courseware-1", "CC", (30, 30, 401))],
+            60,
+        );
+        assert!(report.ok());
+    }
+
+    #[test]
+    fn timeout_regression_fails() {
+        let baseline = [row("tpcc-1", "CC", (5, 5, 50))];
+        let mut m = measurement("tpcc-1", "CC", (0, 0, 10));
+        m.timed_out = true;
+        let report = compare(&baseline, &[m], 60);
+        assert!(!report.ok());
+        assert!(report.failures.iter().any(|f| f.contains("timed out")));
+        assert!(report.failures.iter().any(|f| f.contains("timeouts:")));
+    }
+
+    #[test]
+    fn timed_out_new_rows_stay_nonfatal() {
+        // A freshly added configuration that times out has no baseline
+        // counterpart: listed as NEW, excluded from the timeout guard.
+        let baseline = [row("tpcc-1", "CC", (5, 5, 50))];
+        let mut new_tl = measurement("tpcc-1", "RC + mix:tpcc:reads-rc", (0, 0, 10));
+        new_tl.timed_out = true;
+        let measured = [measurement("tpcc-1", "CC", (5, 5, 50)), new_tl];
+        let report = compare(&baseline, &measured, 60);
+        assert!(report.ok(), "{:?}", report.failures);
+        assert_eq!(report.new_rows.len(), 1);
+    }
+
+    #[test]
+    fn timed_out_baselines_are_not_count_compared() {
+        let mut tl = row("tpcc-1", "true + CC", (5, 5, 50));
+        tl.timed_out = true;
+        let mut m = measurement("tpcc-1", "true + CC", (7, 8, 99));
+        m.timed_out = true;
+        let report = compare(&[tl], &[m], 60);
+        assert!(report.ok(), "{:?}", report.failures);
+        assert_eq!(report.checked, 0);
+    }
+
+    #[test]
+    fn malformed_baseline_rows_become_notices() {
+        let doc = JsonValue::parse(
+            r#"{"rows":[
+                {"benchmark":"courseware-1","algorithm":"CC","histories":1,
+                 "end_states":1,"explore_calls":1,"timed_out":false},
+                {"benchmark":"courseware-2","algorithm":"CC","end_states":1,
+                 "explore_calls":1,"timed_out":false},
+                {"algorithm":"CC"},
+                {"benchmark":"tpcc-1","algorithm":"CC","histories":1,
+                 "end_states":1,"explore_calls":1,"timed_out":false}
+            ]}"#,
+        )
+        .unwrap();
+        let (rows, notices) = baseline_rows(&doc, |b| b.starts_with("courseware-"));
+        assert_eq!(rows.len(), 1, "{rows:?}");
+        assert_eq!(notices.len(), 2, "{notices:?}");
+        assert!(
+            notices[0].contains("lacks a gated field")
+                || notices[1].contains("lacks a gated field")
+        );
+    }
+
+    #[test]
+    fn mixed_labels_round_trip_through_the_algorithm_table() {
+        for sc in MixedScenario::ALL {
+            let algo = Algorithm::ExploreCeMixed(sc);
+            assert_eq!(algorithm_for_label(&algo.label()), Some(algo));
+        }
+        assert_eq!(algorithm_for_label("CC + mix:unknown"), None);
+    }
+}

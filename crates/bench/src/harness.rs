@@ -5,8 +5,9 @@
 use std::fmt;
 use std::time::{Duration, Instant};
 
+use txdpor_apps::workload::MixedScenario;
 use txdpor_explore::{dfs_explore, explore, DfsConfig, ExploreConfig};
-use txdpor_history::IsolationLevel;
+use txdpor_history::{IsolationLevel, LevelSpec};
 use txdpor_program::Program;
 
 use crate::alloc;
@@ -32,6 +33,12 @@ pub enum Algorithm {
     /// across the given number of workers. Output-history fingerprints are
     /// bit-identical to the serial algorithm.
     ExploreCeParallel(IsolationLevel, usize),
+    /// `explore-ce*` against a mixed per-transaction level scenario: the
+    /// exploration runs under the scenario's (uniform, causally
+    /// extensible) weakest level and filters outputs with the spec the
+    /// scenario resolves to on the benchmark program. Only applicable to
+    /// programs of the scenario's application.
+    ExploreCeMixed(MixedScenario),
 }
 
 impl Algorithm {
@@ -71,6 +78,57 @@ impl Algorithm {
             Algorithm::ExploreCeParallel(l, workers) => {
                 format!("{} par{workers}", l.short_name())
             }
+            Algorithm::ExploreCeMixed(sc) => {
+                format!("{} + mix:{}", sc.base_level().short_name(), sc.name())
+            }
+        }
+    }
+
+    /// The isolation levels the configuration involves (base, target and —
+    /// for mixed scenarios — every assigned level), for the `--levels`
+    /// suite filter.
+    pub fn involved_levels(&self) -> Vec<IsolationLevel> {
+        match self {
+            Algorithm::ExploreCe(l)
+            | Algorithm::Dfs(l)
+            | Algorithm::ExploreCeNoOptimality(l)
+            | Algorithm::ExploreCeNoMemo(l)
+            | Algorithm::ExploreCeParallel(l, _) => vec![*l],
+            Algorithm::ExploreCeStar(base, target) => vec![*base, *target],
+            Algorithm::ExploreCeMixed(sc) => {
+                let mut levels = vec![sc.base_level(), sc.default_level()];
+                levels.extend(sc.rules().iter().map(|&(_, l)| l));
+                levels.sort();
+                levels.dedup();
+                levels
+            }
+        }
+    }
+
+    /// Whether the configuration applies to the named benchmark (`<app>-
+    /// <variant>`). Mixed scenarios only run on their own application's
+    /// programs; every other configuration is application-agnostic.
+    pub fn applicable_to(&self, benchmark: &str) -> bool {
+        match self {
+            Algorithm::ExploreCeMixed(sc) => benchmark
+                .strip_prefix(sc.app().name())
+                .is_some_and(|rest| rest.starts_with('-')),
+            _ => true,
+        }
+    }
+
+    /// The level specification the configuration checks outputs against on
+    /// the given program — the `levels` field of the fig14 JSON rows (the
+    /// counts of a row are only comparable under the same spec).
+    pub fn level_spec(&self, program: &Program) -> LevelSpec {
+        match self {
+            Algorithm::ExploreCe(l)
+            | Algorithm::Dfs(l)
+            | Algorithm::ExploreCeNoOptimality(l)
+            | Algorithm::ExploreCeNoMemo(l)
+            | Algorithm::ExploreCeParallel(l, _) => LevelSpec::uniform(*l),
+            Algorithm::ExploreCeStar(_, target) => LevelSpec::uniform(*target),
+            Algorithm::ExploreCeMixed(sc) => sc.spec_for(program),
         }
     }
 }
@@ -88,6 +146,10 @@ pub struct Measurement {
     pub benchmark: String,
     /// Algorithm label (e.g. `CC + SER`).
     pub algorithm: String,
+    /// Canonical label of the level specification the run's outputs were
+    /// checked against (e.g. `SER`, or `CC[s0.t1=SER]` for a mixed
+    /// scenario resolved on this benchmark's program).
+    pub levels: String,
     /// Number of histories output (after the `Valid` filter).
     pub histories: u64,
     /// Number of complete executions reached (before the filter).
@@ -204,6 +266,14 @@ fn run_inner(
             program,
             ExploreConfig::explore_ce_star(base, target).with_timeout(timeout),
         ),
+        Algorithm::ExploreCeMixed(sc) => explore(
+            program,
+            ExploreConfig::explore_ce_star_spec(
+                LevelSpec::uniform(sc.base_level()),
+                sc.spec_for(program),
+            )
+            .with_timeout(timeout),
+        ),
         Algorithm::Dfs(level) => dfs_explore(program, DfsConfig::new(level).with_timeout(timeout)),
     }
     .expect("benchmark programs replay cleanly");
@@ -211,6 +281,7 @@ fn run_inner(
     Measurement {
         benchmark: benchmark.to_owned(),
         algorithm: algorithm.label(),
+        levels: algorithm.level_spec(program).label(),
         histories: report.outputs,
         end_states: report.end_states,
         explore_calls: report.explore_calls,

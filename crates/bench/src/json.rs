@@ -331,6 +331,7 @@ pub fn measurement_json(m: &Measurement) -> JsonValue {
     JsonValue::Object(vec![
         ("benchmark".into(), JsonValue::str(&m.benchmark)),
         ("algorithm".into(), JsonValue::str(&m.algorithm)),
+        ("levels".into(), JsonValue::str(&m.levels)),
         ("histories".into(), JsonValue::uint(m.histories)),
         ("end_states".into(), JsonValue::uint(m.end_states)),
         ("explore_calls".into(), JsonValue::uint(m.explore_calls)),
@@ -428,6 +429,7 @@ mod tests {
         Measurement {
             benchmark: "tiny \"quoted\"\n".to_owned(),
             algorithm: "CC".to_owned(),
+            levels: "CC[s0.t1=SER]".to_owned(),
             histories: 2,
             end_states: 3,
             explore_calls: 10,
@@ -482,6 +484,7 @@ mod tests {
             "\"summary\"",
             "\"time_secs\":1.5",
             "\"histories\":2",
+            "\"levels\":\"CC[s0.t1=SER]\"",
             "\"history_clones\":12",
             "\"history_bytes_copied\":2048",
             "\"speedup\":2.0",

@@ -25,13 +25,14 @@
 
 pub mod alloc;
 pub mod experiments;
+pub mod gate;
 pub mod harness;
 pub mod json;
 pub mod tables;
 
 pub use experiments::{
     experiment_fig14, experiment_fig14_with, experiment_sessions, experiment_transactions,
-    fig14_suite, flag_value, ExperimentOptions,
+    fig14_mixed_algorithms, fig14_suite, flag_value, parse_levels, ExperimentOptions,
 };
 pub use harness::{average_speedup, run, Algorithm, Measurement};
 pub use json::{write_experiment_json, JsonValue};

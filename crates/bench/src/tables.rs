@@ -167,6 +167,7 @@ mod tests {
         Measurement {
             benchmark: benchmark.to_owned(),
             algorithm: algorithm.to_owned(),
+            levels: "CC".to_owned(),
             histories: 10,
             end_states: 20,
             explore_calls: 100,

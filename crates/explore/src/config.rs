@@ -2,19 +2,23 @@
 
 use std::time::Duration;
 
-use txdpor_history::{EngineStats, History, IsolationLevel, VarTable};
+use txdpor_history::{EngineStats, History, IsolationLevel, LevelSpec, VarTable};
 
 /// Configuration of a swapping-based exploration (`explore-ce` /
 /// `explore-ce*`).
 #[derive(Clone, Debug)]
 pub struct ExploreConfig {
-    /// Isolation level used to drive the exploration (`I0`). Must be
-    /// prefix-closed and causally extensible for the guarantees of §5 to
-    /// hold.
-    pub exploration_level: IsolationLevel,
-    /// Isolation level used to filter histories before outputting (`I`).
-    /// Equal to `exploration_level` for the plain `explore-ce` algorithm.
-    pub output_level: IsolationLevel,
+    /// Level specification used to drive the exploration (`I0`). Every
+    /// assigned level must be prefix-closed and causally extensible for
+    /// the guarantees of §5 to hold — uniform for the paper's algorithms,
+    /// but a mixed assignment over the weak levels is accepted (each
+    /// level's axioms are per-reader premises over `po`/`so`/`wr`, so the
+    /// structural arguments lift pointwise).
+    pub exploration: LevelSpec,
+    /// Level specification used to filter histories before outputting
+    /// (`I`). Equal to `exploration` for the plain `explore-ce` algorithm;
+    /// `explore-ce*` filters by a stronger — possibly mixed — target spec.
+    pub output: LevelSpec,
     /// Wall-clock budget; exploration stops (reporting `timed_out`) when
     /// exceeded.
     pub timeout: Option<Duration>,
@@ -56,17 +60,7 @@ impl ExploreConfig {
     /// Configuration for `explore-ce(level)`: sound, complete and strongly
     /// optimal for prefix-closed, causally-extensible levels (Theorem 5.1).
     pub fn explore_ce(level: IsolationLevel) -> Self {
-        ExploreConfig {
-            exploration_level: level,
-            output_level: level,
-            timeout: None,
-            collect_histories: false,
-            full_optimality: true,
-            track_duplicates: false,
-            workers: 1,
-            workers_explicit: false,
-            memoize: true,
-        }
+        Self::explore_ce_star_spec(LevelSpec::uniform(level), LevelSpec::uniform(level))
     }
 
     /// Configuration for `explore-ce*(base, target)`: explores under the
@@ -78,17 +72,33 @@ impl ExploreConfig {
     /// Panics if `base` is stronger than `target` or not causally
     /// extensible.
     pub fn explore_ce_star(base: IsolationLevel, target: IsolationLevel) -> Self {
+        Self::explore_ce_star_spec(LevelSpec::uniform(base), LevelSpec::uniform(target))
+    }
+
+    /// Mixed-level `explore-ce*`: explores under the causally-extensible
+    /// `base` spec and filters outputs by the `target` spec — e.g. a
+    /// uniform CC base with a target assigning SER to payment transactions
+    /// and CC elsewhere. `base` must be pointwise weaker than or equal to
+    /// `target` so that the exploration enumerates a superset of the
+    /// target's histories (the filtering argument of Corollary 6.2 lifts
+    /// pointwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is pointwise stronger than `target` somewhere or
+    /// assigns a level that is not causally extensible.
+    pub fn explore_ce_star_spec(base: LevelSpec, target: LevelSpec) -> Self {
         assert!(
-            base.weaker_or_equal(target),
-            "base level {base} must be weaker than target {target}"
+            base.weaker_or_equal(&target),
+            "base spec {base} must be pointwise weaker than target {target}"
         );
         assert!(
             base.is_causally_extensible(),
-            "base level {base} must be causally extensible"
+            "base spec {base} must only assign causally extensible levels"
         );
         ExploreConfig {
-            exploration_level: base,
-            output_level: target,
+            exploration: base,
+            output: target,
             timeout: None,
             collect_histories: false,
             full_optimality: true,
@@ -166,16 +176,14 @@ impl ExploreConfig {
     }
 
     /// Short label of the configuration, matching the paper's notation:
-    /// `CC` for `explore-ce(CC)`, `RA + CC` for `explore-ce*(RA, CC)`, etc.
+    /// `CC` for `explore-ce(CC)`, `RA + CC` for `explore-ce*(RA, CC)`;
+    /// mixed specs render their override list, e.g.
+    /// `CC + CC[s0.t1=SER]`.
     pub fn label(&self) -> String {
-        if self.exploration_level == self.output_level {
-            self.exploration_level.short_name().to_owned()
+        if self.exploration == self.output {
+            self.exploration.label()
         } else {
-            format!(
-                "{} + {}",
-                self.exploration_level.short_name(),
-                self.output_level.short_name()
-            )
+            format!("{} + {}", self.exploration.label(), self.output.label())
         }
     }
 }
@@ -264,6 +272,34 @@ mod tests {
             )
             .label(),
             "true + CC"
+        );
+    }
+
+    #[test]
+    fn mixed_spec_labels() {
+        use txdpor_history::LevelSpec;
+        let base = LevelSpec::uniform(IsolationLevel::CausalConsistency);
+        let target = base
+            .clone()
+            .with_override(0, 1, IsolationLevel::Serializability);
+        let c = ExploreConfig::explore_ce_star_spec(base, target);
+        assert_eq!(c.label(), "CC + CC[s0.t1=SER]");
+    }
+
+    #[test]
+    #[should_panic(expected = "pointwise weaker")]
+    fn mixed_star_requires_pointwise_weaker_base() {
+        use txdpor_history::LevelSpec;
+        // CC base vs a target demoting one position to RC: the base is
+        // *stronger* there, so filtering would be unsound.
+        let target = LevelSpec::uniform(IsolationLevel::Serializability).with_override(
+            0,
+            0,
+            IsolationLevel::ReadCommitted,
+        );
+        ExploreConfig::explore_ce_star_spec(
+            LevelSpec::uniform(IsolationLevel::CausalConsistency),
+            target,
         );
     }
 

@@ -7,8 +7,8 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use txdpor_history::{
-    engine_for_with, ConsistencyChecker, Event, EventId, EventKind, History, HistoryFingerprint,
-    SessionId, TxId, Var, VarTable,
+    engine_for_spec_with, ConsistencyChecker, Event, EventId, EventKind, History,
+    HistoryFingerprint, SessionId, TxId, Var, VarTable,
 };
 use txdpor_program::{
     initial_history, oracle_next, replay_all, Program, SchedulerStep, SemanticsError, TxStep,
@@ -99,9 +99,9 @@ pub fn explore_with_assertion(
     assertion: Option<&AssertionFn>,
 ) -> Result<ExplorationReport, ExploreError> {
     assert!(
-        config.exploration_level.is_causally_extensible(),
-        "the exploration level must be causally extensible; use explore_ce_star for {}",
-        config.exploration_level
+        config.exploration.is_causally_extensible(),
+        "the exploration spec must be causally extensible; use explore_ce_star for {}",
+        config.exploration
     );
     let start = Instant::now();
     let workers =
@@ -287,9 +287,9 @@ impl<'a> Explorer<'a> {
             report: ExplorationReport::default(),
             seen: HashSet::new(),
             deadline: config.timeout.map(|t| Instant::now() + t),
-            checker: engine_for_with(config.exploration_level, config.memoize),
-            output_checker: (config.output_level != config.exploration_level)
-                .then(|| engine_for_with(config.output_level, config.memoize)),
+            checker: engine_for_spec_with(&config.exploration, config.memoize),
+            output_checker: (config.output != config.exploration)
+                .then(|| engine_for_spec_with(&config.output, config.memoize)),
         }
     }
 
@@ -768,6 +768,99 @@ mod tests {
         assert_eq!(cc.outputs, 16);
         assert_eq!(star.outputs, 14);
         assert!(star.outputs < cc.outputs);
+    }
+
+    #[test]
+    fn mixed_target_spec_filters_exactly_the_spec_satisfying_histories() {
+        use txdpor_history::LevelSpec;
+        // Long fork with the two readers promoted to SER while the blind
+        // writers stay CC. The exploration (base CC) must output
+        // precisely the CC histories satisfying the mixed spec.
+        let p = long_fork_program();
+        let cc = run(
+            &p,
+            ExploreConfig::explore_ce(IsolationLevel::CausalConsistency),
+        );
+        let spec = LevelSpec::uniform(IsolationLevel::CausalConsistency)
+            .with_override(2, 0, IsolationLevel::Serializability)
+            .with_override(3, 0, IsolationLevel::Serializability);
+        let mixed = run(
+            &p,
+            ExploreConfig::explore_ce_star_spec(
+                LevelSpec::uniform(IsolationLevel::CausalConsistency),
+                spec.clone(),
+            ),
+        );
+        assert_eq!(mixed.end_states, cc.end_states);
+        assert_eq!(mixed.duplicate_outputs, 0);
+        let expected = cc.histories.iter().filter(|h| spec.satisfies(h)).count() as u64;
+        assert_eq!(mixed.outputs, expected, "mixed filter disagrees");
+        for h in &mixed.histories {
+            assert!(spec.satisfies(h), "unsound mixed output");
+        }
+        // The axioms constrain each *reader* at its own level, so the two
+        // SER readers rule out exactly the two opposite-order long-fork
+        // observations — and since the blind writers have no reads, their
+        // CC assignment changes nothing vs uniform SER.
+        let ser = run(
+            &p,
+            ExploreConfig::explore_ce_star(
+                IsolationLevel::CausalConsistency,
+                IsolationLevel::Serializability,
+            ),
+        );
+        assert_eq!(cc.outputs, 16);
+        assert_eq!(mixed.outputs, 14);
+        assert_eq!(mixed.outputs, ser.outputs);
+        // Demoting one reader back to CC frees the other's observation:
+        // a single SER reader filters nothing on this program.
+        let one_ser = LevelSpec::uniform(IsolationLevel::CausalConsistency).with_override(
+            2,
+            0,
+            IsolationLevel::Serializability,
+        );
+        let loose = run(
+            &p,
+            ExploreConfig::explore_ce_star_spec(
+                LevelSpec::uniform(IsolationLevel::CausalConsistency),
+                one_ser.clone(),
+            ),
+        );
+        let expected = cc.histories.iter().filter(|h| one_ser.satisfies(h)).count() as u64;
+        assert_eq!(loose.outputs, expected);
+        assert_eq!(loose.outputs, cc.outputs);
+    }
+
+    #[test]
+    fn mixed_weak_base_spec_is_explorable() {
+        use std::collections::BTreeSet;
+        use txdpor_history::LevelSpec;
+        // Exploring under a *mixed weak* base (one RC reader in a CC
+        // world) is legal — all levels causally extensible — and
+        // enumerates a superset of the uniform CC histories, which a CC
+        // output filter then recovers exactly.
+        let p = long_fork_program();
+        let base = LevelSpec::uniform(IsolationLevel::CausalConsistency)
+            .with_override(3, 0, IsolationLevel::ReadCommitted)
+            .with_override(2, 0, IsolationLevel::ReadCommitted);
+        let target = LevelSpec::uniform(IsolationLevel::CausalConsistency);
+        let mixed_base = run(
+            &p,
+            ExploreConfig::explore_ce_star_spec(base, target.clone()),
+        );
+        let cc = run(
+            &p,
+            ExploreConfig::explore_ce(IsolationLevel::CausalConsistency),
+        );
+        assert_eq!(mixed_base.duplicate_outputs, 0, "optimality violated");
+        assert_eq!(mixed_base.blocked, 0, "strong optimality violated");
+        let a: BTreeSet<_> = mixed_base
+            .histories
+            .iter()
+            .map(|h| h.fingerprint())
+            .collect();
+        let b: BTreeSet<_> = cc.histories.iter().map(|h| h.fingerprint()).collect();
+        assert_eq!(a, b, "filtered mixed-weak base must recover the CC set");
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::collections::BTreeMap;
 
 use crate::event::EventId;
 use crate::history::History;
-use crate::isolation::IsolationLevel;
+use crate::isolation::{IsolationLevel, LevelSpec};
 use crate::relations::Digraph;
 use crate::transaction::TxId;
 use crate::value::Var;
@@ -148,11 +148,17 @@ fn all_txs(h: &History) -> impl Iterator<Item = TxId> + '_ {
 /// Does not verify that the order extends `so ∪ wr`; see
 /// [`check_with_order`] for the full witness check.
 pub fn axioms_hold(h: &History, level: IsolationLevel, co: &CommitOrder) -> bool {
-    let axioms = axioms_for(level);
-    if axioms.is_empty() {
-        return true;
-    }
+    axioms_hold_spec(h, &LevelSpec::uniform(level), co)
+}
+
+/// Mixed-level generalisation of [`axioms_hold`]: every read is checked
+/// against the axioms of *its reader's* level, as assigned by the spec.
+pub fn axioms_hold_spec(h: &History, spec: &LevelSpec, co: &CommitOrder) -> bool {
     for (t3, alpha, x, t1) in h.reads_from() {
+        let axioms = axioms_for(spec.level_of_tx(h, t3));
+        if axioms.is_empty() {
+            continue;
+        }
         for t2 in h.writers_of(x) {
             if t2 == t1 {
                 continue;
@@ -198,6 +204,15 @@ pub fn oracle_satisfies(h: &History, level: IsolationLevel) -> bool {
     if matches!(level, IsolationLevel::Trivial) {
         return true;
     }
+    oracle_satisfies_spec(h, &LevelSpec::uniform(level))
+}
+
+/// Mixed-level reference checker: enumerates every total order extending
+/// `so ∪ wr` and tests the per-reader axioms ([`axioms_hold_spec`])
+/// directly. Exponential; only meant for small histories in tests and
+/// cross-validation of the operational mixed checker
+/// ([`crate::check::satisfies_spec`]).
+pub fn oracle_satisfies_spec(h: &History, spec: &LevelSpec) -> bool {
     let txs: Vec<TxId> = all_txs(h).collect();
     let index: BTreeMap<TxId, usize> = txs.iter().enumerate().map(|(i, t)| (*t, i)).collect();
     let mut g = Digraph::new(txs.len());
@@ -210,7 +225,7 @@ pub fn oracle_satisfies(h: &History, level: IsolationLevel) -> bool {
     }
     g.any_topological_order(|order| {
         let seq: Vec<TxId> = order.iter().map(|i| txs[*i]).collect();
-        axioms_hold(h, level, &CommitOrder::from_sequence(&seq))
+        axioms_hold_spec(h, spec, &CommitOrder::from_sequence(&seq))
     })
 }
 

@@ -67,9 +67,9 @@ use std::collections::HashSet;
 use std::time::Instant;
 
 use crate::check::frontier::FrontierIndex;
-use crate::check::{ser, si, weak};
+use crate::check::{mixed, ser, si, weak};
 use crate::history::History;
-use crate::isolation::IsolationLevel;
+use crate::isolation::{IsolationLevel, LevelSpec};
 
 /// Maximum number of slots of an engine's direct-mapped result memo
 /// (16 bytes per slot: a hard 1 MiB ceiling per engine). The table starts
@@ -124,21 +124,37 @@ impl EngineStats {
     }
 }
 
-/// A stateful decision procedure for `h ∈ I` at a fixed isolation level.
+/// A stateful decision procedure for `h ∈ I` at a fixed level
+/// specification — one isolation level for every transaction (the paper's
+/// setting), or a per-transaction [`LevelSpec`] assignment for mixed
+/// workloads.
 ///
 /// Engines are the unit of reuse of the checking layer: the exploration
-/// algorithms create one engine per (level, worker) and funnel every
+/// algorithms create one engine per (spec, worker) and funnel every
 /// consistency query of that worker through it, so scratch buffers and the
 /// fingerprint memo amortise across the whole exploration. The stateless
 /// entry points ([`crate::check::satisfies`],
-/// [`IsolationLevel::satisfies`]) remain as thin wrappers over a fresh
-/// engine.
+/// [`IsolationLevel::satisfies`], [`LevelSpec::satisfies`]) remain as thin
+/// wrappers over a fresh engine.
 pub trait ConsistencyChecker: Send {
-    /// The isolation level this engine decides.
-    fn level(&self) -> IsolationLevel;
+    /// The level specification this engine decides. Uniform for the
+    /// per-level engines; the mixed engine carries its full assignment.
+    fn spec(&self) -> LevelSpec;
 
-    /// Whether the history satisfies the engine's isolation level
-    /// (Definition 2.2).
+    /// The single isolation level this engine decides.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a genuinely mixed engine, which has no single level —
+    /// use [`spec`](ConsistencyChecker::spec) there.
+    fn level(&self) -> IsolationLevel {
+        self.spec()
+            .as_uniform()
+            .expect("a mixed-level engine has no single isolation level")
+    }
+
+    /// Whether the history satisfies the engine's level specification
+    /// (Definition 2.2, per-transaction for mixed specs).
     fn check(&mut self, h: &History) -> bool;
 
     /// Counters accumulated since creation (or the last [`reset`]).
@@ -169,6 +185,23 @@ pub fn engine_for_with(level: IsolationLevel, memoize: bool) -> Box<dyn Consiste
         | IsolationLevel::CausalConsistency => Box::new(WeakEngine::new(level, memoize)),
         IsolationLevel::Serializability => Box::new(SerEngine::new(memoize)),
         IsolationLevel::SnapshotIsolation => Box::new(SiEngine::new(memoize)),
+    }
+}
+
+/// Creates the engine for a level specification, with result memoisation
+/// enabled.
+pub fn engine_for_spec(spec: &LevelSpec) -> Box<dyn ConsistencyChecker> {
+    engine_for_spec_with(spec, true)
+}
+
+/// Creates the engine for a level specification. A *uniform* spec routes to
+/// the corresponding per-level engine ([`engine_for_with`]) so verdicts,
+/// counters and performance are bit-identical to the pre-spec stack; only
+/// genuinely mixed assignments pay for the [`MixedEngine`].
+pub fn engine_for_spec_with(spec: &LevelSpec, memoize: bool) -> Box<dyn ConsistencyChecker> {
+    match spec.as_uniform() {
+        Some(level) => engine_for_with(level, memoize),
+        None => Box::new(MixedEngine::new(spec.clone(), memoize)),
     }
 }
 
@@ -204,16 +237,16 @@ impl Memo {
         }
     }
 
-    /// Looks up the history, returning either the memoised verdict or the
-    /// key to insert the freshly computed verdict under (`None` when
-    /// memoisation is disabled).
-    fn lookup(&mut self, h: &History) -> Result<bool, Option<(u64, u64)>> {
+    /// Looks up a key (normally the history's [`History::live_hash`],
+    /// optionally folded with a spec hash), returning either the memoised
+    /// verdict or the key to insert the freshly computed verdict under
+    /// (`None` when memoisation is disabled).
+    fn lookup(&mut self, key: (u64, u64)) -> Result<bool, Option<(u64, u64)>> {
         self.stats.checks += 1;
         if !self.enabled {
             self.stats.memo_misses += 1;
             return Err(None);
         }
-        let key = h.live_hash();
         if !self.slots.is_empty() {
             let (k0, k1v) = self.slots[key.0 as usize & (self.slots.len() - 1)];
             if k0 == key.0 && k1v & !1 == key.1 & !1 {
@@ -278,6 +311,10 @@ pub struct TrivialEngine {
 }
 
 impl ConsistencyChecker for TrivialEngine {
+    fn spec(&self) -> LevelSpec {
+        LevelSpec::uniform(IsolationLevel::Trivial)
+    }
+
     fn level(&self) -> IsolationLevel {
         IsolationLevel::Trivial
     }
@@ -333,12 +370,16 @@ impl WeakEngine {
 }
 
 impl ConsistencyChecker for WeakEngine {
+    fn spec(&self) -> LevelSpec {
+        LevelSpec::uniform(self.level)
+    }
+
     fn level(&self) -> IsolationLevel {
         self.level
     }
 
     fn check(&mut self, h: &History) -> bool {
-        match self.memo.lookup(h) {
+        match self.memo.lookup(h.live_hash()) {
             Ok(v) => v,
             Err(key) => {
                 // Only misses are timed: a hit is a single table probe,
@@ -391,12 +432,16 @@ impl SerEngine {
 }
 
 impl ConsistencyChecker for SerEngine {
+    fn spec(&self) -> LevelSpec {
+        LevelSpec::uniform(IsolationLevel::Serializability)
+    }
+
     fn level(&self) -> IsolationLevel {
         IsolationLevel::Serializability
     }
 
     fn check(&mut self, h: &History) -> bool {
-        match self.memo.lookup(h) {
+        match self.memo.lookup(h.live_hash()) {
             Ok(v) => v,
             Err(key) => {
                 // Only misses are timed: a hit is a single table probe,
@@ -450,12 +495,16 @@ impl SiEngine {
 }
 
 impl ConsistencyChecker for SiEngine {
+    fn spec(&self) -> LevelSpec {
+        LevelSpec::uniform(IsolationLevel::SnapshotIsolation)
+    }
+
     fn level(&self) -> IsolationLevel {
         IsolationLevel::SnapshotIsolation
     }
 
     fn check(&mut self, h: &History) -> bool {
-        match self.memo.lookup(h) {
+        match self.memo.lookup(h.live_hash()) {
             Ok(v) => v,
             Err(key) => {
                 // Only misses are timed: a hit is a single table probe,
@@ -482,6 +531,114 @@ impl ConsistencyChecker for SiEngine {
         self.states.clear();
         self.idx.incremental_hits = 0;
         self.idx.full_rebuilds = 0;
+        self.nanos = 0;
+    }
+}
+
+/// Engine for mixed per-transaction level specifications: forced edges
+/// from the weak readers (incrementally synced [`weak::WeakIndex`] built
+/// with the spec) combined with the SER/SI commit-order search over the
+/// shared [`FrontierIndex`] (see [`mixed`]), plus the fingerprint memo.
+///
+/// The memo key folds [`LevelSpec::spec_hash`] into the history's rolling
+/// hash, so a verdict memoised under one spec can never be served for
+/// another — engines are per-spec, but the fold keeps the invariant even
+/// if memo state ever outlives a spec change.
+#[derive(Debug)]
+pub struct MixedEngine {
+    spec: LevelSpec,
+    spec_hash: u64,
+    memo: Memo,
+    weak: weak::WeakIndex,
+    frontier: FrontierIndex,
+    scratch: mixed::MixedScratch,
+    /// Same-generation verdict cache `(uid, generation, verdict)`, serving
+    /// re-checks whose memo entry was evicted without re-deciding.
+    last: Option<(u64, u64, bool)>,
+    nanos: u64,
+}
+
+impl MixedEngine {
+    /// Creates an engine for an arbitrary level specification. Uniform
+    /// specs are legal (the verdict matches the per-level engine exactly —
+    /// pinned by the cross-validation suites) but served more cheaply by
+    /// [`engine_for_spec_with`], which routes them to the per-level
+    /// engines.
+    pub fn new(spec: LevelSpec, memoize: bool) -> Self {
+        MixedEngine {
+            spec_hash: spec.spec_hash(),
+            weak: weak::WeakIndex::new_spec(spec.clone()),
+            spec,
+            memo: Memo::new(memoize),
+            frontier: FrontierIndex::default(),
+            scratch: mixed::MixedScratch::default(),
+            last: None,
+            nanos: 0,
+        }
+    }
+}
+
+impl ConsistencyChecker for MixedEngine {
+    fn spec(&self) -> LevelSpec {
+        self.spec.clone()
+    }
+
+    fn check(&mut self, h: &History) -> bool {
+        let lh = h.live_hash();
+        match self.memo.lookup((lh.0 ^ self.spec_hash, lh.1)) {
+            Ok(v) => v,
+            Err(key) => {
+                // Only misses are timed: a hit is a single table probe,
+                // and an `Instant` pair per hit would dominate it.
+                let start = Instant::now();
+                let v = match self.last {
+                    // Unchanged since the previous decision (memo entry
+                    // evicted): reuse the verdict without re-deciding.
+                    Some((uid, gen, v)) if uid == h.uid() && gen == h.generation() => v,
+                    _ => {
+                        self.weak.sync(h);
+                        if self.spec.has_strong() {
+                            self.frontier.sync(h);
+                        }
+                        let v = mixed::decide_mixed(
+                            &self.spec,
+                            &mut self.weak,
+                            &mut self.frontier,
+                            &mut self.scratch,
+                        );
+                        self.last = Some((h.uid(), h.generation(), v));
+                        v
+                    }
+                };
+                self.memo.insert(key, v);
+                self.nanos += start.elapsed().as_nanos() as u64;
+                v
+            }
+        }
+    }
+
+    fn stats(&self) -> EngineStats {
+        let mut s = self.memo.stats();
+        // Both indexes sync in lockstep from the same delta log (the
+        // frontier index only for strong specs); counting the max keeps
+        // the incremental/full-rebuild split per *check*, comparable with
+        // the single-index engines, instead of double-counting one sync.
+        s.incremental_hits = self
+            .weak
+            .incremental_hits
+            .max(self.frontier.incremental_hits);
+        s.full_rebuilds = self.weak.full_rebuilds.max(self.frontier.full_rebuilds);
+        s.check_nanos = self.nanos;
+        s
+    }
+
+    fn reset(&mut self) {
+        self.memo.reset();
+        self.weak.incremental_hits = 0;
+        self.weak.full_rebuilds = 0;
+        self.frontier.incremental_hits = 0;
+        self.frontier.full_rebuilds = 0;
+        self.last = None;
         self.nanos = 0;
     }
 }
@@ -586,6 +743,89 @@ mod tests {
     #[should_panic(expected = "only handles RC/RA/CC")]
     fn weak_engine_rejects_strong_levels() {
         WeakEngine::new(IsolationLevel::Serializability, true);
+    }
+
+    #[test]
+    fn mixed_engine_with_uniform_spec_matches_per_level_engines() {
+        // Forcing the mixed path with a uniform spec must reproduce the
+        // per-level engines' verdicts bit-for-bit.
+        let h = lost_update();
+        for level in IsolationLevel::ALL {
+            let mut forced = MixedEngine::new(LevelSpec::uniform(level), true);
+            assert_eq!(forced.spec(), LevelSpec::uniform(level));
+            assert_eq!(forced.level(), level);
+            assert_eq!(
+                forced.check(&h),
+                crate::check::satisfies(&h, level),
+                "forced mixed path disagrees with {level}"
+            );
+            assert!(forced.check(&History::default()));
+        }
+    }
+
+    #[test]
+    fn engine_for_spec_routes_uniform_specs_to_per_level_engines() {
+        let uniform = engine_for_spec(&LevelSpec::uniform(IsolationLevel::CausalConsistency));
+        assert_eq!(uniform.level(), IsolationLevel::CausalConsistency);
+        let spec = LevelSpec::uniform(IsolationLevel::CausalConsistency).with_override(
+            0,
+            0,
+            IsolationLevel::Serializability,
+        );
+        let mixed = engine_for_spec(&spec);
+        assert_eq!(mixed.spec(), spec);
+    }
+
+    #[test]
+    #[should_panic(expected = "no single isolation level")]
+    fn mixed_engine_has_no_single_level() {
+        let spec = LevelSpec::uniform(IsolationLevel::CausalConsistency).with_override(
+            0,
+            0,
+            IsolationLevel::Serializability,
+        );
+        engine_for_spec(&spec).level();
+    }
+
+    #[test]
+    fn mixed_engine_memoises_and_resets() {
+        let h = lost_update();
+        let spec = LevelSpec::uniform(IsolationLevel::CausalConsistency).with_override(
+            1,
+            0,
+            IsolationLevel::Serializability,
+        );
+        let mut engine = engine_for_spec(&spec);
+        let first = engine.check(&h);
+        // The SER increment reads x stale while the CC one overwrites it:
+        // exactly one serialisation order remains and it satisfies the
+        // spec (the CC read carries no last-writer obligation).
+        assert!(first, "one weak increment makes the lost update admissible");
+        assert_eq!(engine.check(&h), first);
+        let stats = engine.stats();
+        assert_eq!(stats.checks, 2);
+        assert_eq!(stats.memo_hits, 1);
+        engine.reset();
+        assert_eq!(engine.stats(), EngineStats::default());
+        assert_eq!(engine.check(&h), first);
+        assert_eq!(engine.stats().memo_hits, 0);
+    }
+
+    #[test]
+    fn spec_hash_separates_memo_keys_of_different_specs() {
+        // Same history, two different specs: each engine decides under its
+        // own spec; the folded spec hash keeps the keys distinct even
+        // though the histories' rolling hashes are identical.
+        let h = lost_update();
+        let ser = LevelSpec::uniform(IsolationLevel::Serializability);
+        let one_weak = ser
+            .clone()
+            .with_override(0, 0, IsolationLevel::ReadCommitted);
+        let mut strict = MixedEngine::new(ser.clone(), true);
+        let mut lenient = MixedEngine::new(one_weak, true);
+        assert!(!strict.check(&h));
+        assert!(lenient.check(&h));
+        assert!(!strict.check(&h));
     }
 
     #[test]

@@ -55,6 +55,14 @@ impl FrontierIndex {
         self.reads.len()
     }
 
+    /// The slot of a transaction, `None` for unknown ids (including init).
+    pub(crate) fn slot_of(&self, t: TxId) -> Option<u32> {
+        match self.index.get(t.0 as usize) {
+            Some(&slot) if slot != u32::MAX => Some(slot),
+            _ => None,
+        }
+    }
+
     /// The *visible* writes of a slot (empty for aborted transactions).
     pub(crate) fn visible_writes(&self, slot: usize) -> impl Iterator<Item = Var> + '_ {
         let entries = if self.aborted[slot] {

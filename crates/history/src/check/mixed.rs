@@ -1,0 +1,562 @@
+//! Consistency checking against *mixed* per-transaction isolation levels.
+//!
+//! Real databases run heterogeneous workloads — read-only analytics at
+//! Read Committed next to payment transactions at Serializability — and a
+//! [`LevelSpec`] assigns each transaction its own level. A history
+//! satisfies a spec when there is a strict total commit order extending
+//! `so ∪ wr` in which every transaction obeys the axioms of *its own*
+//! level (the per-transaction generalisation of Definition 2.2, following
+//! *On the Complexity of Checking Mixed Isolation Levels for SQL
+//! Transactions*).
+//!
+//! The decision procedure composes the two per-level machineries:
+//!
+//! * **Weak readers** (RC/RA/CC): their axiom premises never mention the
+//!   commit order, so each such read contributes a set of *forced* edges
+//!   computed by the incrementally synced [`WeakIndex`] — exactly the
+//!   per-level rules of the uniform checkers, selected per reader.
+//! * **Strong transactions** (SER/SI): decided by a session-frontier
+//!   search over commit orders, shared with the uniform SER/SI checkers
+//!   via [`FrontierIndex`]. Serializability transactions are placed
+//!   *atomically* and must read each variable from its last committed
+//!   writer; Snapshot Isolation transactions occupy a start/commit
+//!   *interval*: reads are checked against the snapshot at start, and no
+//!   transaction writing a common variable may commit inside the interval
+//!   (the Conflict axiom; for two SI transactions this is the classical
+//!   disjoint-interval rule). Weak and `true` transactions are placed
+//!   atomically with no read constraint beyond `wr ⊆ co` and their forced
+//!   edges.
+//!
+//! When the spec assigns no strong level the search degenerates to plain
+//! acyclicity of `so ∪ wr ∪ forced` (Kahn), and a *uniform* spec
+//! reproduces the corresponding uniform checker verdict bit-for-bit —
+//! pinned by the cross-validation tests in [`crate::check`] and the
+//! engine property suites.
+
+use std::collections::{BTreeMap, HashSet};
+
+use crate::check::frontier::FrontierIndex;
+use crate::check::weak::WeakIndex;
+use crate::history::History;
+use crate::isolation::{IsolationLevel, LevelSpec};
+use crate::transaction::TxId;
+use crate::value::Var;
+
+/// Whether the history satisfies the mixed-level spec. Stateless entry
+/// point: builds fresh indexes per call. Long-running explorations should
+/// use the memoised engine from [`crate::check::engine::engine_for_spec`].
+pub fn satisfies_spec(h: &History, spec: &LevelSpec) -> bool {
+    if let Some(level) = spec.as_uniform() {
+        return crate::check::satisfies(h, level);
+    }
+    let mut weak = WeakIndex::new_spec(spec.clone());
+    let mut frontier = FrontierIndex::default();
+    let mut scratch = MixedScratch::default();
+    weak.sync(h);
+    if spec.has_strong() {
+        frontier.sync(h);
+    }
+    decide_mixed(spec, &mut weak, &mut frontier, &mut scratch)
+}
+
+/// Failed-state key of the mixed search: the per-session frontier with the
+/// started flag of the session's current transaction, plus the
+/// last-committed writer of every variable. The committed set is a
+/// function of the frontiers, so it is not part of the key.
+pub(crate) type StateKey = (Vec<(usize, bool)>, Vec<(u32, u32)>);
+
+/// Reusable buffers of the mixed decision procedure, owned by the mixed
+/// engine so repeated checks allocate nothing.
+#[derive(Debug, Default)]
+pub(crate) struct MixedScratch {
+    /// Forced commit-order edges of the weak readers, as transaction ids.
+    forced_tx: Vec<(TxId, TxId)>,
+    /// `slot ↦` the level the spec assigns the slot's transaction.
+    slot_level: Vec<IsolationLevel>,
+    /// `slot ↦` forced-edge predecessor slots (must commit first).
+    preds: Vec<Vec<u32>>,
+    /// `slot ↦` whether the slot is committed in the current search prefix.
+    committed: Vec<bool>,
+    /// Memoised failed states (cleared per check; entries are only
+    /// meaningful within one history).
+    memo: HashSet<StateKey>,
+}
+
+/// Decides the spec for the history both indexes are synced to. The weak
+/// index must have been built with the same spec (it selects each forced
+/// edge by its reader's level).
+pub(crate) fn decide_mixed(
+    spec: &LevelSpec,
+    weak: &mut WeakIndex,
+    frontier: &mut FrontierIndex,
+    scratch: &mut MixedScratch,
+) -> bool {
+    if spec.as_uniform() == Some(IsolationLevel::Trivial) {
+        // Uniformly `true` is the paper's trivial level: every history is
+        // consistent, with no commit-order obligation — matching
+        // `TrivialEngine` exactly. (A *mixed* spec with `true` positions
+        // keeps Definition 2.2's requirement that a commit order
+        // extending `so ∪ wr` exists.)
+        return true;
+    }
+    if !spec.has_strong() {
+        // No SER/SI transaction: the axioms reduce to the forced edges,
+        // and the spec holds iff `so ∪ wr ∪ forced` is acyclic.
+        return weak.decide();
+    }
+    weak.collect_forced_tx(&mut scratch.forced_tx);
+    let n = frontier.len();
+    scratch.slot_level.clear();
+    scratch.slot_level.resize(n, spec.default_level());
+    for (s, txs) in frontier.sessions.iter().enumerate() {
+        for (k, &(_, slot)) in txs.iter().enumerate() {
+            scratch.slot_level[slot as usize] = spec.level_of(s as u32, k as u32);
+        }
+    }
+    for p in &mut scratch.preds {
+        p.clear();
+    }
+    if scratch.preds.len() < n {
+        scratch.preds.resize_with(n, Vec::new);
+    }
+    for &(a, b) in &scratch.forced_tx {
+        if b.is_init() {
+            // A forced edge into the init transaction (co-first by
+            // construction) is unsatisfiable.
+            return false;
+        }
+        if a.is_init() {
+            continue; // init commits before everything: always satisfied
+        }
+        let (Some(sa), Some(sb)) = (frontier.slot_of(a), frontier.slot_of(b)) else {
+            return false;
+        };
+        scratch.preds[sb as usize].push(sa);
+    }
+    scratch.committed.clear();
+    scratch.committed.resize(n, false);
+    scratch.memo.clear();
+    let sessions = frontier.sessions.len();
+    let mut state = SearchState {
+        frontier: vec![0; sessions],
+        started: vec![false; sessions],
+        last_committed: BTreeMap::new(),
+    };
+    search(
+        frontier,
+        &scratch.slot_level,
+        &scratch.preds,
+        &mut scratch.committed,
+        &mut state,
+        &mut scratch.memo,
+    )
+}
+
+struct SearchState {
+    /// Index of the next transaction of each session (started or not).
+    frontier: Vec<usize>,
+    /// Whether the session's current transaction has started but not yet
+    /// committed (only ever true for Snapshot Isolation transactions).
+    started: Vec<bool>,
+    /// Last committed writer of each variable (absent = init).
+    last_committed: BTreeMap<Var, TxId>,
+}
+
+fn state_key(state: &SearchState) -> StateKey {
+    (
+        state
+            .frontier
+            .iter()
+            .copied()
+            .zip(state.started.iter().copied())
+            .collect(),
+        state
+            .last_committed
+            .iter()
+            .map(|(v, t)| (v.0, t.0))
+            .collect(),
+    )
+}
+
+/// Whether any *started* (in-progress SI) transaction of another session
+/// visibly writes a variable that `slot` visibly writes. Such a pair must
+/// not overlap: the Conflict axiom forbids a conflicting writer from
+/// committing inside an SI transaction's interval.
+fn conflicts_with_started(
+    idx: &FrontierIndex,
+    state: &SearchState,
+    skip_session: usize,
+    slot: u32,
+) -> bool {
+    idx.visible_writes(slot as usize).any(|x| {
+        (0..idx.sessions.len()).any(|s2| {
+            if s2 == skip_session || !state.started[s2] {
+                return false;
+            }
+            let (_, slot2) = idx.sessions[s2][state.frontier[s2]];
+            idx.writes_var(slot2 as usize, x)
+        })
+    })
+}
+
+fn search(
+    idx: &FrontierIndex,
+    level: &[IsolationLevel],
+    preds: &[Vec<u32>],
+    committed: &mut Vec<bool>,
+    state: &mut SearchState,
+    memo: &mut HashSet<StateKey>,
+) -> bool {
+    let done = state
+        .frontier
+        .iter()
+        .zip(&idx.sessions)
+        .all(|(f, s)| *f == s.len());
+    if done {
+        return true;
+    }
+    let key = state_key(state);
+    if memo.contains(&key) {
+        return false;
+    }
+    for s in 0..idx.sessions.len() {
+        if state.frontier[s] >= idx.sessions[s].len() {
+            continue;
+        }
+        let (t, slot) = idx.sessions[s][state.frontier[s]];
+        if level[slot as usize] == IsolationLevel::SnapshotIsolation {
+            if !state.started[s] {
+                // Try to start t: snapshot reads + write-conflict freedom
+                // against the other in-progress SI transactions.
+                let snapshot_ok = idx.reads[slot as usize]
+                    .iter()
+                    .all(|(x, w)| state.last_committed.get(x).copied().unwrap_or(TxId::INIT) == *w);
+                if !snapshot_ok || conflicts_with_started(idx, state, s, slot) {
+                    continue;
+                }
+                state.started[s] = true;
+                if search(idx, level, preds, committed, state, memo) {
+                    return true;
+                }
+                state.started[s] = false;
+            } else {
+                // Commit t: the forced-edge predecessors must be in.
+                if !preds[slot as usize].iter().all(|&p| committed[p as usize]) {
+                    continue;
+                }
+                state.started[s] = false;
+                state.frontier[s] += 1;
+                committed[slot as usize] = true;
+                let mut saved: Vec<(Var, Option<TxId>)> = Vec::new();
+                for x in idx.visible_writes(slot as usize) {
+                    saved.push((x, state.last_committed.insert(x, t)));
+                }
+                let found = search(idx, level, preds, committed, state, memo);
+                for (x, old) in saved.into_iter().rev() {
+                    match old {
+                        Some(w) => {
+                            state.last_committed.insert(x, w);
+                        }
+                        None => {
+                            state.last_committed.remove(&x);
+                        }
+                    }
+                }
+                committed[slot as usize] = false;
+                state.frontier[s] -= 1;
+                state.started[s] = true;
+                if found {
+                    return true;
+                }
+            }
+        } else {
+            // Atomic placement (start = commit) for SER, the weak levels
+            // and `true`.
+            if !preds[slot as usize].iter().all(|&p| committed[p as usize]) {
+                continue;
+            }
+            let reads_ok = match level[slot as usize] {
+                // Serializability: every external read observes the last
+                // committed writer at the placement point.
+                IsolationLevel::Serializability => idx.reads[slot as usize]
+                    .iter()
+                    .all(|(x, w)| state.last_committed.get(x).copied().unwrap_or(TxId::INIT) == *w),
+                // Weak levels and `true`: the commit order merely extends
+                // `wr`, so each observed writer must already be committed
+                // (the level's axioms are carried by the forced edges).
+                _ => idx.reads[slot as usize].iter().all(|(_, w)| {
+                    w.is_init() || idx.slot_of(*w).is_some_and(|ws| committed[ws as usize])
+                }),
+            };
+            if !reads_ok || conflicts_with_started(idx, state, s, slot) {
+                continue;
+            }
+            state.frontier[s] += 1;
+            committed[slot as usize] = true;
+            let mut saved: Vec<(Var, Option<TxId>)> = Vec::new();
+            for x in idx.visible_writes(slot as usize) {
+                saved.push((x, state.last_committed.insert(x, t)));
+            }
+            let found = search(idx, level, preds, committed, state, memo);
+            for (x, old) in saved.into_iter().rev() {
+                match old {
+                    Some(w) => {
+                        state.last_committed.insert(x, w);
+                    }
+                    None => {
+                        state.last_committed.remove(&x);
+                    }
+                }
+            }
+            committed[slot as usize] = false;
+            state.frontier[s] -= 1;
+            if found {
+                return true;
+            }
+        }
+    }
+    memo.insert(key);
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventId, EventKind};
+    use crate::isolation::IsolationLevel::*;
+    use crate::transaction::SessionId;
+    use crate::value::Value;
+
+    struct Builder {
+        h: History,
+        next_event: u32,
+        next_tx: u32,
+    }
+
+    impl Builder {
+        fn new() -> Self {
+            Builder {
+                h: History::new([]),
+                next_event: 0,
+                next_tx: 0,
+            }
+        }
+        fn fresh(&mut self) -> EventId {
+            self.next_event += 1;
+            EventId(self.next_event)
+        }
+        fn begin(&mut self, s: u32) -> TxId {
+            self.next_tx += 1;
+            let id = TxId(self.next_tx);
+            let idx = self.h.session_txs(SessionId(s)).len();
+            let e = Event::new(self.fresh(), EventKind::Begin);
+            self.h.begin_transaction(SessionId(s), id, idx, e);
+            id
+        }
+        fn write(&mut self, s: u32, x: Var, v: i64) {
+            let e = Event::new(self.fresh(), EventKind::Write(x, Value::Int(v)));
+            self.h.append_event(SessionId(s), e);
+        }
+        fn read(&mut self, s: u32, x: Var, from: TxId) {
+            let e = Event::new(self.fresh(), EventKind::Read(x));
+            let id = e.id;
+            self.h.append_event(SessionId(s), e);
+            self.h.set_wr(id, from);
+        }
+        fn commit(&mut self, s: u32) {
+            let e = Event::new(self.fresh(), EventKind::Commit);
+            self.h.append_event(SessionId(s), e);
+        }
+    }
+
+    /// Lost update: both transactions read x from init and write it.
+    fn lost_update() -> History {
+        let x = Var(0);
+        let mut b = Builder::new();
+        b.begin(0);
+        b.read(0, x, TxId::INIT);
+        b.write(0, x, 1);
+        b.commit(0);
+        b.begin(1);
+        b.read(1, x, TxId::INIT);
+        b.write(1, x, 2);
+        b.commit(1);
+        b.h
+    }
+
+    /// Long fork: two blind writers, two readers observing them in
+    /// opposite orders.
+    fn long_fork() -> History {
+        let (x, y) = (Var(0), Var(1));
+        let mut b = Builder::new();
+        let t1 = b.begin(0);
+        b.write(0, x, 1);
+        b.commit(0);
+        let t2 = b.begin(1);
+        b.write(1, y, 1);
+        b.commit(1);
+        b.begin(2);
+        b.read(2, x, t1);
+        b.read(2, y, TxId::INIT);
+        b.commit(2);
+        b.begin(3);
+        b.read(3, y, t2);
+        b.read(3, x, TxId::INIT);
+        b.commit(3);
+        b.h
+    }
+
+    #[test]
+    fn uniform_specs_match_uniform_checkers() {
+        for h in [lost_update(), long_fork(), History::default()] {
+            for level in IsolationLevel::ALL {
+                assert_eq!(
+                    satisfies_spec(&h, &LevelSpec::uniform(level)),
+                    crate::check::satisfies(&h, level),
+                    "uniform {level} spec diverged on\n{h}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lost_update_with_one_weak_increment() {
+        let h = lost_update();
+        // Both increments serializable: the anomaly is rejected.
+        let both_ser = LevelSpec::uniform(Serializability);
+        assert!(!satisfies_spec(&h, &both_ser));
+        // Demote one increment to Read Committed: its stale read is now
+        // allowed and the other (SER) increment can be placed first.
+        let one_rc = both_ser.clone().with_override(0, 0, ReadCommitted);
+        assert!(satisfies_spec(&h, &one_rc));
+        let other_rc = both_ser.with_override(1, 0, ReadCommitted);
+        assert!(satisfies_spec(&h, &other_rc));
+    }
+
+    #[test]
+    fn long_fork_verdicts_follow_the_reader_levels() {
+        let h = long_fork();
+        // Both readers at SER: the opposite observation orders are
+        // irreconcilable with one commit order.
+        assert!(!satisfies_spec(&h, &LevelSpec::uniform(Serializability)));
+        // Demoting ONE reader to CC frees the other's order.
+        let spec = LevelSpec::uniform(Serializability).with_override(2, 0, CausalConsistency);
+        assert!(satisfies_spec(&h, &spec));
+        // Both readers at SI (writers at SER): the long fork is an SI
+        // anomaly too — both snapshots cannot exist.
+        let spec = LevelSpec::uniform(Serializability)
+            .with_override(2, 0, SnapshotIsolation)
+            .with_override(3, 0, SnapshotIsolation);
+        assert!(!satisfies_spec(&h, &spec));
+        // One snapshot reader, one RC reader is fine.
+        let spec = LevelSpec::uniform(Serializability)
+            .with_override(2, 0, SnapshotIsolation)
+            .with_override(3, 0, ReadCommitted);
+        assert!(satisfies_spec(&h, &spec));
+    }
+
+    #[test]
+    fn forced_edges_of_weak_readers_constrain_the_strong_search() {
+        // Session 0: t1 writes x. Session 1: t2 writes x. Session 2:
+        // t3 (CC) reads x from t1 *after* reading y from t4 which read x
+        // from t2 — forcing t2 before t1 in co. Session 3: t5 (SER) reads
+        // x from t1: fine. But a SER read of x from t2 placed *after*
+        // both writers is impossible when t1 must follow t2... build a
+        // simpler shape: CC reader forces t2 < t1, SER reader of x=t2
+        // must then be placed between t2 and t1 — satisfiable; a SER
+        // reader of y (written only by t1... keep it direct:
+        // CC reader in one transaction reads x from t2 then x from t1
+        // (internal po order) — RC-style premise forces t2 < t1. A SER
+        // transaction writing x and reading nothing can commit anywhere.
+        let x = Var(0);
+        let mut b = Builder::new();
+        let t1 = b.begin(0);
+        b.write(0, x, 1);
+        b.commit(0);
+        let t2 = b.begin(1);
+        b.write(1, x, 2);
+        b.commit(1);
+        b.begin(2);
+        b.read(2, x, t2);
+        b.read(2, x, t1);
+        b.commit(2);
+        let h = b.h;
+        // Reader at RC: reading t2 then t1 forces t2 < t1 — satisfiable
+        // on its own (no cycle), even with the writers at SER.
+        let spec = LevelSpec::uniform(Serializability).with_override(2, 0, ReadCommitted);
+        assert!(satisfies_spec(&h, &spec));
+
+        // Now add a second RC reader observing the writers in the
+        // opposite internal order: t1 < t2 is also forced — a cycle no
+        // commit order satisfies, whatever the writers' levels.
+        let mut b = Builder::new();
+        let t1 = b.begin(0);
+        b.write(0, x, 1);
+        b.commit(0);
+        let t2 = b.begin(1);
+        b.write(1, x, 2);
+        b.commit(1);
+        b.begin(2);
+        b.read(2, x, t2);
+        b.read(2, x, t1);
+        b.commit(2);
+        b.begin(3);
+        b.read(3, x, t1);
+        b.read(3, x, t2);
+        b.commit(3);
+        let h = b.h;
+        let spec = LevelSpec::uniform(Serializability)
+            .with_override(2, 0, ReadCommitted)
+            .with_override(3, 0, ReadCommitted);
+        assert!(!satisfies_spec(&h, &spec));
+    }
+
+    #[test]
+    fn atomic_writer_may_not_commit_inside_a_conflicting_si_interval() {
+        // Write skew with one SI transaction and one SER transaction that
+        // write a *common* variable: t1 (SI) reads x=init writes x,y;
+        // t2 (SER) reads y=init writes x. t2's stale read of y needs
+        // placement before t1 commits y; t1's stale read of x needs its
+        // snapshot before t2 commits x — so t2 must commit inside t1's
+        // interval, which the common write of x forbids.
+        let (x, y) = (Var(0), Var(1));
+        let mut b = Builder::new();
+        b.begin(0);
+        b.read(0, x, TxId::INIT);
+        b.write(0, x, 1);
+        b.write(0, y, 1);
+        b.commit(0);
+        b.begin(1);
+        b.read(1, y, TxId::INIT);
+        b.write(1, x, 2);
+        b.commit(1);
+        let h = b.h;
+        let spec = LevelSpec::uniform(SnapshotIsolation).with_override(1, 0, Serializability);
+        assert!(!satisfies_spec(&h, &spec));
+        // Without the write conflict (t2 writes z instead of x) the same
+        // shape is accepted: t2 commits inside t1's interval.
+        let z = Var(2);
+        let mut b = Builder::new();
+        b.begin(0);
+        b.read(0, x, TxId::INIT);
+        b.write(0, x, 1);
+        b.write(0, y, 1);
+        b.commit(0);
+        b.begin(1);
+        b.read(1, y, TxId::INIT);
+        b.write(1, z, 2);
+        b.commit(1);
+        let h = b.h;
+        let spec = LevelSpec::uniform(SnapshotIsolation).with_override(1, 0, Serializability);
+        assert!(satisfies_spec(&h, &spec));
+    }
+
+    #[test]
+    fn empty_history_satisfies_every_spec() {
+        let h = History::default();
+        let spec = LevelSpec::uniform(CausalConsistency)
+            .with_override(0, 0, Serializability)
+            .with_override(1, 0, SnapshotIsolation);
+        assert!(satisfies_spec(&h, &spec));
+    }
+}

@@ -11,12 +11,17 @@
 //! * Snapshot Isolation uses the classical start/commit interval
 //!   characterisation, equivalent to the Prefix ∧ Conflict axioms
 //!   ([`si`]).
+//! * Mixed per-transaction level assignments ([`crate::isolation::LevelSpec`])
+//!   compose the weak forced-edge machinery with a commit-order search in
+//!   which each transaction enforces its own level's reading rule
+//!   ([`mixed`]).
 //!
 //! The slow axiom-level oracle in [`crate::axioms`] cross-validates all of
 //! these in the test suite.
 
 pub mod engine;
 pub(crate) mod frontier;
+pub mod mixed;
 pub mod ser;
 pub mod si;
 pub mod weak;
@@ -24,7 +29,11 @@ pub mod weak;
 use crate::history::History;
 use crate::isolation::IsolationLevel;
 
-pub use engine::{engine_for, engine_for_with, ConsistencyChecker, EngineStats};
+pub use engine::{
+    engine_for, engine_for_spec, engine_for_spec_with, engine_for_with, ConsistencyChecker,
+    EngineStats, MixedEngine,
+};
+pub use mixed::satisfies_spec;
 
 /// Whether the history satisfies the isolation level (Definition 2.2).
 ///
@@ -154,6 +163,52 @@ mod tests {
                 assert_eq!(
                     fast, slow,
                     "checker mismatch for {level} on seed {seed}:\n{h}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_checker_agrees_with_oracle_on_random_histories_and_specs() {
+        // The operational mixed checker (forced edges + commit-order
+        // search with SI intervals) against the axiom-level oracle that
+        // instantiates each read's axioms by its reader's level — over
+        // random histories and random per-transaction assignments drawn
+        // from ALL levels, SI and `true` included.
+        use crate::axioms::oracle_satisfies_spec;
+        use crate::isolation::LevelSpec;
+        for seed in 0..300u64 {
+            let h = random_history(seed, 3, 2, 2);
+            let mut rng = XorShift(seed.wrapping_mul(0x9e3779b9).wrapping_add(0xabcdef));
+            let default = IsolationLevel::ALL[rng.below(6) as usize];
+            let mut spec = LevelSpec::uniform(default);
+            for (sid, txs) in h.sessions() {
+                for k in 0..txs.len() {
+                    if rng.below(2) == 0 {
+                        let l = IsolationLevel::ALL[rng.below(6) as usize];
+                        spec = spec.with_override(sid.0, k as u32, l);
+                    }
+                }
+            }
+            let fast = satisfies_spec(&h, &spec);
+            let slow = oracle_satisfies_spec(&h, &spec);
+            assert_eq!(
+                fast, slow,
+                "mixed checker mismatch for spec {spec} on seed {seed}:\n{h}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_specs_route_to_the_uniform_checkers() {
+        use crate::isolation::LevelSpec;
+        for seed in 600..700u64 {
+            let h = random_history(seed, 3, 2, 2);
+            for level in IsolationLevel::ALL {
+                assert_eq!(
+                    satisfies_spec(&h, &LevelSpec::uniform(level)),
+                    satisfies(&h, level),
+                    "uniform {level} spec diverged on seed {seed}"
                 );
             }
         }

@@ -35,7 +35,7 @@
 use std::collections::VecDeque;
 
 use crate::history::{DeltaEventInfo, History, HistoryDelta};
-use crate::isolation::IsolationLevel;
+use crate::isolation::{IsolationLevel, LevelSpec};
 use crate::relations::{BitMatrix, Digraph};
 use crate::transaction::TxId;
 use crate::value::Var;
@@ -119,8 +119,14 @@ struct SavedRows {
 /// instance is owned by each [`crate::check::engine::WeakEngine`].
 #[derive(Debug)]
 pub(crate) struct WeakIndex {
-    level: IsolationLevel,
-    /// Whether the transitive closure `reach` is maintained (CC only).
+    /// Level assignment. For the uniform specs of [`satisfies_weak`] /
+    /// `WeakEngine` every reader uses the same premise; a mixed spec makes
+    /// each read contribute the forced edges of *its reader's* level
+    /// (readers at `true`/SI/SER contribute none — the strong levels are
+    /// handled by the commit-order search in [`crate::check::mixed`]).
+    spec: LevelSpec,
+    /// Whether the transitive closure `reach` is maintained (present iff
+    /// the spec assigns Causal Consistency somewhere).
     want_reach: bool,
     /// Identity + generation of the history this index is synced to.
     uid: u64,
@@ -134,6 +140,8 @@ pub(crate) struct WeakIndex {
     vtx_session: Vec<u32>,
     vtx_sidx: Vec<u32>,
     vtx_aborted: Vec<bool>,
+    /// Per-vertex isolation level resolved from `spec` (default for 0).
+    vtx_level: Vec<IsolationLevel>,
     /// Per-session vertex sequences (session order).
     session_vtx: Vec<Vec<u32>>,
     /// Per-vertex `(var, write-event count)` pairs, first-write order.
@@ -187,9 +195,17 @@ impl WeakIndex {
             ),
             "satisfies_weak only handles RC/RA/CC, got {level}"
         );
+        Self::new_spec(LevelSpec::uniform(level))
+    }
+
+    /// Creates an empty index for an arbitrary level assignment. Readers at
+    /// weak levels contribute their forced edges; readers at `true`, SI or
+    /// SER contribute none (see [`crate::check::mixed`] for how the strong
+    /// levels are decided on top of this index).
+    pub(crate) fn new_spec(spec: LevelSpec) -> Self {
         WeakIndex {
-            level,
-            want_reach: level == IsolationLevel::CausalConsistency,
+            want_reach: spec.mentions(IsolationLevel::CausalConsistency),
+            spec,
             uid: 0,
             gen: 0,
             synced: false,
@@ -198,6 +214,7 @@ impl WeakIndex {
             vtx_session: Vec::new(),
             vtx_sidx: Vec::new(),
             vtx_aborted: Vec::new(),
+            vtx_level: Vec::new(),
             session_vtx: Vec::new(),
             vtx_writes: Vec::new(),
             writers: Vec::new(),
@@ -258,10 +275,27 @@ impl WeakIndex {
     /// tests acyclicity of the base graph extended with them.
     pub fn decide(&mut self) -> bool {
         debug_assert!(self.synced, "decide on an unsynced index");
+        self.collect_forced();
+        self.forced_acyclic()
+    }
+
+    /// Collects the commit-order edges forced by the axiom instances into
+    /// `self.forced`, each read contributing under *its reader's* level
+    /// (readers at `true`/SI/SER contribute nothing).
+    fn collect_forced(&mut self) {
         let forced = &mut self.forced;
         forced.clear();
         for r in &self.reads {
             let (i3, i1) = (r.reader, r.writer);
+            let level = self.vtx_level[i3 as usize];
+            if !matches!(
+                level,
+                IsolationLevel::ReadCommitted
+                    | IsolationLevel::ReadAtomic
+                    | IsolationLevel::CausalConsistency
+            ) {
+                continue;
+            }
             let var_writers = self
                 .writers
                 .get(r.var.0 as usize)
@@ -271,7 +305,7 @@ impl WeakIndex {
                 if i2 == i1 || i2 == i3 {
                     continue;
                 }
-                let premise = match self.level {
+                let premise = match level {
                     // ∃ read c of t3, po-before α, reading from t2.
                     IsolationLevel::ReadCommitted => {
                         self.wr_seqs[i3 as usize][..r.prefix as usize].contains(&i2)
@@ -285,6 +319,26 @@ impl WeakIndex {
                 }
             }
         }
+    }
+
+    /// Collects the forced edges (see [`collect_forced`](Self::collect_forced))
+    /// and hands them out as transaction-id pairs, for the mixed-level
+    /// commit-order search which runs over transactions rather than this
+    /// index's vertex numbering.
+    pub(crate) fn collect_forced_tx(&mut self, out: &mut Vec<(TxId, TxId)>) {
+        debug_assert!(self.synced, "collect_forced_tx on an unsynced index");
+        self.collect_forced();
+        out.clear();
+        out.extend(
+            self.forced
+                .iter()
+                .map(|&(a, b)| (self.txs[a as usize], self.txs[b as usize])),
+        );
+    }
+
+    /// Tests acyclicity of the base graph extended with `self.forced`.
+    fn forced_acyclic(&mut self) -> bool {
+        let forced = &mut self.forced;
         // Kahn's algorithm over the base graph plus the forced edges
         // (forced edges may repeat base edges; multiplicity is harmless as
         // long as in-degrees count it symmetrically). Forced edges are
@@ -377,6 +431,8 @@ impl WeakIndex {
         self.vtx_sidx.resize(n, u32::MAX);
         self.vtx_aborted.clear();
         self.vtx_aborted.resize(n, false);
+        self.vtx_level.clear();
+        self.vtx_level.resize(n, self.spec.default_level());
         for s in &mut self.session_vtx {
             s.clear();
         }
@@ -411,6 +467,7 @@ impl WeakIndex {
                 self.session_vtx[sid.0 as usize].push(i as u32);
                 self.vtx_session[i] = sid.0;
                 self.vtx_sidx[i] = k as u32;
+                self.vtx_level[i] = self.spec.level_of(sid.0, k as u32);
                 let pred = if k == 0 {
                     0
                 } else {
@@ -634,6 +691,7 @@ impl WeakIndex {
         self.vtx_session.push(session);
         self.vtx_sidx.push(sidx);
         self.vtx_aborted.push(false);
+        self.vtx_level.push(self.spec.level_of(session, sidx));
         self.vtx_writes.push(Vec::new());
         self.wr_seqs.push(Vec::new());
         self.wr_read_pos.push(Vec::new());
@@ -676,6 +734,7 @@ impl WeakIndex {
         let s = self.vtx_session.pop().expect("vertex session") as usize;
         self.vtx_sidx.pop();
         self.vtx_aborted.pop();
+        self.vtx_level.pop();
         self.vtx_writes.pop();
         self.wr_seqs.pop();
         self.wr_read_pos.pop();

@@ -7,6 +7,7 @@
 //! *prefix closure* and *causal extensibility*.
 
 use std::fmt;
+use std::str::FromStr;
 
 use crate::check;
 use crate::history::History;
@@ -115,6 +116,234 @@ impl fmt::Display for IsolationLevel {
     }
 }
 
+/// Error of parsing an [`IsolationLevel`] from its short name; carries the
+/// rejected input and lists the accepted names.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseLevelError {
+    input: String,
+}
+
+impl fmt::Display for ParseLevelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown isolation level {:?}; accepted names: ",
+            self.input
+        )?;
+        for (i, l) in IsolationLevel::ALL.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(l.short_name())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ParseLevelError {}
+
+impl FromStr for IsolationLevel {
+    type Err = ParseLevelError;
+
+    /// Parses the short names used in tables and on the command line
+    /// (`"RC"`, `"RA"`, `"CC"`, `"SI"`, `"SER"` and `"true"` for the
+    /// trivial level), round-tripping [`IsolationLevel::short_name`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        IsolationLevel::ALL
+            .into_iter()
+            .find(|l| l.short_name() == s)
+            .ok_or_else(|| ParseLevelError { input: s.into() })
+    }
+}
+
+/// An isolation-level *specification*: either one level for every
+/// transaction (the paper's setting) or a per-transaction assignment, as in
+/// mixed real-world workloads where read-only analytics run at Read
+/// Committed next to payment transactions at Serializability (cf. *On the
+/// Complexity of Checking Mixed Isolation Levels for SQL Transactions*).
+///
+/// Transactions are addressed by their *position*: the session id and the
+/// transaction's index within that session. For histories generated by the
+/// exploration layer this index equals the program index of the
+/// transaction in its session (sessions execute their transactions in
+/// order), so a spec written against a program applies verbatim to every
+/// history the program produces.
+///
+/// A spec is kept **normalised**: overrides equal to the default level are
+/// dropped and the override list is sorted by position, so two specs with
+/// the same per-transaction assignment compare equal and hash identically.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct LevelSpec {
+    /// Level of every transaction without an override.
+    default: IsolationLevel,
+    /// Sorted `(session, index-within-session, level)` overrides, each
+    /// differing from `default`.
+    overrides: Vec<(u32, u32, IsolationLevel)>,
+}
+
+impl LevelSpec {
+    /// The uniform spec assigning `level` to every transaction.
+    pub fn uniform(level: IsolationLevel) -> Self {
+        LevelSpec {
+            default: level,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Returns the spec with the transaction at `(session, index)` assigned
+    /// `level` (replacing any previous override for that position;
+    /// assignments equal to the default are normalised away).
+    #[must_use]
+    pub fn with_override(mut self, session: u32, index: u32, level: IsolationLevel) -> Self {
+        let pos = self
+            .overrides
+            .binary_search_by_key(&(session, index), |&(s, i, _)| (s, i));
+        match (pos, level == self.default) {
+            (Ok(k), true) => {
+                self.overrides.remove(k);
+            }
+            (Ok(k), false) => self.overrides[k].2 = level,
+            (Err(_), true) => {}
+            (Err(k), false) => self.overrides.insert(k, (session, index, level)),
+        }
+        self
+    }
+
+    /// The default level (assigned to every position without an override).
+    pub fn default_level(&self) -> IsolationLevel {
+        self.default
+    }
+
+    /// The single level of a uniform spec, `None` when genuinely mixed.
+    pub fn as_uniform(&self) -> Option<IsolationLevel> {
+        self.overrides.is_empty().then_some(self.default)
+    }
+
+    /// The level assigned to the transaction at `(session, index)`.
+    pub fn level_of(&self, session: u32, index: u32) -> IsolationLevel {
+        match self
+            .overrides
+            .binary_search_by_key(&(session, index), |&(s, i, _)| (s, i))
+        {
+            Ok(k) => self.overrides[k].2,
+            Err(_) => self.default,
+        }
+    }
+
+    /// The overridden positions as `(session, index, level)`, sorted.
+    pub fn overrides(&self) -> &[(u32, u32, IsolationLevel)] {
+        &self.overrides
+    }
+
+    /// Whether any position is assigned `level`.
+    pub fn mentions(&self, level: IsolationLevel) -> bool {
+        self.default == level || self.overrides.iter().any(|&(_, _, l)| l == level)
+    }
+
+    /// Whether any position is assigned Snapshot Isolation or
+    /// Serializability (the levels that need the commit-order search).
+    pub fn has_strong(&self) -> bool {
+        self.mentions(IsolationLevel::SnapshotIsolation)
+            || self.mentions(IsolationLevel::Serializability)
+    }
+
+    /// Whether every assigned level is causally extensible (Definition 3.3)
+    /// — the requirement on an exploration base spec.
+    pub fn is_causally_extensible(&self) -> bool {
+        self.default.is_causally_extensible()
+            && self
+                .overrides
+                .iter()
+                .all(|&(_, _, l)| l.is_causally_extensible())
+    }
+
+    /// Pointwise [`IsolationLevel::weaker_or_equal`]: whether every
+    /// position's level in `self` is weaker than or equal to the level
+    /// `other` assigns it (so every `other`-consistent history is also
+    /// `self`-consistent).
+    pub fn weaker_or_equal(&self, other: &LevelSpec) -> bool {
+        self.default.weaker_or_equal(other.default)
+            && self
+                .overrides
+                .iter()
+                .all(|&(s, i, l)| l.weaker_or_equal(other.level_of(s, i)))
+            && other
+                .overrides
+                .iter()
+                .all(|&(s, i, l)| self.level_of(s, i).weaker_or_equal(l))
+    }
+
+    /// A 64-bit structural hash of the assignment, folded into the
+    /// consistency engines' memo keys so verdicts memoised under one spec
+    /// can never be served for another.
+    pub fn spec_hash(&self) -> u64 {
+        let mut acc = spec_mix(0x6d69_7865_645f_6c76 ^ self.default as u64);
+        for &(s, i, l) in &self.overrides {
+            acc = spec_mix(acc ^ ((s as u64) << 40) ^ ((i as u64) << 8) ^ l as u64);
+        }
+        acc
+    }
+
+    /// Canonical label: the short level name for uniform specs, otherwise
+    /// `default[s<session>.t<index>=LEVEL,...]` — used in benchmark tables
+    /// and the fig14 JSON `levels` field.
+    pub fn label(&self) -> String {
+        let mut out = self.default.short_name().to_owned();
+        if !self.overrides.is_empty() {
+            out.push('[');
+            for (k, (s, i, l)) in self.overrides.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("s{s}.t{i}={}", l.short_name()));
+            }
+            out.push(']');
+        }
+        out
+    }
+
+    /// The level assigned to transaction `t` of history `h`, resolved
+    /// through the transaction's session and position within it. Unknown
+    /// transactions (including init) get the default level.
+    pub fn level_of_tx(&self, h: &History, t: crate::transaction::TxId) -> IsolationLevel {
+        if self.overrides.is_empty() {
+            return self.default;
+        }
+        match (h.get_tx(t), h.tx_session_index(t)) {
+            (Some(log), Some(idx)) => self.level_of(log.session.0, idx as u32),
+            _ => self.default,
+        }
+    }
+
+    /// Whether the given history satisfies this spec (the mixed-level
+    /// generalisation of Definition 2.2): there exists a strict total
+    /// commit order extending `so ∪ wr` in which every transaction obeys
+    /// the axioms of *its own* level.
+    pub fn satisfies(&self, h: &History) -> bool {
+        check::satisfies_spec(h, self)
+    }
+}
+
+impl From<IsolationLevel> for LevelSpec {
+    fn from(level: IsolationLevel) -> Self {
+        LevelSpec::uniform(level)
+    }
+}
+
+impl fmt::Display for LevelSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Finalising mixer of [`LevelSpec::spec_hash`] (splitmix64).
+fn spec_mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,5 +386,92 @@ mod tests {
         for l in IsolationLevel::ALL {
             assert!(l.satisfies(&h), "{l} should accept the empty history");
         }
+    }
+
+    #[test]
+    fn level_from_str_round_trips_short_names() {
+        for l in IsolationLevel::ALL {
+            assert_eq!(l.short_name().parse::<IsolationLevel>(), Ok(l));
+        }
+        assert_eq!(
+            "true".parse::<IsolationLevel>(),
+            Ok(IsolationLevel::Trivial)
+        );
+        let err = "serializable".parse::<IsolationLevel>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("serializable"), "{msg}");
+        for l in IsolationLevel::ALL {
+            assert!(msg.contains(l.short_name()), "{msg} misses {l}");
+        }
+    }
+
+    #[test]
+    fn spec_normalisation_and_lookup() {
+        use IsolationLevel::*;
+        let spec = LevelSpec::uniform(CausalConsistency)
+            .with_override(0, 1, Serializability)
+            .with_override(2, 0, ReadCommitted)
+            .with_override(1, 3, CausalConsistency); // == default: dropped
+        assert_eq!(spec.as_uniform(), None);
+        assert_eq!(spec.level_of(0, 1), Serializability);
+        assert_eq!(spec.level_of(2, 0), ReadCommitted);
+        assert_eq!(spec.level_of(1, 3), CausalConsistency);
+        assert_eq!(spec.level_of(7, 7), CausalConsistency);
+        assert_eq!(spec.overrides().len(), 2);
+        // Replacing an override, then normalising it away, restores the
+        // uniform spec exactly (equal hash and label).
+        let back = spec
+            .clone()
+            .with_override(0, 1, ReadAtomic)
+            .with_override(0, 1, CausalConsistency)
+            .with_override(2, 0, CausalConsistency);
+        assert_eq!(back, LevelSpec::uniform(CausalConsistency));
+        assert_eq!(back.as_uniform(), Some(CausalConsistency));
+        assert_eq!(
+            back.spec_hash(),
+            LevelSpec::uniform(CausalConsistency).spec_hash()
+        );
+        assert_ne!(back.spec_hash(), spec.spec_hash());
+    }
+
+    #[test]
+    fn spec_labels() {
+        use IsolationLevel::*;
+        assert_eq!(LevelSpec::uniform(Serializability).label(), "SER");
+        let spec = LevelSpec::uniform(CausalConsistency)
+            .with_override(0, 1, Serializability)
+            .with_override(2, 0, ReadCommitted);
+        assert_eq!(spec.label(), "CC[s0.t1=SER,s2.t0=RC]");
+        assert_eq!(spec.to_string(), spec.label());
+    }
+
+    #[test]
+    fn spec_structural_queries() {
+        use IsolationLevel::*;
+        let weak = LevelSpec::uniform(CausalConsistency).with_override(0, 0, ReadCommitted);
+        assert!(weak.is_causally_extensible());
+        assert!(!weak.has_strong());
+        assert!(weak.mentions(ReadCommitted));
+        assert!(!weak.mentions(Serializability));
+        let mixed = weak.clone().with_override(1, 1, Serializability);
+        assert!(mixed.has_strong());
+        assert!(!mixed.is_causally_extensible());
+    }
+
+    #[test]
+    fn spec_pointwise_weaker_or_equal() {
+        use IsolationLevel::*;
+        let base = LevelSpec::uniform(ReadCommitted);
+        let target = LevelSpec::uniform(Serializability).with_override(0, 1, ReadCommitted);
+        assert!(base.weaker_or_equal(&target));
+        assert!(!target.weaker_or_equal(&base));
+        // CC is *stronger* than the RC position of the target.
+        assert!(!LevelSpec::uniform(CausalConsistency).weaker_or_equal(&target));
+        // Mixed vs mixed, differing on overridden positions only.
+        let a = LevelSpec::uniform(CausalConsistency).with_override(0, 0, ReadAtomic);
+        let b = LevelSpec::uniform(SnapshotIsolation).with_override(0, 0, CausalConsistency);
+        assert!(a.weaker_or_equal(&b));
+        assert!(!b.weaker_or_equal(&a));
+        assert!(a.weaker_or_equal(&a));
     }
 }
