@@ -161,55 +161,81 @@ pub enum MixedScenario {
     /// Courseware: enrollment queries demoted to Read Committed in an
     /// otherwise serializable deployment.
     CoursewareReadsRc,
+    /// Courseware: enrollment queries promoted to Prefix Consistency
+    /// (snapshot reads over a causal deployment, no write-conflict rule).
+    CoursewareReadsPc,
     /// Shopping cart: cart mutations at SER, browsing stays causal.
     ShoppingCartAddSer,
     /// Shopping cart: `get_cart` at RC next to serializable mutations.
     ShoppingCartReadsRc,
+    /// Shopping cart: `get_cart` at Prefix Consistency over a causal
+    /// deployment — the cart is read from a committed prefix snapshot.
+    ShoppingCartReadsPc,
     /// TPC-C: `payment` at SER while `new_order` and the rest run causal
     /// (the canonical mixed-workload example).
     TpccPaymentSer,
     /// TPC-C: the read-only `order_status`/`stock_level` queries at RC in
     /// a serializable deployment.
     TpccReadsRc,
+    /// TPC-C: `order_status`/`stock_level` at Prefix Consistency — the
+    /// classic snapshot-query pattern over a causal deployment.
+    TpccStatusPc,
     /// Twitter: publishing tweets and follows at SER, timeline stays
     /// causal.
     TwitterTweetSer,
     /// Twitter: timeline reads at RC next to serializable writes.
     TwitterTimelineRc,
+    /// Twitter: timeline reads at Prefix Consistency over a causal
+    /// deployment — the timeline observes a committed prefix snapshot.
+    TwitterTimelinePc,
     /// Wikipedia: page updates at SER, everything else causal.
     WikipediaUpdateSer,
     /// Wikipedia: anonymous/authenticated page reads at RC in a
     /// serializable deployment.
     WikipediaReadsRc,
+    /// Wikipedia: page reads at Prefix Consistency over a causal
+    /// deployment — readers see a committed prefix snapshot of the wiki.
+    WikipediaReadsPc,
 }
 
 impl MixedScenario {
-    /// All scenarios — two per application, in [`App::ALL`] order.
-    pub const ALL: [MixedScenario; 10] = [
+    /// All scenarios — three per application, in [`App::ALL`] order.
+    pub const ALL: [MixedScenario; 15] = [
         MixedScenario::CoursewareEnrollSer,
         MixedScenario::CoursewareReadsRc,
+        MixedScenario::CoursewareReadsPc,
         MixedScenario::ShoppingCartAddSer,
         MixedScenario::ShoppingCartReadsRc,
+        MixedScenario::ShoppingCartReadsPc,
         MixedScenario::TpccPaymentSer,
         MixedScenario::TpccReadsRc,
+        MixedScenario::TpccStatusPc,
         MixedScenario::TwitterTweetSer,
         MixedScenario::TwitterTimelineRc,
+        MixedScenario::TwitterTimelinePc,
         MixedScenario::WikipediaUpdateSer,
         MixedScenario::WikipediaReadsRc,
+        MixedScenario::WikipediaReadsPc,
     ];
 
     /// The application whose workloads the scenario applies to.
     pub fn app(self) -> App {
         match self {
-            MixedScenario::CoursewareEnrollSer | MixedScenario::CoursewareReadsRc => {
-                App::Courseware
-            }
-            MixedScenario::ShoppingCartAddSer | MixedScenario::ShoppingCartReadsRc => {
-                App::ShoppingCart
-            }
-            MixedScenario::TpccPaymentSer | MixedScenario::TpccReadsRc => App::Tpcc,
-            MixedScenario::TwitterTweetSer | MixedScenario::TwitterTimelineRc => App::Twitter,
-            MixedScenario::WikipediaUpdateSer | MixedScenario::WikipediaReadsRc => App::Wikipedia,
+            MixedScenario::CoursewareEnrollSer
+            | MixedScenario::CoursewareReadsRc
+            | MixedScenario::CoursewareReadsPc => App::Courseware,
+            MixedScenario::ShoppingCartAddSer
+            | MixedScenario::ShoppingCartReadsRc
+            | MixedScenario::ShoppingCartReadsPc => App::ShoppingCart,
+            MixedScenario::TpccPaymentSer
+            | MixedScenario::TpccReadsRc
+            | MixedScenario::TpccStatusPc => App::Tpcc,
+            MixedScenario::TwitterTweetSer
+            | MixedScenario::TwitterTimelineRc
+            | MixedScenario::TwitterTimelinePc => App::Twitter,
+            MixedScenario::WikipediaUpdateSer
+            | MixedScenario::WikipediaReadsRc
+            | MixedScenario::WikipediaReadsPc => App::Wikipedia,
         }
     }
 
@@ -219,14 +245,19 @@ impl MixedScenario {
         match self {
             MixedScenario::CoursewareEnrollSer => "courseware:enroll-ser",
             MixedScenario::CoursewareReadsRc => "courseware:reads-rc",
+            MixedScenario::CoursewareReadsPc => "courseware:reads-pc",
             MixedScenario::ShoppingCartAddSer => "shoppingCart:cart-ser",
             MixedScenario::ShoppingCartReadsRc => "shoppingCart:reads-rc",
+            MixedScenario::ShoppingCartReadsPc => "shoppingCart:reads-pc",
             MixedScenario::TpccPaymentSer => "tpcc:pay-ser",
             MixedScenario::TpccReadsRc => "tpcc:reads-rc",
+            MixedScenario::TpccStatusPc => "tpcc:status-pc",
             MixedScenario::TwitterTweetSer => "twitter:tweet-ser",
             MixedScenario::TwitterTimelineRc => "twitter:timeline-rc",
+            MixedScenario::TwitterTimelinePc => "twitter:timeline-pc",
             MixedScenario::WikipediaUpdateSer => "wikipedia:update-ser",
             MixedScenario::WikipediaReadsRc => "wikipedia:reads-rc",
+            MixedScenario::WikipediaReadsPc => "wikipedia:reads-pc",
         }
     }
 
@@ -237,7 +268,12 @@ impl MixedScenario {
             | MixedScenario::ShoppingCartAddSer
             | MixedScenario::TpccPaymentSer
             | MixedScenario::TwitterTweetSer
-            | MixedScenario::WikipediaUpdateSer => IsolationLevel::CausalConsistency,
+            | MixedScenario::WikipediaUpdateSer
+            | MixedScenario::CoursewareReadsPc
+            | MixedScenario::ShoppingCartReadsPc
+            | MixedScenario::TpccStatusPc
+            | MixedScenario::TwitterTimelinePc
+            | MixedScenario::WikipediaReadsPc => IsolationLevel::CausalConsistency,
             MixedScenario::CoursewareReadsRc
             | MixedScenario::ShoppingCartReadsRc
             | MixedScenario::TpccReadsRc
@@ -248,20 +284,26 @@ impl MixedScenario {
 
     /// The `transaction name ↦ level` rules of the scenario.
     pub fn rules(self) -> &'static [(&'static str, IsolationLevel)] {
-        use IsolationLevel::{ReadCommitted, Serializability};
+        use IsolationLevel::{PrefixConsistency, ReadCommitted, Serializability};
         match self {
             MixedScenario::CoursewareEnrollSer => &[("enroll", Serializability)],
             MixedScenario::CoursewareReadsRc => &[("get_enrollments", ReadCommitted)],
+            MixedScenario::CoursewareReadsPc => &[("get_enrollments", PrefixConsistency)],
             MixedScenario::ShoppingCartAddSer => &[
                 ("add_item", Serializability),
                 ("remove_item", Serializability),
                 ("change_quantity", Serializability),
             ],
             MixedScenario::ShoppingCartReadsRc => &[("get_cart", ReadCommitted)],
+            MixedScenario::ShoppingCartReadsPc => &[("get_cart", PrefixConsistency)],
             MixedScenario::TpccPaymentSer => &[("payment", Serializability)],
             MixedScenario::TpccReadsRc => &[
                 ("order_status", ReadCommitted),
                 ("stock_level", ReadCommitted),
+            ],
+            MixedScenario::TpccStatusPc => &[
+                ("order_status", PrefixConsistency),
+                ("stock_level", PrefixConsistency),
             ],
             MixedScenario::TwitterTweetSer => &[
                 ("publish_tweet", Serializability),
@@ -272,10 +314,18 @@ impl MixedScenario {
                 ("get_tweets", ReadCommitted),
                 ("get_followers", ReadCommitted),
             ],
+            MixedScenario::TwitterTimelinePc => &[
+                ("get_timeline", PrefixConsistency),
+                ("get_tweets", PrefixConsistency),
+            ],
             MixedScenario::WikipediaUpdateSer => &[("update_page", Serializability)],
             MixedScenario::WikipediaReadsRc => &[
                 ("get_page_anonymous", ReadCommitted),
                 ("get_page_authenticated", ReadCommitted),
+            ],
+            MixedScenario::WikipediaReadsPc => &[
+                ("get_page_anonymous", PrefixConsistency),
+                ("get_page_authenticated", PrefixConsistency),
             ],
         }
     }
@@ -374,13 +424,17 @@ mod tests {
     }
 
     #[test]
-    fn two_mixed_scenarios_per_app_with_unique_names() {
+    fn three_mixed_scenarios_per_app_with_unique_names() {
         use std::collections::BTreeSet;
         for app in App::ALL {
-            assert_eq!(
-                MixedScenario::scenarios_for(app).len(),
-                2,
-                "{app} needs two mixed scenarios"
+            let scenarios = MixedScenario::scenarios_for(app);
+            assert_eq!(scenarios.len(), 3, "{app} needs three mixed scenarios");
+            assert!(
+                scenarios.iter().any(|s| s
+                    .rules()
+                    .iter()
+                    .any(|&(_, l)| l == IsolationLevel::PrefixConsistency)),
+                "{app} needs a Prefix Consistency scenario"
             );
         }
         let names: BTreeSet<_> = MixedScenario::ALL.iter().map(|s| s.name()).collect();

@@ -3,7 +3,8 @@
 //! `explore-ce*(RC, CC)`, `explore-ce*(true, CC)` and `DFS(CC)` on the
 //! benchmark suite, plus the average-speedup summary quoted in §7.3.
 //!
-//! Beyond the paper's seven configurations the binary also measures the
+//! Beyond the paper's seven configurations the binary also measures
+//! `explore-ce*(CC, PC)` (Prefix Consistency as the output filter), the
 //! incremental checking engines (`CC` vs the `CC (no-memo)` ablation that
 //! reproduces the stateless checkers' cost model) and the parallel frontier
 //! exploration (`CC parN`), and can emit everything as machine-readable
@@ -67,9 +68,9 @@ fn main() {
     if with_ablation {
         algorithms.push(Algorithm::ExploreCeNoOptimality(cc_level));
     }
-    // The mixed-isolation scenarios (two per application, e.g. TPC-C
-    // payment@SER next to new-order@CC): each runs only on its own
-    // application's programs.
+    // The mixed-isolation scenarios (three per application, e.g. TPC-C
+    // payment@SER next to new-order@CC, or order-status@PC): each runs
+    // only on its own application's programs.
     algorithms.extend(fig14_mixed_algorithms());
 
     let rows = experiment_fig14_with(&options, &algorithms);

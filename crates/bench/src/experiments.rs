@@ -200,7 +200,7 @@ pub fn experiment_fig14_with(
 }
 
 /// The mixed-isolation configurations of the fig14 suite: one
-/// `explore-ce*` row per [`MixedScenario`] (two per application), each
+/// `explore-ce*` row per [`MixedScenario`] (three per application), each
 /// running only on its own application's programs.
 pub fn fig14_mixed_algorithms() -> Vec<Algorithm> {
     MixedScenario::ALL

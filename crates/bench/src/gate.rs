@@ -17,7 +17,7 @@
 use crate::harness::{Algorithm, Measurement};
 use crate::json::JsonValue;
 use txdpor_apps::workload::MixedScenario;
-use txdpor_history::IsolationLevel;
+use txdpor_history::{IsolationLevel, LevelSpec};
 
 /// One gateable row of the committed baseline.
 #[derive(Clone, Debug, PartialEq)]
@@ -198,7 +198,15 @@ pub fn compare(
         }
         report.checked += 1;
         if let Some(levels) = &row.levels {
-            if *levels != m.levels {
+            // A baseline written by a build that knew more (or different)
+            // isolation levels may carry a spec label this build cannot
+            // even parse; that is a vocabulary gap, not a count regression.
+            if levels.parse::<LevelSpec>().is_err() {
+                report.notices.push(format!(
+                    "{}/{}: baseline levels {:?} name an unknown level; not compared",
+                    row.benchmark, row.algorithm, levels
+                ));
+            } else if *levels != m.levels {
                 report.failures.push(format!(
                     "{}/{}: levels = {:?}, baseline has {:?}",
                     row.benchmark, row.algorithm, m.levels, levels
@@ -286,6 +294,7 @@ mod tests {
             history_clones: 0,
             history_bytes_copied: 0,
             engine: EngineStats::default(),
+            first_rejection: None,
             timed_out: false,
         }
     }
@@ -374,6 +383,34 @@ mod tests {
             60,
         );
         assert!(report.ok());
+    }
+
+    #[test]
+    fn unknown_levels_in_baseline_are_notices_not_mismatches() {
+        // A baseline written by a build with a richer level vocabulary
+        // (e.g. a level since renamed) must not fail the count gate.
+        let mut future = row("courseware-1", "CC", (30, 30, 401));
+        future.levels = Some("PSI".into());
+        let report = compare(
+            &[future],
+            &[measurement("courseware-1", "CC", (30, 30, 401))],
+            60,
+        );
+        assert!(report.ok(), "{:?}", report.failures);
+        assert_eq!(report.checked, 1, "counts are still gated");
+        assert_eq!(report.notices.len(), 1, "{:?}", report.notices);
+        assert!(report.notices[0].contains("unknown level"));
+
+        // Mixed-spec labels with a known vocabulary still mismatch-fail.
+        let mut mixed = row("courseware-1", "CC", (30, 30, 401));
+        mixed.levels = Some("CC[s0.t1=PC]".into());
+        let report = compare(
+            &[mixed],
+            &[measurement("courseware-1", "CC", (30, 30, 401))],
+            60,
+        );
+        assert!(!report.ok());
+        assert!(report.failures[0].contains("levels"));
     }
 
     #[test]

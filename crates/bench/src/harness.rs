@@ -42,9 +42,14 @@ pub enum Algorithm {
 }
 
 impl Algorithm {
-    /// The seven configurations compared in Fig. 14 / Table F.1.
-    pub const FIG14: [Algorithm; 7] = [
+    /// The configurations compared in Fig. 14 / Table F.1, plus the
+    /// `explore-ce*(CC, PC)` row for Prefix Consistency.
+    pub const FIG14: [Algorithm; 8] = [
         Algorithm::ExploreCe(IsolationLevel::CausalConsistency),
+        Algorithm::ExploreCeStar(
+            IsolationLevel::CausalConsistency,
+            IsolationLevel::PrefixConsistency,
+        ),
         Algorithm::ExploreCeStar(
             IsolationLevel::CausalConsistency,
             IsolationLevel::SnapshotIsolation,
@@ -170,6 +175,10 @@ pub struct Measurement {
     /// check/memo traffic, the incremental-sync vs full-rebuild split and
     /// the nanoseconds spent deciding memo misses.
     pub engine: txdpor_history::EngineStats,
+    /// Rendered violation core of the first end state the output filter
+    /// rejected (`explore-ce*` rows only; `None` when nothing was
+    /// filtered or the algorithm has no output filter).
+    pub first_rejection: Option<String>,
     /// Whether the run hit its timeout.
     pub timed_out: bool,
 }
@@ -206,7 +215,7 @@ const WARMUP_BUDGET: Duration = Duration::from_secs(1);
 /// The exploration runs on a dedicated thread with a large stack so that
 /// deeply recursive (non-optimal) configurations do not overflow. Before
 /// the measured run, the same configuration is executed once unmeasured
-/// (capped at [`WARMUP_BUDGET`]): a preceding memory-heavy run (a timed-out
+/// (capped at `WARMUP_BUDGET`): a preceding memory-heavy run (a timed-out
 /// `DFS` or no-optimality ablation allocates gigabytes) evicts page cache
 /// and leaves allocator housekeeping behind, which would otherwise be
 /// billed to whatever configuration happens to run next.
@@ -290,6 +299,7 @@ fn run_inner(
         history_clones,
         history_bytes_copied,
         engine: report.engine_stats,
+        first_rejection: report.first_rejection.as_ref().map(|v| v.to_string()),
         timed_out: report.timed_out,
     }
 }

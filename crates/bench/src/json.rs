@@ -366,6 +366,12 @@ pub fn measurement_json(m: &Measurement) -> JsonValue {
             JsonValue::uint(m.engine.full_rebuilds),
         ),
         ("check_nanos".into(), JsonValue::uint(m.engine.check_nanos)),
+        (
+            "first_rejection".into(),
+            m.first_rejection
+                .as_deref()
+                .map_or(JsonValue::Null, JsonValue::str),
+        ),
         ("timed_out".into(), JsonValue::Bool(m.timed_out)),
     ])
 }
@@ -448,6 +454,7 @@ mod tests {
                 full_rebuilds: 10,
                 check_nanos: 123_456,
             },
+            first_rejection: Some("t1 -so-> t2 -co-> t1".to_owned()),
             timed_out: false,
         }
     }
@@ -487,6 +494,7 @@ mod tests {
             "\"levels\":\"CC[s0.t1=SER]\"",
             "\"history_clones\":12",
             "\"history_bytes_copied\":2048",
+            "\"first_rejection\":\"t1 -so-> t2 -co-> t1\"",
             "\"speedup\":2.0",
         ] {
             assert!(doc.contains(key), "missing {key} in {doc}");

@@ -176,6 +176,7 @@ mod tests {
             history_clones: 7,
             history_bytes_copied: 4096,
             engine: txdpor_history::EngineStats::default(),
+            first_rejection: None,
             timed_out,
         }
     }

@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use txdpor_history::{EngineStats, History, IsolationLevel, LevelSpec, VarTable};
+use txdpor_history::{EngineStats, History, IsolationLevel, LevelSpec, VarTable, Violation};
 
 /// Configuration of a swapping-based exploration (`explore-ce` /
 /// `explore-ce*`).
@@ -229,6 +229,13 @@ pub struct ExplorationReport {
     pub histories: Vec<History>,
     /// First assertion-violating history, if any.
     pub violating_history: Option<History>,
+    /// Violation core of the first end state the output filter rejected
+    /// (`explore-ce*` only): the minimal cycle of `so`/`wr`/forced edges
+    /// showing why that history fails the target spec, reconstructed on
+    /// demand through the engine's evidence path
+    /// ([`txdpor_history::ConsistencyChecker::check_witnessed`]) without
+    /// touching its memoised fast path. `None` when nothing was filtered.
+    pub first_rejection: Option<Violation>,
     /// Interning table for the global variables of the program, for
     /// rendering histories.
     pub vars: VarTable,

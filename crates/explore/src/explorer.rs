@@ -7,8 +7,8 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use txdpor_history::{
-    engine_for_spec_with, ConsistencyChecker, Event, EventId, EventKind, History,
-    HistoryFingerprint, SessionId, TxId, Var, VarTable,
+    engine_for_spec_with, ConsistencyChecker, EdgeReason, Event, EventId, EventKind, History,
+    HistoryFingerprint, SessionId, TxId, Var, VarTable, Verdict,
 };
 use txdpor_program::{
     initial_history, oracle_next, replay_all, Program, SchedulerStep, SemanticsError, TxStep,
@@ -241,6 +241,16 @@ fn merge_worker(
         .extend(worker.histories.iter().map(|h| h.map_vars(remap)));
     if report.violating_history.is_none() {
         report.violating_history = worker.violating_history.map(|h| h.map_vars(remap));
+    }
+    if report.first_rejection.is_none() {
+        report.first_rejection = worker.first_rejection.map(|mut v| {
+            for e in &mut v.cycle {
+                if let EdgeReason::Forced(i) = &mut e.reason {
+                    i.var = remap(i.var);
+                }
+            }
+            v
+        });
     }
 }
 
@@ -517,6 +527,16 @@ impl<'a> Explorer<'a> {
             Some(checker) => checker.check(&h.history),
         };
         if !valid {
+            if self.report.first_rejection.is_none() {
+                if let Some(checker) = self.output_checker.as_mut() {
+                    // Once per run, off the hot path: the boolean verdict
+                    // above is already memoised, so this only pays for the
+                    // on-demand evidence reconstruction.
+                    if let Verdict::Inconsistent(core) = checker.check_witnessed(&h.history) {
+                        self.report.first_rejection = Some(core);
+                    }
+                }
+            }
             return;
         }
         self.report.outputs += 1;
@@ -768,6 +788,21 @@ mod tests {
         assert_eq!(cc.outputs, 16);
         assert_eq!(star.outputs, 14);
         assert!(star.outputs < cc.outputs);
+        // The first filtered end state comes with its violation core: a
+        // closed cycle whose forced edges carry SER axiom instances.
+        let core = star
+            .first_rejection
+            .as_ref()
+            .expect("a filtered run reports its first rejection");
+        assert!(!core.cycle.is_empty());
+        for (k, e) in core.cycle.iter().enumerate() {
+            let next = &core.cycle[(k + 1) % core.cycle.len()];
+            assert_eq!(e.to, next.from, "rejection core not a closed cycle");
+        }
+        assert!(
+            cc.first_rejection.is_none(),
+            "unfiltered exploration rejects nothing"
+        );
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub fn axioms_for(level: IsolationLevel) -> &'static [Axiom] {
         IsolationLevel::ReadCommitted => &[Axiom::ReadCommitted],
         IsolationLevel::ReadAtomic => &[Axiom::ReadAtomic],
         IsolationLevel::CausalConsistency => &[Axiom::Causal],
+        IsolationLevel::PrefixConsistency => &[Axiom::Prefix],
         IsolationLevel::SnapshotIsolation => &[Axiom::Prefix, Axiom::Conflict],
         IsolationLevel::Serializability => &[Axiom::Serializability],
     }
@@ -177,6 +178,14 @@ pub fn axioms_hold_spec(h: &History, spec: &LevelSpec, co: &CommitOrder) -> bool
 /// permutation of all transactions of `h` (init included) that extends
 /// `so ∪ wr` and satisfies the level's axioms.
 pub fn check_with_order(h: &History, level: IsolationLevel, order: &[TxId]) -> bool {
+    check_with_order_spec(h, &LevelSpec::uniform(level), order)
+}
+
+/// Mixed-level generalisation of [`check_with_order`]: whether `order` is a
+/// valid witness that `h` satisfies `spec` — a permutation of all
+/// transactions of `h` (init included) that extends `so ∪ wr` and satisfies
+/// the axioms of every reader's assigned level.
+pub fn check_with_order_spec(h: &History, spec: &LevelSpec, order: &[TxId]) -> bool {
     let co = CommitOrder::from_sequence(order);
     if co.len() != h.num_transactions() + 1 {
         return false;
@@ -194,7 +203,7 @@ pub fn check_with_order(h: &History, level: IsolationLevel, order: &[TxId]) -> b
             }
         }
     }
-    axioms_hold(h, level, &co)
+    axioms_hold_spec(h, spec, &co)
 }
 
 /// Slow reference checker: enumerates every total order extending
@@ -348,12 +357,16 @@ mod tests {
         assert!(oracle_satisfies(&h, IsolationLevel::ReadAtomic));
         assert!(!oracle_satisfies(&h, IsolationLevel::SnapshotIsolation));
         assert!(!oracle_satisfies(&h, IsolationLevel::Serializability));
+        // Without the Conflict axiom the concurrent writes are fine: lost
+        // update separates PC from SI.
+        assert!(oracle_satisfies(&h, IsolationLevel::PrefixConsistency));
     }
 
     #[test]
     fn write_skew_allowed_by_si_rejected_by_ser() {
         let h = write_skew();
         assert!(oracle_satisfies(&h, IsolationLevel::SnapshotIsolation));
+        assert!(oracle_satisfies(&h, IsolationLevel::PrefixConsistency));
         assert!(oracle_satisfies(&h, IsolationLevel::CausalConsistency));
         assert!(!oracle_satisfies(&h, IsolationLevel::Serializability));
     }
@@ -387,6 +400,10 @@ mod tests {
     fn axioms_for_levels() {
         assert_eq!(axioms_for(IsolationLevel::Trivial).len(), 0);
         assert_eq!(axioms_for(IsolationLevel::SnapshotIsolation).len(), 2);
+        assert_eq!(
+            axioms_for(IsolationLevel::PrefixConsistency),
+            &[Axiom::Prefix]
+        );
         assert_eq!(
             axioms_for(IsolationLevel::Serializability),
             &[Axiom::Serializability]

@@ -66,14 +66,15 @@
 use std::collections::HashSet;
 use std::time::Instant;
 
+use crate::check::evidence::{self, Verdict};
 use crate::check::frontier::FrontierIndex;
-use crate::check::{mixed, ser, si, weak};
+use crate::check::{mixed, pc, ser, si, weak};
 use crate::history::History;
 use crate::isolation::{IsolationLevel, LevelSpec};
 
 /// Maximum number of slots of an engine's direct-mapped result memo
 /// (16 bytes per slot: a hard 1 MiB ceiling per engine). The table starts
-/// at [`MEMO_INITIAL_SLOTS`] and doubles while more than half full.
+/// at `MEMO_INITIAL_SLOTS` and doubles while more than half full.
 pub const MEMO_CAPACITY: usize = 1 << 16;
 
 /// Initial slot count of the direct-mapped result memo.
@@ -157,6 +158,23 @@ pub trait ConsistencyChecker: Send {
     /// (Definition 2.2, per-transaction for mixed specs).
     fn check(&mut self, h: &History) -> bool;
 
+    /// Evidence-producing variant of [`check`](ConsistencyChecker::check):
+    /// a [`Verdict`] carrying a replay-verifiable witness commit order on
+    /// success, or a minimal cycle of `so`/`wr`/forced edges (with the
+    /// axiom instances that forced them) on failure — see
+    /// [`crate::check::evidence`].
+    ///
+    /// The boolean verdict still comes from the memoised fast path (this
+    /// call counts as a regular [`check`](ConsistencyChecker::check) in
+    /// [`stats`](ConsistencyChecker::stats)); the evidence is then
+    /// reconstructed on demand over fresh, engine-independent indexes, so
+    /// the 16-byte memo slots and the incremental state stay exactly as a
+    /// boolean check would leave them.
+    fn check_witnessed(&mut self, h: &History) -> Verdict {
+        let consistent = self.check(h);
+        evidence::reconstruct(h, &self.spec(), consistent)
+    }
+
     /// Counters accumulated since creation (or the last [`reset`]).
     ///
     /// [`reset`]: ConsistencyChecker::reset
@@ -185,6 +203,7 @@ pub fn engine_for_with(level: IsolationLevel, memoize: bool) -> Box<dyn Consiste
         | IsolationLevel::CausalConsistency => Box::new(WeakEngine::new(level, memoize)),
         IsolationLevel::Serializability => Box::new(SerEngine::new(memoize)),
         IsolationLevel::SnapshotIsolation => Box::new(SiEngine::new(memoize)),
+        IsolationLevel::PrefixConsistency => Box::new(PcEngine::new(memoize)),
     }
 }
 
@@ -535,10 +554,85 @@ impl ConsistencyChecker for SiEngine {
     }
 }
 
+/// Engine for Prefix Consistency: the polynomial Causal Consistency
+/// prerequisite (an incrementally synced `weak::WeakIndex` — Prefix
+/// implies Causal since the commit order extends `so ∪ wr`) followed by
+/// the prefix-constrained start/commit interval search over the shared
+/// `FrontierIndex` (see [`pc`]), plus the fingerprint memo.
+#[derive(Debug)]
+pub struct PcEngine {
+    memo: Memo,
+    weak: weak::WeakIndex,
+    idx: FrontierIndex,
+    states: HashSet<pc::StateKey>,
+    nanos: u64,
+}
+
+impl PcEngine {
+    /// Creates a Prefix Consistency engine.
+    pub fn new(memoize: bool) -> Self {
+        PcEngine {
+            memo: Memo::new(memoize),
+            weak: weak::WeakIndex::new(IsolationLevel::CausalConsistency),
+            idx: FrontierIndex::default(),
+            states: HashSet::new(),
+            nanos: 0,
+        }
+    }
+}
+
+impl ConsistencyChecker for PcEngine {
+    fn spec(&self) -> LevelSpec {
+        LevelSpec::uniform(IsolationLevel::PrefixConsistency)
+    }
+
+    fn level(&self) -> IsolationLevel {
+        IsolationLevel::PrefixConsistency
+    }
+
+    fn check(&mut self, h: &History) -> bool {
+        match self.memo.lookup(h.live_hash()) {
+            Ok(v) => v,
+            Err(key) => {
+                // Only misses are timed: a hit is a single table probe,
+                // and an `Instant` pair per hit would dominate it.
+                let start = Instant::now();
+                let v = weak::satisfies_weak_with(h, &mut self.weak)
+                    && pc::satisfies_pc_with(h, &mut self.idx, &mut self.states);
+                self.memo.insert(key, v);
+                self.nanos += start.elapsed().as_nanos() as u64;
+                v
+            }
+        }
+    }
+
+    fn stats(&self) -> EngineStats {
+        let mut s = self.memo.stats();
+        // Both indexes sync in lockstep from the same delta log (the
+        // frontier index only when the causal prerequisite holds);
+        // counting the max keeps the split per *check*, comparable with
+        // the single-index engines.
+        s.incremental_hits = self.weak.incremental_hits.max(self.idx.incremental_hits);
+        s.full_rebuilds = self.weak.full_rebuilds.max(self.idx.full_rebuilds);
+        s.check_nanos = self.nanos;
+        s
+    }
+
+    fn reset(&mut self) {
+        self.memo.reset();
+        self.states.clear();
+        self.weak.incremental_hits = 0;
+        self.weak.full_rebuilds = 0;
+        self.idx.incremental_hits = 0;
+        self.idx.full_rebuilds = 0;
+        self.nanos = 0;
+    }
+}
+
 /// Engine for mixed per-transaction level specifications: forced edges
-/// from the weak readers (incrementally synced [`weak::WeakIndex`] built
+/// from the weak readers (incrementally synced `weak::WeakIndex` built
 /// with the spec) combined with the SER/SI commit-order search over the
-/// shared [`FrontierIndex`] (see [`mixed`]), plus the fingerprint memo.
+/// shared `FrontierIndex` (see [`mixed`]), plus the fingerprint memo.
 ///
 /// The memo key folds [`LevelSpec::spec_hash`] into the history's rolling
 /// hash, so a verdict memoised under one spec can never be served for

@@ -13,19 +13,20 @@
 //!
 //! * **Weak readers** (RC/RA/CC): their axiom premises never mention the
 //!   commit order, so each such read contributes a set of *forced* edges
-//!   computed by the incrementally synced [`WeakIndex`] — exactly the
+//!   computed by the incrementally synced `WeakIndex` — exactly the
 //!   per-level rules of the uniform checkers, selected per reader.
-//! * **Strong transactions** (SER/SI): decided by a session-frontier
-//!   search over commit orders, shared with the uniform SER/SI checkers
-//!   via [`FrontierIndex`]. Serializability transactions are placed
+//! * **Strong transactions** (SER/SI/PC): decided by a session-frontier
+//!   search over commit orders, shared with the uniform SER/SI/PC checkers
+//!   via `FrontierIndex`. Serializability transactions are placed
 //!   *atomically* and must read each variable from its last committed
 //!   writer; Snapshot Isolation transactions occupy a start/commit
 //!   *interval*: reads are checked against the snapshot at start, and no
 //!   transaction writing a common variable may commit inside the interval
 //!   (the Conflict axiom; for two SI transactions this is the classical
-//!   disjoint-interval rule). Weak and `true` transactions are placed
-//!   atomically with no read constraint beyond `wr ⊆ co` and their forced
-//!   edges.
+//!   disjoint-interval rule). Prefix Consistency transactions occupy an
+//!   interval with the same snapshot reads but no conflict rule in either
+//!   direction. Weak and `true` transactions are placed atomically with no
+//!   read constraint beyond `wr ⊆ co` and their forced edges.
 //!
 //! When the spec assigns no strong level the search degenerates to plain
 //! acyclicity of `so ∪ wr ∪ forced` (Kahn), and a *uniform* spec
@@ -149,14 +150,70 @@ pub(crate) fn decide_mixed(
         &mut scratch.committed,
         &mut state,
         &mut scratch.memo,
+        &mut None,
     )
+}
+
+/// Like [`satisfies_spec`] for a genuinely mixed spec, additionally
+/// returning the commit order the successful search found (init first), for
+/// witness reconstruction. Builds fresh indexes: this is the cold evidence
+/// path, not the memoised engine path.
+pub(crate) fn witness_spec(h: &History, spec: &LevelSpec) -> Option<Vec<TxId>> {
+    debug_assert!(spec.as_uniform().is_none());
+    let mut weak = WeakIndex::new_spec(spec.clone());
+    weak.sync(h);
+    if !spec.has_strong() {
+        // No commit-order search: any topological order of
+        // `so ∪ wr ∪ forced` witnesses the weak readers' axioms.
+        return weak.witness_order();
+    }
+    let mut frontier = FrontierIndex::default();
+    frontier.sync(h);
+    let mut scratch = MixedScratch::default();
+    weak.collect_forced_tx(&mut scratch.forced_tx);
+    let n = frontier.len();
+    scratch.slot_level.resize(n, spec.default_level());
+    for (s, txs) in frontier.sessions.iter().enumerate() {
+        for (k, &(_, slot)) in txs.iter().enumerate() {
+            scratch.slot_level[slot as usize] = spec.level_of(s as u32, k as u32);
+        }
+    }
+    scratch.preds.resize_with(n, Vec::new);
+    for &(a, b) in &scratch.forced_tx {
+        if b.is_init() {
+            return None;
+        }
+        if a.is_init() {
+            continue;
+        }
+        let (sa, sb) = (frontier.slot_of(a)?, frontier.slot_of(b)?);
+        scratch.preds[sb as usize].push(sa);
+    }
+    scratch.committed.resize(n, false);
+    let sessions = frontier.sessions.len();
+    let mut state = SearchState {
+        frontier: vec![0; sessions],
+        started: vec![false; sessions],
+        last_committed: BTreeMap::new(),
+    };
+    let mut order = Some(vec![TxId::INIT]);
+    search(
+        &frontier,
+        &scratch.slot_level,
+        &scratch.preds,
+        &mut scratch.committed,
+        &mut state,
+        &mut scratch.memo,
+        &mut order,
+    )
+    .then(|| order.unwrap())
 }
 
 struct SearchState {
     /// Index of the next transaction of each session (started or not).
     frontier: Vec<usize>,
     /// Whether the session's current transaction has started but not yet
-    /// committed (only ever true for Snapshot Isolation transactions).
+    /// committed (only ever true for SI and PC interval transactions).
     started: Vec<bool>,
     /// Last committed writer of each variable (absent = init).
     last_committed: BTreeMap<Var, TxId>,
@@ -178,12 +235,14 @@ fn state_key(state: &SearchState) -> StateKey {
     )
 }
 
-/// Whether any *started* (in-progress SI) transaction of another session
-/// visibly writes a variable that `slot` visibly writes. Such a pair must
-/// not overlap: the Conflict axiom forbids a conflicting writer from
-/// committing inside an SI transaction's interval.
+/// Whether any started in-progress *Snapshot Isolation* transaction of
+/// another session visibly writes a variable that `slot` visibly writes.
+/// The Conflict axiom forbids a conflicting writer from committing inside
+/// an SI transaction's interval; Prefix Consistency has no Conflict axiom,
+/// so a started PC interval constrains nobody.
 fn conflicts_with_started(
     idx: &FrontierIndex,
+    level: &[IsolationLevel],
     state: &SearchState,
     skip_session: usize,
     slot: u32,
@@ -194,7 +253,8 @@ fn conflicts_with_started(
                 return false;
             }
             let (_, slot2) = idx.sessions[s2][state.frontier[s2]];
-            idx.writes_var(slot2 as usize, x)
+            level[slot2 as usize] == IsolationLevel::SnapshotIsolation
+                && idx.writes_var(slot2 as usize, x)
         })
     })
 }
@@ -206,6 +266,7 @@ fn search(
     committed: &mut Vec<bool>,
     state: &mut SearchState,
     memo: &mut HashSet<StateKey>,
+    order: &mut Option<Vec<TxId>>,
 ) -> bool {
     let done = state
         .frontier
@@ -224,24 +285,38 @@ fn search(
             continue;
         }
         let (t, slot) = idx.sessions[s][state.frontier[s]];
-        if level[slot as usize] == IsolationLevel::SnapshotIsolation {
+        let lvl = level[slot as usize];
+        if matches!(
+            lvl,
+            IsolationLevel::SnapshotIsolation | IsolationLevel::PrefixConsistency
+        ) {
             if !state.started[s] {
-                // Try to start t: snapshot reads + write-conflict freedom
-                // against the other in-progress SI transactions.
+                // Try to start t: snapshot reads, plus — for SI only —
+                // write-conflict freedom against the other in-progress SI
+                // transactions. PC starts are never conflict-constrained.
                 let snapshot_ok = idx.reads[slot as usize]
                     .iter()
                     .all(|(x, w)| state.last_committed.get(x).copied().unwrap_or(TxId::INIT) == *w);
-                if !snapshot_ok || conflicts_with_started(idx, state, s, slot) {
+                if !snapshot_ok
+                    || (lvl == IsolationLevel::SnapshotIsolation
+                        && conflicts_with_started(idx, level, state, s, slot))
+                {
                     continue;
                 }
                 state.started[s] = true;
-                if search(idx, level, preds, committed, state, memo) {
+                if search(idx, level, preds, committed, state, memo, order) {
                     return true;
                 }
                 state.started[s] = false;
             } else {
-                // Commit t: the forced-edge predecessors must be in.
-                if !preds[slot as usize].iter().all(|&p| committed[p as usize]) {
+                // Commit t: the forced-edge predecessors must be in, and
+                // the commit must not land inside a conflicting started SI
+                // interval (reachable only for PC commits — two
+                // conflicting SI intervals never overlap by the start
+                // rule).
+                if !preds[slot as usize].iter().all(|&p| committed[p as usize])
+                    || conflicts_with_started(idx, level, state, s, slot)
+                {
                     continue;
                 }
                 state.started[s] = false;
@@ -251,7 +326,15 @@ fn search(
                 for x in idx.visible_writes(slot as usize) {
                     saved.push((x, state.last_committed.insert(x, t)));
                 }
-                let found = search(idx, level, preds, committed, state, memo);
+                if let Some(order) = order.as_mut() {
+                    order.push(t);
+                }
+                let found = search(idx, level, preds, committed, state, memo, order);
+                if !found {
+                    if let Some(order) = order.as_mut() {
+                        order.pop();
+                    }
+                }
                 for (x, old) in saved.into_iter().rev() {
                     match old {
                         Some(w) => {
@@ -275,7 +358,7 @@ fn search(
             if !preds[slot as usize].iter().all(|&p| committed[p as usize]) {
                 continue;
             }
-            let reads_ok = match level[slot as usize] {
+            let reads_ok = match lvl {
                 // Serializability: every external read observes the last
                 // committed writer at the placement point.
                 IsolationLevel::Serializability => idx.reads[slot as usize]
@@ -288,7 +371,7 @@ fn search(
                     w.is_init() || idx.slot_of(*w).is_some_and(|ws| committed[ws as usize])
                 }),
             };
-            if !reads_ok || conflicts_with_started(idx, state, s, slot) {
+            if !reads_ok || conflicts_with_started(idx, level, state, s, slot) {
                 continue;
             }
             state.frontier[s] += 1;
@@ -297,7 +380,15 @@ fn search(
             for x in idx.visible_writes(slot as usize) {
                 saved.push((x, state.last_committed.insert(x, t)));
             }
-            let found = search(idx, level, preds, committed, state, memo);
+            if let Some(order) = order.as_mut() {
+                order.push(t);
+            }
+            let found = search(idx, level, preds, committed, state, memo, order);
+            if !found {
+                if let Some(order) = order.as_mut() {
+                    order.pop();
+                }
+            }
             for (x, old) in saved.into_iter().rev() {
                 match old {
                     Some(w) => {

@@ -11,6 +11,9 @@
 //! * Snapshot Isolation uses the classical start/commit interval
 //!   characterisation, equivalent to the Prefix ∧ Conflict axioms
 //!   ([`si`]).
+//! * Prefix Consistency uses the same interval search without the
+//!   write-conflict rule, preceded by the polynomial causal prerequisite
+//!   ([`pc`]).
 //! * Mixed per-transaction level assignments ([`crate::isolation::LevelSpec`])
 //!   compose the weak forced-edge machinery with a commit-order search in
 //!   which each transaction enforces its own level's reading rule
@@ -20,8 +23,10 @@
 //! these in the test suite.
 
 pub mod engine;
+pub mod evidence;
 pub(crate) mod frontier;
 pub mod mixed;
+pub mod pc;
 pub mod ser;
 pub mod si;
 pub mod weak;
@@ -33,6 +38,7 @@ pub use engine::{
     engine_for, engine_for_spec, engine_for_spec_with, engine_for_with, ConsistencyChecker,
     EngineStats, MixedEngine,
 };
+pub use evidence::{AxiomInstance, EdgeReason, Verdict, Violation, ViolationEdge, Witness};
 pub use mixed::satisfies_spec;
 
 /// Whether the history satisfies the isolation level (Definition 2.2).
@@ -49,6 +55,7 @@ pub fn satisfies(h: &History, level: IsolationLevel) -> bool {
         | IsolationLevel::CausalConsistency => weak::satisfies_weak(h, level),
         IsolationLevel::Serializability => ser::satisfies_ser(h),
         IsolationLevel::SnapshotIsolation => si::satisfies_si(h),
+        IsolationLevel::PrefixConsistency => pc::satisfies_pc(h),
     }
 }
 
@@ -152,6 +159,7 @@ mod tests {
             IsolationLevel::ReadCommitted,
             IsolationLevel::ReadAtomic,
             IsolationLevel::CausalConsistency,
+            IsolationLevel::PrefixConsistency,
             IsolationLevel::SnapshotIsolation,
             IsolationLevel::Serializability,
         ];
@@ -180,12 +188,13 @@ mod tests {
         for seed in 0..300u64 {
             let h = random_history(seed, 3, 2, 2);
             let mut rng = XorShift(seed.wrapping_mul(0x9e3779b9).wrapping_add(0xabcdef));
-            let default = IsolationLevel::ALL[rng.below(6) as usize];
+            let n = IsolationLevel::ALL.len() as u64;
+            let default = IsolationLevel::ALL[rng.below(n) as usize];
             let mut spec = LevelSpec::uniform(default);
             for (sid, txs) in h.sessions() {
                 for k in 0..txs.len() {
                     if rng.below(2) == 0 {
-                        let l = IsolationLevel::ALL[rng.below(6) as usize];
+                        let l = IsolationLevel::ALL[rng.below(n) as usize];
                         spec = spec.with_override(sid.0, k as u32, l);
                     }
                 }
@@ -214,18 +223,162 @@ mod tests {
         }
     }
 
+    /// Validates an evidence verdict against the history it was produced
+    /// for: the witness must replay through the axiom-level oracle, the
+    /// violation cycle must be closed, simple, built from edges that
+    /// really exist (or axiom instances that really apply), and minimal —
+    /// dropping any single edge leaves the remaining edge set acyclic.
+    fn assert_verdict_valid(
+        h: &History,
+        spec: &crate::isolation::LevelSpec,
+        verdict: &Verdict,
+        expected: bool,
+        ctx: &str,
+    ) {
+        match verdict {
+            Verdict::Consistent(w) => {
+                assert!(expected, "witness produced for an inconsistent {ctx}");
+                assert!(
+                    w.replays(h, spec),
+                    "witness fails to replay for {ctx}: {w}\n{h}"
+                );
+            }
+            Verdict::Inconsistent(v) => {
+                assert!(!expected, "violation produced for a consistent {ctx}");
+                assert!(!v.cycle.is_empty(), "empty violation cycle for {ctx}");
+                let mut seen = std::collections::BTreeSet::new();
+                for (k, e) in v.cycle.iter().enumerate() {
+                    let next = &v.cycle[(k + 1) % v.cycle.len()];
+                    assert_eq!(e.to, next.from, "cycle not closed for {ctx}: {v}");
+                    assert!(seen.insert(e.from), "cycle not simple for {ctx}: {v}");
+                    match &e.reason {
+                        EdgeReason::SessionOrder => {
+                            assert!(h.so_before(e.from, e.to), "bogus so edge for {ctx}: {v}");
+                        }
+                        EdgeReason::WriteRead => {
+                            assert!(h.wr_tx_edge(e.from, e.to), "bogus wr edge for {ctx}: {v}");
+                        }
+                        EdgeReason::Forced(i) => {
+                            assert!(
+                                h.reads_from().iter().any(|(t3, _, x, t1)| *t3 == i.reader
+                                    && *x == i.var
+                                    && *t1 == i.source),
+                                "axiom instance cites a non-existent read for {ctx}: {v}"
+                            );
+                            assert!(
+                                h.writes_var(i.writer, i.var),
+                                "axiom instance cites a non-writer for {ctx}: {v}"
+                            );
+                            assert!(
+                                crate::axioms::axioms_for(spec.level_of_tx(h, i.reader))
+                                    .contains(&i.axiom),
+                                "axiom instance outside the reader's level for {ctx}: {v}"
+                            );
+                        }
+                        EdgeReason::Hypothesis => {
+                            panic!("hypothesis edge on the committed corpus for {ctx}: {v}")
+                        }
+                    }
+                }
+                // Minimality: dropping any one edge leaves an edge set with
+                // no cycle at all (no vertex reaches itself).
+                for drop in 0..v.cycle.len() {
+                    let rest: Vec<(TxId, TxId)> = v
+                        .cycle
+                        .iter()
+                        .enumerate()
+                        .filter(|(k, _)| *k != drop)
+                        .map(|(_, e)| (e.from, e.to))
+                        .collect();
+                    for &(start, _) in &rest {
+                        let mut frontier: Vec<TxId> = vec![start];
+                        let mut reached = std::collections::BTreeSet::new();
+                        while let Some(t) = frontier.pop() {
+                            for &(a, b) in &rest {
+                                if a == t && reached.insert(b) {
+                                    frontier.push(b);
+                                    assert_ne!(
+                                        b, start,
+                                        "cycle not minimal for {ctx}: \
+                                         dropping edge {drop} leaves a cycle: {v}"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn witnessed_verdicts_cross_validate_on_random_histories() {
+        for seed in 0..400u64 {
+            let h = random_history(seed, 3, 2, 2);
+            for level in IsolationLevel::ALL {
+                let spec = crate::isolation::LevelSpec::uniform(level);
+                let mut engine = engine_for(level);
+                let verdict = engine.check_witnessed(&h);
+                let expected = satisfies(&h, level);
+                assert_verdict_valid(
+                    &h,
+                    &spec,
+                    &verdict,
+                    expected,
+                    &format!("{level} on seed {seed}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn witnessed_verdicts_cross_validate_on_random_specs() {
+        // Same corpus of history × per-transaction-spec pairs as the
+        // boolean mixed cross-validation above: every success must come
+        // with a replayable witness, every failure with a checkable
+        // minimal cycle.
+        use crate::isolation::LevelSpec;
+        for seed in 0..300u64 {
+            let h = random_history(seed, 3, 2, 2);
+            let mut rng = XorShift(seed.wrapping_mul(0x9e3779b9).wrapping_add(0xabcdef));
+            let n = IsolationLevel::ALL.len() as u64;
+            let default = IsolationLevel::ALL[rng.below(n) as usize];
+            let mut spec = LevelSpec::uniform(default);
+            for (sid, txs) in h.sessions() {
+                for k in 0..txs.len() {
+                    if rng.below(2) == 0 {
+                        let l = IsolationLevel::ALL[rng.below(n) as usize];
+                        spec = spec.with_override(sid.0, k as u32, l);
+                    }
+                }
+            }
+            let mut engine = engine_for_spec(&spec);
+            let verdict = engine.check_witnessed(&h);
+            let expected = satisfies_spec(&h, &spec);
+            assert_verdict_valid(
+                &h,
+                &spec,
+                &verdict,
+                expected,
+                &format!("spec {spec} on seed {seed}"),
+            );
+        }
+    }
+
     #[test]
     fn stronger_levels_accept_fewer_histories() {
-        // SER ⊆ SI ⊆ CC ⊆ RA ⊆ RC on random histories.
+        // SER ⊆ SI ⊆ PC ⊆ CC ⊆ RA ⊆ RC on random histories.
         for seed in 400..600u64 {
             let h = random_history(seed, 3, 2, 2);
             let rc = satisfies(&h, IsolationLevel::ReadCommitted);
             let ra = satisfies(&h, IsolationLevel::ReadAtomic);
             let cc = satisfies(&h, IsolationLevel::CausalConsistency);
+            let pc = satisfies(&h, IsolationLevel::PrefixConsistency);
             let si = satisfies(&h, IsolationLevel::SnapshotIsolation);
             let ser = satisfies(&h, IsolationLevel::Serializability);
             assert!(!ser || si, "SER must imply SI (seed {seed})");
-            assert!(!si || cc, "SI must imply CC (seed {seed})");
+            assert!(!si || pc, "SI must imply PC (seed {seed})");
+            assert!(!pc || cc, "PC must imply CC (seed {seed})");
             assert!(!cc || ra, "CC must imply RA (seed {seed})");
             assert!(!ra || rc, "RA must imply RC (seed {seed})");
         }

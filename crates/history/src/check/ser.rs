@@ -35,7 +35,25 @@ pub(crate) fn satisfies_ser_with(
     idx.sync(h);
     let mut frontier = vec![0usize; idx.sessions.len()];
     let mut last_writer: BTreeMap<Var, TxId> = BTreeMap::new();
-    search(idx, &mut frontier, &mut last_writer, memo)
+    search(idx, &mut frontier, &mut last_writer, memo, &mut None)
+}
+
+/// Like [`satisfies_ser`], additionally returning the serialization order
+/// the successful search found (init first), for witness reconstruction.
+pub(crate) fn witness_ser(h: &History) -> Option<Vec<TxId>> {
+    let idx = &mut FrontierIndex::default();
+    idx.sync(h);
+    let mut frontier = vec![0usize; idx.sessions.len()];
+    let mut last_writer: BTreeMap<Var, TxId> = BTreeMap::new();
+    let mut order = Some(vec![TxId::INIT]);
+    search(
+        idx,
+        &mut frontier,
+        &mut last_writer,
+        &mut HashSet::new(),
+        &mut order,
+    )
+    .then(|| order.unwrap())
 }
 
 pub(crate) type StateKey = (Vec<usize>, Vec<(u32, u32)>);
@@ -52,6 +70,7 @@ fn search(
     frontier: &mut Vec<usize>,
     last_writer: &mut BTreeMap<Var, TxId>,
     memo: &mut HashSet<StateKey>,
+    order: &mut Option<Vec<TxId>>,
 ) -> bool {
     if frontier
         .iter()
@@ -82,10 +101,16 @@ fn search(
         for x in idx.visible_writes(slot as usize) {
             saved.push((x, last_writer.insert(x, t)));
         }
-        if search(idx, frontier, last_writer, memo) {
+        if let Some(order) = order.as_mut() {
+            order.push(t);
+        }
+        if search(idx, frontier, last_writer, memo, order) {
             return true;
         }
         // Undo.
+        if let Some(order) = order.as_mut() {
+            order.pop();
+        }
         for (x, old) in saved.into_iter().rev() {
             match old {
                 Some(w) => {

@@ -11,7 +11,7 @@
 //!
 //! The hot loops of the exploration (`ValidWrites`, `readLatest`, the DFS
 //! baseline) re-check the *same* history after appending one event or
-//! toggling one wr edge. [`WeakIndex`] therefore separates the check into
+//! toggling one wr edge. `WeakIndex` therefore separates the check into
 //! two parts:
 //!
 //! * **structural state** maintained across checks — the vertex table,
@@ -277,6 +277,75 @@ impl WeakIndex {
         debug_assert!(self.synced, "decide on an unsynced index");
         self.collect_forced();
         self.forced_acyclic()
+    }
+
+    /// Cold evidence path of [`decide`](Self::decide): collects the forced
+    /// edges and, when `so ∪ wr ∪ forced` is acyclic, returns a topological
+    /// order of the transactions (init first) — a total commit order
+    /// witnessing every weak reader's axioms, since the forced edges are
+    /// exactly the constraints those axioms impose. Returns `None` on a
+    /// cycle. Unlike the in-place Kahn of `forced_acyclic`, this allocates
+    /// and is only meant for on-demand witness reconstruction.
+    pub(crate) fn witness_order(&mut self) -> Option<Vec<TxId>> {
+        debug_assert!(self.synced, "witness_order on an unsynced index");
+        self.collect_forced();
+        let n = self.txs.len();
+        let mut indeg = vec![0usize; n];
+        for v in 0..n {
+            for &w in self.graph.successors(v) {
+                indeg[w] += 1;
+            }
+        }
+        for &(_, b) in &self.forced {
+            indeg[b as usize] += 1;
+        }
+        let mut queue: VecDeque<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = queue.pop_front() {
+            order.push(self.txs[v as usize]);
+            for &w in self.graph.successors(v as usize) {
+                indeg[w] -= 1;
+                if indeg[w] == 0 {
+                    queue.push_back(w as u32);
+                }
+            }
+            for &(a, b) in &self.forced {
+                if a == v {
+                    indeg[b as usize] -= 1;
+                    if indeg[b as usize] == 0 {
+                        queue.push_back(b);
+                    }
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// A topological order of the base graph alone (`so ∪ wr`, forced edges
+    /// ignored), init first — the witness commit order for the trivial
+    /// level, which imposes no axioms beyond well-formedness. `None` only
+    /// for a malformed (cyclic `so ∪ wr`) history.
+    pub(crate) fn base_topological_order(&mut self) -> Option<Vec<TxId>> {
+        debug_assert!(self.synced, "base_topological_order on an unsynced index");
+        let n = self.txs.len();
+        let mut indeg = vec![0usize; n];
+        for v in 0..n {
+            for &w in self.graph.successors(v) {
+                indeg[w] += 1;
+            }
+        }
+        let mut queue: VecDeque<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = queue.pop_front() {
+            order.push(self.txs[v as usize]);
+            for &w in self.graph.successors(v as usize) {
+                indeg[w] -= 1;
+                if indeg[w] == 0 {
+                    queue.push_back(w as u32);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
     }
 
     /// Collects the commit-order edges forced by the axiom instances into

@@ -15,7 +15,7 @@
 //! transaction logs live in one dense vector, and the relations
 //! `tx ↦ log`, `tx ↦ session position`, `event ↦ owner` and
 //! `event ↦ wr source` are direct-indexed vectors over the raw `u32`
-//! identifiers ([`crate::arena`]). Exploration engines allocate ids
+//! identifiers (`crate::arena`). Exploration engines allocate ids
 //! contiguously per branch (see [`History::max_event_id`]), so lookups are
 //! O(1) loads and cloning a history is a handful of flat copies — the
 //! "compact copy" the DPOR sibling expansion relies on.

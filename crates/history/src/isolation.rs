@@ -2,9 +2,11 @@
 //!
 //! The paper considers Read Committed, Read Atomic, Causal Consistency,
 //! Snapshot Isolation and Serializability, plus the trivial level `true`
-//! used as the weakest exploration base in `explore-ce*(true, I)`. Two
-//! structural properties drive the design of the DPOR algorithm (§3):
-//! *prefix closure* and *causal extensibility*.
+//! used as the weakest exploration base in `explore-ce*(true, I)`. We also
+//! support Prefix Consistency (the Prefix axiom alone), which completes
+//! the standard six-level hierarchy between CC and SI. Two structural
+//! properties drive the design of the DPOR algorithm (§3): *prefix
+//! closure* and *causal extensibility*.
 
 use std::fmt;
 use std::str::FromStr;
@@ -23,6 +25,12 @@ pub enum IsolationLevel {
     ReadAtomic,
     /// Causal Consistency (Fig. 2a).
     CausalConsistency,
+    /// Prefix Consistency, defined by the Prefix axiom alone (Fig. 2b):
+    /// every transaction reads from a snapshot that is a *prefix* of the
+    /// commit order, but — unlike Snapshot Isolation — concurrent
+    /// transactions may write the same variable. Sits strictly between
+    /// Causal Consistency and Snapshot Isolation in the lattice.
+    PrefixConsistency,
     /// Snapshot Isolation, defined by the Prefix and Conflict axioms
     /// (Fig. 2b and 2c).
     SnapshotIsolation,
@@ -32,11 +40,12 @@ pub enum IsolationLevel {
 
 impl IsolationLevel {
     /// All levels, from weakest to strongest.
-    pub const ALL: [IsolationLevel; 6] = [
+    pub const ALL: [IsolationLevel; 7] = [
         IsolationLevel::Trivial,
         IsolationLevel::ReadCommitted,
         IsolationLevel::ReadAtomic,
         IsolationLevel::CausalConsistency,
+        IsolationLevel::PrefixConsistency,
         IsolationLevel::SnapshotIsolation,
         IsolationLevel::Serializability,
     ];
@@ -50,14 +59,15 @@ impl IsolationLevel {
         IsolationLevel::CausalConsistency,
     ];
 
-    /// Short name used in tables and figures ("RC", "RA", "CC", "SI", "SER",
-    /// "true").
+    /// Short name used in tables and figures ("RC", "RA", "CC", "PC", "SI",
+    /// "SER", "true").
     pub fn short_name(self) -> &'static str {
         match self {
             IsolationLevel::Trivial => "true",
             IsolationLevel::ReadCommitted => "RC",
             IsolationLevel::ReadAtomic => "RA",
             IsolationLevel::CausalConsistency => "CC",
+            IsolationLevel::PrefixConsistency => "PC",
             IsolationLevel::SnapshotIsolation => "SI",
             IsolationLevel::Serializability => "SER",
         }
@@ -70,8 +80,9 @@ impl IsolationLevel {
             IsolationLevel::ReadCommitted => 1,
             IsolationLevel::ReadAtomic => 2,
             IsolationLevel::CausalConsistency => 3,
-            IsolationLevel::SnapshotIsolation => 4,
-            IsolationLevel::Serializability => 5,
+            IsolationLevel::PrefixConsistency => 4,
+            IsolationLevel::SnapshotIsolation => 5,
+            IsolationLevel::Serializability => 6,
         }
     }
 
@@ -89,7 +100,8 @@ impl IsolationLevel {
     }
 
     /// Whether the level is causally extensible (Definition 3.3,
-    /// Theorem 3.4). Snapshot Isolation and Serializability are not.
+    /// Theorem 3.4). Prefix Consistency, Snapshot Isolation and
+    /// Serializability are not.
     pub fn is_causally_extensible(self) -> bool {
         matches!(
             self,
@@ -146,8 +158,8 @@ impl FromStr for IsolationLevel {
     type Err = ParseLevelError;
 
     /// Parses the short names used in tables and on the command line
-    /// (`"RC"`, `"RA"`, `"CC"`, `"SI"`, `"SER"` and `"true"` for the
-    /// trivial level), round-tripping [`IsolationLevel::short_name`].
+    /// (`"RC"`, `"RA"`, `"CC"`, `"PC"`, `"SI"`, `"SER"` and `"true"` for
+    /// the trivial level), round-tripping [`IsolationLevel::short_name`].
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         IsolationLevel::ALL
             .into_iter()
@@ -240,10 +252,12 @@ impl LevelSpec {
         self.default == level || self.overrides.iter().any(|&(_, _, l)| l == level)
     }
 
-    /// Whether any position is assigned Snapshot Isolation or
-    /// Serializability (the levels that need the commit-order search).
+    /// Whether any position is assigned Prefix Consistency, Snapshot
+    /// Isolation or Serializability (the levels that need the commit-order
+    /// search).
     pub fn has_strong(&self) -> bool {
-        self.mentions(IsolationLevel::SnapshotIsolation)
+        self.mentions(IsolationLevel::PrefixConsistency)
+            || self.mentions(IsolationLevel::SnapshotIsolation)
             || self.mentions(IsolationLevel::Serializability)
     }
 
@@ -336,6 +350,84 @@ impl fmt::Display for LevelSpec {
     }
 }
 
+/// Error of parsing a [`LevelSpec`] from its canonical label; carries the
+/// rejected input and an explanation mirroring [`ParseLevelError`]'s style.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseSpecError {
+    input: String,
+    reason: SpecErrorReason,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum SpecErrorReason {
+    Level(ParseLevelError),
+    Syntax,
+}
+
+impl fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.reason {
+            SpecErrorReason::Level(e) => {
+                write!(f, "invalid level spec {:?}: {e}", self.input)
+            }
+            SpecErrorReason::Syntax => write!(
+                f,
+                "invalid level spec {:?}; expected LEVEL or \
+                 LEVEL[s<session>.t<index>=LEVEL,...], e.g. \"CC[s0.t1=SER]\"",
+                self.input
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParseSpecError {}
+
+impl FromStr for LevelSpec {
+    type Err = ParseSpecError;
+
+    /// Parses the canonical labels produced by [`LevelSpec::label`]: a
+    /// short level name (`"CC"`) for uniform specs, otherwise
+    /// `default[s<session>.t<index>=LEVEL,...]` as in `"CC[s0.t1=SER]"`.
+    /// Overrides equal to the default are normalised away, so parsing
+    /// round-trips `label()` exactly.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let syntax = || ParseSpecError {
+            input: s.into(),
+            reason: SpecErrorReason::Syntax,
+        };
+        let level = |e: ParseLevelError| ParseSpecError {
+            input: s.into(),
+            reason: SpecErrorReason::Level(e),
+        };
+        let (head, rest) = match s.find('[') {
+            Some(k) => {
+                let rest = s[k + 1..].strip_suffix(']').ok_or_else(syntax)?;
+                (&s[..k], Some(rest))
+            }
+            None => (s, None),
+        };
+        let mut spec = LevelSpec::uniform(head.parse::<IsolationLevel>().map_err(level)?);
+        let Some(rest) = rest else { return Ok(spec) };
+        if rest.is_empty() {
+            return Err(syntax());
+        }
+        for item in rest.split(',') {
+            let (pos, lvl) = item.split_once('=').ok_or_else(syntax)?;
+            let (sess, idx) = pos.split_once('.').ok_or_else(syntax)?;
+            let sess = sess
+                .strip_prefix('s')
+                .and_then(|n| n.parse::<u32>().ok())
+                .ok_or_else(syntax)?;
+            let idx = idx
+                .strip_prefix('t')
+                .and_then(|n| n.parse::<u32>().ok())
+                .ok_or_else(syntax)?;
+            spec = spec.with_override(sess, idx, lvl.parse::<IsolationLevel>().map_err(level)?);
+        }
+        Ok(spec)
+    }
+}
+
 /// Finalising mixer of [`LevelSpec::spec_hash`] (splitmix64).
 fn spec_mix(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -356,6 +448,11 @@ mod tests {
         assert!(CausalConsistency.weaker_or_equal(SnapshotIsolation));
         assert!(!Serializability.weaker_or_equal(CausalConsistency));
         assert!(ReadAtomic.weaker_or_equal(ReadAtomic));
+        // PC sits strictly between CC and SI.
+        assert!(CausalConsistency.weaker_or_equal(PrefixConsistency));
+        assert!(PrefixConsistency.weaker_or_equal(SnapshotIsolation));
+        assert!(!PrefixConsistency.weaker_or_equal(CausalConsistency));
+        assert!(!SnapshotIsolation.weaker_or_equal(PrefixConsistency));
     }
 
     #[test]
@@ -368,6 +465,7 @@ mod tests {
         assert!(ReadCommitted.is_causally_extensible());
         assert!(ReadAtomic.is_causally_extensible());
         assert!(Trivial.is_causally_extensible());
+        assert!(!PrefixConsistency.is_causally_extensible());
         assert!(!SnapshotIsolation.is_causally_extensible());
         assert!(!Serializability.is_causally_extensible());
         assert_eq!(IsolationLevel::CAUSALLY_EXTENSIBLE.len(), 4);
@@ -378,6 +476,7 @@ mod tests {
         assert_eq!(IsolationLevel::Serializability.to_string(), "SER");
         assert_eq!(IsolationLevel::Trivial.short_name(), "true");
         assert_eq!(IsolationLevel::CausalConsistency.short_name(), "CC");
+        assert_eq!(IsolationLevel::PrefixConsistency.short_name(), "PC");
     }
 
     #[test]
@@ -446,6 +545,51 @@ mod tests {
     }
 
     #[test]
+    fn spec_labels_round_trip_through_from_str() {
+        use IsolationLevel::*;
+        let specs = [
+            LevelSpec::uniform(Serializability),
+            LevelSpec::uniform(Trivial),
+            LevelSpec::uniform(CausalConsistency)
+                .with_override(0, 1, Serializability)
+                .with_override(2, 0, ReadCommitted),
+            LevelSpec::uniform(SnapshotIsolation).with_override(10, 42, PrefixConsistency),
+        ];
+        for spec in specs {
+            assert_eq!(
+                spec.label().parse::<LevelSpec>(),
+                Ok(spec.clone()),
+                "{spec}"
+            );
+        }
+        assert_eq!(
+            "CC[s0.t1=SER]".parse::<LevelSpec>(),
+            Ok(LevelSpec::uniform(CausalConsistency).with_override(0, 1, Serializability))
+        );
+        // Overrides equal to the default normalise away, as in `with_override`.
+        assert_eq!(
+            "CC[s0.t1=CC]".parse::<LevelSpec>(),
+            Ok(LevelSpec::uniform(CausalConsistency))
+        );
+    }
+
+    #[test]
+    fn spec_parse_errors_list_accepted_level_names() {
+        let err = "XX[s0.t1=SER]".parse::<LevelSpec>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("XX"), "{msg}");
+        for l in IsolationLevel::ALL {
+            assert!(msg.contains(l.short_name()), "{msg} misses {l}");
+        }
+        let err = "CC[s0.t1=serializable]".parse::<LevelSpec>().unwrap_err();
+        assert!(err.to_string().contains("serializable"), "{err}");
+        for bad in ["CC[s0.t1=SER", "CC[]", "CC[0.1=SER]", "CC[s0t1=SER]"] {
+            let err = bad.parse::<LevelSpec>().unwrap_err();
+            assert!(err.to_string().contains("expected LEVEL"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
     fn spec_structural_queries() {
         use IsolationLevel::*;
         let weak = LevelSpec::uniform(CausalConsistency).with_override(0, 0, ReadCommitted);
@@ -456,6 +600,10 @@ mod tests {
         let mixed = weak.clone().with_override(1, 1, Serializability);
         assert!(mixed.has_strong());
         assert!(!mixed.is_causally_extensible());
+        // PC needs the commit-order search and is not causally extensible.
+        let pc = weak.with_override(1, 1, PrefixConsistency);
+        assert!(pc.has_strong());
+        assert!(!pc.is_causally_extensible());
     }
 
     #[test]

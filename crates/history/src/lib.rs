@@ -78,14 +78,15 @@ pub mod value;
 pub use arena::TxSet;
 pub use check::{
     engine_for, engine_for_spec, engine_for_spec_with, engine_for_with, satisfies_spec,
-    ConsistencyChecker, EngineStats, MixedEngine,
+    AxiomInstance, ConsistencyChecker, EdgeReason, EngineStats, MixedEngine, Verdict, Violation,
+    ViolationEdge, Witness,
 };
 pub use event::{Event, EventId, EventKind};
 pub use history::{
     DeltaEventInfo, EventFingerprint, History, HistoryDelta, HistoryFingerprint, HistoryMark,
     WrTrial, WriterRef, DELTA_LOG_CAPACITY,
 };
-pub use isolation::{IsolationLevel, LevelSpec, ParseLevelError};
+pub use isolation::{IsolationLevel, LevelSpec, ParseLevelError, ParseSpecError};
 pub use relations::{BitMatrix, Digraph};
 pub use stats::{clone_stats, reset_clone_stats};
 pub use transaction::{SessionId, TransactionLog, TxId, TxStatus};
