@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Compare the serial and parallel rows of a fig14 JSON document.
+
+Used by the CI `parallel-multicore` job: a single fig14 run with
+`--workers N` measures both the serial `CC` configuration and the
+`CC parN` configuration on every benchmark of the suite, so this script
+
+* asserts the deterministic counts (`histories`, `end_states`,
+  `explore_calls`) of each parallel row are bit-identical to the serial
+  row of the same benchmark (the parallel exploration's core contract);
+* computes the per-benchmark and average wall-clock speedup of the
+  parallel rows and fails if the average is below `--min-speedup`
+  (only enforced on benchmarks whose serial run took at least
+  `--min-serial-secs`, so sub-second rows where scheduling overhead
+  dominates do not drown the signal);
+* writes a human-readable summary to `--out` for artifact upload.
+
+Exit status: 0 on success, 1 on a count mismatch or insufficient
+speedup, 2 on malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("json_path", help="fig14 --json output containing CC and CC parN rows")
+    ap.add_argument("--workers", type=int, default=4, help="N of the CC parN label")
+    ap.add_argument("--min-speedup", type=float, default=1.5,
+                    help="required average wall-clock speedup on the gated benchmarks")
+    ap.add_argument("--min-serial-secs", type=float, default=2.0,
+                    help="serial rows faster than this are count-checked but not speedup-gated")
+    ap.add_argument("--out", default="parallel_comparison.txt",
+                    help="summary file for artifact upload")
+    args = ap.parse_args()
+
+    try:
+        with open(args.json_path) as f:
+            doc = json.load(f)
+        rows = doc["rows"]
+    except (OSError, ValueError, KeyError) as e:
+        print(f"cannot read {args.json_path}: {e}", file=sys.stderr)
+        return 2
+
+    label = f"CC par{args.workers}"
+    serial = {r["benchmark"]: r for r in rows if r["algorithm"] == "CC"}
+    parallel = {r["benchmark"]: r for r in rows if r["algorithm"] == label}
+    if not parallel:
+        print(f"no {label!r} rows in {args.json_path}", file=sys.stderr)
+        return 2
+
+    lines = [f"serial CC vs {label} ({args.json_path})", ""]
+    failures = []
+    ratios = []
+    for bench, par in sorted(parallel.items()):
+        ser = serial.get(bench)
+        if ser is None:
+            failures.append(f"{bench}: has a {label} row but no serial CC row")
+            continue
+        if ser["timed_out"] or par["timed_out"]:
+            lines.append(f"{bench}: timed out (serial={ser['timed_out']}, "
+                         f"parallel={par['timed_out']}); not compared")
+            continue
+        for key in ("histories", "end_states", "explore_calls"):
+            if ser[key] != par[key]:
+                failures.append(
+                    f"{bench}: {key} differs (serial {ser[key]}, parallel {par[key]})")
+        ratio = ser["time_secs"] / max(par["time_secs"], 1e-9)
+        gated = ser["time_secs"] >= args.min_serial_secs
+        if gated:
+            ratios.append(ratio)
+        lines.append(
+            f"{bench}: serial {ser['time_secs']:.3f}s, parallel {par['time_secs']:.3f}s "
+            f"-> {ratio:.2f}x (workers={par.get('workers')}, steals={par.get('steals')}, "
+            f"shared_memo_hits={par.get('shared_memo_hits')})"
+            + ("" if gated else " [below --min-serial-secs; not speedup-gated]"))
+
+    if ratios:
+        avg = sum(ratios) / len(ratios)
+        lines.append("")
+        lines.append(f"average speedup over {len(ratios)} gated benchmark(s): {avg:.2f}x "
+                     f"(required >= {args.min_speedup:.2f}x)")
+        if avg < args.min_speedup:
+            failures.append(
+                f"average speedup {avg:.2f}x is below the required {args.min_speedup:.2f}x")
+    else:
+        lines.append("")
+        lines.append("no benchmark met --min-serial-secs; speedup not gated")
+
+    for f_ in failures:
+        lines.append(f"FAIL {f_}")
+    report = "\n".join(lines) + "\n"
+    print(report, end="")
+    with open(args.out, "w") as f:
+        f.write(report)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Merge repeated fig14 runs into one baseline document (min-over-runs).
+
+The committed `BENCH_fig14.json` is the minimum-over-N-runs of the same
+configuration, which filters scheduler noise out of the wall-clock
+column while the deterministic counts stay bit-identical by
+construction. For every `(benchmark, algorithm)` row:
+
+* rows that completed in every run must agree on `histories`,
+  `end_states`, `explore_calls`, `levels` and `timed_out` (a mismatch
+  aborts the merge — it means the build is not deterministic); the
+  *whole row* of the fastest run is kept, so the allocation and engine
+  counters stay consistent with the reported time;
+* rows that timed out in every run keep the sample that made the most
+  progress (max `explore_calls`) — their counts depend on where the
+  clock cut them off and are not comparable;
+* rows that timed out only in some runs keep the fastest completed
+  sample.
+
+The summary speedups are recomputed from the merged rows with the same
+average-of-individual-speedups rule the fig14 binary uses; `workers`
+and `timeouts` are carried over/recounted.
+
+Usage: merge_fig14_runs.py out.json run1.json run2.json [...]
+"""
+
+import json
+import sys
+
+
+def slug(label):
+    out = []
+    last_sep = True
+    for c in label:
+        if c.isalnum() and c.isascii():
+            out.append(c.lower())
+            last_sep = False
+        elif not last_sep:
+            out.append("_")
+            last_sep = True
+    return "".join(out).rstrip("_")
+
+
+def average_speedup(fast_rows, slow_rows):
+    slow_by_bench = {r["benchmark"]: r for r in slow_rows if not r["timed_out"]}
+    ratios = []
+    for f in fast_rows:
+        if f["timed_out"]:
+            continue
+        s = slow_by_bench.get(f["benchmark"])
+        if s is not None:
+            ratios.append(s["time_secs"] / max(f["time_secs"], 1e-6))
+    return sum(ratios) / len(ratios) if ratios else None
+
+
+def main():
+    if len(sys.argv) < 4:
+        print(__doc__, file=sys.stderr)
+        return 2
+    out_path, run_paths = sys.argv[1], sys.argv[2:]
+    docs = [json.load(open(p)) for p in run_paths]
+
+    for d, p in zip(docs[1:], run_paths[1:]):
+        if d["config"] != docs[0]["config"]:
+            print(f"{p}: config differs from {run_paths[0]}", file=sys.stderr)
+            return 2
+
+    keyed = []
+    for d, p in zip(docs, run_paths):
+        rows = {(r["benchmark"], r["algorithm"]): r for r in d["rows"]}
+        if keyed and set(rows) != set(keyed[0][0]):
+            print(f"{p}: row set differs from {run_paths[0]}", file=sys.stderr)
+            return 2
+        keyed.append((rows, p))
+
+    gated = ("histories", "end_states", "explore_calls", "levels", "timed_out")
+    merged_rows = []
+    for key in [(r["benchmark"], r["algorithm"]) for r in docs[0]["rows"]]:
+        samples = [rows[key] for rows, _ in keyed]
+        completed = [s for s in samples if not s["timed_out"]]
+        if completed:
+            for s in completed[1:]:
+                for field in gated:
+                    if s[field] != completed[0][field]:
+                        print(
+                            f"{key[0]}/{key[1]}: {field} differs across runs "
+                            f"({completed[0][field]} vs {s[field]}); "
+                            "the build is not deterministic",
+                            file=sys.stderr,
+                        )
+                        return 1
+            merged_rows.append(min(completed, key=lambda s: s["time_secs"]))
+        else:
+            merged_rows.append(max(samples, key=lambda s: s["explore_calls"]))
+
+    by_alg = {}
+    for r in merged_rows:
+        by_alg.setdefault(r["algorithm"], []).append(r)
+    cc = by_alg.get("CC", [])
+    summary = {}
+    for other in ["RA + CC", "RC + CC", "true + CC", "DFS(CC)", "CC (no-memo)", "CC (no-opt)"]:
+        if other not in by_alg and f"speedup_cc_over_{slug(other)}" not in docs[0]["summary"]:
+            continue
+        s = average_speedup(cc, by_alg.get(other, []))
+        summary[f"speedup_cc_over_{slug(other)}"] = s
+    for k, v in docs[0]["summary"].items():
+        if k.startswith("speedup_") and k.endswith("_over_cc"):
+            par_label = next((a for a in by_alg if a.startswith("CC par")), None)
+            summary[k] = average_speedup(by_alg[par_label], cc) if par_label else None
+    summary["workers"] = docs[0]["summary"]["workers"]
+    summary["timeouts"] = sum(1 for r in merged_rows if r["timed_out"])
+
+    doc = {
+        "experiment": docs[0]["experiment"],
+        "config": docs[0]["config"],
+        "rows": merged_rows,
+        "summary": summary,
+    }
+    with open(out_path, "w") as f:
+        json.dump(doc, f, separators=(",", ":"))
+        f.write("\n")
+    tl = summary["timeouts"]
+    print(f"merged {len(run_paths)} run(s): {len(merged_rows)} rows, {tl} timed out -> {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,7 @@
 //!
 //! Usage: `cargo run --release -p txdpor-bench --bin fig14 [--full]
 //! [--timeout <s>] [--variants <n>] [--sessions <n>] [--transactions <n>]
-//! [--workers <n>] [--ablation] [--json <path>]`
+//! [--workers <n>] [--skip-parallel] [--ablation] [--json <path>]`
 
 use txdpor_bench::json::JsonValue;
 use txdpor_bench::tables::print_cactus;
@@ -55,15 +55,24 @@ fn main() {
 
     let cc_level = IsolationLevel::CausalConsistency;
     let explicit_workers = flag_value(&args, "--workers").is_some();
+    let skip_parallel = args.iter().any(|a| a == "--skip-parallel");
     let mut algorithms: Vec<Algorithm> = Algorithm::FIG14.to_vec();
     algorithms.push(Algorithm::ExploreCeNoMemo(cc_level));
-    if explicit_workers || workers > 1 {
+    if skip_parallel {
+        // Explicit opt-out, e.g. for a serial-only baseline run that a CI
+        // job then compares against a separate `--workers N` run.
+        println!("--skip-parallel: skipping the parallel configuration");
+    } else if explicit_workers || workers > 1 {
         algorithms.push(Algorithm::ExploreCeParallel(cc_level, workers));
     } else {
         // Auto-derived worker count on a single-core machine: the parallel
-        // mode's seeding/merge overhead can only lose, so fall back to the
-        // serial algorithm (pass --workers N to force a parallel row).
-        println!("single core detected: skipping the parallel configuration (serial fallback)");
+        // mode's scheduling overhead can only lose, so fall back to the
+        // serial algorithm (pass --workers N to force a parallel row, or
+        // --skip-parallel to make the omission explicit).
+        println!(
+            "single core detected: skipping the parallel configuration \
+             (serial fallback; pass --workers N to force it)"
+        );
     }
     if with_ablation {
         algorithms.push(Algorithm::ExploreCeNoOptimality(cc_level));

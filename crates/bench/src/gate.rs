@@ -294,6 +294,8 @@ mod tests {
             history_clones: 0,
             history_bytes_copied: 0,
             engine: EngineStats::default(),
+            workers: 1,
+            steals: 0,
             first_rejection: None,
             timed_out: false,
         }

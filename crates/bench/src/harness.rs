@@ -173,8 +173,15 @@ pub struct Measurement {
     pub history_bytes_copied: u64,
     /// Consistency-engine counters summed over every engine of the run:
     /// check/memo traffic, the incremental-sync vs full-rebuild split and
-    /// the nanoseconds spent deciding memo misses.
+    /// the CPU nanoseconds spent deciding memo misses (summed across
+    /// workers for parallel rows, so it can exceed wall-clock time).
     pub engine: txdpor_history::EngineStats,
+    /// Number of exploration worker threads actually spawned (`1` for
+    /// every serial configuration, including the DFS baseline).
+    pub workers: usize,
+    /// Exploration nodes migrated between workers by work stealing (`0`
+    /// for serial runs and for parallel runs that never rebalanced).
+    pub steals: u64,
     /// Rendered violation core of the first end state the output filter
     /// rejected (`explore-ce*` rows only; `None` when nothing was
     /// filtered or the algorithm has no output filter).
@@ -299,6 +306,8 @@ fn run_inner(
         history_clones,
         history_bytes_copied,
         engine: report.engine_stats,
+        workers: report.workers,
+        steals: report.steals,
         first_rejection: report.first_rejection.as_ref().map(|v| v.to_string()),
         timed_out: report.timed_out,
     }
@@ -348,6 +357,8 @@ mod tests {
             assert_eq!(m.histories, 2, "{algo} found a wrong number of histories");
             assert!(m.end_states >= 2);
             assert!(m.explore_calls > 0);
+            assert_eq!(m.workers, 1, "{algo} is a serial configuration");
+            assert_eq!(m.steals, 0, "serial runs never steal");
             assert!(!m.time_cell().is_empty());
         }
     }

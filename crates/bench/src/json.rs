@@ -365,7 +365,19 @@ pub fn measurement_json(m: &Measurement) -> JsonValue {
             "full_rebuilds".into(),
             JsonValue::uint(m.engine.full_rebuilds),
         ),
-        ("check_nanos".into(), JsonValue::uint(m.engine.check_nanos)),
+        // Named `check_cpu_nanos` (not `check_nanos`) because it is the
+        // per-thread CPU time summed across workers: on parallel rows it
+        // exceeds the wall-clock `time_secs`.
+        (
+            "check_cpu_nanos".into(),
+            JsonValue::uint(m.engine.check_nanos),
+        ),
+        (
+            "shared_memo_hits".into(),
+            JsonValue::uint(m.engine.shared_memo_hits),
+        ),
+        ("workers".into(), JsonValue::uint(m.workers as u64)),
+        ("steals".into(), JsonValue::uint(m.steals)),
         (
             "first_rejection".into(),
             m.first_rejection
@@ -453,7 +465,10 @@ mod tests {
                 incremental_hits: 50,
                 full_rebuilds: 10,
                 check_nanos: 123_456,
+                shared_memo_hits: 7,
             },
+            workers: 4,
+            steals: 5,
             first_rejection: Some("t1 -so-> t2 -co-> t1".to_owned()),
             timed_out: false,
         }
@@ -494,11 +509,21 @@ mod tests {
             "\"levels\":\"CC[s0.t1=SER]\"",
             "\"history_clones\":12",
             "\"history_bytes_copied\":2048",
+            "\"check_cpu_nanos\":123456",
+            "\"shared_memo_hits\":7",
+            "\"workers\":4",
+            "\"steals\":5",
             "\"first_rejection\":\"t1 -so-> t2 -co-> t1\"",
             "\"speedup\":2.0",
         ] {
             assert!(doc.contains(key), "missing {key} in {doc}");
         }
+        // The engine-time field is CPU time summed across workers, not
+        // wall time; the old wall-time-suggesting name must stay retired.
+        assert!(
+            !doc.contains("\"check_nanos\""),
+            "the ambiguous check_nanos key must not reappear"
+        );
         // Escaped content round-trips through the writer unmangled.
         assert!(doc.contains("tiny \\\"quoted\\\"\\n"));
         // Balanced braces/brackets (a cheap well-formedness check; CI runs

@@ -176,6 +176,8 @@ mod tests {
             history_clones: 7,
             history_bytes_copied: 4096,
             engine: txdpor_history::EngineStats::default(),
+            workers: 1,
+            steals: 0,
             first_rejection: None,
             timed_out,
         }

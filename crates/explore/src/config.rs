@@ -167,6 +167,17 @@ impl ExploreConfig {
         }
     }
 
+    /// Number of worker threads the parallel mode should actually spawn
+    /// for a seeded frontier of `frontier_len` nodes: never more than the
+    /// tasks available, so no thread is created just to idle (work
+    /// stealing cannot conjure tasks that never existed — a frontier of 3
+    /// nodes feeds at most 3 workers, stealing only rebalances their
+    /// subtrees later). Returns `0` for an empty frontier: the seeding
+    /// pass finished the exploration and the worker phase is skipped.
+    pub fn spawn_workers(&self, frontier_len: usize) -> usize {
+        self.workers.min(frontier_len)
+    }
+
     /// Disables fingerprint memoisation inside the consistency engines
     /// (ablation isolating the memo's contribution; the incremental index
     /// sync stays on).
@@ -214,6 +225,15 @@ pub struct ExplorationReport {
     pub timed_out: bool,
     /// Wall-clock duration of the exploration.
     pub duration: Duration,
+    /// Number of worker threads that actually explored (`1` for a serial
+    /// run; the parallel mode caps the spawn at the seeded frontier size,
+    /// so this can be smaller than the configured
+    /// [`workers`](ExploreConfig::workers)).
+    pub workers: usize,
+    /// Total exploration nodes migrated between workers by work stealing
+    /// (`0` for a serial run). A zero on a multi-worker run means the
+    /// seeding pass alone balanced the tree.
+    pub steals: u64,
     /// Largest number of events of any explored history (a proxy for the
     /// per-branch memory footprint; the algorithm is polynomial space).
     pub max_events: usize,
@@ -360,6 +380,38 @@ mod tests {
         );
         let serial = ExploreConfig::explore_ce(IsolationLevel::CausalConsistency);
         assert_eq!(serial.effective_workers(Some(16)), 1);
+    }
+
+    #[test]
+    fn with_workers_zero_clamps_to_serial() {
+        let c = ExploreConfig::explore_ce(IsolationLevel::CausalConsistency).with_workers(0);
+        assert_eq!(c.workers, 1, "zero workers clamps to the serial minimum");
+        assert_eq!(c.effective_workers(Some(8)), 1);
+        let auto =
+            ExploreConfig::explore_ce(IsolationLevel::CausalConsistency).with_auto_workers(0);
+        assert_eq!(auto.workers, 1);
+    }
+
+    #[test]
+    fn one_worker_always_means_the_serial_algorithm() {
+        // An explicit 1 must never enter the parallel mode, whatever the
+        // detected parallelism.
+        let c = ExploreConfig::explore_ce(IsolationLevel::CausalConsistency).with_workers(1);
+        assert_eq!(c.effective_workers(Some(64)), 1);
+        assert_eq!(c.effective_workers(None), 1);
+    }
+
+    #[test]
+    fn spawn_workers_never_exceeds_the_frontier() {
+        let c = ExploreConfig::explore_ce(IsolationLevel::CausalConsistency).with_workers(4);
+        assert_eq!(c.spawn_workers(100), 4, "enough tasks: full worker count");
+        assert_eq!(c.spawn_workers(3), 3, "more workers than tasks: clamp");
+        assert_eq!(c.spawn_workers(1), 1);
+        assert_eq!(
+            c.spawn_workers(0),
+            0,
+            "empty frontier: the seeding pass finished everything, spawn nobody"
+        );
     }
 
     #[test]

@@ -90,6 +90,7 @@ pub fn dfs_explore(
     let mut report = dfs.report;
     report.duration = start.elapsed();
     report.vars = dfs.vars;
+    report.workers = 1;
     // For the baseline, "outputs" counts distinct histories.
     report.outputs = dfs.seen.len() as u64;
     Ok(report)

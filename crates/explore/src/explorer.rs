@@ -3,12 +3,13 @@
 
 use std::collections::{HashSet, VecDeque};
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use txdpor_history::{
     engine_for_spec_with, ConsistencyChecker, EdgeReason, Event, EventId, EventKind, History,
-    HistoryFingerprint, SessionId, TxId, Var, VarTable, Verdict,
+    HistoryFingerprint, SessionId, SharedMemo, TxId, Var, VarTable, Verdict,
 };
 use txdpor_program::{
     initial_history, oracle_next, replay_all, Program, SchedulerStep, SemanticsError, TxStep,
@@ -18,6 +19,7 @@ use crate::assertion::{AssertionCtx, AssertionFn};
 use crate::config::{ExplorationReport, ExploreConfig};
 use crate::optimality::optimality;
 use crate::ordered::OrderedHistory;
+use crate::steal::{Backoff, StealPool};
 use crate::swap::compute_reorderings_and_ancestors;
 
 /// Seed the parallel frontier with this many tasks per worker before
@@ -107,7 +109,7 @@ pub fn explore_with_assertion(
     let workers =
         config.effective_workers(std::thread::available_parallelism().ok().map(|n| n.get()));
     if workers > 1 {
-        return explore_parallel(program, &config, assertion, start);
+        return explore_parallel(program, &config, assertion, workers, start);
     }
     let mut explorer = Explorer::new(program, &config, assertion);
     let initial = OrderedHistory::new(initial_history(program, &mut explorer.vars));
@@ -115,32 +117,43 @@ pub fn explore_with_assertion(
     explorer.record_engine_stats();
     let mut report = explorer.report;
     report.duration = start.elapsed();
+    report.workers = 1;
     report.vars = explorer.vars;
     Ok(report)
 }
 
-/// Parallel `explore-ce`: a breadth-first seeding pass expands the
-/// exploration tree from the root until the frontier holds enough disjoint
-/// subtrees, then `std::thread::scope` workers — each with its own
-/// consistency engines and event counters — drain the frontier and the
-/// per-worker reports are merged.
+/// Parallel `explore-ce` over a work-stealing pool: a breadth-first
+/// seeding pass expands the exploration tree from the root until the
+/// frontier holds enough disjoint subtrees, distributes them round-robin
+/// across per-worker LIFO deques ([`StealPool`]), and lets
+/// `std::thread::scope` workers — each with its own consistency engines
+/// and event counters — traverse their subtrees depth-first, stealing the
+/// shallowest nodes of a busy sibling when they run dry. Termination is
+/// detected by the pool's in-flight counter, so skewed trees keep every
+/// worker busy to the end instead of starving all but one. A
+/// [`SharedMemo`] attached to every worker's engines lets siblings reuse
+/// each other's consistency verdicts.
 ///
 /// The exploration tree is identical to the serial one (children of a node
-/// depend only on that node), so the merged report agrees with a serial run
-/// on every deterministic quantity: end states, outputs, blocked reads,
-/// explore calls and the set of output-history fingerprints. Only wall
-/// clock, the order of collected histories and the choice of the recorded
-/// violating history may differ.
+/// depend only on that node, and every node is processed exactly once no
+/// matter how tasks migrate), so the merged report agrees with a serial
+/// run on every deterministic quantity: end states, outputs, blocked
+/// reads, explore calls and the set of output-history fingerprints. Only
+/// wall clock, the order of collected histories and the choice of the
+/// recorded violating history may differ.
 fn explore_parallel(
     program: &Program,
     config: &ExploreConfig,
     assertion: Option<&AssertionFn>,
+    workers: usize,
     start: Instant,
 ) -> Result<ExplorationReport, ExploreError> {
+    let shared_memo = Arc::new(SharedMemo::new(workers));
     let mut seeder = Explorer::new(program, config, assertion);
+    seeder.attach_shared_memo(&shared_memo);
     let initial = OrderedHistory::new(initial_history(program, &mut seeder.vars));
     let mut frontier: VecDeque<OrderedHistory> = VecDeque::from([initial]);
-    let target = config.workers * SEED_TASKS_PER_WORKER;
+    let target = workers * SEED_TASKS_PER_WORKER;
     while !frontier.is_empty() && frontier.len() < target && !seeder.timed_out() {
         let h = frontier.pop_front().expect("frontier is non-empty");
         seeder.report.explore_calls += 1;
@@ -151,36 +164,58 @@ fn explore_parallel(
         }
     }
 
+    // Never spawn threads that could not possibly receive work: a frontier
+    // smaller than the worker count caps the spawn (an empty frontier — the
+    // seeding pass finished the exploration — skips the worker phase
+    // entirely).
+    let spawn = config.spawn_workers(frontier.len()).min(workers);
     let deadline = seeder.deadline;
     let vars_snapshot = seeder.vars.clone();
-    let queue: Mutex<Vec<OrderedHistory>> = Mutex::new(frontier.into());
+    let pool: StealPool<OrderedHistory> = StealPool::new(spawn.max(1));
+    pool.seed(frontier);
     type WorkerResult = (ExplorationReport, HashSet<HistoryFingerprint>, VarTable);
     let results: Mutex<Vec<WorkerResult>> = Mutex::new(Vec::new());
+    let failed = AtomicBool::new(false);
     let failure: Mutex<Option<ExploreError>> = Mutex::new(None);
     std::thread::scope(|scope| {
-        for i in 0..config.workers {
+        for i in 0..spawn {
             let vars = vars_snapshot.clone();
-            let (queue, results, failure) = (&queue, &results, &failure);
+            let (pool, results, failed, failure) = (&pool, &results, &failed, &failure);
+            let shared_memo = Arc::clone(&shared_memo);
             std::thread::Builder::new()
                 .name(format!("explore-worker-{i}"))
                 .spawn_scoped(scope, move || {
                     let mut worker = Explorer::new(program, config, assertion);
                     worker.vars = vars;
                     worker.deadline = deadline;
+                    worker.attach_shared_memo(&shared_memo);
+                    let mut backoff = Backoff::default();
                     loop {
-                        if failure.lock().expect("failure lock").is_some() {
+                        if failed.load(Ordering::Acquire) {
                             break;
                         }
-                        let task = queue.lock().expect("task queue lock").pop();
-                        let Some(h) = task else { break };
                         // Event/transaction identifiers only need to be
                         // unique within a branch; the history tracks its own
                         // id high-water marks (fingerprints are
-                        // identifier-independent).
-                        if let Err(e) = worker.explore(h) {
-                            *failure.lock().expect("failure lock") = Some(e);
+                        // identifier-independent), so a stolen node explores
+                        // identically wherever it lands.
+                        if let Some(h) = pool.pop_local(i) {
+                            backoff.reset();
+                            if let Err(e) = worker.process_task(h, pool, i) {
+                                *failure.lock().expect("failure lock") = Some(e);
+                                failed.store(true, Ordering::Release);
+                                break;
+                            }
+                            continue;
+                        }
+                        if pool.steal_into(i) > 0 {
+                            backoff.reset();
+                            continue;
+                        }
+                        if pool.is_done() {
                             break;
                         }
+                        backoff.idle();
                     }
                     worker.record_engine_stats();
                     results.lock().expect("results lock").push((
@@ -208,6 +243,8 @@ fn explore_parallel(
         report.duplicate_outputs = report.outputs - seen.len() as u64;
     }
     report.duration = start.elapsed();
+    report.workers = spawn.max(1);
+    report.steals = pool.steals();
     report.vars = vars;
     Ok(report)
 }
@@ -314,6 +351,58 @@ impl<'a> Explorer<'a> {
 
     fn fresh_tx(h: &History) -> TxId {
         TxId(h.max_tx_id() + 1)
+    }
+
+    /// Routes the explorer's consistency engines (exploration and output
+    /// filter) through a cross-worker [`SharedMemo`], so verdicts decided
+    /// by one worker are table lookups for its siblings. Verdicts are pure
+    /// functions of `(history, spec)`, so the exploration tree — and every
+    /// deterministic report quantity — is unchanged; only `memo_hits` /
+    /// `shared_memo_hits` and wall clock move.
+    fn attach_shared_memo(&mut self, memo: &Arc<SharedMemo>) {
+        self.checker.attach_shared_memo(Arc::clone(memo));
+        if let Some(output) = self.output_checker.as_mut() {
+            output.attach_shared_memo(Arc::clone(memo));
+        }
+    }
+
+    /// Processes one node popped from the work-stealing pool: the body of
+    /// [`visit`](Explorer::visit), with children pushed onto this worker's
+    /// deque (registered before the parent is finished, so the pool's
+    /// in-flight count never dips to zero mid-subtree). Children are
+    /// pushed in reverse so the LIFO pop order matches the serial visit
+    /// order — the first child extends the history the engines just saw.
+    ///
+    /// After a timeout the node is finished without being counted or
+    /// expanded, draining the pool — exactly the serial path, which stops
+    /// counting the moment the deadline passes.
+    fn process_task(
+        &mut self,
+        h: OrderedHistory,
+        pool: &StealPool<OrderedHistory>,
+        worker: usize,
+    ) -> Result<(), ExploreError> {
+        if self.timed_out() {
+            pool.finish_task();
+            return Ok(());
+        }
+        self.report.explore_calls += 1;
+        self.report.max_events = self.report.max_events.max(h.order.len());
+        let expansion = match self.expand(h) {
+            Ok(expansion) => expansion,
+            Err(e) => {
+                pool.finish_task();
+                return Err(e);
+            }
+        };
+        match expansion {
+            Expansion::Complete(h) => self.handle_complete(&h),
+            Expansion::Children(children) => {
+                pool.push_children(worker, children.into_iter().rev());
+            }
+        }
+        pool.finish_task();
+        Ok(())
     }
 
     /// Folds the engines' counters into the report (once, at the end of

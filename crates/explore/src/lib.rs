@@ -50,6 +50,7 @@ pub mod dfs;
 pub mod explorer;
 pub mod optimality;
 pub mod ordered;
+pub mod steal;
 pub mod swap;
 
 pub use assertion::{AssertionCtx, AssertionFn};
@@ -57,4 +58,5 @@ pub use config::{ExplorationReport, ExploreConfig};
 pub use dfs::{dfs_explore, DfsConfig};
 pub use explorer::{explore, explore_with_assertion, ExploreError};
 pub use ordered::OrderedHistory;
+pub use steal::StealPool;
 pub use swap::{compute_reorderings, swap, Reordering};

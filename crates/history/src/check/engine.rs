@@ -64,10 +64,12 @@
 //! they are fed.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::check::evidence::{self, Verdict};
 use crate::check::frontier::FrontierIndex;
+use crate::check::shared::SharedMemo;
 use crate::check::{mixed, pc, ser, si, weak};
 use crate::history::History;
 use crate::isolation::{IsolationLevel, LevelSpec};
@@ -81,6 +83,10 @@ pub const MEMO_CAPACITY: usize = 1 << 16;
 const MEMO_INITIAL_SLOTS: usize = 1 << 10;
 
 /// Counters exposed by every engine, for reporting and tests.
+///
+/// `check_nanos` is per-thread time: summed across parallel workers (via
+/// [`EngineStats::absorb`]) it is CPU time, not wall time — see the field
+/// documentation.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Total number of `check` calls served.
@@ -103,9 +109,21 @@ pub struct EngineStats {
     /// Memo misses that fell back to rebuilding the engine's index from
     /// scratch.
     pub full_rebuilds: u64,
-    /// Total wall-clock nanoseconds spent deciding memo misses (sync +
-    /// decision procedure). Memo hits are a single table probe and are not
-    /// timed — an `Instant` pair per hit would dominate the hit itself.
+    /// Memo hits served by the cross-worker [`SharedMemo`] (a subset of
+    /// `memo_hits`): verdicts another worker published first. Zero for
+    /// serial runs and engines without an attached shared memo.
+    pub shared_memo_hits: u64,
+    /// Total nanoseconds spent deciding memo misses (sync + decision
+    /// procedure), measured on the thread running the engine. Memo hits
+    /// are a single table probe and are not timed — an `Instant` pair per
+    /// hit would dominate the hit itself.
+    ///
+    /// This is per-engine *CPU-side* time: [`absorb`](EngineStats::absorb)
+    /// sums it across engines and workers, so on a parallel run the total
+    /// is aggregate CPU time, not wall time — with 4 workers it can exceed
+    /// the run's wall clock several-fold. Consumers that want wall time
+    /// must measure it around the run (as the bench harness does), never
+    /// derive it from this field.
     pub check_nanos: u64,
 }
 
@@ -121,6 +139,10 @@ impl EngineStats {
         self.memo_slots += other.memo_slots;
         self.incremental_hits += other.incremental_hits;
         self.full_rebuilds += other.full_rebuilds;
+        self.shared_memo_hits += other.shared_memo_hits;
+        // Summing per-thread nanoseconds yields aggregate CPU time (see
+        // the field documentation) — callers wanting wall time must time
+        // the run itself.
         self.check_nanos += other.check_nanos;
     }
 }
@@ -174,6 +196,13 @@ pub trait ConsistencyChecker: Send {
         let consistent = self.check(h);
         evidence::reconstruct(h, &self.spec(), consistent)
     }
+
+    /// Attaches a cross-worker [`SharedMemo`]: the engine consults it
+    /// before its private memo and publishes every fresh verdict to it,
+    /// keyed by `live_hash ⊕ spec_hash` so verdicts decided under one spec
+    /// are never served for another. The default is a no-op — engines
+    /// without a memo (or with memoisation disabled) simply ignore it.
+    fn attach_shared_memo(&mut self, _memo: Arc<SharedMemo>) {}
 
     /// Counters accumulated since creation (or the last [`reset`]).
     ///
@@ -243,6 +272,12 @@ struct Memo {
     slots: Vec<(u64, u64)>,
     occupied: usize,
     enabled: bool,
+    /// Cross-worker verdict table consulted before the private slots (and
+    /// published to on every insert), keyed by `live_hash ⊕ spec_hash` —
+    /// `shared_salt` folds the engine's spec hash into keys that do not
+    /// already carry it. `None` outside parallel exploration.
+    shared: Option<Arc<SharedMemo>>,
+    shared_salt: u64,
     stats: EngineStats,
 }
 
@@ -252,19 +287,40 @@ impl Memo {
             slots: Vec::new(),
             occupied: 0,
             enabled,
+            shared: None,
+            shared_salt: 0,
             stats: EngineStats::default(),
         }
+    }
+
+    /// Attaches a cross-worker shared memo. `salt` is XOR-folded into the
+    /// first key word before every shared lookup/publish; engines whose
+    /// private keys already fold their spec hash pass 0, the per-level
+    /// engines pass their uniform spec's hash, so shared keys are
+    /// uniformly `live_hash ⊕ spec_hash` across all engine kinds.
+    fn attach_shared(&mut self, memo: Arc<SharedMemo>, salt: u64) {
+        self.shared = Some(memo);
+        self.shared_salt = salt;
     }
 
     /// Looks up a key (normally the history's [`History::live_hash`],
     /// optionally folded with a spec hash), returning either the memoised
     /// verdict or the key to insert the freshly computed verdict under
-    /// (`None` when memoisation is disabled).
+    /// (`None` when memoisation is disabled). The shared cross-worker
+    /// table, when attached, is consulted before the private slots — a
+    /// sibling worker may have decided this history already.
     fn lookup(&mut self, key: (u64, u64)) -> Result<bool, Option<(u64, u64)>> {
         self.stats.checks += 1;
         if !self.enabled {
             self.stats.memo_misses += 1;
             return Err(None);
+        }
+        if let Some(shared) = &self.shared {
+            if let Some(v) = shared.lookup((key.0 ^ self.shared_salt, key.1)) {
+                self.stats.memo_hits += 1;
+                self.stats.shared_memo_hits += 1;
+                return Ok(v);
+            }
         }
         if !self.slots.is_empty() {
             let (k0, k1v) = self.slots[key.0 as usize & (self.slots.len() - 1)];
@@ -279,6 +335,9 @@ impl Memo {
 
     fn insert(&mut self, key: Option<(u64, u64)>, verdict: bool) {
         let Some(key) = key else { return };
+        if let Some(shared) = &self.shared {
+            shared.publish((key.0 ^ self.shared_salt, key.1), verdict);
+        }
         if self.slots.is_empty() {
             self.slots.resize(MEMO_INITIAL_SLOTS, (0, 0));
         } else if self.occupied * 2 >= self.slots.len() && self.slots.len() < MEMO_CAPACITY {
@@ -412,6 +471,11 @@ impl ConsistencyChecker for WeakEngine {
         }
     }
 
+    fn attach_shared_memo(&mut self, memo: Arc<SharedMemo>) {
+        let salt = self.spec().spec_hash();
+        self.memo.attach_shared(memo, salt);
+    }
+
     fn stats(&self) -> EngineStats {
         let mut s = self.memo.stats();
         s.incremental_hits = self.idx.incremental_hits;
@@ -472,6 +536,11 @@ impl ConsistencyChecker for SerEngine {
                 v
             }
         }
+    }
+
+    fn attach_shared_memo(&mut self, memo: Arc<SharedMemo>) {
+        let salt = self.spec().spec_hash();
+        self.memo.attach_shared(memo, salt);
     }
 
     fn stats(&self) -> EngineStats {
@@ -535,6 +604,11 @@ impl ConsistencyChecker for SiEngine {
                 v
             }
         }
+    }
+
+    fn attach_shared_memo(&mut self, memo: Arc<SharedMemo>) {
+        let salt = self.spec().spec_hash();
+        self.memo.attach_shared(memo, salt);
     }
 
     fn stats(&self) -> EngineStats {
@@ -604,6 +678,11 @@ impl ConsistencyChecker for PcEngine {
                 v
             }
         }
+    }
+
+    fn attach_shared_memo(&mut self, memo: Arc<SharedMemo>) {
+        let salt = self.spec().spec_hash();
+        self.memo.attach_shared(memo, salt);
     }
 
     fn stats(&self) -> EngineStats {
@@ -709,6 +788,12 @@ impl ConsistencyChecker for MixedEngine {
                 v
             }
         }
+    }
+
+    fn attach_shared_memo(&mut self, memo: Arc<SharedMemo>) {
+        // The private key already folds `spec_hash` (see `check`), so the
+        // shared key needs no extra salt to be `live_hash ⊕ spec_hash`.
+        self.memo.attach_shared(memo, 0);
     }
 
     fn stats(&self) -> EngineStats {
@@ -920,6 +1005,96 @@ mod tests {
         assert!(!strict.check(&h));
         assert!(lenient.check(&h));
         assert!(!strict.check(&h));
+    }
+
+    #[test]
+    fn shared_memo_serves_cross_engine_hits() {
+        // Worker A decides a history; worker B's fresh engine (cold
+        // private memo) gets the verdict from the shared table.
+        let h = lost_update();
+        let shared = Arc::new(SharedMemo::new(2));
+        for level in IsolationLevel::ALL {
+            let mut a = engine_for(level);
+            let mut b = engine_for(level);
+            a.attach_shared_memo(Arc::clone(&shared));
+            b.attach_shared_memo(Arc::clone(&shared));
+            let verdict = a.check(&h);
+            assert_eq!(a.stats().shared_memo_hits, 0, "{level}: A decided fresh");
+            assert_eq!(b.check(&h), verdict);
+            let sb = b.stats();
+            if level == IsolationLevel::Trivial {
+                continue; // no memo at all
+            }
+            assert_eq!(sb.memo_hits, 1, "{level}: B should hit");
+            assert_eq!(sb.shared_memo_hits, 1, "{level}: B's hit came from A");
+            assert_eq!(sb.memo_misses, 0);
+        }
+    }
+
+    #[test]
+    fn shared_memo_keys_are_spec_disjoint() {
+        // Same history, same shared table, different levels/specs: the
+        // folded spec hash must keep every verdict on its own key. SER
+        // rejects the lost update while RC accepts it, so a key collision
+        // would flip one of the answers.
+        let h = lost_update();
+        let shared = Arc::new(SharedMemo::new(2));
+        let mut ser = engine_for(IsolationLevel::Serializability);
+        let mut rc = engine_for(IsolationLevel::ReadCommitted);
+        ser.attach_shared_memo(Arc::clone(&shared));
+        rc.attach_shared_memo(Arc::clone(&shared));
+        assert!(!ser.check(&h));
+        assert!(rc.check(&h));
+        assert_eq!(rc.stats().shared_memo_hits, 0, "RC must not see SER's key");
+        // A mixed engine with the uniform SER spec shares SER's key shape
+        // (`live_hash ⊕ spec_hash`), so it *does* hit SER's entry.
+        let mut forced =
+            MixedEngine::new(LevelSpec::uniform(IsolationLevel::Serializability), true);
+        forced.attach_shared_memo(Arc::clone(&shared));
+        assert!(!forced.check(&h));
+        assert_eq!(
+            forced.stats().shared_memo_hits,
+            1,
+            "uniform mixed engine shares the per-level key"
+        );
+    }
+
+    #[test]
+    fn disabled_memo_skips_the_shared_table() {
+        // The `no-memo` ablation must reproduce the stateless cost model:
+        // nothing read from or published to the shared table.
+        let h = lost_update();
+        let shared = Arc::new(SharedMemo::new(2));
+        let mut off = engine_for_with(IsolationLevel::CausalConsistency, false);
+        off.attach_shared_memo(Arc::clone(&shared));
+        let verdict = off.check(&h);
+        assert_eq!(off.stats().shared_memo_hits, 0);
+        // Nothing was published: a memoised engine still decides fresh.
+        let mut on = engine_for(IsolationLevel::CausalConsistency);
+        on.attach_shared_memo(shared);
+        assert_eq!(on.check(&h), verdict);
+        assert_eq!(on.stats().shared_memo_hits, 0, "no-memo engine published");
+    }
+
+    #[test]
+    fn absorb_sums_shared_hits_and_cpu_nanos() {
+        let mut total = EngineStats::default();
+        let a = EngineStats {
+            shared_memo_hits: 3,
+            check_nanos: 100,
+            ..EngineStats::default()
+        };
+        let b = EngineStats {
+            shared_memo_hits: 4,
+            check_nanos: 50,
+            ..EngineStats::default()
+        };
+        total.absorb(&a);
+        total.absorb(&b);
+        // Summed across workers: aggregate CPU time (7 hits, 150 ns of
+        // per-thread deciding time), NOT wall time.
+        assert_eq!(total.shared_memo_hits, 7);
+        assert_eq!(total.check_nanos, 150);
     }
 
     #[test]

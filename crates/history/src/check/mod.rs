@@ -28,6 +28,7 @@ pub(crate) mod frontier;
 pub mod mixed;
 pub mod pc;
 pub mod ser;
+pub mod shared;
 pub mod si;
 pub mod weak;
 
@@ -40,6 +41,7 @@ pub use engine::{
 };
 pub use evidence::{AxiomInstance, EdgeReason, Verdict, Violation, ViolationEdge, Witness};
 pub use mixed::satisfies_spec;
+pub use shared::SharedMemo;
 
 /// Whether the history satisfies the isolation level (Definition 2.2).
 ///

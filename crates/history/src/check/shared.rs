@@ -1,0 +1,235 @@
+//! A sharded concurrent verdict memo shared by parallel exploration
+//! workers.
+//!
+//! The work-stealing parallel exploration gives every worker its own
+//! private consistency engines (scratch indexes stay single-threaded and
+//! journal-warm), but sibling subtrees constantly re-reach structurally
+//! equal histories — the prefix a stolen subtree hangs off, the common
+//! re-orderings two workers both try. The [`SharedMemo`] lets workers
+//! publish boolean verdicts to each other: it is the per-engine
+//! direct-mapped 16-byte-slot table of [`super::engine`] rebuilt on
+//! [`AtomicU64`] pairs and split into power-of-two shards so concurrent
+//! publishes from different workers rarely touch the same cache lines.
+//!
+//! # Keys
+//!
+//! Entries are keyed by `live_hash ⊕ spec_hash`: the history's rolling
+//! 128-bit structural hash ([`crate::History::live_hash`]) with the
+//! engine's [`crate::LevelSpec::spec_hash`] folded into the first word.
+//! One table therefore serves every engine of a run — the exploration
+//! engine and the output engine, uniform and mixed specs alike — without
+//! a verdict decided under one spec ever being served for another.
+//!
+//! # Publish protocol (tag-last, torn reads degrade to misses)
+//!
+//! A slot is two `AtomicU64`s written without any lock:
+//!
+//! ```text
+//! payload = (key.1 & !1) | verdict        // stored first (Release)
+//! tag     = key.0 ^ payload               // stored last  (Release)
+//! ```
+//!
+//! A reader loads both words and accepts the slot only when
+//! `tag ^ payload == key.0` **and** `payload` matches `key.1` above the
+//! verdict bit. Because the tag is XOR-entangled with the payload, any
+//! torn read — a payload from one publish paired with the tag of another,
+//! in either order — fails the check and degrades to a *miss*, never to a
+//! wrong verdict (the classic lock-free transposition-table scheme). The
+//! empty slot `(0, 0)` only validates for the all-zero key, which the
+//! non-zero-seeded `live_hash` makes as improbable as a 127-bit hash
+//! collision — the risk the hash-compacted memo design already accepts.
+//!
+//! Collisions simply overwrite (the table is lossy by design, like the
+//! private memo), so memory stays hard-bounded: [`SharedMemo::new`] sizes
+//! the table once and never grows it, which is what makes the lock-free
+//! protocol sufficient — there is no resize to coordinate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Total number of slots of a shared memo (16 bytes per slot — a hard
+/// 4 MiB ceiling for the whole worker fleet, spread over the shards).
+pub const SHARED_MEMO_SLOTS: usize = 1 << 18;
+
+/// One lock-free slot: `tag = key.0 ^ payload`, `payload = key.1 | verdict`.
+#[derive(Debug, Default)]
+struct Slot {
+    tag: AtomicU64,
+    payload: AtomicU64,
+}
+
+/// A sharded, lock-free, direct-mapped verdict memo shared across
+/// exploration workers. See the module documentation for the key and
+/// publish protocols.
+#[derive(Debug)]
+pub struct SharedMemo {
+    /// Shard tables, each `slots_per_shard` slots long, concatenated.
+    slots: Vec<Slot>,
+    /// `shard_count - 1` (shard count is a power of two).
+    shard_mask: u64,
+    /// `slots_per_shard - 1` (per-shard slot count is a power of two).
+    slot_mask: u64,
+}
+
+impl SharedMemo {
+    /// Creates a memo sized for `workers` concurrent publishers: the shard
+    /// count is the smallest power of two ≥ `4 * workers` (capped at 64),
+    /// so two workers publishing simultaneously usually land in different
+    /// shards; the total slot count is fixed at [`SHARED_MEMO_SLOTS`].
+    pub fn new(workers: usize) -> Self {
+        let shards = (workers.max(1) * 4).next_power_of_two().min(64);
+        Self::with_shape(shards, SHARED_MEMO_SLOTS / shards)
+    }
+
+    /// Creates a memo with an explicit shape (both counts must be powers
+    /// of two; tests use tiny tables to force collisions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero or not a power of two.
+    pub fn with_shape(shards: usize, slots_per_shard: usize) -> Self {
+        assert!(
+            shards.is_power_of_two() && slots_per_shard.is_power_of_two(),
+            "shard and slot counts must be powers of two"
+        );
+        let mut slots = Vec::new();
+        slots.resize_with(shards * slots_per_shard, Slot::default);
+        SharedMemo {
+            slots,
+            shard_mask: shards as u64 - 1,
+            slot_mask: slots_per_shard as u64 - 1,
+        }
+    }
+
+    /// The slot a key maps to: the shard index comes from the key's upper
+    /// half, the in-shard slot from its lower bits, so the two are
+    /// independent (the private memo also indexes by the low bits — using
+    /// different bits for the shard keeps the sharding uncorrelated with
+    /// private-table placement).
+    fn slot(&self, key: (u64, u64)) -> &Slot {
+        let shard = (key.0 >> 32) & self.shard_mask;
+        let slot = key.0 & self.slot_mask;
+        &self.slots[(shard * (self.slot_mask + 1) + slot) as usize]
+    }
+
+    /// Looks up a verdict. Returns `None` on an empty slot, a key
+    /// mismatch, or a torn read (see the module documentation — a torn
+    /// read can never validate).
+    pub fn lookup(&self, key: (u64, u64)) -> Option<bool> {
+        let slot = self.slot(key);
+        let payload = slot.payload.load(Ordering::Acquire);
+        let tag = slot.tag.load(Ordering::Acquire);
+        (tag ^ payload == key.0 && payload & !1 == key.1 & !1).then_some(payload & 1 == 1)
+    }
+
+    /// Publishes a verdict, overwriting whatever the slot held. The
+    /// payload is stored before the XOR-entangled tag ("publish tag
+    /// last"), so concurrent readers either validate a fully published
+    /// entry or miss.
+    pub fn publish(&self, key: (u64, u64), verdict: bool) {
+        let slot = self.slot(key);
+        let payload = (key.1 & !1) | verdict as u64;
+        slot.payload.store(payload, Ordering::Release);
+        slot.tag.store(key.0 ^ payload, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_then_lookup_round_trips() {
+        let memo = SharedMemo::new(4);
+        let key = (0x1234_5678_9abc_def0, 0x0fed_cba9_8765_4321);
+        assert_eq!(memo.lookup(key), None, "fresh table misses");
+        memo.publish(key, true);
+        assert_eq!(memo.lookup(key), Some(true));
+        memo.publish(key, false);
+        assert_eq!(memo.lookup(key), Some(false));
+    }
+
+    #[test]
+    fn verdict_bit_does_not_corrupt_the_key() {
+        let memo = SharedMemo::new(1);
+        // Keys differing only in the (masked-out) low bit of the second
+        // word share a slot and a stored payload.
+        let even = (42, 0x1000);
+        let odd = (42, 0x1001);
+        memo.publish(even, true);
+        assert_eq!(memo.lookup(odd), Some(true));
+    }
+
+    #[test]
+    fn different_keys_miss() {
+        let memo = SharedMemo::with_shape(1, 1);
+        memo.publish((7, 7), true);
+        // Same slot (single-slot table), different key halves: miss.
+        assert_eq!(memo.lookup((8, 7)), None);
+        assert_eq!(memo.lookup((7, 9)), None);
+        // The collision overwrote nothing for the original key.
+        assert_eq!(memo.lookup((7, 7)), Some(true));
+        memo.publish((8, 8), false);
+        assert_eq!(memo.lookup((7, 7)), None, "collision evicts");
+        assert_eq!(memo.lookup((8, 8)), Some(false));
+    }
+
+    #[test]
+    fn torn_slot_degrades_to_a_miss() {
+        // Forge the torn state a reader could observe mid-publish: the
+        // payload of key B with the tag of key A. The XOR validation must
+        // reject it for both keys.
+        let memo = SharedMemo::with_shape(1, 1);
+        let a = (0xaaaa_aaaa_aaaa_aaaa, 0x1111_1111_1111_1110);
+        let b = (0xbbbb_bbbb_bbbb_bbbb, 0x2222_2222_2222_2220);
+        memo.publish(a, true);
+        let tag_a = memo.slots[0].tag.load(Ordering::Acquire);
+        memo.publish(b, false);
+        memo.slots[0].tag.store(tag_a, Ordering::Release); // torn: payload B, tag A
+        assert_eq!(memo.lookup(a), None);
+        assert_eq!(memo.lookup(b), None);
+    }
+
+    #[test]
+    fn sharding_spreads_upper_key_bits() {
+        // Keys equal in the low 32 bits but different above land in
+        // different shards of a multi-shard table and coexist.
+        let memo = SharedMemo::with_shape(4, 2);
+        let k1 = (0x0000_0001_0000_0000u64, 1 << 1);
+        let k2 = (0x0000_0002_0000_0000u64, 2 << 1);
+        memo.publish(k1, true);
+        memo.publish(k2, false);
+        assert_eq!(memo.lookup(k1), Some(true));
+        assert_eq!(memo.lookup(k2), Some(false));
+    }
+
+    #[test]
+    fn concurrent_publishers_never_yield_wrong_verdicts() {
+        use std::sync::Arc;
+        // Hammer one tiny table from several threads, each publishing its
+        // own keys and validating every lookup it gets back: a hit must
+        // carry the verdict that key was published with (misses are
+        // always allowed — the table is lossy).
+        let memo = Arc::new(SharedMemo::with_shape(2, 8));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let memo = Arc::clone(&memo);
+                scope.spawn(move || {
+                    for round in 0..2000u64 {
+                        let k = ((t << 32) | (round % 32), (round % 32) << 1);
+                        let verdict = (round % 32) % 3 == 0;
+                        memo.publish(k, verdict);
+                        if let Some(v) = memo.lookup(k) {
+                            assert_eq!(v, verdict, "hit with a foreign verdict");
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "powers of two")]
+    fn non_power_of_two_shape_is_rejected() {
+        SharedMemo::with_shape(3, 8);
+    }
+}

@@ -169,9 +169,7 @@ impl BitMatrix {
     pub fn or_into_row_with_bit(&mut self, i: usize, words: &[u64], j: usize) {
         let wpr = self.words_per_row;
         let row = &mut self.bits[i * wpr..(i + 1) * wpr];
-        for (dw, sw) in row.iter_mut().zip(words) {
-            *dw |= *sw;
-        }
+        or_words(&mut row[..words.len().min(wpr)], words);
         row[j / 64] |= 1 << (j % 64);
     }
 
@@ -207,32 +205,81 @@ impl BitMatrix {
             let (dst_row, _) = head[lo..].split_at_mut(w);
             (&tail[..w], dst_row)
         };
-        let mut changed = false;
-        for (dw, sw) in dst_row.iter_mut().zip(src_row) {
-            let next = *dw | *sw;
-            changed |= next != *dw;
-            *dw = next;
-        }
-        changed
+        or_words(dst_row, src_row) != 0
     }
 
     /// Closes the matrix under composition: afterwards `(i, j)` is set iff
     /// there is a non-empty path `i → … → j` through set entries. Works by
     /// repeatedly OR-ing successor rows into predecessor rows until a
     /// fixpoint is reached.
+    ///
+    /// Successors are enumerated word-by-word via `trailing_zeros` instead
+    /// of probing [`get`](BitMatrix::get) per bit, so a sparse row costs
+    /// one load per word plus one union per *set* bit. After a union
+    /// changes row `i`, the current word is re-read masked down to the
+    /// bits above `j`, so successors the union just added are followed in
+    /// the same sweep — exactly what the per-bit loop did by re-reading
+    /// `get(i, j')` for `j' > j`.
     pub fn transitive_close(&mut self) {
+        let wpr = self.words_per_row;
         let mut changed = true;
         while changed {
             changed = false;
             for i in 0..self.n {
-                for j in 0..self.n {
-                    if i != j && self.get(i, j) {
-                        changed |= self.or_row_into(j, i);
+                for w in 0..wpr {
+                    let mut bits = self.bits[i * wpr + w];
+                    // Skip the diagonal: a self-loop unions a row into
+                    // itself, which cannot add anything.
+                    if i / 64 == w {
+                        bits &= !(1 << (i % 64));
+                    }
+                    while bits != 0 {
+                        let j = w * 64 + bits.trailing_zeros() as usize;
+                        if self.or_row_into(j, i) {
+                            changed = true;
+                            // Row i changed: pick up any new successors in
+                            // this word beyond j before moving on.
+                            bits = self.bits[i * wpr + w] & !(u64::MAX >> (63 - j % 64));
+                            if i / 64 == w {
+                                bits &= !(1 << (i % 64));
+                            }
+                        } else {
+                            bits &= bits - 1;
+                        }
                     }
                 }
             }
         }
     }
+}
+
+/// Unions `src` into `dst` word-wise, returning the OR of all changed
+/// bits (non-zero iff any destination word changed). The loop body is
+/// branch-free over fixed-width blocks of four words, so the compiler can
+/// autovectorize it; the change mask falls out of the same pass instead
+/// of a per-word comparison branch.
+fn or_words(dst: &mut [u64], src: &[u64]) -> u64 {
+    debug_assert!(dst.len() <= src.len());
+    let mut diff = 0u64;
+    let n = dst.len();
+    let blocks = n / 4 * 4;
+    let (dst_blocks, dst_tail) = dst.split_at_mut(blocks);
+    for (d, s) in dst_blocks
+        .chunks_exact_mut(4)
+        .zip(src[..blocks].chunks_exact(4))
+    {
+        let d: &mut [u64; 4] = d.try_into().expect("chunk width is 4");
+        let s: &[u64; 4] = s.try_into().expect("chunk width is 4");
+        let next = [d[0] | s[0], d[1] | s[1], d[2] | s[2], d[3] | s[3]];
+        diff |= (next[0] ^ d[0]) | (next[1] ^ d[1]) | (next[2] ^ d[2]) | (next[3] ^ d[3]);
+        *d = next;
+    }
+    for (dw, sw) in dst_tail.iter_mut().zip(&src[blocks..n]) {
+        let next = *dw | *sw;
+        diff |= next ^ *dw;
+        *dw = next;
+    }
+    diff
 }
 
 /// A small directed graph over vertices `0..n`.
@@ -533,6 +580,95 @@ mod tests {
         }
         m.reset(0);
         assert!(m.is_empty());
+    }
+
+    /// The pre-optimisation closure: per-bit probing, kept as the test
+    /// oracle for the word-level kernel.
+    fn naive_transitive_close(m: &mut BitMatrix) {
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..m.len() {
+                for j in 0..m.len() {
+                    if i != j && m.get(i, j) {
+                        changed |= m.or_row_into(j, i);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn word_level_closure_matches_naive_closure() {
+        // Pseudorandom matrices at sizes crossing the one- and two-word
+        // row boundaries (and tiny ones), dense and sparse.
+        let mut lcg = 0x243f_6a88_85a3_08d3u64;
+        let mut next = move || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            lcg >> 33
+        };
+        for n in [1usize, 2, 7, 63, 64, 65, 70, 127, 128, 130] {
+            for density in [3u64, 17] {
+                let mut fast = BitMatrix::new(n);
+                for i in 0..n {
+                    for j in 0..n {
+                        if next() % density == 0 {
+                            fast.set(i, j);
+                        }
+                    }
+                }
+                let mut naive = fast.clone();
+                fast.transitive_close();
+                naive_transitive_close(&mut naive);
+                assert_eq!(fast, naive, "closures diverge at n={n} density=1/{density}");
+            }
+        }
+    }
+
+    #[test]
+    fn or_row_into_detects_changes_beyond_the_chunk_remainder() {
+        // 130 columns = 3 words per row: two words of full 4-wide blocks
+        // would need ≥4, so the whole row is remainder — then 260 columns
+        // = 5 words exercises one block plus remainder. The changed flag
+        // must see a difference wherever it lands.
+        for (n, probe) in [(130usize, [0usize, 64, 129]), (260, [3, 200, 259])] {
+            for j in probe {
+                let mut m = BitMatrix::new(n);
+                m.set(0, j);
+                assert!(m.or_row_into(0, 1), "change at column {j} missed (n={n})");
+                assert!(!m.or_row_into(0, 1), "idempotent union reported a change");
+                assert!(m.get(1, j));
+            }
+        }
+    }
+
+    #[test]
+    fn or_into_row_with_bit_accepts_narrow_saved_rows() {
+        // The incremental engines replay saved rows that can be narrower
+        // than the current stride; the union must stop at the slice.
+        let mut m = BitMatrix::new(130);
+        let saved = [1u64 << 5]; // one word, bit 5
+        m.or_into_row_with_bit(2, &saved, 129);
+        assert!(m.get(2, 5));
+        assert!(m.get(2, 129));
+    }
+
+    #[test]
+    fn closure_follows_successors_added_within_the_same_word() {
+        // 0 → 1 and 1 → 2: unioning row 1 into row 0 adds bit 2 inside the
+        // word being scanned; the kernel must follow it in the same sweep
+        // (and in any case reach the fixpoint 0 → 2).
+        let mut m = BitMatrix::new(66);
+        m.set(0, 1);
+        m.set(1, 2);
+        m.set(2, 65); // crosses into the second word
+        m.transitive_close();
+        assert!(m.get(0, 2));
+        assert!(m.get(0, 65));
+        assert!(m.get(1, 65));
+        assert!(!m.get(65, 0));
     }
 
     #[test]
