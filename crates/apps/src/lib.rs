@@ -32,11 +32,13 @@
 
 pub mod courseware;
 pub mod shopping_cart;
+pub mod sim;
 pub mod tpcc;
 pub mod twitter;
 pub mod wikipedia;
 pub mod workload;
 
+pub use sim::{app_deployments, app_sim_config, mixed_deployment};
 pub use workload::{
     benchmark_programs, client_program, paper_benchmark_suite, App, WorkloadConfig,
 };

@@ -1,0 +1,93 @@
+//! Adapters from the benchmark applications to the simulated distributed
+//! store (`txdpor-store`): deployment derivation and ready-made
+//! simulation configs.
+//!
+//! The mixed deployments mirror the checking-side
+//! [`MixedScenario`] rules: the
+//! transaction types a scenario checks at Serializability are the ones the
+//! store escalates to [`ProtocolMode::Serializable`], everything else runs
+//! in causal mode. This keeps the *executed* protocol and the *claimed*
+//! spec aligned by construction — and the `si-unchecked` deployment is the
+//! deliberate misalignment the end-to-end pipeline must catch.
+
+use txdpor_history::IsolationLevel;
+use txdpor_store::{Deployment, FaultPlan, ProtocolMode, SimConfig};
+
+use crate::workload::{client_program, App, MixedScenario, WorkloadConfig};
+
+/// The mixed deployment of an application: causal by default, with the
+/// transaction types of the app's `*Ser` mixed scenario escalated to
+/// serializable mode.
+pub fn mixed_deployment(app: App) -> Deployment {
+    let scenario = MixedScenario::scenarios_for(app)
+        .into_iter()
+        .find(|s| {
+            s.rules()
+                .iter()
+                .any(|&(_, l)| l == IsolationLevel::Serializability)
+        })
+        .expect("every app has a scenario with serializable rules");
+    let rules = scenario
+        .rules()
+        .iter()
+        .filter(|&&(_, l)| l == IsolationLevel::Serializability)
+        .map(|&(name, _)| (name.to_string(), ProtocolMode::Serializable))
+        .collect();
+    let mut d = Deployment::mixed(rules);
+    d.name = format!("mixed-{}", app.name());
+    d
+}
+
+/// The deployments the simulation pipeline exercises for an application:
+/// the three uniform honest protocols, the app's mixed deployment, and the
+/// intentionally over-claiming `si-unchecked`.
+pub fn app_deployments(app: App) -> Vec<Deployment> {
+    vec![
+        Deployment::ser(),
+        Deployment::si(),
+        Deployment::causal(),
+        mixed_deployment(app),
+        Deployment::si_unchecked(),
+    ]
+}
+
+/// Builds the simulation config for one app workload run: the client
+/// program is generated from `(app, sessions, transactions, seed)` exactly
+/// like the checking-side benchmarks, and the same seed drives the
+/// network.
+pub fn app_sim_config(
+    app: App,
+    sessions: usize,
+    transactions_per_session: usize,
+    seed: u64,
+    deployment: Deployment,
+    faults: FaultPlan,
+) -> SimConfig {
+    let workload = WorkloadConfig {
+        app,
+        sessions,
+        transactions_per_session,
+        seed,
+    };
+    SimConfig::new(client_program(&workload), deployment, seed, faults)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_deployments_escalate_the_ser_scenario_rules() {
+        let d = mixed_deployment(App::Tpcc);
+        assert_eq!(d.mode_of("payment"), ProtocolMode::Serializable);
+        assert_eq!(d.mode_of("order_status"), ProtocolMode::Causal);
+        assert_eq!(d.name, "mixed-tpcc");
+        let cart = mixed_deployment(App::ShoppingCart);
+        assert_eq!(cart.mode_of("add_item"), ProtocolMode::Serializable);
+        assert_eq!(cart.mode_of("remove_item"), ProtocolMode::Serializable);
+        assert_eq!(cart.mode_of("get_cart"), ProtocolMode::Causal);
+        for app in App::ALL {
+            assert_eq!(app_deployments(app).len(), 5);
+        }
+    }
+}

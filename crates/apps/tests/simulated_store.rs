@@ -1,0 +1,105 @@
+//! End-to-end: every benchmark application executed against the simulated
+//! distributed store under network faults, with the recorded history
+//! checked against the deployment's claimed isolation spec.
+
+use txdpor_apps::{app_deployments, app_sim_config, App};
+use txdpor_history::engine_for_spec;
+use txdpor_store::{run_simulation, Deployment, FaultPlan};
+
+#[test]
+fn every_app_is_deterministic_per_seed_under_faults() {
+    for app in App::ALL {
+        for preset in ["jitter", "lossy"] {
+            let cfg = app_sim_config(
+                app,
+                3,
+                2,
+                13,
+                Deployment::si(),
+                FaultPlan::preset(preset).unwrap(),
+            );
+            let a = run_simulation(&cfg);
+            let b = run_simulation(&cfg);
+            assert_eq!(
+                a.history.fingerprint_hash(),
+                b.history.fingerprint_hash(),
+                "{}/{preset}: replay diverged",
+                app.name()
+            );
+            assert_eq!(a.stats, b.stats, "{}/{preset}", app.name());
+        }
+    }
+}
+
+#[test]
+fn every_app_passes_every_honest_deployment_with_a_replayable_witness() {
+    for app in App::ALL {
+        for deployment in app_deployments(app) {
+            if deployment.name == "si-unchecked" {
+                continue; // the dishonest one is exercised below
+            }
+            for seed in [1u64, 23] {
+                let cfg = app_sim_config(
+                    app,
+                    3,
+                    2,
+                    seed,
+                    deployment.clone(),
+                    FaultPlan::preset("lossy").unwrap(),
+                );
+                let out = run_simulation(&cfg);
+                let label = format!("{}/{}/{}", app.name(), deployment.name, seed);
+                assert!(out.stats.committed > 0, "{label}: nothing committed");
+                assert!(out.errors.is_empty(), "{label}: {:?}", out.errors);
+                let verdict = engine_for_spec(&out.claimed).check_witnessed(&out.history);
+                let witness = verdict.witness().unwrap_or_else(|| {
+                    panic!(
+                        "{label}: honest deployment violated its claim: {}",
+                        verdict.violation().unwrap()
+                    )
+                });
+                assert!(
+                    witness.replays(&out.history, &out.claimed),
+                    "{label}: witness does not replay"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn the_weakened_deployment_is_caught_on_at_least_one_workload() {
+    // si-unchecked runs causal-mode concurrency control while claiming
+    // Snapshot Isolation; under contention some app workload must produce
+    // a lost update the checker flags. Sweep a few seeds per app and
+    // require at least one catch overall (each catch's core must chain
+    // into a closed cycle).
+    let mut caught = Vec::new();
+    'apps: for app in App::ALL {
+        for seed in 0..8u64 {
+            let cfg = app_sim_config(
+                app,
+                4,
+                3,
+                seed,
+                Deployment::si_unchecked(),
+                FaultPlan::preset("jitter").unwrap(),
+            );
+            let out = run_simulation(&cfg);
+            let verdict = engine_for_spec(&out.claimed).check_witnessed(&out.history);
+            if let Some(violation) = verdict.violation() {
+                let cycle = &violation.cycle;
+                assert!(cycle.len() >= 2);
+                for (e, next) in cycle.iter().zip(cycle.iter().cycle().skip(1)) {
+                    assert_eq!(e.to, next.from, "core is not a closed cycle: {violation}");
+                }
+                caught.push((app.name(), seed));
+                continue 'apps;
+            }
+        }
+    }
+    assert!(
+        !caught.is_empty(),
+        "no app workload exposed the weakened deployment"
+    );
+}

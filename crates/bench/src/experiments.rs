@@ -68,9 +68,36 @@ impl ExperimentOptions {
     /// `--sessions <n>`, `--transactions <n>`,
     /// `--apps <name[,name...]>`, `--levels <name[,name...]>`.
     ///
-    /// An unknown isolation level in `--levels` prints the accepted names
-    /// and exits with status 2 (a controlled rejection, not a panic).
+    /// Malformed or missing flag values (an unknown isolation level, a
+    /// non-numeric `--timeout`) print the reason and exit with status 2 —
+    /// a controlled rejection with a readable message, never a panic or a
+    /// silent fall-back to defaults. Use [`Self::try_from_args`] for the
+    /// non-exiting variant.
     pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        match Self::try_from_args(args) {
+            Ok(options) => options,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Like [`Self::from_args`], but reports malformed arguments as an
+    /// error message instead of exiting. Flags the experiment binaries
+    /// parse separately (e.g. `--json <path>`, `--workers <n>`) are
+    /// tolerated and ignored.
+    pub fn try_from_args<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        fn numeric<T: std::str::FromStr>(
+            args: &mut impl Iterator<Item = String>,
+            flag: &str,
+        ) -> Result<T, String> {
+            let v = args
+                .next()
+                .ok_or_else(|| format!("{flag} expects a value"))?;
+            v.parse()
+                .map_err(|_| format!("{flag} expects a number, got {v:?}"))
+        }
         let mut options = ExperimentOptions::default();
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
@@ -84,45 +111,27 @@ impl ExperimentOptions {
                     options.levels = levels;
                 }
                 "--timeout" => {
-                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
-                        options.timeout = Duration::from_secs(v);
-                    }
+                    options.timeout = Duration::from_secs(numeric(&mut args, "--timeout")?);
                 }
-                "--variants" => {
-                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
-                        options.variants = v;
-                    }
-                }
-                "--sessions" => {
-                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
-                        options.sessions = v;
-                    }
-                }
-                "--transactions" => {
-                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
-                        options.transactions = v;
-                    }
-                }
+                "--variants" => options.variants = numeric(&mut args, "--variants")?,
+                "--sessions" => options.sessions = numeric(&mut args, "--sessions")?,
+                "--transactions" => options.transactions = numeric(&mut args, "--transactions")?,
                 "--apps" => {
-                    if let Some(v) = args.next() {
-                        options.apps = Some(v.split(',').map(|s| s.trim().to_owned()).collect());
-                    }
+                    let v = args
+                        .next()
+                        .ok_or_else(|| "--apps expects a value".to_owned())?;
+                    options.apps = Some(v.split(',').map(|s| s.trim().to_owned()).collect());
                 }
                 "--levels" => {
-                    if let Some(v) = args.next() {
-                        match parse_levels(&v) {
-                            Ok(levels) => options.levels = Some(levels),
-                            Err(e) => {
-                                eprintln!("--levels: {e}");
-                                std::process::exit(2);
-                            }
-                        }
-                    }
+                    let v = args
+                        .next()
+                        .ok_or_else(|| "--levels expects a value".to_owned())?;
+                    options.levels = Some(parse_levels(&v).map_err(|e| format!("--levels: {e}"))?);
                 }
                 _ => {}
             }
         }
-        options
+        Ok(options)
     }
 
     /// Whether the algorithm configuration passes the `--levels` filter:
@@ -313,6 +322,30 @@ mod tests {
             filtered.apps,
             Some(vec!["courseware".to_owned(), "twitter".to_owned()])
         );
+    }
+
+    #[test]
+    fn malformed_flag_values_are_reported_not_ignored() {
+        let err =
+            ExperimentOptions::try_from_args(["--timeout", "soon"].map(String::from)).unwrap_err();
+        assert!(err.contains("--timeout") && err.contains("soon"), "{err}");
+        let err = ExperimentOptions::try_from_args(["--sessions"].map(String::from)).unwrap_err();
+        assert!(
+            err.contains("--sessions") && err.contains("expects a value"),
+            "{err}"
+        );
+        let err =
+            ExperimentOptions::try_from_args(["--variants", "-1"].map(String::from)).unwrap_err();
+        assert!(err.contains("--variants"), "{err}");
+        let err = ExperimentOptions::try_from_args(["--levels", "serializable"].map(String::from))
+            .unwrap_err();
+        assert!(err.contains("--levels") && err.contains("SER"), "{err}");
+        // Flags the binaries parse beside the common options stay ignored.
+        let ok = ExperimentOptions::try_from_args(
+            ["--json", "out.json", "--workers", "4", "--timeout", "9"].map(String::from),
+        )
+        .unwrap();
+        assert_eq!(ok.timeout, Duration::from_secs(9));
     }
 
     #[test]

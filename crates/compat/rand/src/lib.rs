@@ -107,6 +107,14 @@ impl Standard for u32 {
     }
 }
 
+impl Standard for f64 {
+    /// A uniform float in `[0, 1)` from 53 random bits, matching upstream
+    /// `rand`'s `Standard` distribution for `f64`.
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
 /// Generators that can be deterministically seeded.
 pub trait SeedableRng: Sized {
     /// Build a generator from a 64-bit seed.
@@ -188,6 +196,18 @@ mod tests {
     fn gen_range_rejects_empty_range() {
         let mut rng = StdRng::seed_from_u64(2);
         let _: u32 = rng.gen_range(5..5);
+    }
+
+    #[test]
+    fn gen_f64_is_unit_interval_and_deterministic() {
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let x: f64 = a.gen();
+            assert!((0.0..1.0).contains(&x), "{x} outside [0, 1)");
+            let y: f64 = b.gen();
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 
     #[test]

@@ -191,7 +191,7 @@ fn explore_parallel(
                     worker.attach_shared_memo(&shared_memo);
                     let mut backoff = Backoff::default();
                     loop {
-                        if failed.load(Ordering::Acquire) {
+                        if failed.load(Ordering::Acquire) || pool.is_poisoned() {
                             break;
                         }
                         // Event/transaction identifiers only need to be
@@ -201,12 +201,30 @@ fn explore_parallel(
                         // identically wherever it lands.
                         if let Some(h) = pool.pop_local(i) {
                             backoff.reset();
-                            if let Err(e) = worker.process_task(h, pool, i) {
-                                *failure.lock().expect("failure lock") = Some(e);
-                                failed.store(true, Ordering::Release);
-                                break;
+                            let outcome =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    worker.process_task(h, pool, i)
+                                }));
+                            match outcome {
+                                Ok(Ok(())) => continue,
+                                Ok(Err(e)) => {
+                                    *failure.lock().expect("failure lock") = Some(e);
+                                    failed.store(true, Ordering::Release);
+                                    break;
+                                }
+                                Err(payload) => {
+                                    // The panicking task never reached its
+                                    // `finish_task`: drain its in-flight
+                                    // slot and poison the pool so siblings
+                                    // exit instead of spinning on a count
+                                    // that can no longer reach zero, then
+                                    // re-raise so the scope join propagates
+                                    // the panic to the caller.
+                                    pool.finish_task();
+                                    pool.poison();
+                                    std::panic::resume_unwind(payload);
+                                }
                             }
-                            continue;
                         }
                         if pool.steal_into(i) > 0 {
                             backoff.reset();
@@ -1041,6 +1059,38 @@ mod tests {
     fn error_display() {
         let e = ExploreError::Semantics(SemanticsError::MultiplePending);
         assert!(e.to_string().contains("semantics error"));
+    }
+
+    /// Regression test for the pool's panic-safety protocol: an assertion
+    /// that panics on a complete history kills the worker evaluating it.
+    /// The panic must drain the task's in-flight slot and poison the pool
+    /// (siblings exit instead of spinning in `Backoff` on a count that
+    /// can never reach zero) and then propagate through the scope join —
+    /// so this test completes instead of hanging, and the surviving
+    /// workers' results are simply discarded with the run.
+    #[test]
+    fn panicking_worker_task_propagates_without_hanging() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        // Four sessions racing on x: the branching at the reads builds a
+        // frontier wider than the seeding target (2 workers x 8 tasks)
+        // well before any branch completes, so the panic fires inside a
+        // worker thread, not in the seeding pass.
+        let p = program(
+            (0..4)
+                .map(|k| {
+                    session(vec![tx(
+                        "bump",
+                        vec![read("a", g("x")), write(g("x"), cint(k as i64))],
+                    )])
+                })
+                .collect(),
+        );
+        let assertion: &crate::assertion::AssertionFn = &|_ctx| panic!("deliberate test panic");
+        let config = ExploreConfig::explore_ce(IsolationLevel::CausalConsistency).with_workers(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            explore_with_assertion(&p, config, Some(assertion))
+        }));
+        assert!(result.is_err(), "the worker panic must propagate");
     }
 
     /// Regression test for the `ValidWrites` trial protocol: the candidate

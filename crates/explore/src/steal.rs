@@ -29,9 +29,21 @@
 //! tree is processed by exactly one worker no matter how tasks migrate,
 //! all order-independent exploration quantities (counts, fingerprint
 //! sets) are bit-identical to a serial run.
+//!
+//! * **Panic safety.** The in-flight counter only reaches zero if every
+//!   popped task is [`finish_task`]ed — a worker that panics mid-task
+//!   would leave the count permanently positive and its siblings spinning
+//!   in [`Backoff`] forever. A worker that catches a task panic must
+//!   therefore call [`finish_task`] for the doomed task and [`poison`]
+//!   the pool before re-raising; siblings observe [`is_poisoned`] and
+//!   exit instead of waiting for a count that can no longer drain.
+//!
+//! [`finish_task`]: StealPool::finish_task
+//! [`poison`]: StealPool::poison
+//! [`is_poisoned`]: StealPool::is_poisoned
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Work-stealing pool of exploration tasks; see the module documentation.
@@ -45,6 +57,9 @@ pub struct StealPool<T> {
     in_flight: AtomicUsize,
     /// Total tasks migrated by steals.
     steals: AtomicU64,
+    /// Set when a worker died mid-task (see the module documentation's
+    /// panic-safety contract); tells the surviving workers to stop.
+    poisoned: AtomicBool,
 }
 
 impl<T> StealPool<T> {
@@ -59,6 +74,7 @@ impl<T> StealPool<T> {
             queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             in_flight: AtomicUsize::new(0),
             steals: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
         }
     }
 
@@ -157,6 +173,23 @@ impl<T> StealPool<T> {
     /// Total number of tasks migrated by steals so far.
     pub fn steals(&self) -> u64 {
         self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Marks the pool as dead after a worker panicked mid-task. The
+    /// panicking worker must also [`finish_task`](StealPool::finish_task)
+    /// the task it was processing (its children were registered before the
+    /// panic or not at all, and it will never reach the normal
+    /// `finish_task` call), then re-raise so the panic propagates through
+    /// the join.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Whether a worker died mid-task. Surviving workers check this at the
+    /// top of their loop and exit instead of backing off: with a task lost
+    /// to a panic, the in-flight count may never reach zero again.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
     }
 }
 
@@ -308,5 +341,79 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         let _: StealPool<u32> = StealPool::new(0);
+    }
+
+    #[test]
+    fn panicking_worker_poisons_the_pool_instead_of_hanging_siblings() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        use std::sync::atomic::AtomicU64;
+        // Same synthetic tree as the exactly-once test, but one worker
+        // panics on a specific node. Without the poisoning protocol the
+        // panicking worker would never finish its task and every sibling
+        // would spin on `is_done()` forever; with it, the test completes,
+        // the siblings' partial counts stay coherent (every *finished*
+        // task was processed exactly once) and the panic payload is
+        // re-raised through the scope join.
+        const DEPTH: u32 = 10;
+        let workers = 4;
+        let pool: StealPool<(u32, u64)> = StealPool::new(workers);
+        pool.seed([(0u32, 0u64)]);
+        let processed = AtomicU64::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|scope| {
+                for w in 0..workers {
+                    let (pool, processed) = (&pool, &processed);
+                    scope.spawn(move || {
+                        let mut backoff = Backoff::default();
+                        loop {
+                            if pool.is_poisoned() {
+                                break;
+                            }
+                            if let Some((depth, id)) = pool.pop_local(w) {
+                                backoff.reset();
+                                let task = catch_unwind(AssertUnwindSafe(|| {
+                                    // The doomed node: deep enough that
+                                    // several siblings are already busy.
+                                    assert!(
+                                        !(depth == 5 && id == 2u64.pow(5) - 1),
+                                        "deliberate test panic"
+                                    );
+                                    processed.fetch_add(1, Ordering::Relaxed);
+                                    if depth < DEPTH {
+                                        pool.push_children(
+                                            w,
+                                            [(depth + 1, id * 2 + 1), (depth + 1, id * 2 + 2)],
+                                        );
+                                    }
+                                }));
+                                match task {
+                                    Ok(()) => {
+                                        pool.finish_task();
+                                        continue;
+                                    }
+                                    Err(payload) => {
+                                        pool.finish_task();
+                                        pool.poison();
+                                        std::panic::resume_unwind(payload);
+                                    }
+                                }
+                            }
+                            if pool.steal_into(w) > 0 {
+                                backoff.reset();
+                                continue;
+                            }
+                            if pool.is_done() {
+                                break;
+                            }
+                            backoff.idle();
+                        }
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err(), "the panic must propagate through the join");
+        assert!(pool.is_poisoned());
+        // The doomed node and its whole subtree went unprocessed.
+        assert!(processed.load(Ordering::Relaxed) < 2u64.pow(DEPTH + 1) - 1);
     }
 }

@@ -1,0 +1,222 @@
+//! Protocol modes and deployments: what the store *runs* and what it
+//! *claims*.
+//!
+//! A [`ProtocolMode`] selects the concurrency-control behaviour of one
+//! transaction; a [`Deployment`] assigns modes per transaction type (like
+//! [`MixedScenario`](https://docs.rs) rules) and states the isolation level
+//! each mode is claimed to provide. The `simulate` pipeline checks recorded
+//! histories against the *claimed* spec, so a deployment whose claim
+//! overshoots its behaviour — see [`Deployment::si_unchecked`] — is exactly
+//! the kind of protocol bug the checker is meant to catch.
+
+use txdpor_history::{IsolationLevel, LevelSpec};
+
+/// The concurrency-control behaviour of one transaction.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ProtocolMode {
+    /// Strict two-phase locking, no-wait: reads take shared locks on the
+    /// latest version, writes take exclusive locks at prewrite, all locks
+    /// held until commit. Claims Serializability.
+    Serializable,
+    /// Multi-version snapshot reads at a start timestamp plus
+    /// first-committer-wins write-conflict detection at prewrite
+    /// (Percolator-style). Claims Snapshot Isolation.
+    Snapshot,
+    /// Multi-version snapshot reads with prewrite locking but *no*
+    /// write-conflict detection: concurrent writers of the same variable
+    /// may both commit. Claims Prefix Consistency (which implies Causal
+    /// Consistency).
+    Causal,
+}
+
+impl ProtocolMode {
+    /// The isolation level this mode actually provides (and claims, absent
+    /// a deployment-wide override).
+    pub fn claimed(self) -> IsolationLevel {
+        match self {
+            ProtocolMode::Serializable => IsolationLevel::Serializability,
+            ProtocolMode::Snapshot => IsolationLevel::SnapshotIsolation,
+            ProtocolMode::Causal => IsolationLevel::PrefixConsistency,
+        }
+    }
+
+    /// Whether reads are served from a start-timestamp snapshot (vs the
+    /// latest version under a shared lock).
+    pub fn snapshot_reads(self) -> bool {
+        !matches!(self, ProtocolMode::Serializable)
+    }
+
+    /// Whether prewrite enforces first-committer-wins.
+    pub fn conflict_check(self) -> bool {
+        matches!(self, ProtocolMode::Snapshot)
+    }
+
+    /// Whether reads take shared locks.
+    pub fn lock_reads(self) -> bool {
+        matches!(self, ProtocolMode::Serializable)
+    }
+
+    /// Short name used in deployment labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolMode::Serializable => "ser",
+            ProtocolMode::Snapshot => "si",
+            ProtocolMode::Causal => "causal",
+        }
+    }
+}
+
+/// A deployment: the per-transaction-type mode assignment of a simulated
+/// cluster, plus the isolation level it claims to provide.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Deployment {
+    /// Deployment name, used in labels and the `simulate` CLI.
+    pub name: String,
+    /// Mode of every transaction type without a rule.
+    pub default_mode: ProtocolMode,
+    /// `transaction name ↦ mode` rules.
+    pub rules: Vec<(String, ProtocolMode)>,
+    /// When set, the claimed level of *every* transaction regardless of its
+    /// mode — the knob for intentionally over-claiming deployments.
+    pub claimed_override: Option<IsolationLevel>,
+}
+
+impl Deployment {
+    /// Everything serializable.
+    pub fn ser() -> Self {
+        Deployment {
+            name: "ser".into(),
+            default_mode: ProtocolMode::Serializable,
+            rules: Vec::new(),
+            claimed_override: None,
+        }
+    }
+
+    /// Everything snapshot isolation.
+    pub fn si() -> Self {
+        Deployment {
+            name: "si".into(),
+            default_mode: ProtocolMode::Snapshot,
+            rules: Vec::new(),
+            claimed_override: None,
+        }
+    }
+
+    /// Everything causal (snapshot reads, no write-conflict detection).
+    pub fn causal() -> Self {
+        Deployment {
+            name: "causal".into(),
+            default_mode: ProtocolMode::Causal,
+            rules: Vec::new(),
+            claimed_override: None,
+        }
+    }
+
+    /// A mixed deployment: causal by default, with the given transaction
+    /// types escalated per rule (typically to [`ProtocolMode::Serializable`],
+    /// mirroring the `crates/apps` mixed scenarios).
+    pub fn mixed(rules: Vec<(String, ProtocolMode)>) -> Self {
+        Deployment {
+            name: "mixed".into(),
+            default_mode: ProtocolMode::Causal,
+            rules,
+            claimed_override: None,
+        }
+    }
+
+    /// The intentionally weakened deployment: runs [`ProtocolMode::Causal`]
+    /// (no write-conflict detection) while *claiming* Snapshot Isolation.
+    /// Under write contention this commits lost updates, which the checker
+    /// flags as a violation of the Conflict axiom — the end-to-end
+    /// regression the simulation pipeline exists to catch.
+    pub fn si_unchecked() -> Self {
+        Deployment {
+            name: "si-unchecked".into(),
+            default_mode: ProtocolMode::Causal,
+            rules: Vec::new(),
+            claimed_override: Some(IsolationLevel::SnapshotIsolation),
+        }
+    }
+
+    /// The mode of a transaction type.
+    pub fn mode_of(&self, tx_name: &str) -> ProtocolMode {
+        self.rules
+            .iter()
+            .find(|(n, _)| n == tx_name)
+            .map(|&(_, m)| m)
+            .unwrap_or(self.default_mode)
+    }
+
+    /// The isolation level claimed for a transaction running in `mode`.
+    pub fn claimed_level(&self, mode: ProtocolMode) -> IsolationLevel {
+        self.claimed_override.unwrap_or_else(|| mode.claimed())
+    }
+
+    /// The claimed spec's default level (the claim of the default mode).
+    pub fn default_claimed(&self) -> IsolationLevel {
+        self.claimed_level(self.default_mode)
+    }
+
+    /// The uniform claimed spec of a rule-free deployment, `None` when the
+    /// claim genuinely varies per transaction type (the recorder then
+    /// builds the mixed spec from the recorded positions).
+    pub fn uniform_claim(&self) -> Option<LevelSpec> {
+        let base = self.default_claimed();
+        self.rules
+            .iter()
+            .all(|&(_, m)| self.claimed_level(m) == base)
+            .then(|| LevelSpec::uniform(base))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_properties_line_up_with_claims() {
+        assert_eq!(
+            ProtocolMode::Serializable.claimed(),
+            IsolationLevel::Serializability
+        );
+        assert!(!ProtocolMode::Serializable.snapshot_reads());
+        assert!(ProtocolMode::Serializable.lock_reads());
+        assert!(!ProtocolMode::Serializable.conflict_check());
+        assert!(ProtocolMode::Snapshot.snapshot_reads());
+        assert!(ProtocolMode::Snapshot.conflict_check());
+        assert!(!ProtocolMode::Snapshot.lock_reads());
+        assert!(ProtocolMode::Causal.snapshot_reads());
+        assert!(!ProtocolMode::Causal.conflict_check());
+        assert_eq!(
+            ProtocolMode::Causal.claimed(),
+            IsolationLevel::PrefixConsistency
+        );
+    }
+
+    #[test]
+    fn deployments_resolve_modes_and_claims() {
+        let d = Deployment::mixed(vec![("payment".into(), ProtocolMode::Serializable)]);
+        assert_eq!(d.mode_of("payment"), ProtocolMode::Serializable);
+        assert_eq!(d.mode_of("browse"), ProtocolMode::Causal);
+        assert_eq!(
+            d.claimed_level(ProtocolMode::Serializable),
+            IsolationLevel::Serializability
+        );
+        assert_eq!(d.uniform_claim(), None);
+
+        let weak = Deployment::si_unchecked();
+        assert_eq!(weak.mode_of("anything"), ProtocolMode::Causal);
+        assert_eq!(
+            weak.claimed_level(ProtocolMode::Causal),
+            IsolationLevel::SnapshotIsolation
+        );
+        assert_eq!(
+            weak.uniform_claim(),
+            Some(LevelSpec::uniform(IsolationLevel::SnapshotIsolation))
+        );
+        assert_eq!(
+            Deployment::ser().uniform_claim(),
+            Some(LevelSpec::uniform(IsolationLevel::Serializability))
+        );
+    }
+}

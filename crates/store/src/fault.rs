@@ -1,0 +1,363 @@
+//! Fault plans: the network adversary of a simulation run.
+//!
+//! A [`FaultPlan`] describes how the simulated network misbehaves: baseline
+//! delivery delay, message drop / duplication / reordering probabilities,
+//! and timed node-pair partitions with heal. Together with the seed it
+//! fully determines a run — the plan carries no state of its own, all
+//! randomness comes from the simulation's seeded RNG.
+//!
+//! Plans parse from the command line ([`FromStr`]) either as a preset name
+//! (`none`, `jitter`, `lossy`, `chaos`, `partitions`) or as a
+//! comma-separated spec:
+//!
+//! ```text
+//! delay=5..400,drop=0.05,dup=0.05,reorder=0.1,spike=2000,part=0-1@1000..8000
+//! ```
+//!
+//! `part` may repeat to declare several partitions. Unknown keys and
+//! malformed values produce a readable [`ParseFaultError`], which the
+//! `simulate` binary surfaces without a backtrace.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A timed partition between two nodes: messages between node indexes `a`
+/// and `b` (in either direction) are dropped while `from_us <= now <
+/// until_us`. Node indexes are interpreted modulo the deployment's node
+/// count, so plans written for small clusters apply to any topology.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// First node index.
+    pub a: u32,
+    /// Second node index.
+    pub b: u32,
+    /// Start of the partition (microseconds of simulated time, inclusive).
+    pub from_us: u64,
+    /// End of the partition (exclusive) — the heal point.
+    pub until_us: u64,
+}
+
+/// A fault-injection plan for the simulated network.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Uniform per-message delivery delay range in microseconds
+    /// (`min..=max`).
+    pub delay_us: (u64, u64),
+    /// Probability of dropping a message outright.
+    pub drop: f64,
+    /// Probability of delivering a message twice (the duplicate gets an
+    /// independent delay).
+    pub dup: f64,
+    /// Probability of a reordering spike: the message's delay is inflated
+    /// by up to [`FaultPlan::reorder_extra_us`], letting later messages
+    /// overtake it.
+    pub reorder: f64,
+    /// Maximum extra delay of a reordering spike, in microseconds.
+    pub reorder_extra_us: u64,
+    /// Timed node-pair partitions.
+    pub partitions: Vec<Partition>,
+}
+
+impl FaultPlan {
+    /// The benign network: small constant-ish delay, no faults.
+    pub fn none() -> Self {
+        FaultPlan {
+            delay_us: (5, 50),
+            drop: 0.0,
+            dup: 0.0,
+            reorder: 0.0,
+            reorder_extra_us: 0,
+            partitions: Vec::new(),
+        }
+    }
+
+    /// Wide delay jitter, no loss: delivery order is scrambled but every
+    /// message arrives exactly once.
+    pub fn jitter() -> Self {
+        FaultPlan {
+            delay_us: (5, 800),
+            drop: 0.0,
+            dup: 0.0,
+            reorder: 0.3,
+            reorder_extra_us: 2_000,
+            partitions: Vec::new(),
+        }
+    }
+
+    /// A lossy network: moderate drop and duplication on top of jitter.
+    pub fn lossy() -> Self {
+        FaultPlan {
+            delay_us: (5, 400),
+            drop: 0.05,
+            dup: 0.05,
+            reorder: 0.1,
+            reorder_extra_us: 1_000,
+            partitions: Vec::new(),
+        }
+    }
+
+    /// Everything at once: heavy jitter, drop, duplication and reordering.
+    pub fn chaos() -> Self {
+        FaultPlan {
+            delay_us: (5, 1_000),
+            drop: 0.10,
+            dup: 0.10,
+            reorder: 0.25,
+            reorder_extra_us: 3_000,
+            partitions: Vec::new(),
+        }
+    }
+
+    /// Timed partitions (with heal) over an otherwise lossy network.
+    pub fn partitions() -> Self {
+        FaultPlan {
+            partitions: vec![
+                Partition {
+                    a: 0,
+                    b: 1,
+                    from_us: 2_000,
+                    until_us: 20_000,
+                },
+                Partition {
+                    a: 1,
+                    b: 2,
+                    from_us: 30_000,
+                    until_us: 45_000,
+                },
+            ],
+            ..FaultPlan::lossy()
+        }
+    }
+
+    /// The preset names accepted by the [`FromStr`] parser.
+    pub const PRESETS: [&'static str; 5] = ["none", "jitter", "lossy", "chaos", "partitions"];
+
+    /// Looks up a preset by name.
+    pub fn preset(name: &str) -> Option<FaultPlan> {
+        match name {
+            "none" => Some(FaultPlan::none()),
+            "jitter" => Some(FaultPlan::jitter()),
+            "lossy" => Some(FaultPlan::lossy()),
+            "chaos" => Some(FaultPlan::chaos()),
+            "partitions" => Some(FaultPlan::partitions()),
+            _ => None,
+        }
+    }
+
+    /// Whether the pair of node indexes is partitioned at simulated time
+    /// `now_us` (indexes are reduced modulo `nodes` first).
+    pub fn partitioned(&self, a: u32, b: u32, now_us: u64, nodes: u32) -> bool {
+        debug_assert!(nodes > 0);
+        let (a, b) = (a % nodes, b % nodes);
+        self.partitions.iter().any(|p| {
+            let (pa, pb) = (p.a % nodes, p.b % nodes);
+            ((pa == a && pb == b) || (pa == b && pb == a))
+                && (p.from_us..p.until_us).contains(&now_us)
+        })
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "delay={}..{},drop={},dup={},reorder={},spike={}",
+            self.delay_us.0,
+            self.delay_us.1,
+            self.drop,
+            self.dup,
+            self.reorder,
+            self.reorder_extra_us
+        )?;
+        for p in &self.partitions {
+            write!(f, ",part={}-{}@{}..{}", p.a, p.b, p.from_us, p.until_us)?;
+        }
+        Ok(())
+    }
+}
+
+/// Error of parsing a [`FaultPlan`] from the command line; explains what was
+/// rejected and what the parser accepts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseFaultError {
+    input: String,
+    reason: String,
+}
+
+impl ParseFaultError {
+    fn new(input: &str, reason: impl Into<String>) -> Self {
+        ParseFaultError {
+            input: input.into(),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseFaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid fault plan {:?}: {}; expected a preset ({}) or a spec like \
+             \"delay=5..400,drop=0.05,dup=0.05,reorder=0.1,spike=2000,part=0-1@1000..8000\"",
+            self.input,
+            self.reason,
+            FaultPlan::PRESETS.join(", "),
+        )
+    }
+}
+
+impl std::error::Error for ParseFaultError {}
+
+impl FromStr for FaultPlan {
+    type Err = ParseFaultError;
+
+    /// Parses a preset name or a `key=value` spec (see the module docs).
+    /// Spec keys start from the `none` baseline, so `"drop=0.5"` alone is a
+    /// valid plan.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(plan) = FaultPlan::preset(s) {
+            return Ok(plan);
+        }
+        if s.is_empty() {
+            return Err(ParseFaultError::new(s, "empty spec"));
+        }
+        let mut plan = FaultPlan::none();
+        for item in s.split(',') {
+            let (key, value) = item
+                .split_once('=')
+                .ok_or_else(|| ParseFaultError::new(s, format!("missing '=' in {item:?}")))?;
+            let prob = |what: &str| -> Result<f64, ParseFaultError> {
+                let p: f64 = value.parse().map_err(|_| {
+                    ParseFaultError::new(s, format!("{what} {value:?} is not a number"))
+                })?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(ParseFaultError::new(
+                        s,
+                        format!("{what} {value:?} must be in [0, 1]"),
+                    ));
+                }
+                Ok(p)
+            };
+            match key {
+                "delay" => {
+                    let (lo, hi) = value.split_once("..").ok_or_else(|| {
+                        ParseFaultError::new(s, format!("delay {value:?} must be min..max"))
+                    })?;
+                    let lo: u64 = lo.parse().map_err(|_| {
+                        ParseFaultError::new(s, format!("delay start {lo:?} is not an integer"))
+                    })?;
+                    let hi: u64 = hi.parse().map_err(|_| {
+                        ParseFaultError::new(s, format!("delay end {hi:?} is not an integer"))
+                    })?;
+                    if lo > hi {
+                        return Err(ParseFaultError::new(
+                            s,
+                            format!("delay range {lo}..{hi} is empty"),
+                        ));
+                    }
+                    plan.delay_us = (lo, hi);
+                }
+                "drop" => plan.drop = prob("drop probability")?,
+                "dup" => plan.dup = prob("dup probability")?,
+                "reorder" => plan.reorder = prob("reorder probability")?,
+                "spike" => {
+                    plan.reorder_extra_us = value.parse().map_err(|_| {
+                        ParseFaultError::new(s, format!("spike {value:?} is not an integer"))
+                    })?;
+                }
+                "part" => {
+                    let err = || {
+                        ParseFaultError::new(s, format!("part {value:?} must be a-b@from..until"))
+                    };
+                    let (pair, window) = value.split_once('@').ok_or_else(err)?;
+                    let (a, b) = pair.split_once('-').ok_or_else(err)?;
+                    let (from, until) = window.split_once("..").ok_or_else(err)?;
+                    let p = Partition {
+                        a: a.parse().map_err(|_| err())?,
+                        b: b.parse().map_err(|_| err())?,
+                        from_us: from.parse().map_err(|_| err())?,
+                        until_us: until.parse().map_err(|_| err())?,
+                    };
+                    if p.from_us >= p.until_us {
+                        return Err(ParseFaultError::new(
+                            s,
+                            format!("partition window {}..{} is empty", p.from_us, p.until_us),
+                        ));
+                    }
+                    plan.partitions.push(p);
+                }
+                other => {
+                    return Err(ParseFaultError::new(s, format!("unknown key {other:?}")));
+                }
+            }
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_parse_by_name() {
+        for name in FaultPlan::PRESETS {
+            let plan: FaultPlan = name.parse().unwrap();
+            assert_eq!(Some(plan), FaultPlan::preset(name));
+        }
+        assert_eq!(FaultPlan::default(), FaultPlan::none());
+    }
+
+    #[test]
+    fn spec_round_trips_through_display() {
+        let specs = [
+            "delay=5..400,drop=0.05,dup=0.05,reorder=0.1,spike=2000",
+            "drop=0.5",
+            "delay=0..0,part=0-1@1000..8000,part=1-2@9000..9001",
+        ];
+        for s in specs {
+            let plan: FaultPlan = s.parse().unwrap();
+            let redisplayed: FaultPlan = plan.to_string().parse().unwrap();
+            assert_eq!(plan, redisplayed, "{s}");
+        }
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_readably() {
+        for (bad, needle) in [
+            ("", "empty spec"),
+            ("drop", "missing '='"),
+            ("drop=1.5", "must be in [0, 1]"),
+            ("drop=x", "is not a number"),
+            ("delay=10", "must be min..max"),
+            ("delay=9..3", "is empty"),
+            ("spike=abc", "is not an integer"),
+            ("part=0-1", "must be a-b@from..until"),
+            ("part=0-1@9..3", "is empty"),
+            ("warp=0.1", "unknown key"),
+        ] {
+            let err = bad.parse::<FaultPlan>().unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{bad}: {msg}");
+            assert!(msg.contains("expected a preset"), "{bad}: {msg}");
+        }
+    }
+
+    #[test]
+    fn partition_windows_and_modulo() {
+        let plan: FaultPlan = "part=0-1@1000..8000".parse().unwrap();
+        assert!(plan.partitioned(0, 1, 1000, 4));
+        assert!(plan.partitioned(1, 0, 7999, 4));
+        assert!(!plan.partitioned(0, 1, 8000, 4));
+        assert!(!plan.partitioned(0, 1, 999, 4));
+        assert!(!plan.partitioned(0, 2, 5000, 4));
+        // Node indexes reduce modulo the cluster size.
+        assert!(plan.partitioned(0, 3, 5000, 2));
+    }
+}

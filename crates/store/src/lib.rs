@@ -1,0 +1,50 @@
+//! A deterministic simulated distributed key-value store, used to check
+//! real (simulated) executions against claimed isolation levels.
+//!
+//! The repo's checking and exploration stack reasons about histories it
+//! *enumerates*; this crate produces histories that *happened*: a sharded
+//! MVCC store (per-shard version chains, two-phase commit, a timestamp
+//! oracle) whose nodes communicate only over a seeded simulated network
+//! with pluggable fault injection — message delay, reordering,
+//! duplication, loss, and healing node-pair partitions. Client drivers run
+//! the transaction programs from `crates/apps` with timeout/retry/backoff,
+//! a recorder captures the committed execution as a native
+//! [`History`](txdpor_history::History), and the deployment's *claimed*
+//! [`LevelSpec`](txdpor_history::LevelSpec) is checked against it with the
+//! witnessed checker: a correct protocol yields replayable witnesses, a
+//! buggy or over-claiming one (see [`Deployment::si_unchecked`]) yields a
+//! minimal violation core naming the offending transactions.
+//!
+//! Determinism contract: a run is a pure function of `(program,
+//! deployment, shards, seed, fault plan, retry policy)`. Same config, same
+//! bits — `History::fingerprint_hash` equality is asserted in tests and
+//! CI, so any checker verdict on a simulated run can be replayed
+//! endlessly for debugging.
+//!
+//! Module map:
+//! - [`fault`] — fault plans (presets and a `key=value` mini-language);
+//! - [`msg`] — addresses and the RPC vocabulary;
+//! - [`deploy`] — protocol modes (`ser`/`si`/`causal`) and deployments,
+//!   including the intentionally weakened `si-unchecked`;
+//! - [`server`] — shards (MVCC + locks) and the timestamp oracle;
+//! - [`client`] — the per-session driver state machine with retry policy;
+//! - [`recorder`] — committed execution → `History` + claimed spec;
+//! - [`simulation`] — the seeded event loop tying it all together.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod deploy;
+pub mod fault;
+pub mod msg;
+pub mod recorder;
+pub mod server;
+pub mod simulation;
+
+pub use client::{Client, ClientError, ClientEvent, CommittedTx, RetryPolicy};
+pub use deploy::{Deployment, ProtocolMode};
+pub use fault::{FaultPlan, ParseFaultError, Partition};
+pub use msg::{Addr, Message, Payload, Reply, Request, TxnId};
+pub use recorder::record;
+pub use server::{Oracle, Shard};
+pub use simulation::{run_simulation, SimConfig, SimOutcome, SimStats};

@@ -1,0 +1,166 @@
+//! Node addresses and the message vocabulary of the store protocol.
+//!
+//! Every interaction between clients, shards and the timestamp oracle is a
+//! [`Message`] carried by the simulated network — there is no shared
+//! memory. Requests and replies are matched by a per-client `req_id`, which
+//! makes every handler safe under duplication and reordering: a reply for a
+//! request the client no longer has outstanding is simply dropped.
+
+use txdpor_history::{Value, Var};
+
+/// A network endpoint of the deployment.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Addr {
+    /// A storage shard.
+    Shard(u32),
+    /// The timestamp oracle.
+    Oracle,
+    /// A client driver.
+    Client(u32),
+}
+
+impl Addr {
+    /// Dense node index used by partition plans: shards first, then the
+    /// oracle, then clients.
+    pub fn node_index(self, num_shards: u32) -> u32 {
+        match self {
+            Addr::Shard(i) => i,
+            Addr::Oracle => num_shards,
+            Addr::Client(c) => num_shards + 1 + c,
+        }
+    }
+}
+
+/// Globally unique identifier of one transaction *attempt*. Retries of the
+/// same program transaction get fresh ids, so shard-side per-transaction
+/// state never confuses an aborted attempt with its successor.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TxnId {
+    /// The issuing client (= session index).
+    pub client: u32,
+    /// Client-local attempt counter.
+    pub attempt: u32,
+}
+
+/// A request sent by a client to a shard or to the oracle.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Draw a start (snapshot) timestamp from the oracle.
+    StartTs,
+    /// Draw a commit timestamp from the oracle.
+    CommitTs,
+    /// Read a variable. `snapshot` is `Some(ts)` for snapshot-mode reads
+    /// (serve the latest version with `version.ts <= ts`), `None` for
+    /// locking reads (serve the latest version). `lock` requests a shared
+    /// lock (serializable mode).
+    Read {
+        /// The reading attempt.
+        txn: TxnId,
+        /// Variable to read.
+        var: Var,
+        /// Snapshot timestamp, if snapshot-mode.
+        snapshot: Option<u64>,
+        /// Whether to take a shared lock.
+        lock: bool,
+    },
+    /// First phase of commit: acquire exclusive locks on the written
+    /// variables of this shard and buffer the writes. `conflict_check`
+    /// additionally enforces first-committer-wins (snapshot isolation):
+    /// reject if any written variable has a version newer than `start_ts`.
+    Prewrite {
+        /// The committing attempt.
+        txn: TxnId,
+        /// The attempt's start timestamp (0 when the mode draws none).
+        start_ts: u64,
+        /// The writes destined for this shard.
+        writes: Vec<(Var, Value)>,
+        /// Whether to enforce first-committer-wins.
+        conflict_check: bool,
+    },
+    /// Second phase of commit: install the prewritten versions at
+    /// `commit_ts` and release the attempt's locks.
+    Commit {
+        /// The committing attempt.
+        txn: TxnId,
+        /// Version timestamp of the installed writes.
+        commit_ts: u64,
+    },
+    /// Abort the attempt: discard prewritten state and release its locks.
+    Abort {
+        /// The aborting attempt.
+        txn: TxnId,
+    },
+}
+
+/// A reply from a shard or the oracle.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    /// A timestamp drawn from the oracle.
+    Ts(u64),
+    /// The served read value, with the transaction that wrote the version
+    /// (`None` for the initial version).
+    ReadOk {
+        /// The value read.
+        value: Value,
+        /// The attempt that installed the version, `None` for init.
+        writer: Option<TxnId>,
+    },
+    /// A snapshot read arrived while a possibly-visible commit was in
+    /// flight (exclusive lock with `start_ts <= snapshot`); the client
+    /// retries after a delay.
+    ReadLocked,
+    /// A locking read hit a conflicting exclusive lock (no-wait two-phase
+    /// locking): the client aborts the attempt and retries.
+    ReadConflict,
+    /// Prewrite succeeded: locks held, writes buffered.
+    PrewriteOk,
+    /// Prewrite rejected (lock conflict, first-committer-wins conflict, or
+    /// the attempt was already aborted).
+    PrewriteConflict,
+    /// Commit applied (idempotent).
+    CommitOk,
+    /// Abort applied (idempotent).
+    AbortOk,
+}
+
+/// The payload of a [`Message`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Payload {
+    /// A client request.
+    Request(Request),
+    /// A server reply.
+    Reply(Reply),
+}
+
+/// A message on the simulated network.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Message {
+    /// The sender (where replies go).
+    pub from: Addr,
+    /// Client-chosen request identifier; echoed in the reply.
+    pub req_id: u64,
+    /// The payload.
+    pub payload: Payload,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_indexes_are_dense_and_disjoint() {
+        let shards = 3;
+        let mut seen = std::collections::BTreeSet::new();
+        for a in [
+            Addr::Shard(0),
+            Addr::Shard(2),
+            Addr::Oracle,
+            Addr::Client(0),
+            Addr::Client(5),
+        ] {
+            assert!(seen.insert(a.node_index(shards)), "{a:?} collides");
+        }
+        assert_eq!(Addr::Oracle.node_index(shards), 3);
+        assert_eq!(Addr::Client(0).node_index(shards), 4);
+    }
+}

@@ -1,0 +1,608 @@
+//! Server nodes: MVCC shards and the timestamp oracle.
+//!
+//! Each shard owns the version chains and lock table of its slice of the
+//! key space and is driven purely by messages. Handlers are **idempotent**
+//! — per-attempt state (`TxnState`) is kept forever (simulation runs are
+//! bounded), so duplicated, reordered or late messages can never resurrect
+//! a lock or re-install a version:
+//!
+//! * a `Read` for an attempt already decided is served without locking;
+//! * a duplicate `Prewrite` of a prewritten/committed attempt is `Ok`
+//!   without re-locking; after an abort it is `Conflict`;
+//! * `Commit` and `Abort` are no-ops the second time.
+//!
+//! The correctness invariant the snapshot modes rely on: a version with
+//! `ts <= s` is either installed or guarded by an exclusive lock with
+//! `start_ts <= s` at the moment a snapshot-`s` read arrives (locks are
+//! taken at prewrite, before the commit timestamp is drawn, and the oracle
+//! is monotone).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use txdpor_history::{Value, Var};
+
+use crate::msg::{Addr, Message, Payload, Reply, Request, TxnId};
+
+/// The timestamp oracle: a monotone counter serving start and commit
+/// timestamps. Timestamp 0 is reserved for initial versions.
+#[derive(Debug, Default)]
+pub struct Oracle {
+    next: u64,
+}
+
+impl Oracle {
+    /// Creates the oracle; the first timestamp served is 1.
+    pub fn new() -> Self {
+        Oracle { next: 0 }
+    }
+
+    /// Handles a timestamp request, replying to `from`.
+    pub fn handle(&mut self, from: Addr, req_id: u64, req: &Request) -> Vec<(Addr, Message)> {
+        match req {
+            Request::StartTs | Request::CommitTs => {
+                self.next += 1;
+                vec![(
+                    from,
+                    Message {
+                        from: Addr::Oracle,
+                        req_id,
+                        payload: Payload::Reply(Reply::Ts(self.next)),
+                    },
+                )]
+            }
+            other => panic!("oracle received a non-timestamp request: {other:?}"),
+        }
+    }
+}
+
+/// One installed version of a variable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Version {
+    /// Commit timestamp of the version (0 for the initial version).
+    pub ts: u64,
+    /// The stored value.
+    pub value: Value,
+    /// The attempt that installed it (`None` for init).
+    pub writer: Option<TxnId>,
+}
+
+/// The lock state of one variable.
+#[derive(Clone, Debug, Default)]
+struct Lock {
+    /// Exclusive (prewrite) holder, with its start timestamp.
+    exclusive: Option<(TxnId, u64)>,
+    /// Shared (serializable read) holders.
+    shared: BTreeSet<TxnId>,
+}
+
+impl Lock {
+    fn is_free(&self) -> bool {
+        self.exclusive.is_none() && self.shared.is_empty()
+    }
+}
+
+/// Per-attempt state retained by a shard.
+#[derive(Clone, Debug, PartialEq)]
+enum TxnState {
+    /// Prewritten: the buffered writes await a commit timestamp.
+    Prewritten(Vec<(Var, Value)>),
+    /// Committed (terminal).
+    Committed,
+    /// Aborted (terminal).
+    Aborted,
+}
+
+/// A storage shard: version chains, lock table and per-attempt state for
+/// its slice of the key space.
+#[derive(Debug)]
+pub struct Shard {
+    id: u32,
+    /// Version chains, oldest first (insertion keeps `ts` sorted).
+    versions: BTreeMap<Var, Vec<Version>>,
+    locks: BTreeMap<Var, Lock>,
+    txns: BTreeMap<TxnId, TxnState>,
+    /// Initial values of the key space (vars absent here start at `Int(0)`).
+    init: BTreeMap<Var, Value>,
+}
+
+impl Shard {
+    /// Creates shard `id` over the given initial values.
+    pub fn new(id: u32, init: BTreeMap<Var, Value>) -> Self {
+        Shard {
+            id,
+            versions: BTreeMap::new(),
+            locks: BTreeMap::new(),
+            txns: BTreeMap::new(),
+            init,
+        }
+    }
+
+    fn reply(&self, to: Addr, req_id: u64, reply: Reply) -> (Addr, Message) {
+        (
+            to,
+            Message {
+                from: Addr::Shard(self.id),
+                req_id,
+                payload: Payload::Reply(reply),
+            },
+        )
+    }
+
+    /// The version chain of `var`, lazily seeded with the initial version.
+    fn chain(&mut self, var: Var) -> &mut Vec<Version> {
+        let init = self.init.get(&var).cloned().unwrap_or_default();
+        self.versions.entry(var).or_insert_with(|| {
+            vec![Version {
+                ts: 0,
+                value: init,
+                writer: None,
+            }]
+        })
+    }
+
+    /// The latest version with `ts <= snapshot` (the initial version is
+    /// always present, so this never fails).
+    fn read_at(&mut self, var: Var, snapshot: u64) -> Version {
+        self.chain(var)
+            .iter()
+            .rev()
+            .find(|v| v.ts <= snapshot)
+            .cloned()
+            .expect("initial version has ts 0")
+    }
+
+    /// Releases every lock held by `txn`.
+    fn release_locks(&mut self, txn: TxnId) {
+        self.locks.retain(|_, lock| {
+            if lock.exclusive.is_some_and(|(t, _)| t == txn) {
+                lock.exclusive = None;
+            }
+            lock.shared.remove(&txn);
+            !lock.is_free()
+        });
+    }
+
+    /// Handles one request, returning the replies to send.
+    pub fn handle(&mut self, from: Addr, req_id: u64, req: Request) -> Vec<(Addr, Message)> {
+        match req {
+            Request::Read {
+                txn,
+                var,
+                snapshot,
+                lock,
+            } => vec![self.handle_read(from, req_id, txn, var, snapshot, lock)],
+            Request::Prewrite {
+                txn,
+                start_ts,
+                writes,
+                conflict_check,
+            } => vec![self.handle_prewrite(from, req_id, txn, start_ts, writes, conflict_check)],
+            Request::Commit { txn, commit_ts } => {
+                vec![self.handle_commit(from, req_id, txn, commit_ts)]
+            }
+            Request::Abort { txn } => vec![self.handle_abort(from, req_id, txn)],
+            other => panic!("shard {} received an oracle request: {other:?}", self.id),
+        }
+    }
+
+    fn handle_read(
+        &mut self,
+        from: Addr,
+        req_id: u64,
+        txn: TxnId,
+        var: Var,
+        snapshot: Option<u64>,
+        lock: bool,
+    ) -> (Addr, Message) {
+        // Dead-attempt guard: a duplicate read arriving after the attempt
+        // was decided must not (re-)take a shared lock on its behalf. The
+        // client has long moved on, so the served value is irrelevant —
+        // only the absence of a stray lock matters.
+        let decided = matches!(
+            self.txns.get(&txn),
+            Some(TxnState::Committed | TxnState::Aborted)
+        );
+        match snapshot {
+            Some(s) => {
+                // A not-yet-installed version could be visible at this
+                // snapshot iff some other attempt holds an exclusive lock
+                // taken before the snapshot was drawn; make the client wait
+                // for that commit/abort to resolve.
+                let blocked = self
+                    .locks
+                    .get(&var)
+                    .and_then(|l| l.exclusive)
+                    .is_some_and(|(holder, start_ts)| holder != txn && start_ts <= s);
+                if blocked && !decided {
+                    return self.reply(from, req_id, Reply::ReadLocked);
+                }
+                let v = self.read_at(var, s);
+                self.reply(
+                    from,
+                    req_id,
+                    Reply::ReadOk {
+                        value: v.value,
+                        writer: v.writer,
+                    },
+                )
+            }
+            None => {
+                let held_by_other = self
+                    .locks
+                    .get(&var)
+                    .and_then(|l| l.exclusive)
+                    .is_some_and(|(holder, _)| holder != txn);
+                if held_by_other && !decided {
+                    // No-wait strict two-phase locking: abort the reader.
+                    return self.reply(from, req_id, Reply::ReadConflict);
+                }
+                if lock && !decided {
+                    self.locks.entry(var).or_default().shared.insert(txn);
+                }
+                let v = self.read_at(var, u64::MAX);
+                self.reply(
+                    from,
+                    req_id,
+                    Reply::ReadOk {
+                        value: v.value,
+                        writer: v.writer,
+                    },
+                )
+            }
+        }
+    }
+
+    fn handle_prewrite(
+        &mut self,
+        from: Addr,
+        req_id: u64,
+        txn: TxnId,
+        start_ts: u64,
+        writes: Vec<(Var, Value)>,
+        conflict_check: bool,
+    ) -> (Addr, Message) {
+        // Idempotency / dead-attempt guards first.
+        match self.txns.get(&txn) {
+            Some(TxnState::Prewritten(_) | TxnState::Committed) => {
+                return self.reply(from, req_id, Reply::PrewriteOk);
+            }
+            Some(TxnState::Aborted) => {
+                return self.reply(from, req_id, Reply::PrewriteConflict);
+            }
+            None => {}
+        }
+        // Lock conflicts: any exclusive or shared holder other than us.
+        let lock_conflict = writes.iter().any(|(var, _)| {
+            self.locks.get(var).is_some_and(|l| {
+                l.exclusive.is_some_and(|(t, _)| t != txn) || l.shared.iter().any(|&t| t != txn)
+            })
+        });
+        // First-committer-wins: a version newer than our snapshot means a
+        // concurrent writer already committed.
+        let version_conflict = conflict_check
+            && writes
+                .iter()
+                .any(|&(var, _)| self.chain(var).last().is_some_and(|v| v.ts > start_ts));
+        if lock_conflict || version_conflict {
+            return self.reply(from, req_id, Reply::PrewriteConflict);
+        }
+        for (var, _) in &writes {
+            self.locks.entry(*var).or_default().exclusive = Some((txn, start_ts));
+        }
+        self.txns.insert(txn, TxnState::Prewritten(writes));
+        self.reply(from, req_id, Reply::PrewriteOk)
+    }
+
+    fn handle_commit(
+        &mut self,
+        from: Addr,
+        req_id: u64,
+        txn: TxnId,
+        commit_ts: u64,
+    ) -> (Addr, Message) {
+        match self.txns.get(&txn) {
+            Some(TxnState::Prewritten(_)) => {
+                let Some(TxnState::Prewritten(writes)) = self.txns.insert(txn, TxnState::Committed)
+                else {
+                    unreachable!("state checked above");
+                };
+                for (var, value) in writes {
+                    let chain = self.chain(var);
+                    let at = chain.partition_point(|v| v.ts <= commit_ts);
+                    chain.insert(
+                        at,
+                        Version {
+                            ts: commit_ts,
+                            value,
+                            writer: Some(txn),
+                        },
+                    );
+                }
+                self.release_locks(txn);
+            }
+            Some(TxnState::Committed | TxnState::Aborted) => {} // idempotent
+            None => {
+                // A read-only (serializable) participant: nothing to
+                // install, just release the shared locks.
+                self.txns.insert(txn, TxnState::Committed);
+                self.release_locks(txn);
+            }
+        }
+        self.reply(from, req_id, Reply::CommitOk)
+    }
+
+    fn handle_abort(&mut self, from: Addr, req_id: u64, txn: TxnId) -> (Addr, Message) {
+        match self.txns.get(&txn) {
+            Some(TxnState::Committed) => {
+                // A commit decision is final; an abort for a committed
+                // attempt can only be a stale duplicate from a lost race
+                // and must not undo anything.
+            }
+            _ => {
+                self.txns.insert(txn, TxnState::Aborted);
+                self.release_locks(txn);
+            }
+        }
+        self.reply(from, req_id, Reply::AbortOk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txn(c: u32, a: u32) -> TxnId {
+        TxnId {
+            client: c,
+            attempt: a,
+        }
+    }
+
+    fn expect_reply(mut replies: Vec<(Addr, Message)>) -> Reply {
+        assert_eq!(replies.len(), 1);
+        match replies.pop().unwrap().1.payload {
+            Payload::Reply(r) => r,
+            other => panic!("expected a reply, got {other:?}"),
+        }
+    }
+
+    fn prewrite(
+        shard: &mut Shard,
+        t: TxnId,
+        start_ts: u64,
+        var: Var,
+        v: i64,
+        check: bool,
+    ) -> Reply {
+        expect_reply(shard.handle(
+            Addr::Client(t.client),
+            1,
+            Request::Prewrite {
+                txn: t,
+                start_ts,
+                writes: vec![(var, Value::Int(v))],
+                conflict_check: check,
+            },
+        ))
+    }
+
+    fn commit(shard: &mut Shard, t: TxnId, ts: u64) -> Reply {
+        expect_reply(shard.handle(
+            Addr::Client(t.client),
+            2,
+            Request::Commit {
+                txn: t,
+                commit_ts: ts,
+            },
+        ))
+    }
+
+    fn read_snapshot(shard: &mut Shard, t: TxnId, var: Var, s: u64) -> Reply {
+        expect_reply(shard.handle(
+            Addr::Client(t.client),
+            3,
+            Request::Read {
+                txn: t,
+                var,
+                snapshot: Some(s),
+                lock: false,
+            },
+        ))
+    }
+
+    #[test]
+    fn snapshot_reads_see_the_version_at_their_timestamp() {
+        let x = Var(0);
+        let mut shard = Shard::new(0, BTreeMap::from([(x, Value::Int(7))]));
+        let t = txn(0, 0);
+        assert_eq!(prewrite(&mut shard, t, 1, x, 10, true), Reply::PrewriteOk);
+        assert_eq!(commit(&mut shard, t, 5), Reply::CommitOk);
+        // Snapshot below the commit sees init; at or above sees the write.
+        assert_eq!(
+            read_snapshot(&mut shard, txn(1, 1), x, 4),
+            Reply::ReadOk {
+                value: Value::Int(7),
+                writer: None
+            }
+        );
+        assert_eq!(
+            read_snapshot(&mut shard, txn(1, 1), x, 5),
+            Reply::ReadOk {
+                value: Value::Int(10),
+                writer: Some(t)
+            }
+        );
+    }
+
+    #[test]
+    fn snapshot_reads_wait_on_possibly_visible_locks() {
+        let x = Var(0);
+        let mut shard = Shard::new(0, BTreeMap::new());
+        let writer = txn(0, 0);
+        assert_eq!(
+            prewrite(&mut shard, writer, 3, x, 1, true),
+            Reply::PrewriteOk
+        );
+        // Reader with snapshot >= the lock's start_ts must wait…
+        assert_eq!(
+            read_snapshot(&mut shard, txn(1, 1), x, 8),
+            Reply::ReadLocked
+        );
+        // …but a snapshot from before the writer even started reads around.
+        assert_eq!(
+            read_snapshot(&mut shard, txn(1, 1), x, 2),
+            Reply::ReadOk {
+                value: Value::Int(0),
+                writer: None
+            }
+        );
+        assert_eq!(commit(&mut shard, writer, 9), Reply::CommitOk);
+        assert_eq!(
+            read_snapshot(&mut shard, txn(1, 1), x, 8),
+            Reply::ReadOk {
+                value: Value::Int(0),
+                writer: None
+            }
+        );
+    }
+
+    #[test]
+    fn first_committer_wins_rejects_stale_prewrites() {
+        let x = Var(0);
+        let mut shard = Shard::new(0, BTreeMap::new());
+        let first = txn(0, 0);
+        assert_eq!(
+            prewrite(&mut shard, first, 1, x, 1, true),
+            Reply::PrewriteOk
+        );
+        assert_eq!(commit(&mut shard, first, 4), Reply::CommitOk);
+        // A concurrent writer that started before the commit is rejected…
+        assert_eq!(
+            prewrite(&mut shard, txn(1, 1), 2, x, 2, true),
+            Reply::PrewriteConflict
+        );
+        // …unless the conflict check is off (the weakened protocol).
+        assert_eq!(
+            prewrite(&mut shard, txn(2, 2), 2, x, 3, false),
+            Reply::PrewriteOk
+        );
+    }
+
+    #[test]
+    fn locking_reads_conflict_with_exclusive_locks_and_block_prewrites() {
+        let x = Var(0);
+        let mut shard = Shard::new(0, BTreeMap::new());
+        let reader = txn(0, 0);
+        // Shared lock via a locking read.
+        assert_eq!(
+            expect_reply(shard.handle(
+                Addr::Client(0),
+                1,
+                Request::Read {
+                    txn: reader,
+                    var: x,
+                    snapshot: None,
+                    lock: true,
+                },
+            )),
+            Reply::ReadOk {
+                value: Value::Int(0),
+                writer: None
+            }
+        );
+        // Another attempt's prewrite hits the shared lock.
+        assert_eq!(
+            prewrite(&mut shard, txn(1, 1), 0, x, 1, false),
+            Reply::PrewriteConflict
+        );
+        // After the reader commits (releasing locks), the prewrite goes
+        // through, and a new locking read now hits the exclusive lock.
+        assert_eq!(commit(&mut shard, reader, 0), Reply::CommitOk);
+        assert_eq!(
+            prewrite(&mut shard, txn(1, 2), 0, x, 1, false),
+            Reply::PrewriteOk
+        );
+        assert_eq!(
+            expect_reply(shard.handle(
+                Addr::Client(2),
+                9,
+                Request::Read {
+                    txn: txn(2, 3),
+                    var: x,
+                    snapshot: None,
+                    lock: true,
+                },
+            )),
+            Reply::ReadConflict
+        );
+    }
+
+    #[test]
+    fn duplicate_and_late_messages_are_harmless() {
+        let x = Var(0);
+        let mut shard = Shard::new(0, BTreeMap::new());
+        let t = txn(0, 0);
+        assert_eq!(prewrite(&mut shard, t, 1, x, 1, true), Reply::PrewriteOk);
+        // Duplicate prewrite: still Ok, no double bookkeeping.
+        assert_eq!(prewrite(&mut shard, t, 1, x, 1, true), Reply::PrewriteOk);
+        assert_eq!(commit(&mut shard, t, 3), Reply::CommitOk);
+        // Duplicate commit: idempotent, no second version.
+        assert_eq!(commit(&mut shard, t, 3), Reply::CommitOk);
+        assert_eq!(shard.versions[&x].len(), 2);
+        // Late duplicate prewrite after commit: Ok but no lock comes back.
+        assert_eq!(prewrite(&mut shard, t, 1, x, 1, true), Reply::PrewriteOk);
+        assert!(shard.locks.is_empty());
+        // A late abort for a committed attempt must not undo the commit.
+        assert_eq!(
+            expect_reply(shard.handle(Addr::Client(0), 7, Request::Abort { txn: t })),
+            Reply::AbortOk
+        );
+        assert_eq!(shard.txns[&t], TxnState::Committed);
+
+        // Aborted attempts stay dead: late prewrites conflict, late locking
+        // reads do not leave a stray shared lock behind.
+        let dead = txn(1, 1);
+        assert_eq!(
+            expect_reply(shard.handle(Addr::Client(1), 8, Request::Abort { txn: dead })),
+            Reply::AbortOk
+        );
+        assert_eq!(
+            prewrite(&mut shard, dead, 5, x, 9, true),
+            Reply::PrewriteConflict
+        );
+        assert!(matches!(
+            expect_reply(shard.handle(
+                Addr::Client(1),
+                9,
+                Request::Read {
+                    txn: dead,
+                    var: x,
+                    snapshot: None,
+                    lock: true,
+                },
+            )),
+            Reply::ReadOk { .. }
+        ));
+        assert!(shard.locks.is_empty());
+    }
+
+    #[test]
+    fn read_only_serializable_commit_releases_shared_locks() {
+        let x = Var(0);
+        let mut shard = Shard::new(0, BTreeMap::new());
+        let t = txn(0, 0);
+        expect_reply(shard.handle(
+            Addr::Client(0),
+            1,
+            Request::Read {
+                txn: t,
+                var: x,
+                snapshot: None,
+                lock: true,
+            },
+        ));
+        assert!(!shard.locks.is_empty());
+        assert_eq!(commit(&mut shard, t, 0), Reply::CommitOk);
+        assert!(shard.locks.is_empty());
+    }
+}

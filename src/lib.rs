@@ -6,14 +6,17 @@
 //! database-backed applications under weak isolation levels with sound,
 //! complete and (strongly) optimal dynamic partial order reduction.
 //!
-//! This facade crate re-exports the four library crates of the workspace:
+//! This facade crate re-exports the five library crates of the workspace:
 //!
 //! * [`history`] — histories, isolation levels, consistency checking;
 //! * [`program`] — the transactional program DSL and operational semantics;
 //! * [`explore`] — the `explore-ce` / `explore-ce*` DPOR algorithms and the
 //!   `DFS` baseline;
 //! * [`apps`] — the benchmark applications (Shopping Cart, Twitter,
-//!   Courseware, Wikipedia, TPC-C) and workload generators.
+//!   Courseware, Wikipedia, TPC-C) and workload generators;
+//! * [`store`] — a deterministic simulated distributed store with fault
+//!   injection, whose recorded executions are checked end-to-end against
+//!   their claimed isolation levels.
 //!
 //! # Quick start
 //!
@@ -43,6 +46,7 @@ pub use txdpor_apps as apps;
 pub use txdpor_explore as explore;
 pub use txdpor_history as history;
 pub use txdpor_program as program;
+pub use txdpor_store as store;
 
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
