@@ -40,7 +40,8 @@ pub fn mixed_deployment(app: App) -> Deployment {
 
 /// The deployments the simulation pipeline exercises for an application:
 /// the three uniform honest protocols, the app's mixed deployment, and the
-/// intentionally over-claiming `si-unchecked`.
+/// two deliberately broken ones — the over-claiming `si-unchecked` and the
+/// crash-unsafe `no-wal` (which only misbehaves under crash faults).
 pub fn app_deployments(app: App) -> Vec<Deployment> {
     vec![
         Deployment::ser(),
@@ -48,6 +49,7 @@ pub fn app_deployments(app: App) -> Vec<Deployment> {
         Deployment::causal(),
         mixed_deployment(app),
         Deployment::si_unchecked(),
+        Deployment::no_wal(),
     ]
 }
 
@@ -87,7 +89,16 @@ mod tests {
         assert_eq!(cart.mode_of("remove_item"), ProtocolMode::Serializable);
         assert_eq!(cart.mode_of("get_cart"), ProtocolMode::Causal);
         for app in App::ALL {
-            assert_eq!(app_deployments(app).len(), 5);
+            let ds = app_deployments(app);
+            assert_eq!(ds.len(), 6);
+            // Exactly the two deliberately broken deployments are not
+            // honest: the over-claimer and the crash-unsafe one.
+            let dishonest: Vec<&str> = ds
+                .iter()
+                .filter(|d| !d.honest())
+                .map(|d| d.name.as_str())
+                .collect();
+            assert_eq!(dishonest, ["si-unchecked", "no-wal"]);
         }
     }
 }

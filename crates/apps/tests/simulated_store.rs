@@ -35,33 +35,40 @@ fn every_app_is_deterministic_per_seed_under_faults() {
 fn every_app_passes_every_honest_deployment_with_a_replayable_witness() {
     for app in App::ALL {
         for deployment in app_deployments(app) {
-            if deployment.name == "si-unchecked" {
-                continue; // the dishonest one is exercised below
+            if !deployment.honest() {
+                continue; // the dishonest ones are exercised below
             }
-            for seed in [1u64, 23] {
-                let cfg = app_sim_config(
-                    app,
-                    3,
-                    2,
-                    seed,
-                    deployment.clone(),
-                    FaultPlan::preset("lossy").unwrap(),
-                );
-                let out = run_simulation(&cfg);
-                let label = format!("{}/{}/{}", app.name(), deployment.name, seed);
-                assert!(out.stats.committed > 0, "{label}: nothing committed");
-                assert!(out.errors.is_empty(), "{label}: {:?}", out.errors);
-                let verdict = engine_for_spec(&out.claimed).check_witnessed(&out.history);
-                let witness = verdict.witness().unwrap_or_else(|| {
-                    panic!(
-                        "{label}: honest deployment violated its claim: {}",
-                        verdict.violation().unwrap()
-                    )
-                });
-                assert!(
-                    witness.replays(&out.history, &out.claimed),
-                    "{label}: witness does not replay"
-                );
+            for preset in ["lossy", "crashy"] {
+                for seed in [1u64, 23] {
+                    let cfg = app_sim_config(
+                        app,
+                        3,
+                        2,
+                        seed,
+                        deployment.clone(),
+                        FaultPlan::preset(preset).unwrap(),
+                    );
+                    let out = run_simulation(&cfg);
+                    let label = format!("{}/{}/{preset}/{}", app.name(), deployment.name, seed);
+                    assert!(out.stats.committed > 0, "{label}: nothing committed");
+                    assert!(out.errors.is_empty(), "{label}: {:?}", out.errors);
+                    assert!(
+                        out.invariant_breaches.is_empty(),
+                        "{label}: {:?}",
+                        out.invariant_breaches
+                    );
+                    let verdict = engine_for_spec(&out.claimed).check_witnessed(&out.history);
+                    let witness = verdict.witness().unwrap_or_else(|| {
+                        panic!(
+                            "{label}: honest deployment violated its claim: {}",
+                            verdict.violation().unwrap()
+                        )
+                    });
+                    assert!(
+                        witness.replays(&out.history, &out.claimed),
+                        "{label}: witness does not replay"
+                    );
+                }
             }
         }
     }
@@ -102,4 +109,47 @@ fn the_weakened_deployment_is_caught_on_at_least_one_workload() {
         !caught.is_empty(),
         "no app workload exposed the weakened deployment"
     );
+}
+
+#[test]
+fn the_crash_unsafe_deployment_is_caught_under_each_crash_preset() {
+    // no-wal loses undecided prewrite state on crash, so a concurrent
+    // writer can slip past a forgotten lock and violate the claimed
+    // Snapshot Isolation's first-committer-wins. Each crash preset must be
+    // caught on at least one app × seed, with a closed violation core.
+    for preset in ["crashy", "crash-chaos"] {
+        let mut caught = Vec::new();
+        for app in App::ALL {
+            for seed in 0..8u64 {
+                let cfg = app_sim_config(
+                    app,
+                    4,
+                    3,
+                    seed,
+                    Deployment::no_wal(),
+                    FaultPlan::preset(preset).unwrap(),
+                );
+                let out = run_simulation(&cfg);
+                assert!(
+                    out.invariant_breaches.is_empty(),
+                    "{}/{preset}/{seed}: {:?}",
+                    app.name(),
+                    out.invariant_breaches
+                );
+                let verdict = engine_for_spec(&out.claimed).check_witnessed(&out.history);
+                if let Some(violation) = verdict.violation() {
+                    let cycle = &violation.cycle;
+                    assert!(cycle.len() >= 2);
+                    for (e, next) in cycle.iter().zip(cycle.iter().cycle().skip(1)) {
+                        assert_eq!(e.to, next.from, "core is not a closed cycle: {violation}");
+                    }
+                    caught.push((app.name(), seed));
+                }
+            }
+        }
+        assert!(
+            !caught.is_empty(),
+            "{preset}: no app workload exposed the crash-unsafe deployment"
+        );
+    }
 }

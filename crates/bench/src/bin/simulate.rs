@@ -11,10 +11,13 @@
 //!
 //! - `--apps <name[,name...]>` — applications (default: all five);
 //! - `--deployments <name[,name...]>` — `ser`, `si`, `causal`, `mixed`
-//!   (the app's mixed scenario), `si-unchecked` (default: all);
+//!   (the app's mixed scenario), `si-unchecked`, `no-wal` (default: all);
 //! - `--faults <plan>` — a fault-plan preset or `key=value` spec, e.g.
-//!   `lossy` or `delay=5..400,drop=0.05`; repeat the flag for several
-//!   plans (default: `lossy`);
+//!   `lossy` or `delay=5..400,drop=0.05,crash=0@2000..12000`; repeat the
+//!   flag for several plans (default: `lossy`). Explicitly-written
+//!   `crash=` clauses must name shards of the actual cluster
+//!   (`--shards`); presets instead reduce their indexes modulo the shard
+//!   count;
 //! - `--seeds <n[,n...]>` — run seeds (default: `1,2,3`);
 //! - `--sessions <n>`, `--transactions <n>`, `--shards <n>` — workload
 //!   shape and cluster size;
@@ -175,10 +178,19 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             other => return Err(format!("unknown flag {other:?} (see --help in the source)")),
         }
     }
+    // Cluster-dependent validation happens after the whole command line is
+    // read, because `--shards` may legally follow `--faults`. Presets are
+    // exempt: their crash indexes reduce modulo the shard count by design.
+    for (fname, plan) in &parsed.faults {
+        if FaultPlan::preset(fname).is_none() {
+            plan.validate_cluster(parsed.shards)
+                .map_err(|e| format!("--faults {fname:?}: {e}"))?;
+        }
+    }
     Ok(parsed)
 }
 
-const DEPLOYMENT_NAMES: [&str; 5] = ["ser", "si", "causal", "mixed", "si-unchecked"];
+const DEPLOYMENT_NAMES: [&str; 6] = ["ser", "si", "causal", "mixed", "si-unchecked", "no-wal"];
 
 fn deployment_for(name: &str, app: App) -> Deployment {
     match name {
@@ -187,6 +199,7 @@ fn deployment_for(name: &str, app: App) -> Deployment {
         "causal" => Deployment::causal(),
         "mixed" => mixed_deployment(app),
         "si-unchecked" => Deployment::si_unchecked(),
+        "no-wal" => Deployment::no_wal(),
         other => unreachable!("deployment {other} validated at parse time"),
     }
 }
@@ -259,9 +272,26 @@ fn main() {
                     if args.require == Some(Require::Consistent) && verdict_str != "consistent" {
                         failures.push(format!("{label}: expected consistent, got {verdict_str}"));
                     }
+                    // Recovery invariants hold for every deployment —
+                    // no-wal loses durability, not shard-local sanity — so
+                    // a breach is always a failure, `--require` or not.
+                    for b in &out.invariant_breaches {
+                        failures.push(format!("{label}: invariant breach: {b}"));
+                    }
+                    let recovery = if out.stats.crashes == 0 {
+                        String::new()
+                    } else {
+                        format!(
+                            ", {} crashes, {} wal replayed, {}+{} in-doubt (commit/presumed-abort)",
+                            out.stats.crashes,
+                            out.stats.wal_replayed,
+                            out.stats.indoubt_committed,
+                            out.stats.indoubt_aborted,
+                        )
+                    };
                     println!(
                         "[simulate] {label}: {verdict_str} ({} committed, {} aborted attempts, \
-                         {} resends, {} dropped, {} given up){}",
+                         {} resends, {} dropped, {} given up{recovery}){}",
                         out.stats.committed,
                         out.stats.attempts_aborted,
                         out.stats.rpc_resends,
@@ -302,6 +332,29 @@ fn main() {
                             JsonValue::uint(out.stats.attempts_aborted),
                         ),
                         ("sim_time_us".into(), JsonValue::uint(out.stats.sim_time_us)),
+                        ("crashes".into(), JsonValue::uint(out.stats.crashes)),
+                        ("crash_drops".into(), JsonValue::uint(out.stats.crash_drops)),
+                        (
+                            "wal_replayed".into(),
+                            JsonValue::uint(out.stats.wal_replayed),
+                        ),
+                        (
+                            "indoubt_committed".into(),
+                            JsonValue::uint(out.stats.indoubt_committed),
+                        ),
+                        (
+                            "indoubt_aborted".into(),
+                            JsonValue::uint(out.stats.indoubt_aborted),
+                        ),
+                        (
+                            "invariant_breaches".into(),
+                            JsonValue::Array(
+                                out.invariant_breaches
+                                    .iter()
+                                    .map(|b| JsonValue::str(b.clone()))
+                                    .collect(),
+                            ),
+                        ),
                     ]));
                 }
             }

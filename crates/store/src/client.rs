@@ -23,6 +23,15 @@
 //! rolled back, so the protocol keeps pushing until every shard learns
 //! it). `Abort` messages are likewise resent until acknowledged by every
 //! touched shard, which prevents stranded locks.
+//!
+//! The client is also the 2PC *coordinator's decision record*: every
+//! commit decision is remembered (attempt → commit timestamp), and a shard
+//! recovering from a crash may ask about an in-doubt attempt with
+//! [`Request::QueryDecision`]. The answer follows the presumed-abort rule:
+//! `Committed(ts)` if the decision was recorded, `InProgress` if the
+//! queried attempt is the client's current attempt and still before its
+//! decision point, and `Aborted` otherwise — no recorded commit means the
+//! attempt did not and will never commit.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -33,7 +42,7 @@ use txdpor_history::{Value, Var, VarTable};
 use txdpor_program::{Env, EvalError, Instr, TransactionDef};
 
 use crate::deploy::ProtocolMode;
-use crate::msg::{Addr, Message, Payload, Reply, Request, TxnId};
+use crate::msg::{Addr, Decision, Message, Payload, Reply, Request, TxnId};
 
 /// Timeout, retry and backoff parameters of the client driver.
 #[derive(Copy, Clone, Debug, PartialEq)]
@@ -272,6 +281,11 @@ pub struct Client {
     next_req: u64,
     outstanding: BTreeMap<u64, PendingRpc>,
     wake_gen: u64,
+    /// Coordinator decision record: attempt → commit timestamp, consulted
+    /// by recovering shards via [`Request::QueryDecision`]. Absence of an
+    /// entry means presumed abort (once the attempt is past its decision
+    /// point).
+    decisions: BTreeMap<u32, u64>,
 
     /// Total RPC resends performed (for run statistics).
     pub rpc_resends: u64,
@@ -318,6 +332,7 @@ impl Client {
             next_req: 0,
             outstanding: BTreeMap::new(),
             wake_gen: 0,
+            decisions: BTreeMap::new(),
             rpc_resends: 0,
             attempts_aborted: 0,
         }
@@ -494,6 +509,7 @@ impl Client {
         errors: &mut Vec<ClientError>,
         fx: &mut Effects,
     ) {
+        self.decisions.insert(self.txn.attempt, commit_ts);
         committed.push(CommittedTx {
             session: self.id,
             program_index: self.cur,
@@ -640,7 +656,29 @@ impl Client {
         }
     }
 
-    /// Handles a reply from a server.
+    /// The coordinator's verdict on one of its own attempts, following the
+    /// presumed-abort rule (see the module docs).
+    fn decision_of(&self, txn: TxnId) -> Decision {
+        if let Some(&ts) = self.decisions.get(&txn.attempt) {
+            return Decision::Committed(ts);
+        }
+        let before_decision_point = matches!(
+            self.phase,
+            Phase::AwaitStartTs
+                | Phase::AwaitRead { .. }
+                | Phase::LockedWait { .. }
+                | Phase::AwaitPrewrite { .. }
+                | Phase::AwaitCommitTs
+        );
+        if txn.attempt == self.attempt_counter && before_decision_point {
+            Decision::InProgress
+        } else {
+            Decision::Aborted
+        }
+    }
+
+    /// Handles a reply from a server, or a recovering shard's
+    /// [`Request::QueryDecision`] about an in-doubt attempt.
     pub fn on_message(
         &mut self,
         msg: Message,
@@ -649,8 +687,30 @@ impl Client {
         errors: &mut Vec<ClientError>,
         fx: &mut Effects,
     ) {
-        let Payload::Reply(reply) = msg.payload else {
-            return; // clients never serve requests
+        let reply = match msg.payload {
+            Payload::Reply(reply) => reply,
+            Payload::Request(Request::QueryDecision { txn }) => {
+                // Answer directly: no timer and no outstanding entry — a
+                // lost answer is harmless because the ordinary
+                // commit/abort resends resolve the attempt regardless
+                // (the query is an accelerator, not a liveness
+                // requirement).
+                if txn.client == self.id {
+                    fx.sends.push((
+                        msg.from,
+                        Message {
+                            from: self.addr(),
+                            req_id: msg.req_id,
+                            payload: Payload::Reply(Reply::Decision {
+                                txn,
+                                decision: self.decision_of(txn),
+                            }),
+                        },
+                    ));
+                }
+                return;
+            }
+            Payload::Request(_) => return, // clients serve nothing else
         };
         // Duplicate or stale replies have no outstanding entry: ignore.
         let Some(pending) = self.outstanding.remove(&msg.req_id) else {
@@ -1033,6 +1093,98 @@ mod tests {
             errors[0].to_string(),
             "session 0 gave up on transaction 0 (t) after 3 attempts"
         );
+    }
+
+    /// Sends a decision query for `(client 3, attempt)` and returns the
+    /// answered decision, or `None` when the client stayed silent.
+    fn query(c: &mut Client, from: u32, attempt: u32, vars: &mut VarTable) -> Option<Decision> {
+        let (mut committed, mut errors) = (Vec::new(), Vec::new());
+        let mut fx = Effects::default();
+        c.on_message(
+            Message {
+                from: Addr::Shard(0),
+                req_id: 99,
+                payload: Payload::Request(Request::QueryDecision {
+                    txn: TxnId {
+                        client: from,
+                        attempt,
+                    },
+                }),
+            },
+            vars,
+            &mut committed,
+            &mut errors,
+            &mut fx,
+        );
+        assert!(committed.is_empty() && errors.is_empty());
+        fx.sends.pop().map(|(to, m)| {
+            assert_eq!(to, Addr::Shard(0), "answer goes back to the querier");
+            match m.payload {
+                Payload::Reply(Reply::Decision { txn, decision }) => {
+                    assert_eq!(
+                        txn,
+                        TxnId {
+                            client: from,
+                            attempt
+                        }
+                    );
+                    decision
+                }
+                other => panic!("expected a decision reply, got {other:?}"),
+            }
+        })
+    }
+
+    #[test]
+    fn serves_coordinator_decisions_with_presumed_abort() {
+        use txdpor_program::dsl::*;
+        let mut c = Client::new(
+            3,
+            vec![tx("w", vec![write(g("x"), cint(1))])],
+            vec![ProtocolMode::Snapshot],
+            RetryPolicy::default(),
+            1,
+            7,
+        );
+        let mut vars = VarTable::new();
+        let (mut committed, mut errors) = (Vec::new(), Vec::new());
+        let deliver = |c: &mut Client, req_id: u64, reply: Reply, vars: &mut VarTable| {
+            let (mut committed, mut errors) = (Vec::new(), Vec::new());
+            let mut fx = Effects::default();
+            c.on_message(
+                Message {
+                    from: Addr::Oracle,
+                    req_id,
+                    payload: Payload::Reply(reply),
+                },
+                vars,
+                &mut committed,
+                &mut errors,
+                &mut fx,
+            );
+            assert!(errors.is_empty());
+            committed
+        };
+        let mut fx = Effects::default();
+        c.start(&mut vars, &mut committed, &mut errors, &mut fx);
+        // Before the decision point, the current attempt is in progress…
+        assert_eq!(query(&mut c, 3, 1, &mut vars), Some(Decision::InProgress));
+        // …a query about someone else's attempt is not ours to answer…
+        assert_eq!(query(&mut c, 2, 1, &mut vars), None);
+        deliver(&mut c, 1, Reply::Ts(5), &mut vars); // start ts → prewrite (req 2)
+        assert_eq!(query(&mut c, 3, 1, &mut vars), Some(Decision::InProgress));
+        deliver(&mut c, 2, Reply::PrewriteOk, &mut vars); // → commit-ts (req 3)
+        assert_eq!(query(&mut c, 3, 1, &mut vars), Some(Decision::InProgress));
+        // …and receipt of the commit timestamp IS the decision point.
+        let done = deliver(&mut c, 3, Reply::Ts(9), &mut vars);
+        assert_eq!(done.len(), 1);
+        assert_eq!(query(&mut c, 3, 1, &mut vars), Some(Decision::Committed(9)));
+        deliver(&mut c, 4, Reply::CommitOk, &mut vars);
+        assert!(c.is_done());
+        // The decision record outlives the attempt; undecided past (or
+        // unknown) attempts are presumed aborted.
+        assert_eq!(query(&mut c, 3, 1, &mut vars), Some(Decision::Committed(9)));
+        assert_eq!(query(&mut c, 3, 2, &mut vars), Some(Decision::Aborted));
     }
 
     #[test]

@@ -79,6 +79,12 @@ pub struct Deployment {
     /// When set, the claimed level of *every* transaction regardless of its
     /// mode — the knob for intentionally over-claiming deployments.
     pub claimed_override: Option<IsolationLevel>,
+    /// Whether shards log prewrites and lock intents to their write-ahead
+    /// log. Honest deployments are durable; the [`Deployment::no_wal`]
+    /// deployment sets this to `false` and loses undecided state on crash.
+    /// Commit/abort decisions are always durable, so recovery never
+    /// resurrects an aborted attempt even here.
+    pub durable: bool,
 }
 
 impl Deployment {
@@ -89,6 +95,7 @@ impl Deployment {
             default_mode: ProtocolMode::Serializable,
             rules: Vec::new(),
             claimed_override: None,
+            durable: true,
         }
     }
 
@@ -99,6 +106,7 @@ impl Deployment {
             default_mode: ProtocolMode::Snapshot,
             rules: Vec::new(),
             claimed_override: None,
+            durable: true,
         }
     }
 
@@ -109,6 +117,7 @@ impl Deployment {
             default_mode: ProtocolMode::Causal,
             rules: Vec::new(),
             claimed_override: None,
+            durable: true,
         }
     }
 
@@ -121,6 +130,7 @@ impl Deployment {
             default_mode: ProtocolMode::Causal,
             rules,
             claimed_override: None,
+            durable: true,
         }
     }
 
@@ -135,7 +145,32 @@ impl Deployment {
             default_mode: ProtocolMode::Causal,
             rules: Vec::new(),
             claimed_override: Some(IsolationLevel::SnapshotIsolation),
+            durable: true,
         }
+    }
+
+    /// The intentionally crash-unsafe deployment: runs (and claims)
+    /// Snapshot Isolation, but its shards do **not** log prewrites or lock
+    /// intents to the write-ahead log — only commit/abort decisions are
+    /// durable. A crash forgets every in-flight writer, so a concurrent
+    /// transaction can slip past the lost lock and first-committer-wins is
+    /// violated after restart: a lost update the checker flags as a
+    /// Conflict-axiom violation with a closed core. Without crash faults
+    /// this deployment is indistinguishable from [`Deployment::si`].
+    pub fn no_wal() -> Self {
+        Deployment {
+            name: "no-wal".into(),
+            default_mode: ProtocolMode::Snapshot,
+            rules: Vec::new(),
+            claimed_override: None,
+            durable: false,
+        }
+    }
+
+    /// Whether this deployment is honest: its claim matches its behaviour
+    /// under every fault plan, crashes included.
+    pub fn honest(&self) -> bool {
+        self.claimed_override.is_none() && self.durable
     }
 
     /// The mode of a transaction type.
@@ -218,5 +253,29 @@ mod tests {
             Deployment::ser().uniform_claim(),
             Some(LevelSpec::uniform(IsolationLevel::Serializability))
         );
+    }
+
+    #[test]
+    fn no_wal_claims_si_without_durability() {
+        let d = Deployment::no_wal();
+        assert_eq!(d.name, "no-wal");
+        assert_eq!(d.default_mode, ProtocolMode::Snapshot);
+        assert!(!d.durable);
+        assert_eq!(
+            d.uniform_claim(),
+            Some(LevelSpec::uniform(IsolationLevel::SnapshotIsolation))
+        );
+        // Honesty = claim matches behaviour under every fault plan: the
+        // two broken deployments fail it for different reasons.
+        for honest in [
+            Deployment::ser(),
+            Deployment::si(),
+            Deployment::causal(),
+            Deployment::mixed(vec![("payment".into(), ProtocolMode::Serializable)]),
+        ] {
+            assert!(honest.honest(), "{} should be honest", honest.name);
+        }
+        assert!(!Deployment::si_unchecked().honest());
+        assert!(!Deployment::no_wal().honest());
     }
 }

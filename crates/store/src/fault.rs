@@ -1,22 +1,28 @@
 //! Fault plans: the network adversary of a simulation run.
 //!
-//! A [`FaultPlan`] describes how the simulated network misbehaves: baseline
-//! delivery delay, message drop / duplication / reordering probabilities,
-//! and timed node-pair partitions with heal. Together with the seed it
-//! fully determines a run — the plan carries no state of its own, all
-//! randomness comes from the simulation's seeded RNG.
+//! A [`FaultPlan`] describes how the simulated network and the cluster's
+//! nodes misbehave: baseline delivery delay, message drop / duplication /
+//! reordering probabilities, timed node-pair partitions with heal, and
+//! timed shard crash–restart windows. Together with the seed it fully
+//! determines a run — the plan carries no state of its own, all randomness
+//! comes from the simulation's seeded RNG.
 //!
 //! Plans parse from the command line ([`FromStr`]) either as a preset name
-//! (`none`, `jitter`, `lossy`, `chaos`, `partitions`) or as a
-//! comma-separated spec:
+//! (`none`, `jitter`, `lossy`, `chaos`, `partitions`, `crashy`,
+//! `crash-chaos`) or as a comma-separated spec:
 //!
 //! ```text
-//! delay=5..400,drop=0.05,dup=0.05,reorder=0.1,spike=2000,part=0-1@1000..8000
+//! delay=5..400,drop=0.05,dup=0.05,reorder=0.1,spike=2000,part=0-1@1000..8000,crash=0@2000..12000
 //! ```
 //!
-//! `part` may repeat to declare several partitions. Unknown keys and
-//! malformed values produce a readable [`ParseFaultError`], which the
-//! `simulate` binary surfaces without a backtrace.
+//! `part` and `crash` may repeat to declare several partitions / crash
+//! windows. A `crash=n@from..until` clause takes shard `n` down at `from`
+//! (its volatile state is lost) and restarts it at `until` (it recovers
+//! from its write-ahead log — see [`crate::server`]). Two crash windows
+//! for the same shard must not overlap: a crashed node cannot crash again
+//! before it restarts. Unknown keys and malformed values produce a
+//! readable [`ParseFaultError`], which the `simulate` binary surfaces
+//! without a backtrace.
 
 use std::fmt;
 use std::str::FromStr;
@@ -35,6 +41,29 @@ pub struct Partition {
     pub from_us: u64,
     /// End of the partition (exclusive) — the heal point.
     pub until_us: u64,
+}
+
+/// A timed crash–restart window of one storage shard: the shard is down
+/// (its volatile state lost, every message to it dropped) while
+/// `from_us <= now < until_us`, and recovers from its write-ahead log at
+/// `until_us`. Shard indexes are interpreted modulo the deployment's shard
+/// count, so preset plans written for small clusters apply to any
+/// topology; explicitly-written specs are additionally validated against
+/// the actual cluster by [`FaultPlan::validate_cluster`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Crash {
+    /// Index of the crashing shard.
+    pub node: u32,
+    /// Start of the outage (microseconds of simulated time, inclusive).
+    pub from_us: u64,
+    /// End of the outage (exclusive) — the restart/recovery point.
+    pub until_us: u64,
+}
+
+impl Crash {
+    fn overlaps(&self, other: &Crash) -> bool {
+        self.from_us < other.until_us && other.from_us < self.until_us
+    }
 }
 
 /// A fault-injection plan for the simulated network.
@@ -56,6 +85,8 @@ pub struct FaultPlan {
     pub reorder_extra_us: u64,
     /// Timed node-pair partitions.
     pub partitions: Vec<Partition>,
+    /// Timed shard crash–restart windows.
+    pub crashes: Vec<Crash>,
 }
 
 impl FaultPlan {
@@ -68,6 +99,7 @@ impl FaultPlan {
             reorder: 0.0,
             reorder_extra_us: 0,
             partitions: Vec::new(),
+            crashes: Vec::new(),
         }
     }
 
@@ -80,7 +112,7 @@ impl FaultPlan {
             dup: 0.0,
             reorder: 0.3,
             reorder_extra_us: 2_000,
-            partitions: Vec::new(),
+            ..FaultPlan::none()
         }
     }
 
@@ -92,7 +124,7 @@ impl FaultPlan {
             dup: 0.05,
             reorder: 0.1,
             reorder_extra_us: 1_000,
-            partitions: Vec::new(),
+            ..FaultPlan::none()
         }
     }
 
@@ -104,7 +136,55 @@ impl FaultPlan {
             dup: 0.10,
             reorder: 0.25,
             reorder_extra_us: 3_000,
-            partitions: Vec::new(),
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Shard crash–restart windows over an otherwise lossy network. The
+    /// windows are time-disjoint, so they stay non-overlapping on any
+    /// cluster size even after the shard indexes reduce modulo the shard
+    /// count.
+    pub fn crashy() -> Self {
+        FaultPlan {
+            crashes: vec![
+                Crash {
+                    node: 0,
+                    from_us: 2_000,
+                    until_us: 12_000,
+                },
+                Crash {
+                    node: 1,
+                    from_us: 15_000,
+                    until_us: 23_000,
+                },
+            ],
+            ..FaultPlan::lossy()
+        }
+    }
+
+    /// Staggered crash–restart windows of every default shard on top of
+    /// the full chaos network (heavy jitter, drop, duplication,
+    /// reordering). Windows are time-disjoint; see [`FaultPlan::crashy`].
+    pub fn crash_chaos() -> Self {
+        FaultPlan {
+            crashes: vec![
+                Crash {
+                    node: 0,
+                    from_us: 1_000,
+                    until_us: 9_000,
+                },
+                Crash {
+                    node: 1,
+                    from_us: 10_000,
+                    until_us: 18_000,
+                },
+                Crash {
+                    node: 2,
+                    from_us: 19_000,
+                    until_us: 27_000,
+                },
+            ],
+            ..FaultPlan::chaos()
         }
     }
 
@@ -130,7 +210,15 @@ impl FaultPlan {
     }
 
     /// The preset names accepted by the [`FromStr`] parser.
-    pub const PRESETS: [&'static str; 5] = ["none", "jitter", "lossy", "chaos", "partitions"];
+    pub const PRESETS: [&'static str; 7] = [
+        "none",
+        "jitter",
+        "lossy",
+        "chaos",
+        "partitions",
+        "crashy",
+        "crash-chaos",
+    ];
 
     /// Looks up a preset by name.
     pub fn preset(name: &str) -> Option<FaultPlan> {
@@ -140,6 +228,8 @@ impl FaultPlan {
             "lossy" => Some(FaultPlan::lossy()),
             "chaos" => Some(FaultPlan::chaos()),
             "partitions" => Some(FaultPlan::partitions()),
+            "crashy" => Some(FaultPlan::crashy()),
+            "crash-chaos" => Some(FaultPlan::crash_chaos()),
             _ => None,
         }
     }
@@ -154,6 +244,36 @@ impl FaultPlan {
             ((pa == a && pb == b) || (pa == b && pb == a))
                 && (p.from_us..p.until_us).contains(&now_us)
         })
+    }
+
+    /// Whether shard `shard` is crashed at simulated time `now_us` (crash
+    /// node indexes are reduced modulo `num_shards` first, like partition
+    /// endpoints).
+    pub fn crashed(&self, shard: u32, now_us: u64, num_shards: u32) -> bool {
+        debug_assert!(num_shards > 0);
+        self.crashes
+            .iter()
+            .any(|c| c.node % num_shards == shard && (c.from_us..c.until_us).contains(&now_us))
+    }
+
+    /// Validates an explicitly-written plan against the actual cluster:
+    /// every `crash=` clause must name an existing shard (`node <
+    /// num_shards`). Presets are exempt — their indexes reduce modulo the
+    /// shard count by design — so callers (the `simulate` binary) apply
+    /// this only to non-preset specs. The error lists the accepted
+    /// grammar.
+    pub fn validate_cluster(&self, num_shards: u32) -> Result<(), String> {
+        for c in &self.crashes {
+            if c.node >= num_shards {
+                return Err(format!(
+                    "crash clause names unknown shard {}: the cluster has {num_shards} shard(s) \
+                     (0..={}); expected crash=<node>@<from>..<until> with node < shards",
+                    c.node,
+                    num_shards - 1
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -177,6 +297,9 @@ impl fmt::Display for FaultPlan {
         )?;
         for p in &self.partitions {
             write!(f, ",part={}-{}@{}..{}", p.a, p.b, p.from_us, p.until_us)?;
+        }
+        for c in &self.crashes {
+            write!(f, ",crash={}@{}..{}", c.node, c.from_us, c.until_us)?;
         }
         Ok(())
     }
@@ -204,7 +327,8 @@ impl fmt::Display for ParseFaultError {
         write!(
             f,
             "invalid fault plan {:?}: {}; expected a preset ({}) or a spec like \
-             \"delay=5..400,drop=0.05,dup=0.05,reorder=0.1,spike=2000,part=0-1@1000..8000\"",
+             \"delay=5..400,drop=0.05,dup=0.05,reorder=0.1,spike=2000,\
+             part=0-1@1000..8000,crash=0@2000..12000\"",
             self.input,
             self.reason,
             FaultPlan::PRESETS.join(", "),
@@ -292,6 +416,39 @@ impl FromStr for FaultPlan {
                     }
                     plan.partitions.push(p);
                 }
+                "crash" => {
+                    let err = || {
+                        ParseFaultError::new(s, format!("crash {value:?} must be node@from..until"))
+                    };
+                    let (node, window) = value.split_once('@').ok_or_else(err)?;
+                    let (from, until) = window.split_once("..").ok_or_else(err)?;
+                    let c = Crash {
+                        node: node.parse().map_err(|_| err())?,
+                        from_us: from.parse().map_err(|_| err())?,
+                        until_us: until.parse().map_err(|_| err())?,
+                    };
+                    if c.from_us >= c.until_us {
+                        return Err(ParseFaultError::new(
+                            s,
+                            format!("crash window {}..{} is empty", c.from_us, c.until_us),
+                        ));
+                    }
+                    if let Some(prev) = plan
+                        .crashes
+                        .iter()
+                        .find(|p| p.node == c.node && p.overlaps(&c))
+                    {
+                        return Err(ParseFaultError::new(
+                            s,
+                            format!(
+                                "crash windows {}..{} and {}..{} of shard {} overlap — a crashed \
+                                 node cannot crash again before it restarts",
+                                prev.from_us, prev.until_us, c.from_us, c.until_us, c.node
+                            ),
+                        ));
+                    }
+                    plan.crashes.push(c);
+                }
                 other => {
                     return Err(ParseFaultError::new(s, format!("unknown key {other:?}")));
                 }
@@ -320,6 +477,8 @@ mod tests {
             "delay=5..400,drop=0.05,dup=0.05,reorder=0.1,spike=2000",
             "drop=0.5",
             "delay=0..0,part=0-1@1000..8000,part=1-2@9000..9001",
+            "crash=0@2000..12000,crash=1@500..1500,crash=0@12000..13000",
+            "delay=1..9,drop=0.25,part=0-2@5..10,crash=2@1..2",
         ];
         for s in specs {
             let plan: FaultPlan = s.parse().unwrap();
@@ -340,6 +499,12 @@ mod tests {
             ("spike=abc", "is not an integer"),
             ("part=0-1", "must be a-b@from..until"),
             ("part=0-1@9..3", "is empty"),
+            ("crash=0", "must be node@from..until"),
+            ("crash=0@5000", "must be node@from..until"),
+            ("crash=x@1..2", "must be node@from..until"),
+            ("crash=0@9..3", "is empty"),
+            ("crash=0@5..5", "is empty"),
+            ("crash=0@0..5000,crash=0@4000..6000", "overlap"),
             ("warp=0.1", "unknown key"),
         ] {
             let err = bad.parse::<FaultPlan>().unwrap_err();
@@ -359,5 +524,45 @@ mod tests {
         assert!(!plan.partitioned(0, 2, 5000, 4));
         // Node indexes reduce modulo the cluster size.
         assert!(plan.partitioned(0, 3, 5000, 2));
+    }
+
+    #[test]
+    fn crash_windows_and_modulo() {
+        let plan: FaultPlan = "crash=1@1000..8000".parse().unwrap();
+        assert!(plan.crashed(1, 1000, 3));
+        assert!(plan.crashed(1, 7999, 3));
+        assert!(!plan.crashed(1, 8000, 3), "restart point is up again");
+        assert!(!plan.crashed(1, 999, 3));
+        assert!(!plan.crashed(0, 5000, 3));
+        // Crash node indexes reduce modulo the shard count.
+        assert!(plan.crashed(0, 5000, 1));
+        // Same-shard windows back to back (no overlap) are fine.
+        let plan: FaultPlan = "crash=0@0..10,crash=0@10..20".parse().unwrap();
+        assert!(plan.crashed(0, 9, 2) && plan.crashed(0, 10, 2));
+        // Overlapping windows on *different* shards are fine.
+        assert!("crash=0@0..10,crash=1@5..15".parse::<FaultPlan>().is_ok());
+    }
+
+    #[test]
+    fn cluster_validation_rejects_unknown_shards() {
+        let plan: FaultPlan = "crash=7@1000..2000".parse().unwrap();
+        let err = plan.validate_cluster(3).unwrap_err();
+        assert!(err.contains("unknown shard 7"), "{err}");
+        assert!(err.contains("crash=<node>@<from>..<until>"), "{err}");
+        assert!(plan.validate_cluster(8).is_ok());
+        // Presets stay valid on any cluster only via the modulo rule; by
+        // construction their windows are time-disjoint so reduction can
+        // never make a shard crash while crashed.
+        for name in FaultPlan::PRESETS {
+            let plan = FaultPlan::preset(name).unwrap();
+            for shards in 1..=4u32 {
+                for c in &plan.crashes {
+                    let overlapping = plan.crashes.iter().any(|other| {
+                        other != c && other.node % shards == c.node % shards && other.overlaps(c)
+                    });
+                    assert!(!overlapping, "{name}: overlap at {shards} shards");
+                }
+            }
+        }
     }
 }

@@ -15,6 +15,15 @@
 //! buggy or over-claiming one (see [`Deployment::si_unchecked`]) yields a
 //! minimal violation core naming the offending transactions.
 //!
+//! Crashes are faults too: a plan may schedule shard crash–restart
+//! windows (`crash=<node>@<from>..<until>`, or the `crashy` /
+//! `crash-chaos` presets). Shards write a simulated WAL ahead of every
+//! state change and recover by replay, resolving in-doubt two-phase
+//! commits by querying the coordinator's decision record with presumed
+//! abort as the fallback. The deliberately broken [`Deployment::no_wal`]
+//! skips WAL-logging prewrites and demonstrably loses updates across
+//! crashes — the second end-to-end regression the checker must catch.
+//!
 //! Determinism contract: a run is a pure function of `(program,
 //! deployment, shards, seed, fault plan, retry policy)`. Same config, same
 //! bits — `History::fingerprint_hash` equality is asserted in tests and
@@ -43,8 +52,8 @@ pub mod simulation;
 
 pub use client::{Client, ClientError, ClientEvent, CommittedTx, RetryPolicy};
 pub use deploy::{Deployment, ProtocolMode};
-pub use fault::{FaultPlan, ParseFaultError, Partition};
-pub use msg::{Addr, Message, Payload, Reply, Request, TxnId};
+pub use fault::{Crash, FaultPlan, ParseFaultError, Partition};
+pub use msg::{Addr, Decision, Message, Payload, Reply, Request, TxnId};
 pub use recorder::record;
-pub use server::{Oracle, Shard};
-pub use simulation::{run_simulation, SimConfig, SimOutcome, SimStats};
+pub use server::{Oracle, RecoveryStats, Shard, WalRecord};
+pub use simulation::{run_simulation, run_simulation_traced, SimConfig, SimOutcome, SimStats};

@@ -5,6 +5,13 @@
 //! memory. Requests and replies are matched by a per-client `req_id`, which
 //! makes every handler safe under duplication and reordering: a reply for a
 //! request the client no longer has outstanding is simply dropped.
+//!
+//! One request flows the other way: a shard recovering from a crash sends
+//! [`Request::QueryDecision`] to the coordinator (client) of each in-doubt
+//! attempt it replayed from its write-ahead log, and the client answers
+//! with [`Reply::Decision`]. These are matched by the attempt id carried in
+//! the payload, not by `req_id` — applying a decision is idempotent, so the
+//! shard needs no outstanding-request bookkeeping.
 
 use txdpor_history::{Value, Var};
 
@@ -90,6 +97,33 @@ pub enum Request {
         /// The aborting attempt.
         txn: TxnId,
     },
+    /// Sent by a *recovering shard* to the attempt's coordinator (its
+    /// client): the shard replayed a prewrite from its write-ahead log but
+    /// found no commit/abort decision — the attempt is in doubt. The
+    /// client answers with [`Reply::Decision`]; losing either message is
+    /// harmless, because the client's own commit/abort resends resolve the
+    /// attempt eventually anyway.
+    QueryDecision {
+        /// The in-doubt attempt.
+        txn: TxnId,
+    },
+}
+
+/// The coordinator's verdict on an in-doubt attempt, carried by
+/// [`Reply::Decision`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// The attempt committed at this timestamp; the shard applies the
+    /// commit (idempotently) to its recovered prewrite.
+    Committed(u64),
+    /// The attempt never committed and the client has moved past it — the
+    /// presumed-abort rule: no logged decision means abort. The shard
+    /// discards the recovered prewrite and releases its locks.
+    Aborted,
+    /// The attempt is still running; the shard keeps the in-doubt state
+    /// and lets the ordinary protocol (commit/abort with unlimited
+    /// resends) decide it.
+    InProgress,
 }
 
 /// A reply from a shard or the oracle.
@@ -121,6 +155,16 @@ pub enum Reply {
     CommitOk,
     /// Abort applied (idempotent).
     AbortOk,
+    /// The coordinator's answer to [`Request::QueryDecision`]. Carries the
+    /// attempt so the shard can apply it without per-request bookkeeping;
+    /// duplicated or stale decisions are harmless because applying one is
+    /// idempotent and a decision never changes once made.
+    Decision {
+        /// The queried attempt.
+        txn: TxnId,
+        /// The coordinator's verdict.
+        decision: Decision,
+    },
 }
 
 /// The payload of a [`Message`].

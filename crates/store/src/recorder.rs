@@ -16,6 +16,16 @@
 //! (`txdpor_program::semantics`). The claimed spec is built positionally:
 //! the recorded index of a transaction within its session is the index the
 //! checker's `LevelSpec` overrides address.
+//!
+//! In-doubt transactions are classified by construction: a [`CommittedTx`]
+//! entry is pushed exactly at the coordinator's commit decision point
+//! (receipt of the commit timestamp), so an attempt that crashed or was
+//! presumed-aborted before deciding never reaches the recorder and the
+//! emitted `History` reflects only what actually committed. The one way a
+//! broken recovery path could leak into a history is a read observing a
+//! version installed by a never-decided attempt — [`record`] treats that
+//! as a hard error (panic) rather than silently emitting a dangling `wr`
+//! edge, so resurrected writes cannot masquerade as committed state.
 
 use std::collections::BTreeMap;
 
@@ -184,6 +194,33 @@ mod tests {
         assert_eq!(spec.level_of(1, 0), IsolationLevel::PrefixConsistency);
         // The recorded history satisfies its claimed spec (trivially here).
         assert!(spec.satisfies(&h));
+    }
+
+    #[test]
+    #[should_panic(expected = "never committed")]
+    fn reads_observing_uncommitted_attempts_are_a_hard_error() {
+        let x = Var(0);
+        // The read claims to have observed attempt (client 5, attempt 9),
+        // which is not in the commit-decision log: if recovery ever served
+        // a resurrected, never-decided write, this is where it would
+        // surface — and it must be loud, not a silent wr edge to nowhere.
+        let reader = committed(
+            0,
+            0,
+            "r",
+            1,
+            ProtocolMode::Snapshot,
+            vec![ClientEvent::Read {
+                var: x,
+                value: Value::Int(3),
+                writer: Some(TxnId {
+                    client: 5,
+                    attempt: 9,
+                }),
+                external: true,
+            }],
+        );
+        record(&[reader], vec![(x, Value::Int(0))], &Deployment::si());
     }
 
     #[test]

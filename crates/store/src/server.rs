@@ -1,4 +1,5 @@
-//! Server nodes: MVCC shards and the timestamp oracle.
+//! Server nodes: MVCC shards (with a simulated write-ahead log and
+//! crash–restart recovery) and the timestamp oracle.
 //!
 //! Each shard owns the version chains and lock table of its slice of the
 //! key space and is driven purely by messages. Handlers are **idempotent**
@@ -16,12 +17,40 @@
 //! `start_ts <= s` at the moment a snapshot-`s` read arrives (locks are
 //! taken at prewrite, before the commit timestamp is drawn, and the oracle
 //! is monotone).
+//!
+//! # WAL contract and recovery
+//!
+//! Every state transition is logged to the shard's [`Wal`] *in the same
+//! atomic handler step* that applies it in memory — prewrites (with their
+//! buffered writes), shared read-lock intents, and commit/abort decisions
+//! (commit records inline the installed writes). [`Shard::crash`] discards
+//! all volatile state but keeps the log; [`Shard::restart`] rebuilds
+//! version chains, the lock table and per-attempt state by replaying it.
+//! Replay reuses the same guarded apply primitives as the live handlers,
+//! so it is idempotent by construction: a lock can only come back for an
+//! attempt that is still undecided in the log, and a version can only be
+//! installed once per attempt.
+//!
+//! Recovery leaves prewritten-but-undecided attempts *in doubt*: their
+//! exclusive locks are held (preserving the snapshot-read invariant above)
+//! and a [`Request::QueryDecision`] is sent to each attempt's coordinator.
+//! The coordinator answers from its decision record — commit timestamp if
+//! the attempt committed, otherwise **presumed abort** once it has moved
+//! on ([`crate::msg::Decision`]). Losing these messages only delays
+//! resolution: the ordinary commit/abort resends decide the attempt too.
+//!
+//! A shard built with durability off ([`Shard::with_durability`]) models
+//! the deliberately broken `no-wal` deployment: commit/abort *decisions*
+//! still reach the log, but prewrites and lock intents are volatile — a
+//! crash forgets in-flight writers, so first-committer-wins can be
+//! violated after restart (two writers of the same key both commit). The
+//! end-to-end pipeline exists to catch exactly that.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use txdpor_history::{Value, Var};
 
-use crate::msg::{Addr, Message, Payload, Reply, Request, TxnId};
+use crate::msg::{Addr, Decision, Message, Payload, Reply, Request, TxnId};
 
 /// The timestamp oracle: a monotone counter serving start and commit
 /// timestamps. Timestamp 0 is reserved for initial versions.
@@ -92,8 +121,64 @@ enum TxnState {
     Aborted,
 }
 
+/// One durable record of a shard's write-ahead log. Records are appended
+/// in the same atomic handler step as the in-memory state change they
+/// describe, and replayed in order by [`Shard::restart`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum WalRecord {
+    /// A shared read-lock intent of a locking (serializable-mode) read.
+    ReadLock {
+        /// The locking attempt.
+        txn: TxnId,
+        /// The locked variable.
+        var: Var,
+    },
+    /// A successful prewrite: exclusive locks taken, writes buffered.
+    Prewrite {
+        /// The prewriting attempt.
+        txn: TxnId,
+        /// Its start timestamp (lock metadata for snapshot-read blocking).
+        start_ts: u64,
+        /// The buffered writes destined for this shard.
+        writes: Vec<(Var, Value)>,
+    },
+    /// A commit decision, with the versions it installs inlined so replay
+    /// never depends on a prewrite record (the volatile `no-wal` shard
+    /// logs commits but not prewrites).
+    Commit {
+        /// The committed attempt.
+        txn: TxnId,
+        /// Version timestamp of the installed writes.
+        commit_ts: u64,
+        /// The installed writes (empty for read-only participants).
+        writes: Vec<(Var, Value)>,
+    },
+    /// An abort decision.
+    Abort {
+        /// The aborted attempt.
+        txn: TxnId,
+    },
+}
+
+/// The simulated write-ahead log of one shard: an append-only record list
+/// that survives [`Shard::crash`].
+pub type Wal = Vec<WalRecord>;
+
+/// Recovery observability counters of one shard, aggregated into
+/// [`SimStats`](crate::simulation::SimStats).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// WAL records replayed across all restarts of this shard.
+    pub wal_replayed: u64,
+    /// In-doubt attempts committed via a coordinator decision reply.
+    pub indoubt_committed: u64,
+    /// In-doubt attempts resolved by presumed abort via a decision reply.
+    pub indoubt_aborted: u64,
+}
+
 /// A storage shard: version chains, lock table and per-attempt state for
-/// its slice of the key space.
+/// its slice of the key space, plus the write-ahead log those are
+/// rebuilt from after a crash.
 #[derive(Debug)]
 pub struct Shard {
     id: u32,
@@ -103,18 +188,50 @@ pub struct Shard {
     txns: BTreeMap<TxnId, TxnState>,
     /// Initial values of the key space (vars absent here start at `Int(0)`).
     init: BTreeMap<Var, Value>,
+    /// The write-ahead log; survives crashes.
+    wal: Wal,
+    /// Whether prewrites and lock intents reach the WAL. Decisions are
+    /// always logged; see the module docs for the `no-wal` model.
+    durable: bool,
+    /// Request ids of shard-originated [`Request::QueryDecision`]s.
+    next_req: u64,
+    /// Recovery observability counters; survive crashes (they describe the
+    /// run, not the node).
+    recovery: RecoveryStats,
 }
 
 impl Shard {
-    /// Creates shard `id` over the given initial values.
+    /// Creates shard `id` over the given initial values, with a durable
+    /// write-ahead log.
     pub fn new(id: u32, init: BTreeMap<Var, Value>) -> Self {
+        Shard::with_durability(id, init, true)
+    }
+
+    /// Creates shard `id` with explicit durability: `durable = false`
+    /// models the broken `no-wal` node that loses undecided prewrite
+    /// state (and shared-lock intents) on crash.
+    pub fn with_durability(id: u32, init: BTreeMap<Var, Value>, durable: bool) -> Self {
         Shard {
             id,
             versions: BTreeMap::new(),
             locks: BTreeMap::new(),
             txns: BTreeMap::new(),
             init,
+            wal: Vec::new(),
+            durable,
+            next_req: 0,
+            recovery: RecoveryStats::default(),
         }
+    }
+
+    /// Recovery observability counters of this shard.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    /// This shard's index in the cluster.
+    pub fn id(&self) -> u32 {
+        self.id
     }
 
     fn reply(&self, to: Addr, req_id: u64, reply: Reply) -> (Addr, Message) {
@@ -162,6 +279,53 @@ impl Shard {
         });
     }
 
+    /// Appends a WAL record. `decision` records (commit/abort) always
+    /// reach the log; prewrite and lock-intent records only on durable
+    /// shards — that asymmetry *is* the `no-wal` bug under test.
+    fn log(&mut self, rec: WalRecord) {
+        let decision = matches!(rec, WalRecord::Commit { .. } | WalRecord::Abort { .. });
+        if self.durable || decision {
+            self.wal.push(rec);
+        }
+    }
+
+    /// Takes `txn`'s exclusive locks and buffers its writes (the state
+    /// change of a successful prewrite). Shared by the live handler and
+    /// WAL replay.
+    fn apply_prewrite(&mut self, txn: TxnId, start_ts: u64, writes: Vec<(Var, Value)>) {
+        for (var, _) in &writes {
+            self.locks.entry(*var).or_default().exclusive = Some((txn, start_ts));
+        }
+        self.txns.insert(txn, TxnState::Prewritten(writes));
+    }
+
+    /// Marks `txn` committed, installs its versions at `commit_ts` and
+    /// releases its locks. Shared by the live handler, WAL replay and
+    /// in-doubt decision application; callers guard against re-applying.
+    fn apply_commit(&mut self, txn: TxnId, commit_ts: u64, writes: Vec<(Var, Value)>) {
+        self.txns.insert(txn, TxnState::Committed);
+        for (var, value) in writes {
+            let chain = self.chain(var);
+            let at = chain.partition_point(|v| v.ts <= commit_ts);
+            chain.insert(
+                at,
+                Version {
+                    ts: commit_ts,
+                    value,
+                    writer: Some(txn),
+                },
+            );
+        }
+        self.release_locks(txn);
+    }
+
+    /// Marks `txn` aborted and releases its locks. Shared by the live
+    /// handler, WAL replay and presumed-abort decision application.
+    fn apply_abort(&mut self, txn: TxnId) {
+        self.txns.insert(txn, TxnState::Aborted);
+        self.release_locks(txn);
+    }
+
     /// Handles one request, returning the replies to send.
     pub fn handle(&mut self, from: Addr, req_id: u64, req: Request) -> Vec<(Addr, Message)> {
         match req {
@@ -181,7 +345,7 @@ impl Shard {
                 vec![self.handle_commit(from, req_id, txn, commit_ts)]
             }
             Request::Abort { txn } => vec![self.handle_abort(from, req_id, txn)],
-            other => panic!("shard {} received an oracle request: {other:?}", self.id),
+            other => panic!("shard {} received a non-shard request: {other:?}", self.id),
         }
     }
 
@@ -236,8 +400,8 @@ impl Shard {
                     // No-wait strict two-phase locking: abort the reader.
                     return self.reply(from, req_id, Reply::ReadConflict);
                 }
-                if lock && !decided {
-                    self.locks.entry(var).or_default().shared.insert(txn);
+                if lock && !decided && self.locks.entry(var).or_default().shared.insert(txn) {
+                    self.log(WalRecord::ReadLock { txn, var });
                 }
                 let v = self.read_at(var, u64::MAX);
                 self.reply(
@@ -286,10 +450,12 @@ impl Shard {
         if lock_conflict || version_conflict {
             return self.reply(from, req_id, Reply::PrewriteConflict);
         }
-        for (var, _) in &writes {
-            self.locks.entry(*var).or_default().exclusive = Some((txn, start_ts));
-        }
-        self.txns.insert(txn, TxnState::Prewritten(writes));
+        self.log(WalRecord::Prewrite {
+            txn,
+            start_ts,
+            writes: writes.clone(),
+        });
+        self.apply_prewrite(txn, start_ts, writes);
         self.reply(from, req_id, Reply::PrewriteOk)
     }
 
@@ -301,31 +467,25 @@ impl Shard {
         commit_ts: u64,
     ) -> (Addr, Message) {
         match self.txns.get(&txn) {
-            Some(TxnState::Prewritten(_)) => {
-                let Some(TxnState::Prewritten(writes)) = self.txns.insert(txn, TxnState::Committed)
-                else {
-                    unreachable!("state checked above");
-                };
-                for (var, value) in writes {
-                    let chain = self.chain(var);
-                    let at = chain.partition_point(|v| v.ts <= commit_ts);
-                    chain.insert(
-                        at,
-                        Version {
-                            ts: commit_ts,
-                            value,
-                            writer: Some(txn),
-                        },
-                    );
-                }
-                self.release_locks(txn);
+            Some(TxnState::Prewritten(writes)) => {
+                let writes = writes.clone();
+                self.log(WalRecord::Commit {
+                    txn,
+                    commit_ts,
+                    writes: writes.clone(),
+                });
+                self.apply_commit(txn, commit_ts, writes);
             }
             Some(TxnState::Committed | TxnState::Aborted) => {} // idempotent
             None => {
                 // A read-only (serializable) participant: nothing to
                 // install, just release the shared locks.
-                self.txns.insert(txn, TxnState::Committed);
-                self.release_locks(txn);
+                self.log(WalRecord::Commit {
+                    txn,
+                    commit_ts,
+                    writes: Vec::new(),
+                });
+                self.apply_commit(txn, commit_ts, Vec::new());
             }
         }
         self.reply(from, req_id, Reply::CommitOk)
@@ -338,12 +498,197 @@ impl Shard {
                 // attempt can only be a stale duplicate from a lost race
                 // and must not undo anything.
             }
+            Some(TxnState::Aborted) => {} // idempotent: no duplicate record
             _ => {
-                self.txns.insert(txn, TxnState::Aborted);
-                self.release_locks(txn);
+                self.log(WalRecord::Abort { txn });
+                self.apply_abort(txn);
             }
         }
         self.reply(from, req_id, Reply::AbortOk)
+    }
+
+    /// Simulates a crash of this node: all volatile state — version
+    /// chains, the lock table, per-attempt state — is discarded. The WAL
+    /// (and the observability counters, which describe the run rather
+    /// than the node) survive.
+    pub fn crash(&mut self) {
+        self.versions.clear();
+        self.locks.clear();
+        self.txns.clear();
+    }
+
+    /// Restarts the node after a [`Shard::crash`]: rebuilds state by
+    /// replaying the WAL in order, then returns one
+    /// [`Request::QueryDecision`] per in-doubt attempt (prewritten in the
+    /// log with no decision record), addressed to the attempt's
+    /// coordinator.
+    ///
+    /// Replay reuses the guarded apply primitives of the live handlers,
+    /// so it is idempotent: a lock only resurrects for an attempt that is
+    /// still undecided after the *whole* log is applied, and no version
+    /// is ever installed twice.
+    pub fn restart(&mut self) -> Vec<(Addr, Message)> {
+        let wal = std::mem::take(&mut self.wal);
+        for rec in &wal {
+            self.recovery.wal_replayed += 1;
+            match rec {
+                WalRecord::ReadLock { txn, var } => {
+                    // Re-intend the shared lock; a later Commit/Abort
+                    // record releases it again during this same replay.
+                    if !matches!(
+                        self.txns.get(txn),
+                        Some(TxnState::Committed | TxnState::Aborted)
+                    ) {
+                        self.locks.entry(*var).or_default().shared.insert(*txn);
+                    }
+                }
+                WalRecord::Prewrite {
+                    txn,
+                    start_ts,
+                    writes,
+                } => {
+                    if !self.txns.contains_key(txn) {
+                        self.apply_prewrite(*txn, *start_ts, writes.clone());
+                    }
+                }
+                WalRecord::Commit {
+                    txn,
+                    commit_ts,
+                    writes,
+                } => {
+                    if !matches!(self.txns.get(txn), Some(TxnState::Committed)) {
+                        self.apply_commit(*txn, *commit_ts, writes.clone());
+                    }
+                }
+                WalRecord::Abort { txn } => {
+                    if !matches!(self.txns.get(txn), Some(TxnState::Committed)) {
+                        self.apply_abort(*txn);
+                    }
+                }
+            }
+        }
+        self.wal = wal;
+        let in_doubt: Vec<TxnId> = self
+            .txns
+            .iter()
+            .filter(|(_, st)| matches!(st, TxnState::Prewritten(_)))
+            .map(|(txn, _)| *txn)
+            .collect();
+        in_doubt
+            .into_iter()
+            .map(|txn| {
+                self.next_req += 1;
+                (
+                    Addr::Client(txn.client),
+                    Message {
+                        from: Addr::Shard(self.id),
+                        req_id: self.next_req,
+                        payload: Payload::Request(Request::QueryDecision { txn }),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Applies a coordinator's [`Reply::Decision`] to an in-doubt attempt.
+    /// Only a still-prewritten attempt is affected — duplicated, stale or
+    /// raced decisions are dropped (a decision never changes once made,
+    /// so this is safe, not just convenient).
+    pub fn on_decision(&mut self, txn: TxnId, decision: Decision) {
+        if !matches!(self.txns.get(&txn), Some(TxnState::Prewritten(_))) {
+            return;
+        }
+        match decision {
+            Decision::Committed(commit_ts) => {
+                let Some(TxnState::Prewritten(writes)) = self.txns.get(&txn).cloned() else {
+                    unreachable!("state checked above");
+                };
+                self.log(WalRecord::Commit {
+                    txn,
+                    commit_ts,
+                    writes: writes.clone(),
+                });
+                self.apply_commit(txn, commit_ts, writes);
+                self.recovery.indoubt_committed += 1;
+            }
+            Decision::Aborted => {
+                self.log(WalRecord::Abort { txn });
+                self.apply_abort(txn);
+                self.recovery.indoubt_aborted += 1;
+            }
+            Decision::InProgress => {} // the ordinary protocol decides it
+        }
+    }
+
+    /// Checks the shard's internal recovery invariants, returning a
+    /// description of the first breach found: every exclusive lock is
+    /// held by a prewritten (undecided) attempt, no shared lock belongs
+    /// to a decided attempt (no resurrected locks), and every version
+    /// chain is `ts`-sorted starting at the initial version with at most
+    /// one version per installing attempt (no duplicate installs).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (var, lock) in &self.locks {
+            if lock.is_free() {
+                return Err(format!("shard {}: empty lock entry for {var:?}", self.id));
+            }
+            if let Some((t, _)) = lock.exclusive {
+                if !matches!(self.txns.get(&t), Some(TxnState::Prewritten(_))) {
+                    return Err(format!(
+                        "shard {}: exclusive lock on {var:?} held by non-prewritten {t:?}",
+                        self.id
+                    ));
+                }
+            }
+            for t in &lock.shared {
+                if matches!(
+                    self.txns.get(t),
+                    Some(TxnState::Committed | TxnState::Aborted)
+                ) {
+                    return Err(format!(
+                        "shard {}: resurrected shared lock on {var:?} by decided {t:?}",
+                        self.id
+                    ));
+                }
+            }
+        }
+        for (var, chain) in &self.versions {
+            if chain.first().map(|v| (v.ts, v.writer)) != Some((0, None)) {
+                return Err(format!(
+                    "shard {}: chain of {var:?} does not start at the initial version",
+                    self.id
+                ));
+            }
+            let mut writers = BTreeSet::new();
+            for (a, b) in chain.iter().zip(chain.iter().skip(1)) {
+                if a.ts > b.ts {
+                    return Err(format!(
+                        "shard {}: chain of {var:?} is not ts-sorted ({} > {})",
+                        self.id, a.ts, b.ts
+                    ));
+                }
+            }
+            for v in chain.iter().filter(|v| v.writer.is_some()) {
+                if !writers.insert(v.writer) {
+                    return Err(format!(
+                        "shard {}: duplicate version install of {var:?} by {:?}",
+                        self.id, v.writer
+                    ));
+                }
+                if !matches!(self.txns.get(&v.writer.unwrap()), Some(TxnState::Committed)) {
+                    return Err(format!(
+                        "shard {}: {var:?} version installed by uncommitted {:?}",
+                        self.id, v.writer
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the shard holds any locks (used by end-of-run stranded-lock
+    /// checks: once every client finished, all locks must be released).
+    pub fn holds_locks(&self) -> bool {
+        !self.locks.is_empty()
     }
 }
 
@@ -584,6 +929,202 @@ mod tests {
             Reply::ReadOk { .. }
         ));
         assert!(shard.locks.is_empty());
+    }
+
+    fn abort(shard: &mut Shard, t: TxnId) -> Reply {
+        expect_reply(shard.handle(Addr::Client(t.client), 4, Request::Abort { txn: t }))
+    }
+
+    fn query_targets(msgs: &[(Addr, Message)]) -> Vec<TxnId> {
+        msgs.iter()
+            .map(|(to, m)| match (&m.payload, to) {
+                (Payload::Request(Request::QueryDecision { txn }), Addr::Client(c)) => {
+                    assert_eq!(*c, txn.client, "query must go to the coordinator");
+                    *txn
+                }
+                other => panic!("expected a decision query, got {other:?}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovery_replays_the_wal_and_queries_in_doubt_attempts() {
+        let (x, y) = (Var(0), Var(1));
+        let mut shard = Shard::new(0, BTreeMap::from([(x, Value::Int(7))]));
+        let done = txn(0, 1);
+        let in_doubt = txn(1, 1);
+        // One attempt commits before the crash, another is prewritten.
+        assert_eq!(
+            prewrite(&mut shard, done, 1, x, 10, true),
+            Reply::PrewriteOk
+        );
+        assert_eq!(commit(&mut shard, done, 3), Reply::CommitOk);
+        assert_eq!(
+            prewrite(&mut shard, in_doubt, 4, y, 20, true),
+            Reply::PrewriteOk
+        );
+        shard.crash();
+        assert!(shard.versions.is_empty() && shard.locks.is_empty() && shard.txns.is_empty());
+        let queries = shard.restart();
+        shard.check_invariants().unwrap();
+        // Committed data is back, the in-doubt lock is resurrected, and
+        // exactly the undecided attempt is queried.
+        assert_eq!(
+            read_snapshot(&mut shard, txn(2, 9), x, 3),
+            Reply::ReadOk {
+                value: Value::Int(10),
+                writer: Some(done)
+            }
+        );
+        assert_eq!(query_targets(&queries), vec![in_doubt]);
+        assert_eq!(
+            read_snapshot(&mut shard, txn(2, 9), y, 9),
+            Reply::ReadLocked
+        );
+        // The coordinator answers Committed: the write installs once.
+        shard.on_decision(in_doubt, Decision::Committed(6));
+        shard.check_invariants().unwrap();
+        assert_eq!(
+            read_snapshot(&mut shard, txn(2, 9), y, 9),
+            Reply::ReadOk {
+                value: Value::Int(20),
+                writer: Some(in_doubt)
+            }
+        );
+        assert_eq!(shard.recovery_stats().indoubt_committed, 1);
+        assert!(shard.recovery_stats().wal_replayed >= 3);
+        // Crashing again replays the decision too — nothing is in doubt.
+        shard.crash();
+        assert!(shard.restart().is_empty());
+        shard.check_invariants().unwrap();
+        assert_eq!(shard.versions[&y].len(), 2, "no duplicate install");
+    }
+
+    #[test]
+    fn presumed_abort_discards_the_recovered_prewrite() {
+        let x = Var(0);
+        let mut shard = Shard::new(0, BTreeMap::new());
+        let t = txn(0, 1);
+        assert_eq!(prewrite(&mut shard, t, 1, x, 5, true), Reply::PrewriteOk);
+        shard.crash();
+        let queries = shard.restart();
+        assert_eq!(query_targets(&queries), vec![t]);
+        shard.on_decision(t, Decision::Aborted);
+        shard.check_invariants().unwrap();
+        assert!(shard.locks.is_empty(), "presumed abort releases locks");
+        assert_eq!(shard.recovery_stats().indoubt_aborted, 1);
+        // The decision is final: a late duplicate prewrite conflicts, a
+        // duplicate decision is a no-op, and InProgress never mutates.
+        assert_eq!(
+            prewrite(&mut shard, t, 1, x, 5, true),
+            Reply::PrewriteConflict
+        );
+        shard.on_decision(t, Decision::Committed(9));
+        assert!(shard.versions.get(&x).is_none_or(|c| c.len() == 1));
+        let fresh = txn(2, 2);
+        assert_eq!(
+            prewrite(&mut shard, fresh, 2, x, 6, true),
+            Reply::PrewriteOk
+        );
+        shard.on_decision(fresh, Decision::InProgress);
+        assert_eq!(
+            shard.txns[&fresh],
+            TxnState::Prewritten(vec![(x, Value::Int(6))])
+        );
+    }
+
+    #[test]
+    fn shared_lock_intents_survive_crashes_until_decided() {
+        let x = Var(0);
+        let mut shard = Shard::new(0, BTreeMap::new());
+        let reader = txn(0, 1);
+        expect_reply(shard.handle(
+            Addr::Client(0),
+            1,
+            Request::Read {
+                txn: reader,
+                var: x,
+                snapshot: None,
+                lock: true,
+            },
+        ));
+        shard.crash();
+        assert!(
+            shard.restart().is_empty(),
+            "shared locks are not 2PC in-doubt"
+        );
+        shard.check_invariants().unwrap();
+        // The resurrected shared lock still blocks writers…
+        assert_eq!(
+            prewrite(&mut shard, txn(1, 2), 0, x, 1, false),
+            Reply::PrewriteConflict
+        );
+        // …until the reader's commit (resent by the client) releases it.
+        assert_eq!(commit(&mut shard, reader, 0), Reply::CommitOk);
+        shard.crash();
+        shard.restart();
+        shard.check_invariants().unwrap();
+        assert!(
+            !shard.holds_locks(),
+            "no resurrected lock for a decided read"
+        );
+        assert_eq!(
+            prewrite(&mut shard, txn(1, 3), 0, x, 1, false),
+            Reply::PrewriteOk
+        );
+    }
+
+    #[test]
+    fn volatile_shard_forgets_prewrites_and_violates_first_committer_wins() {
+        let x = Var(0);
+        let mut shard = Shard::with_durability(0, BTreeMap::new(), false);
+        let a = txn(0, 1);
+        let b = txn(1, 1);
+        assert_eq!(prewrite(&mut shard, a, 1, x, 10, true), Reply::PrewriteOk);
+        shard.crash();
+        assert!(
+            shard.restart().is_empty(),
+            "nothing in doubt: the WAL lost it"
+        );
+        // The concurrent writer now sneaks past the lost lock…
+        assert_eq!(prewrite(&mut shard, b, 2, x, 20, true), Reply::PrewriteOk);
+        assert_eq!(commit(&mut shard, b, 5), Reply::CommitOk);
+        // …and a's commit arrives to a shard that no longer knows its
+        // writes: a is marked committed but installs nothing — the lost
+        // update the checker must catch end to end.
+        assert_eq!(commit(&mut shard, a, 6), Reply::CommitOk);
+        shard.check_invariants().unwrap();
+        assert_eq!(shard.versions[&x].len(), 2, "only b's version exists");
+        // Decisions are still durable on the volatile shard: replaying
+        // after another crash keeps b's version and a's decision.
+        shard.crash();
+        shard.restart();
+        shard.check_invariants().unwrap();
+        assert_eq!(shard.versions[&x].len(), 2);
+        assert_eq!(shard.txns[&a], TxnState::Committed);
+    }
+
+    #[test]
+    fn aborted_attempts_stay_dead_across_crashes() {
+        let x = Var(0);
+        let mut shard = Shard::new(0, BTreeMap::new());
+        let t = txn(0, 1);
+        assert_eq!(prewrite(&mut shard, t, 1, x, 5, true), Reply::PrewriteOk);
+        assert_eq!(abort(&mut shard, t), Reply::AbortOk);
+        shard.crash();
+        assert!(shard.restart().is_empty(), "aborted attempt is decided");
+        shard.check_invariants().unwrap();
+        assert!(
+            !shard.holds_locks(),
+            "no resurrected lock for an aborted attempt"
+        );
+        // A late duplicate prewrite (e.g. a network duplicate delivered
+        // after the restart) must not resurrect the attempt.
+        assert_eq!(
+            prewrite(&mut shard, t, 1, x, 5, true),
+            Reply::PrewriteConflict
+        );
+        assert!(!shard.holds_locks());
     }
 
     #[test]

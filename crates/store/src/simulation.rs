@@ -15,6 +15,19 @@
 //! partition window covers the endpoint pair), random drop, duplication,
 //! base delay, and a reorder spike (occasionally inflating one copy's
 //! delay so it overtakes later traffic).
+//!
+//! Crash faults are scheduled, not random: every [`Crash`](crate::Crash)
+//! window of the plan becomes a `Crash` event at its start (the shard
+//! drops its volatile state) and a `Restart` event at its end (the shard
+//! replays its WAL and queries coordinators about in-doubt attempts).
+//! While a shard is down, messages addressed to it are dropped *at
+//! delivery time* — the network buffered them, but nobody was listening.
+//! Only shards crash: the oracle and the clients model the durable side of
+//! the deployment. Shard invariants
+//! ([`Shard::check_invariants`](crate::Shard)) are asserted after every
+//! restart and at the end of the run; breaches are reported in
+//! [`SimOutcome::invariant_breaches`] rather than panicking, so the
+//! `simulate` binary can surface them as failures.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -27,7 +40,7 @@ use txdpor_program::Program;
 use crate::client::{Client, ClientError, CommittedTx, Effects, RetryPolicy, TimerKind};
 use crate::deploy::Deployment;
 use crate::fault::FaultPlan;
-use crate::msg::{Addr, Message, Payload};
+use crate::msg::{Addr, Message, Payload, Reply};
 use crate::recorder::record;
 use crate::server::{Oracle, Shard};
 
@@ -85,6 +98,16 @@ pub struct SimStats {
     pub given_up: u64,
     /// Simulated time consumed, in microseconds.
     pub sim_time_us: u64,
+    /// Shard crashes injected by the fault plan.
+    pub crashes: u64,
+    /// Messages dropped because their destination shard was down.
+    pub crash_drops: u64,
+    /// WAL records replayed across all shard recoveries.
+    pub wal_replayed: u64,
+    /// In-doubt attempts resolved to commit by a coordinator decision.
+    pub indoubt_committed: u64,
+    /// In-doubt attempts resolved by the presumed-abort rule.
+    pub indoubt_aborted: u64,
 }
 
 /// The result of a run: the recorded history, its claimed spec, and run
@@ -101,12 +124,18 @@ pub struct SimOutcome {
     pub stats: SimStats,
     /// Typed client failures (retry exhaustion, body errors).
     pub errors: Vec<ClientError>,
+    /// Shard-invariant breaches detected after a restart or at the end of
+    /// the run (empty on a healthy run — including every honest crashy
+    /// run; a breach means the recovery path itself is broken).
+    pub invariant_breaches: Vec<String>,
 }
 
 #[derive(Debug)]
 enum SimEvent {
     Deliver { dst: Addr, msg: Message },
     Timer { client: u32, kind: TimerKind },
+    Crash { shard: u32 },
+    Restart { shard: u32 },
 }
 
 #[derive(Debug)]
@@ -209,12 +238,21 @@ impl Network {
 /// Runs one simulation to completion (all clients done, queue drained, or
 /// the time cap reached) and records the committed execution.
 pub fn run_simulation(config: &SimConfig) -> SimOutcome {
+    run_simulation_traced(config).0
+}
+
+/// Like [`run_simulation`], additionally returning the sorted distinct
+/// simulated times (µs) at which events were processed — the decision
+/// points a crash-at-every-step sweep can target.
+pub fn run_simulation_traced(config: &SimConfig) -> (SimOutcome, Vec<u64>) {
     let mut vars = VarTable::new();
     let init = config.program.initial_values_interned(&mut vars);
     let num_clients = config.program.sessions.len() as u32;
 
     let mut shards: Vec<Shard> = (0..config.num_shards)
-        .map(|i| Shard::new(i, init.iter().cloned().collect()))
+        .map(|i| {
+            Shard::with_durability(i, init.iter().cloned().collect(), config.deployment.durable)
+        })
         .collect();
     let mut oracle = Oracle::new();
     let mut clients: Vec<Client> = config
@@ -253,6 +291,19 @@ pub fn run_simulation(config: &SimConfig) -> SimOutcome {
 
     let mut committed: Vec<CommittedTx> = Vec::new();
     let mut errors: Vec<ClientError> = Vec::new();
+    let mut invariant_breaches: Vec<String> = Vec::new();
+    let mut crashes_injected = 0u64;
+    let mut crash_drops = 0u64;
+    let mut trace: Vec<u64> = Vec::new();
+
+    // Crash schedules are part of the plan, not of the random stream:
+    // every window becomes one Crash and one Restart event up front, so
+    // they land at exactly the planned times regardless of traffic.
+    for c in &config.faults.crashes {
+        let shard = c.node % config.num_shards;
+        net.push(c.from_us, SimEvent::Crash { shard });
+        net.push(c.until_us, SimEvent::Restart { shard });
+    }
 
     for (i, client) in clients.iter_mut().enumerate() {
         let mut fx = Effects::default();
@@ -269,12 +320,43 @@ pub fn run_simulation(config: &SimConfig) -> SimOutcome {
             break;
         }
         now = qe.time;
+        if trace.last() != Some(&now) {
+            trace.push(now);
+        }
         match qe.ev {
+            SimEvent::Crash { shard } => {
+                crashes_injected += 1;
+                shards[shard as usize].crash();
+            }
+            SimEvent::Restart { shard } => {
+                let queries = shards[shard as usize].restart();
+                if let Err(e) = shards[shard as usize].check_invariants() {
+                    invariant_breaches.push(format!("shard {shard} after restart at {now}µs: {e}"));
+                }
+                for (to, msg) in queries {
+                    net.send(now, Addr::Shard(shard), to, msg);
+                }
+            }
             SimEvent::Deliver { dst, msg } => match dst {
                 Addr::Shard(i) => {
-                    if let Payload::Request(req) = msg.payload {
-                        for (to, reply) in shards[i as usize].handle(msg.from, msg.req_id, req) {
-                            net.send(now, dst, to, reply);
+                    // A crashed shard processes nothing: traffic addressed
+                    // to it during the outage is dropped on delivery.
+                    if config.faults.crashed(i, now, config.num_shards) {
+                        crash_drops += 1;
+                    } else {
+                        match msg.payload {
+                            Payload::Request(req) => {
+                                for (to, reply) in
+                                    shards[i as usize].handle(msg.from, msg.req_id, req)
+                                {
+                                    net.send(now, dst, to, reply);
+                                }
+                            }
+                            // A coordinator's answer to a recovery query.
+                            Payload::Reply(Reply::Decision { txn, decision }) => {
+                                shards[i as usize].on_decision(txn, decision);
+                            }
+                            Payload::Reply(_) => {}
                         }
                     }
                 }
@@ -311,10 +393,40 @@ pub fn run_simulation(config: &SimConfig) -> SimOutcome {
         }
     }
 
+    // End-of-run shard audit. Once every client is done, every attempt is
+    // decided *and acknowledged* (commit/abort resends are unlimited), so
+    // no shard may still hold a lock — a held lock here is a resurrected
+    // one, exactly the bug class recovery must not introduce.
+    for shard in &shards {
+        if let Err(e) = shard.check_invariants() {
+            invariant_breaches.push(format!("shard {} at end of run: {e}", shard.id()));
+        }
+    }
+    if clients.iter().all(|c| c.is_done()) {
+        for shard in &shards {
+            if shard.holds_locks() {
+                invariant_breaches.push(format!(
+                    "shard {} holds locks after all clients finished (stranded or resurrected lock)",
+                    shard.id()
+                ));
+            }
+        }
+    }
+
     let given_up = errors
         .iter()
         .filter(|e| matches!(e, ClientError::RetriesExhausted { .. }))
         .count() as u64;
+    let recovery = shards
+        .iter()
+        .map(|s| s.recovery_stats())
+        .fold((0u64, 0u64, 0u64), |acc, r| {
+            (
+                acc.0 + r.wal_replayed,
+                acc.1 + r.indoubt_committed,
+                acc.2 + r.indoubt_aborted,
+            )
+        });
     let stats = SimStats {
         messages: net.messages,
         dropped: net.dropped,
@@ -324,15 +436,24 @@ pub fn run_simulation(config: &SimConfig) -> SimOutcome {
         committed: committed.len() as u64,
         given_up,
         sim_time_us: now,
+        crashes: crashes_injected,
+        crash_drops,
+        wal_replayed: recovery.0,
+        indoubt_committed: recovery.1,
+        indoubt_aborted: recovery.2,
     };
     let (history, claimed) = record(&committed, init, &config.deployment);
-    SimOutcome {
-        history,
-        vars,
-        claimed,
-        stats,
-        errors,
-    }
+    (
+        SimOutcome {
+            history,
+            vars,
+            claimed,
+            stats,
+            errors,
+            invariant_breaches,
+        },
+        trace,
+    )
 }
 
 #[cfg(test)]

@@ -33,13 +33,21 @@ fn deployments() -> Vec<Deployment> {
         Deployment::si(),
         Deployment::causal(),
         Deployment::si_unchecked(),
+        Deployment::no_wal(),
     ]
 }
 
 #[test]
 fn same_seed_replays_are_bit_identical() {
     for deployment in deployments() {
-        for preset in ["jitter", "lossy", "chaos", "partitions"] {
+        for preset in [
+            "jitter",
+            "lossy",
+            "chaos",
+            "partitions",
+            "crashy",
+            "crash-chaos",
+        ] {
             for seed in [1u64, 42, 1234] {
                 let cfg = SimConfig::new(
                     counter_program(3, 2),
@@ -65,7 +73,14 @@ fn same_seed_replays_are_bit_identical() {
 #[test]
 fn correct_protocols_pass_their_claim_with_a_replayable_witness() {
     for deployment in [Deployment::ser(), Deployment::si(), Deployment::causal()] {
-        for preset in ["jitter", "lossy", "chaos", "partitions"] {
+        for preset in [
+            "jitter",
+            "lossy",
+            "chaos",
+            "partitions",
+            "crashy",
+            "crash-chaos",
+        ] {
             for seed in [1u64, 7, 99] {
                 let cfg = SimConfig::new(
                     counter_program(3, 2),
@@ -76,6 +91,11 @@ fn correct_protocols_pass_their_claim_with_a_replayable_witness() {
                 let out = run_simulation(&cfg);
                 let label = format!("{}/{preset}/{seed}", deployment.name);
                 assert!(out.stats.committed > 0, "{label}: nothing committed");
+                assert!(
+                    out.invariant_breaches.is_empty(),
+                    "{label}: shard invariants broken: {:?}",
+                    out.invariant_breaches
+                );
                 let verdict = engine_for_spec(&out.claimed).check_witnessed(&out.history);
                 let witness = verdict.witness().unwrap_or_else(|| {
                     panic!(
@@ -138,6 +158,111 @@ fn weakened_si_claim_is_caught_with_a_valid_violation_core() {
         caught >= 1,
         "no seed exposed the lost update — weakened deployment undetected"
     );
+}
+
+#[test]
+fn crash_presets_actually_exercise_recovery_on_honest_deployments() {
+    // Beyond "still consistent", the crash machinery must demonstrably
+    // fire: crashes injected, traffic dropped at downed shards, WAL
+    // records replayed — and across the sweep, at least one in-doubt
+    // attempt resolved to commit via a coordinator query. A regression
+    // that silently stops scheduling crashes would otherwise keep every
+    // consistency assertion green.
+    let mut total_replayed = 0;
+    let mut total_indoubt_committed = 0;
+    for deployment in [Deployment::ser(), Deployment::si(), Deployment::causal()] {
+        for (preset, want_crashes) in [("crashy", 2u64), ("crash-chaos", 3u64)] {
+            for seed in 0..4u64 {
+                let cfg = SimConfig::new(
+                    counter_program(4, 3),
+                    deployment.clone(),
+                    seed,
+                    FaultPlan::preset(preset).unwrap(),
+                );
+                let out = run_simulation(&cfg);
+                let label = format!("{}/{preset}/{seed}", deployment.name);
+                assert_eq!(out.stats.crashes, want_crashes, "{label}");
+                assert!(
+                    out.stats.crash_drops > 0,
+                    "{label}: no message ever hit a downed shard"
+                );
+                assert_eq!(
+                    out.stats.committed, 12,
+                    "{label}: transactions lost to crashes"
+                );
+                assert!(
+                    out.invariant_breaches.is_empty(),
+                    "{label}: {:?}",
+                    out.invariant_breaches
+                );
+                total_replayed += out.stats.wal_replayed;
+                total_indoubt_committed += out.stats.indoubt_committed;
+            }
+        }
+    }
+    assert!(total_replayed > 0, "no recovery ever replayed a WAL record");
+    assert!(
+        total_indoubt_committed > 0,
+        "no in-doubt attempt was ever resolved to commit by a coordinator query"
+    );
+}
+
+#[test]
+fn crash_unsafe_no_wal_deployment_is_caught_with_a_closed_core() {
+    // The no-wal deployment keeps commit/abort decisions durable but loses
+    // prewrites and lock intents on crash. A crash mid-2PC therefore
+    // forgets an in-flight writer; a concurrent bump slips past the lost
+    // lock, both commit, and the lost update violates the claimed Snapshot
+    // Isolation. Each crash preset must expose it on at least one seed,
+    // with a closed violation core — and the *same* runs under the durable
+    // `si` deployment must stay consistent, pinning the blame on lost WAL
+    // state rather than on the workload.
+    for preset in ["crashy", "crash-chaos"] {
+        let mut caught = 0;
+        for seed in 0..8u64 {
+            let cfg = SimConfig::new(
+                counter_program(4, 3),
+                Deployment::no_wal(),
+                seed,
+                FaultPlan::preset(preset).unwrap(),
+            );
+            let out = run_simulation(&cfg);
+            assert!(
+                out.invariant_breaches.is_empty(),
+                "{preset}/{seed}: losing the WAL must not corrupt shard-local invariants: {:?}",
+                out.invariant_breaches
+            );
+            let verdict = engine_for_spec(&out.claimed).check_witnessed(&out.history);
+            let honest = run_simulation(&SimConfig::new(
+                counter_program(4, 3),
+                Deployment::si(),
+                seed,
+                FaultPlan::preset(preset).unwrap(),
+            ));
+            assert!(
+                engine_for_spec(&honest.claimed)
+                    .check_witnessed(&honest.history)
+                    .is_consistent(),
+                "{preset}/{seed}: durable si run inconsistent — bug is not no-wal-specific"
+            );
+            let Some(violation) = verdict.violation() else {
+                continue;
+            };
+            caught += 1;
+            let cycle = &violation.cycle;
+            assert!(cycle.len() >= 2, "{preset}/{seed}: degenerate cycle");
+            for (e, next) in cycle.iter().zip(cycle.iter().cycle().skip(1)) {
+                assert_eq!(
+                    e.to, next.from,
+                    "{preset}/{seed}: violation core is not a closed cycle: {violation}"
+                );
+            }
+        }
+        assert!(
+            caught >= 1,
+            "{preset}: no seed exposed the lost update — crash-unsafe deployment undetected"
+        );
+    }
 }
 
 #[test]
