@@ -1,0 +1,293 @@
+//! Communication-graph decomposition of histories.
+//!
+//! The *communication graph* of a history has one node per session and an
+//! edge between two sessions whenever they access (read or write) a common
+//! global variable. Its connected components partition the sessions, and —
+//! because the write-read relation is same-variable and the session order
+//! is same-session — every `so ∪ wr` edge stays inside one component. The
+//! sub-history induced by a component can therefore be checked against any
+//! supported isolation level independently of the others; the whole
+//! history is consistent iff every component is (see the soundness
+//! argument on [`crate::checker::DecomposingChecker`]).
+//!
+//! Sub-histories keep the **original session, transaction and event ids**
+//! (so `so`-positions, and with them mixed [`LevelSpec`] overrides, apply
+//! verbatim and recombined evidence needs no id translation); only global
+//! variables are renumbered densely in first-occurrence order — the
+//! `map_vars`-style canonical form — with a back-map kept per component.
+//!
+//! [`LevelSpec`]: txdpor_history::LevelSpec
+
+use txdpor_history::{Event, EventKind, History, SessionId, TxId, Var};
+
+/// One connected component of the communication graph, with everything
+/// needed to check it independently and map evidence back.
+#[derive(Clone, Debug)]
+pub struct Component {
+    /// Sessions of the component, ascending.
+    pub sessions: Vec<SessionId>,
+    /// Number of (non-init) transactions in the component.
+    pub transactions: usize,
+    /// Back-map from the sub-history's dense variable ids to the original
+    /// ids: `var_map[new.0 as usize] == old`.
+    pub var_map: Vec<Var>,
+}
+
+impl Component {
+    /// Translates a variable of the component's sub-history back to the
+    /// original history's numbering. Identity for variables outside the
+    /// map (defensive: evidence only ever cites component variables).
+    pub fn original_var(&self, x: Var) -> Var {
+        self.var_map.get(x.0 as usize).copied().unwrap_or(x)
+    }
+}
+
+/// The communication-graph decomposition of one history.
+#[derive(Clone, Debug)]
+pub struct Decomposition {
+    /// The connected components, ordered by their smallest session id.
+    pub components: Vec<Component>,
+}
+
+impl Decomposition {
+    /// Number of components (0 for an empty history).
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether the history had no sessions at all.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Number of transactions in the largest component (0 when empty).
+    pub fn largest(&self) -> usize {
+        self.components
+            .iter()
+            .map(|c| c.transactions)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Minimal union-find over dense indices.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            self.parent[i] = self.parent[self.parent[i]];
+            i = self.parent[i];
+        }
+        i
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra.max(rb)] = ra.min(rb);
+        }
+    }
+}
+
+/// Computes the communication-graph decomposition of a history.
+///
+/// Conservative coupling: *any* read or write event on a variable couples
+/// its session to that variable — pending and aborted transactions
+/// included — so the split can never separate sessions that any axiom
+/// could relate.
+pub fn decompose(h: &History) -> Decomposition {
+    let sessions: Vec<(SessionId, &[TxId])> = h.sessions().collect();
+    let n = sessions.len();
+    let mut uf = UnionFind::new(n);
+    // First session (dense index) seen touching each variable.
+    let mut var_owner: Vec<Option<usize>> = Vec::new();
+    for (k, (_, txs)) in sessions.iter().enumerate() {
+        for t in txs.iter() {
+            for e in &h.tx(*t).events {
+                let Some(x) = e.var() else { continue };
+                let xi = x.0 as usize;
+                if var_owner.len() <= xi {
+                    var_owner.resize(xi + 1, None);
+                }
+                match var_owner[xi] {
+                    Some(owner) => uf.union(owner, k),
+                    None => var_owner[xi] = Some(k),
+                }
+            }
+        }
+    }
+    // Group sessions by root, preserving ascending session order.
+    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+    for k in 0..n {
+        let root = uf.find(k);
+        match groups.iter_mut().find(|(r, _)| *r == root) {
+            Some((_, members)) => members.push(k),
+            None => groups.push((root, vec![k])),
+        }
+    }
+    let components = groups
+        .into_iter()
+        .map(|(_, members)| {
+            let mut var_map = Vec::new();
+            let mut transactions = 0usize;
+            for &k in &members {
+                for t in sessions[k].1 {
+                    transactions += 1;
+                    for e in &h.tx(*t).events {
+                        if let Some(x) = e.var() {
+                            if !var_map.contains(&x) {
+                                var_map.push(x);
+                            }
+                        }
+                    }
+                }
+            }
+            Component {
+                sessions: members.iter().map(|&k| sessions[k].0).collect(),
+                transactions,
+                var_map,
+            }
+        })
+        .collect();
+    Decomposition { components }
+}
+
+/// Builds the sub-history induced by one component: original session,
+/// transaction and event ids, variables densely renumbered through the
+/// component's `var_map` (old `var_map[j]` becomes `Var(j)`), init values
+/// restricted to the component's variables, and `wr` edges carried over
+/// (they are same-variable, hence intra-component by construction).
+pub fn component_history(h: &History, c: &Component) -> History {
+    let renumber = |x: Var| -> Var {
+        let j = c
+            .var_map
+            .iter()
+            .position(|&y| y == x)
+            .expect("component event cites a variable outside its var_map");
+        Var(j as u32)
+    };
+    let init = h
+        .init_values()
+        .iter()
+        .filter(|(x, _)| c.var_map.contains(x))
+        .map(|(x, v)| (renumber(*x), v.clone()))
+        .collect::<Vec<_>>();
+    let mut sub = History::new(init);
+    for &s in &c.sessions {
+        for &t in h.session_txs(s) {
+            let log = h.tx(t);
+            let mut events = log.events.iter();
+            let begin = events
+                .next()
+                .expect("transaction log starts with its begin event");
+            debug_assert!(begin.kind.is_begin());
+            sub.begin_transaction(
+                s,
+                t,
+                log.program_index,
+                Event::new(begin.id, EventKind::Begin),
+            );
+            for e in events {
+                let kind = match &e.kind {
+                    EventKind::Read(x) => EventKind::Read(renumber(*x)),
+                    EventKind::Write(x, v) => EventKind::Write(renumber(*x), v.clone()),
+                    other => other.clone(),
+                };
+                sub.append_event(s, Event::new(e.id, kind));
+            }
+        }
+    }
+    for (reader, read, _, writer) in h.reads_from() {
+        if c.sessions.contains(&h.tx(reader).session) {
+            sub.set_wr(read, writer);
+        }
+    }
+    sub
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txdpor_history::{EventId, IsolationLevel, Value};
+
+    /// Two independent increment pairs on x and y, plus one session
+    /// touching both (forcing a single component), built by hand.
+    fn fresh(next: &mut u32) -> EventId {
+        *next += 1;
+        EventId(*next)
+    }
+
+    fn push_incr(h: &mut History, next: &mut u32, s: u32, t: u32, idx: usize, x: Var, from: TxId) {
+        h.begin_transaction(
+            SessionId(s),
+            TxId(t),
+            idx,
+            Event::new(fresh(next), EventKind::Begin),
+        );
+        let r = fresh(next);
+        h.append_event(SessionId(s), Event::new(r, EventKind::Read(x)));
+        h.append_event(
+            SessionId(s),
+            Event::new(fresh(next), EventKind::Write(x, Value::Int(1))),
+        );
+        h.append_event(SessionId(s), Event::new(fresh(next), EventKind::Commit));
+        h.set_wr(r, from);
+    }
+
+    #[test]
+    fn disjoint_sessions_split_and_shared_vars_join() {
+        let (x, y) = (Var(0), Var(1));
+        let mut h = History::new([]);
+        let mut next = 0;
+        push_incr(&mut h, &mut next, 0, 1, 0, x, TxId::INIT);
+        push_incr(&mut h, &mut next, 1, 2, 0, x, TxId(1));
+        push_incr(&mut h, &mut next, 2, 3, 0, y, TxId::INIT);
+        push_incr(&mut h, &mut next, 3, 4, 0, y, TxId(3));
+        let d = decompose(&h);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.largest(), 2);
+        assert_eq!(d.components[0].sessions, vec![SessionId(0), SessionId(1)]);
+        assert_eq!(d.components[1].sessions, vec![SessionId(2), SessionId(3)]);
+        // A bridging session collapses everything into one component.
+        push_incr(&mut h, &mut next, 4, 5, 0, x, TxId(2));
+        push_incr(&mut h, &mut next, 4, 6, 1, y, TxId(4));
+        let d = decompose(&h);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.components[0].transactions, 6);
+    }
+
+    #[test]
+    fn component_histories_keep_ids_and_renumber_vars() {
+        let (x, y) = (Var(7), Var(3));
+        let mut h = History::new([(y, Value::Int(9))]);
+        let mut next = 0;
+        push_incr(&mut h, &mut next, 0, 1, 0, x, TxId::INIT);
+        push_incr(&mut h, &mut next, 1, 2, 0, y, TxId::INIT);
+        let d = decompose(&h);
+        assert_eq!(d.len(), 2);
+        let c1 = &d.components[1];
+        assert_eq!(c1.var_map, vec![y]);
+        let sub = component_history(&h, c1);
+        // Original ids survive; the single variable is now Var(0).
+        assert_eq!(sub.session_txs(SessionId(1)), &[TxId(2)]);
+        assert_eq!(sub.tx_session_index(TxId(2)), Some(0));
+        assert_eq!(sub.init_values(), &[(Var(0), Value::Int(9))]);
+        assert!(sub.tx(TxId(2)).writes_var(Var(0)));
+        assert_eq!(c1.original_var(Var(0)), y);
+        let rf = sub.reads_from();
+        assert_eq!(rf.len(), 1);
+        assert_eq!(rf[0].0, TxId(2));
+        assert_eq!(rf[0].3, TxId::INIT);
+        // The sub-history is consistent on its own.
+        assert!(IsolationLevel::Serializability.satisfies(&sub));
+    }
+}

@@ -1,0 +1,33 @@
+//! Static pre-processing for the txdpor checking and exploration stack.
+//!
+//! Two cooperating passes, both *pure pre-processing*: they never change a
+//! verdict, they only make computing it cheaper.
+//!
+//! * [`fn@decompose`] — **communication-graph decomposition of histories**.
+//!   Sessions touching a common variable are connected in the
+//!   communication graph; its connected components induce sub-histories
+//!   that can be checked independently (every axiom of every supported
+//!   isolation level is var-local or session-local, so consistency of the
+//!   whole history is exactly the conjunction over components).
+//!   [`DecomposingChecker`] wraps any [`ConsistencyChecker`] with this
+//!   split, recombining per-component witnesses into a whole-history
+//!   commit order and mapping violation cores back to original ids.
+//! * [`footprint`] — **static read/write-set extraction over program
+//!   texts**. An abstract interpretation of transaction bodies (branches
+//!   union, statically unknown addresses widen to ⊤ per variable family)
+//!   yields per-transaction-type footprints, a sound *independence*
+//!   relation between transaction types, and a prediction of the dynamic
+//!   component structure before anything executes.
+//!
+//! [`ConsistencyChecker`]: txdpor_history::ConsistencyChecker
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod checker;
+pub mod decompose;
+pub mod footprint;
+
+pub use checker::DecomposingChecker;
+pub use decompose::{decompose, Component, Decomposition};
+pub use footprint::{AccessSet, ProgramFootprints, TxFootprint};

@@ -34,9 +34,10 @@
 
 use std::process::exit;
 
+use txdpor_analysis::DecomposingChecker;
 use txdpor_apps::{app_sim_config, mixed_deployment, App};
 use txdpor_bench::json::JsonValue;
-use txdpor_history::engine_for_spec;
+use txdpor_history::ConsistencyChecker;
 use txdpor_store::{run_simulation, Deployment, FaultPlan};
 
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -244,7 +245,12 @@ fn main() {
                             ));
                         }
                     }
-                    let verdict = engine_for_spec(&out.claimed).check_witnessed(&out.history);
+                    // The decomposing wrapper splits the recorded history
+                    // along its communication graph and checks components
+                    // independently; verdicts (witness included) are
+                    // recombined, so the row's semantics are unchanged.
+                    let mut checker = DecomposingChecker::new(&out.claimed, true);
+                    let verdict = checker.check_witnessed(&out.history);
                     let (verdict_str, detail) = match (verdict.witness(), verdict.violation()) {
                         (Some(w), _) => {
                             if w.replays(&out.history, &out.claimed) {
@@ -317,6 +323,11 @@ fn main() {
                                 JsonValue::str(detail.clone())
                             }
                         }),
+                        ("components".into(), JsonValue::uint(checker.components())),
+                        (
+                            "largest_component".into(),
+                            JsonValue::uint(checker.largest_component()),
+                        ),
                         (
                             "fingerprint".into(),
                             JsonValue::str(format!("{:016x}{:016x}", fingerprint.0, fingerprint.1)),

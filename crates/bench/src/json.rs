@@ -378,6 +378,15 @@ pub fn measurement_json(m: &Measurement) -> JsonValue {
         ),
         ("workers".into(), JsonValue::uint(m.workers as u64)),
         ("steals".into(), JsonValue::uint(m.steals)),
+        ("components".into(), JsonValue::uint(m.components)),
+        (
+            "largest_component".into(),
+            JsonValue::uint(m.largest_component),
+        ),
+        (
+            "statically_pruned".into(),
+            JsonValue::uint(m.statically_pruned),
+        ),
         (
             "first_rejection".into(),
             m.first_rejection
@@ -469,6 +478,9 @@ mod tests {
             },
             workers: 4,
             steals: 5,
+            components: 3,
+            largest_component: 6,
+            statically_pruned: 42,
             first_rejection: Some("t1 -so-> t2 -co-> t1".to_owned()),
             timed_out: false,
         }
@@ -513,6 +525,9 @@ mod tests {
             "\"shared_memo_hits\":7",
             "\"workers\":4",
             "\"steals\":5",
+            "\"components\":3",
+            "\"largest_component\":6",
+            "\"statically_pruned\":42",
             "\"first_rejection\":\"t1 -so-> t2 -co-> t1\"",
             "\"speedup\":2.0",
         ] {

@@ -237,6 +237,18 @@ pub struct ExplorationReport {
     /// Largest number of events of any explored history (a proxy for the
     /// per-branch memory footprint; the algorithm is polynomial space).
     pub max_events: usize,
+    /// Largest number of communication-graph components any decomposed
+    /// history split into (0 when nothing decomposed — e.g. plain
+    /// `explore-ce`, which runs no output filter).
+    pub components: u64,
+    /// Transaction count of the largest component of the
+    /// most-fragmented decomposed history (0 when nothing decomposed).
+    pub largest_component: u64,
+    /// Reordering-candidate transactions skipped by the static
+    /// independence relation before their external reads were even
+    /// scanned (each skip is a transaction the dynamic `writes_var`
+    /// filter would have rejected read by read).
+    pub statically_pruned: u64,
     /// Total consistency checks served by the exploration-level engines.
     pub engine_checks: u64,
     /// Consistency checks answered from the engines' fingerprint memo.

@@ -12,9 +12,10 @@
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
+use txdpor_analysis::DecomposingChecker;
 use txdpor_history::{
-    engine_for_spec, ConsistencyChecker, Event, EventId, EventKind, History, IsolationLevel,
-    LevelSpec, SessionId, TxId, VarTable,
+    ConsistencyChecker, Event, EventId, EventKind, History, IsolationLevel, LevelSpec, SessionId,
+    TxId, VarTable,
 };
 use txdpor_program::{initial_history, oracle_next, Program, SchedulerStep, TxStep};
 
@@ -78,7 +79,7 @@ pub fn dfs_explore(
         report: ExplorationReport::default(),
         seen: HashSet::new(),
         deadline: config.timeout.map(|t| Instant::now() + t),
-        checker: engine_for_spec(&config.spec),
+        checker: DecomposingChecker::new(&config.spec, true),
     };
     let start = Instant::now();
     let mut initial = initial_history(program, &mut dfs.vars);
@@ -87,6 +88,8 @@ pub fn dfs_explore(
     dfs.report.engine_checks = stats.checks;
     dfs.report.engine_memo_hits = stats.memo_hits;
     dfs.report.engine_stats = stats;
+    dfs.report.components = dfs.checker.components();
+    dfs.report.largest_component = dfs.checker.largest_component();
     let mut report = dfs.report;
     report.duration = start.elapsed();
     report.vars = dfs.vars;
@@ -107,9 +110,13 @@ struct Dfs<'a> {
     /// 16 bytes per distinct history instead of a deep-cloned fingerprint.
     seen: HashSet<(u64, u64)>,
     deadline: Option<Instant>,
-    /// Stateful engine deciding the semantics' isolation level, reused for
-    /// every trial history of the run.
-    checker: Box<dyn ConsistencyChecker>,
+    /// Stateful engine deciding the semantics' isolation level, reused
+    /// for every trial history of the run. Wrapped in communication-graph
+    /// decomposition: under a strong spec (PC/SI/SER present) each
+    /// boolean check splits the trial history into independent
+    /// components, shrinking the commit-order search exponentially; weak
+    /// specs go straight to the wrapped incremental engine.
+    checker: DecomposingChecker,
 }
 
 impl Dfs<'_> {

@@ -7,6 +7,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use txdpor_analysis::{DecomposingChecker, ProgramFootprints};
 use txdpor_history::{
     engine_for_spec_with, ConsistencyChecker, EdgeReason, Event, EventId, EventKind, History,
     HistoryFingerprint, SessionId, SharedMemo, TxId, Var, VarTable, Verdict,
@@ -291,6 +292,9 @@ fn merge_worker(
     report.assertion_violations += worker.assertion_violations;
     report.timed_out |= worker.timed_out;
     report.max_events = report.max_events.max(worker.max_events);
+    report.statically_pruned += worker.statically_pruned;
+    report.components = report.components.max(worker.components);
+    report.largest_component = report.largest_component.max(worker.largest_component);
     report
         .histories
         .extend(worker.histories.iter().map(|h| h.map_vars(remap)));
@@ -334,8 +338,16 @@ struct Explorer<'a> {
     /// Engine deciding the exploration level, shared by `ValidWrites` and
     /// the `Optimality` checks of this explorer.
     checker: Box<dyn ConsistencyChecker>,
-    /// Engine deciding the output level (`explore-ce*` only).
-    output_checker: Option<Box<dyn ConsistencyChecker>>,
+    /// Engine deciding the output level (`explore-ce*` only), wrapped in
+    /// communication-graph decomposition: complete histories that split
+    /// are checked component by component, and the wrapper's counters
+    /// feed the report's `components` statistics.
+    output_checker: Option<DecomposingChecker>,
+    /// Static per-transaction-type read/write footprints of the program:
+    /// the independence relation consulted before scanning reordering
+    /// candidates, and (in debug builds) the soundness reference every
+    /// complete execution is checked against.
+    footprints: ProgramFootprints,
 }
 
 impl<'a> Explorer<'a> {
@@ -354,7 +366,8 @@ impl<'a> Explorer<'a> {
             deadline: config.timeout.map(|t| Instant::now() + t),
             checker: engine_for_spec_with(&config.exploration, config.memoize),
             output_checker: (config.output != config.exploration)
-                .then(|| engine_for_spec_with(&config.output, config.memoize)),
+                .then(|| DecomposingChecker::new(&config.output, config.memoize)),
+            footprints: ProgramFootprints::analyze(program),
         }
     }
 
@@ -429,6 +442,11 @@ impl<'a> Explorer<'a> {
         let mut stats = self.checker.stats();
         if let Some(output) = &self.output_checker {
             stats.absorb(&output.stats());
+            self.report.components = self.report.components.max(output.components());
+            self.report.largest_component = self
+                .report
+                .largest_component
+                .max(output.largest_component());
         }
         self.report.engine_checks += stats.checks;
         self.report.engine_memo_hits += stats.memo_hits;
@@ -569,7 +587,11 @@ impl<'a> Explorer<'a> {
             // All re-orderings share the just-committed target: one
             // causal-ancestors BFS serves every candidate (doomed-set
             // computation, in-place trials and the materialised swaps).
-            if let Some((ancestors, reorderings)) = compute_reorderings_and_ancestors(&extended) {
+            if let Some((ancestors, reorderings)) = compute_reorderings_and_ancestors(
+                &extended,
+                Some(&self.footprints),
+                &mut self.report.statically_pruned,
+            ) {
                 for reordering in reorderings {
                     if self.timed_out() {
                         break;
@@ -629,6 +651,10 @@ impl<'a> Explorer<'a> {
     /// records statistics and evaluates the user assertion.
     fn handle_complete(&mut self, h: &OrderedHistory) {
         self.report.end_states += 1;
+        #[cfg(debug_assertions)]
+        if let Err(e) = self.footprints.check_covers_history(&h.history, &self.vars) {
+            unreachable!("static footprint soundness violated: {e}");
+        }
         let valid = match self.output_checker.as_mut() {
             None => true,
             Some(checker) => checker.check(&h.history),
@@ -801,6 +827,51 @@ mod tests {
         assert_eq!(report.blocked, 0);
         // Reader of x sees init or wx; reader of y sees init or wy: 4.
         assert_eq!(report.outputs, 4);
+        // The x-transactions and y-transactions are statically
+        // independent, so every commit skips its cross-pair reordering
+        // candidates without scanning their reads.
+        assert!(
+            report.statically_pruned > 0,
+            "disjoint-variable program must exercise the static pruner"
+        );
+    }
+
+    #[test]
+    fn decomposed_output_filter_reports_components() {
+        // Two disjoint lost-update pairs: sessions 0–1 race on x,
+        // sessions 2–3 race on y. Complete histories split into two
+        // communication-graph components of two transactions each, which
+        // the `explore-ce*` output filter checks independently.
+        let incr = |name: &str| {
+            tx(
+                "incr",
+                vec![read("a", g(name)), write(g(name), add(local("a"), cint(1)))],
+            )
+        };
+        let p = program(vec![
+            session(vec![incr("x")]),
+            session(vec![incr("x")]),
+            session(vec![incr("y")]),
+            session(vec![incr("y")]),
+        ]);
+        let report = run(
+            &p,
+            ExploreConfig::explore_ce_star(
+                IsolationLevel::CausalConsistency,
+                IsolationLevel::Serializability,
+            ),
+        );
+        assert_eq!(report.components, 2, "two independent pairs");
+        assert_eq!(report.largest_component, 2, "two transactions each");
+        assert!(report.statically_pruned > 0);
+        // The decomposed filter must agree with the product of the
+        // one-pair counts: each pair alone has 2 serializable histories
+        // out of 3 CC ones.
+        assert_eq!(report.end_states, 9);
+        assert_eq!(report.outputs, 4);
+        for h in &report.histories {
+            assert!(IsolationLevel::Serializability.satisfies(h));
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use std::collections::BTreeSet;
 
+use txdpor_analysis::ProgramFootprints;
 use txdpor_history::{EventId, EventKind, History, TxId, TxSet};
 
 use crate::ordered::OrderedHistory;
@@ -31,7 +32,7 @@ pub struct Reordering {
 /// just-committed transaction `t`, such that `t` writes `var(r)` and the
 /// transaction of `r` is not causally before `t`.
 pub fn compute_reorderings(h: &OrderedHistory) -> Vec<Reordering> {
-    compute_reorderings_and_ancestors(h)
+    compute_reorderings_and_ancestors(h, None, &mut 0)
         .map(|(_, out)| out)
         .unwrap_or_default()
 }
@@ -40,8 +41,18 @@ pub fn compute_reorderings(h: &OrderedHistory) -> Vec<Reordering> {
 /// the just-committed target so the explorer can reuse the BFS across the
 /// in-place `Optimality` trials and the materialised swaps (`None` when the
 /// last event is not a commit).
+///
+/// When static `footprints` are supplied, candidate transactions whose
+/// type is statically independent of the target's type are skipped before
+/// their external reads are scanned, bumping `pruned` once per skip. The
+/// returned set of reorderings is *identical* either way: static
+/// independence means the target's write set cannot overlap the
+/// candidate's read set, so the per-read `writes_var` filter below would
+/// have rejected every read of the skipped transaction anyway.
 pub(crate) fn compute_reorderings_and_ancestors(
     h: &OrderedHistory,
+    footprints: Option<&ProgramFootprints>,
+    pruned: &mut u64,
 ) -> Option<(TxSet, Vec<Reordering>)> {
     let last = h.last()?;
     let last_event = h.history.event(last)?;
@@ -55,10 +66,24 @@ pub(crate) fn compute_reorderings_and_ancestors(
     // One backward BFS answers every `(tr(r), target) ∈ (so ∪ wr)*` query
     // below in O(1).
     let ancestors = h.history.causal_ancestors(target);
+    let target_log = (!target.is_init()).then(|| h.history.tx(target));
     let mut out = Vec::new();
     for log in h.history.transactions() {
         if log.id == target {
             continue;
+        }
+        if let (Some(fps), Some(target_log)) = (footprints, target_log) {
+            if fps.independent_logs(target_log, log) {
+                debug_assert!(
+                    log.external_reads().iter().all(|r| {
+                        let x = r.var().expect("read has a variable");
+                        !h.history.writes_var(target, x)
+                    }),
+                    "statically independent candidate has a read the target writes"
+                );
+                *pruned += 1;
+                continue;
+            }
         }
         for read in log.external_reads() {
             let x = read.var().expect("read has a variable");

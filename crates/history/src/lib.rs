@@ -72,6 +72,7 @@ pub mod history;
 pub mod isolation;
 pub mod relations;
 pub mod stats;
+pub mod testkit;
 pub mod transaction;
 pub mod value;
 

@@ -911,7 +911,7 @@ impl BodyWalker<'_> {
                                 self.env.set(local, v);
                                 self.cursor += 1;
                             }
-                            other => panic!(
+                            other => unreachable!(
                                 "client replay mismatch: expected read({var}), log has {other:?}"
                             ),
                         }
@@ -933,7 +933,7 @@ impl BodyWalker<'_> {
                     if self.cursor < self.events.len() {
                         match &self.events[self.cursor] {
                             ClientEvent::Write { var: x, .. } if *x == var => self.cursor += 1,
-                            other => panic!(
+                            other => unreachable!(
                                 "client replay mismatch: expected write({var}), log has {other:?}"
                             ),
                         }
@@ -1206,7 +1206,7 @@ mod tests {
             env: Env::new(),
             cursor: 0,
         };
-        let y = match w.walk(&body).unwrap() {
+        let y = match w.walk(&body).expect("walk succeeds on a served log") {
             Flow::Need(v) => v,
             _ => panic!("expected an external read"),
         };
@@ -1226,7 +1226,10 @@ mod tests {
             env: Env::new(),
             cursor: 0,
         };
-        assert!(matches!(w.walk(&body).unwrap(), Flow::Fallthrough));
+        assert!(matches!(
+            w.walk(&body).expect("walk succeeds on a served log"),
+            Flow::Fallthrough
+        ));
         assert_eq!(events, snapshot);
     }
 }

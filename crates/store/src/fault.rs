@@ -465,7 +465,7 @@ mod tests {
     #[test]
     fn presets_parse_by_name() {
         for name in FaultPlan::PRESETS {
-            let plan: FaultPlan = name.parse().unwrap();
+            let plan: FaultPlan = name.parse().expect("preset names parse");
             assert_eq!(Some(plan), FaultPlan::preset(name));
         }
         assert_eq!(FaultPlan::default(), FaultPlan::none());
@@ -481,8 +481,9 @@ mod tests {
             "delay=1..9,drop=0.25,part=0-2@5..10,crash=2@1..2",
         ];
         for s in specs {
-            let plan: FaultPlan = s.parse().unwrap();
-            let redisplayed: FaultPlan = plan.to_string().parse().unwrap();
+            let plan: FaultPlan = s.parse().expect("listed specs are well-formed");
+            let redisplayed: FaultPlan =
+                plan.to_string().parse().expect("displayed form re-parses");
             assert_eq!(plan, redisplayed, "{s}");
         }
     }
@@ -516,7 +517,9 @@ mod tests {
 
     #[test]
     fn partition_windows_and_modulo() {
-        let plan: FaultPlan = "part=0-1@1000..8000".parse().unwrap();
+        let plan: FaultPlan = "part=0-1@1000..8000"
+            .parse()
+            .expect("well-formed partition spec");
         assert!(plan.partitioned(0, 1, 1000, 4));
         assert!(plan.partitioned(1, 0, 7999, 4));
         assert!(!plan.partitioned(0, 1, 8000, 4));
@@ -528,7 +531,9 @@ mod tests {
 
     #[test]
     fn crash_windows_and_modulo() {
-        let plan: FaultPlan = "crash=1@1000..8000".parse().unwrap();
+        let plan: FaultPlan = "crash=1@1000..8000"
+            .parse()
+            .expect("well-formed crash spec");
         assert!(plan.crashed(1, 1000, 3));
         assert!(plan.crashed(1, 7999, 3));
         assert!(!plan.crashed(1, 8000, 3), "restart point is up again");
@@ -537,7 +542,9 @@ mod tests {
         // Crash node indexes reduce modulo the shard count.
         assert!(plan.crashed(0, 5000, 1));
         // Same-shard windows back to back (no overlap) are fine.
-        let plan: FaultPlan = "crash=0@0..10,crash=0@10..20".parse().unwrap();
+        let plan: FaultPlan = "crash=0@0..10,crash=0@10..20"
+            .parse()
+            .expect("back-to-back windows are well-formed");
         assert!(plan.crashed(0, 9, 2) && plan.crashed(0, 10, 2));
         // Overlapping windows on *different* shards are fine.
         assert!("crash=0@0..10,crash=1@5..15".parse::<FaultPlan>().is_ok());
@@ -545,7 +552,9 @@ mod tests {
 
     #[test]
     fn cluster_validation_rejects_unknown_shards() {
-        let plan: FaultPlan = "crash=7@1000..2000".parse().unwrap();
+        let plan: FaultPlan = "crash=7@1000..2000"
+            .parse()
+            .expect("parsing is cluster-agnostic; validation is separate");
         let err = plan.validate_cluster(3).unwrap_err();
         assert!(err.contains("unknown shard 7"), "{err}");
         assert!(err.contains("crash=<node>@<from>..<until>"), "{err}");
@@ -554,7 +563,7 @@ mod tests {
         // construction their windows are time-disjoint so reduction can
         // never make a shard crash while crashed.
         for name in FaultPlan::PRESETS {
-            let plan = FaultPlan::preset(name).unwrap();
+            let plan = FaultPlan::preset(name).expect("every listed preset is defined");
             for shards in 1..=4u32 {
                 for c in &plan.crashes {
                     let overlapping = plan.crashes.iter().any(|other| {

@@ -101,7 +101,9 @@ pub fn record(
         let writer = match observed {
             None => TxId::INIT,
             Some(attempt) => *tx_of_attempt.get(&attempt).unwrap_or_else(|| {
-                panic!("read observed attempt {attempt:?} that never committed")
+                // Shards only serve committed versions, so a dangling
+                // attempt id means the recorder itself lost a commit.
+                unreachable!("read observed attempt {attempt:?} that never committed")
             }),
         };
         h.set_wr(read, writer);

@@ -79,7 +79,8 @@ impl Oracle {
                     },
                 )]
             }
-            other => panic!("oracle received a non-timestamp request: {other:?}"),
+            // The router only ever addresses the oracle with Ts requests.
+            other => unreachable!("oracle received a non-timestamp request: {other:?}"),
         }
     }
 }
@@ -345,7 +346,8 @@ impl Shard {
                 vec![self.handle_commit(from, req_id, txn, commit_ts)]
             }
             Request::Abort { txn } => vec![self.handle_abort(from, req_id, txn)],
-            other => panic!("shard {} received a non-shard request: {other:?}", self.id),
+            // The router only ever addresses shards with data-plane requests.
+            other => unreachable!("shard {} received a non-shard request: {other:?}", self.id),
         }
     }
 
@@ -674,7 +676,8 @@ impl Shard {
                         self.id, v.writer
                     ));
                 }
-                if !matches!(self.txns.get(&v.writer.unwrap()), Some(TxnState::Committed)) {
+                let writer = v.writer.expect("filtered to writer.is_some() above");
+                if !matches!(self.txns.get(&writer), Some(TxnState::Committed)) {
                     return Err(format!(
                         "shard {}: {var:?} version installed by uncommitted {:?}",
                         self.id, v.writer
@@ -705,7 +708,12 @@ mod tests {
 
     fn expect_reply(mut replies: Vec<(Addr, Message)>) -> Reply {
         assert_eq!(replies.len(), 1);
-        match replies.pop().unwrap().1.payload {
+        match replies
+            .pop()
+            .expect("asserted a single reply above")
+            .1
+            .payload
+        {
             Payload::Reply(r) => r,
             other => panic!("expected a reply, got {other:?}"),
         }
@@ -966,7 +974,7 @@ mod tests {
         shard.crash();
         assert!(shard.versions.is_empty() && shard.locks.is_empty() && shard.txns.is_empty());
         let queries = shard.restart();
-        shard.check_invariants().unwrap();
+        shard.check_invariants().expect("shard invariants hold");
         // Committed data is back, the in-doubt lock is resurrected, and
         // exactly the undecided attempt is queried.
         assert_eq!(
@@ -983,7 +991,7 @@ mod tests {
         );
         // The coordinator answers Committed: the write installs once.
         shard.on_decision(in_doubt, Decision::Committed(6));
-        shard.check_invariants().unwrap();
+        shard.check_invariants().expect("shard invariants hold");
         assert_eq!(
             read_snapshot(&mut shard, txn(2, 9), y, 9),
             Reply::ReadOk {
@@ -996,7 +1004,7 @@ mod tests {
         // Crashing again replays the decision too — nothing is in doubt.
         shard.crash();
         assert!(shard.restart().is_empty());
-        shard.check_invariants().unwrap();
+        shard.check_invariants().expect("shard invariants hold");
         assert_eq!(shard.versions[&y].len(), 2, "no duplicate install");
     }
 
@@ -1010,7 +1018,7 @@ mod tests {
         let queries = shard.restart();
         assert_eq!(query_targets(&queries), vec![t]);
         shard.on_decision(t, Decision::Aborted);
-        shard.check_invariants().unwrap();
+        shard.check_invariants().expect("shard invariants hold");
         assert!(shard.locks.is_empty(), "presumed abort releases locks");
         assert_eq!(shard.recovery_stats().indoubt_aborted, 1);
         // The decision is final: a late duplicate prewrite conflicts, a
@@ -1053,7 +1061,7 @@ mod tests {
             shard.restart().is_empty(),
             "shared locks are not 2PC in-doubt"
         );
-        shard.check_invariants().unwrap();
+        shard.check_invariants().expect("shard invariants hold");
         // The resurrected shared lock still blocks writers…
         assert_eq!(
             prewrite(&mut shard, txn(1, 2), 0, x, 1, false),
@@ -1063,7 +1071,7 @@ mod tests {
         assert_eq!(commit(&mut shard, reader, 0), Reply::CommitOk);
         shard.crash();
         shard.restart();
-        shard.check_invariants().unwrap();
+        shard.check_invariants().expect("shard invariants hold");
         assert!(
             !shard.holds_locks(),
             "no resurrected lock for a decided read"
@@ -1093,13 +1101,13 @@ mod tests {
         // writes: a is marked committed but installs nothing — the lost
         // update the checker must catch end to end.
         assert_eq!(commit(&mut shard, a, 6), Reply::CommitOk);
-        shard.check_invariants().unwrap();
+        shard.check_invariants().expect("shard invariants hold");
         assert_eq!(shard.versions[&x].len(), 2, "only b's version exists");
         // Decisions are still durable on the volatile shard: replaying
         // after another crash keeps b's version and a's decision.
         shard.crash();
         shard.restart();
-        shard.check_invariants().unwrap();
+        shard.check_invariants().expect("shard invariants hold");
         assert_eq!(shard.versions[&x].len(), 2);
         assert_eq!(shard.txns[&a], TxnState::Committed);
     }
@@ -1113,7 +1121,7 @@ mod tests {
         assert_eq!(abort(&mut shard, t), Reply::AbortOk);
         shard.crash();
         assert!(shard.restart().is_empty(), "aborted attempt is decided");
-        shard.check_invariants().unwrap();
+        shard.check_invariants().expect("shard invariants hold");
         assert!(
             !shard.holds_locks(),
             "no resurrected lock for an aborted attempt"

@@ -501,7 +501,7 @@ mod tests {
             counter_program(3, 2),
             Deployment::si(),
             11,
-            FaultPlan::preset("lossy").unwrap(),
+            FaultPlan::preset("lossy").expect("lossy is a built-in preset"),
         );
         let a = run_simulation(&cfg);
         let b = run_simulation(&cfg);

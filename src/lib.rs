@@ -16,7 +16,10 @@
 //!   Courseware, Wikipedia, TPC-C) and workload generators;
 //! * [`store`] — a deterministic simulated distributed store with fault
 //!   injection, whose recorded executions are checked end-to-end against
-//!   their claimed isolation levels.
+//!   their claimed isolation levels;
+//! * [`analysis`] — static conflict analysis and communication-graph
+//!   decomposition: pure pre-processing that splits checking and prunes
+//!   exploration without changing any verdict.
 //!
 //! # Quick start
 //!
@@ -42,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+pub use txdpor_analysis as analysis;
 pub use txdpor_apps as apps;
 pub use txdpor_explore as explore;
 pub use txdpor_history as history;
